@@ -1,0 +1,320 @@
+//! Public handle layer: [`BddManager`] and the reference-counted [`Bdd`].
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::arena::{Arena, BddManagerStats, NodeId, Var, FALSE, TRUE};
+
+/// Shared, thread-safe owner of a BDD node arena.
+///
+/// Cloning a manager is cheap (an `Arc` clone) and yields a second handle to
+/// the *same* arena. Every simulated peer in netrec owns one manager;
+/// provenance annotations travel between peers only in serialised form (see
+/// [`Bdd::encode`] / [`BddManager::decode`]).
+#[derive(Clone)]
+pub struct BddManager {
+    inner: Arc<Mutex<Arena>>,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Create an empty manager containing only the two terminals.
+    pub fn new() -> Self {
+        BddManager { inner: Arc::new(Mutex::new(Arena::new())) }
+    }
+
+    fn wrap(&self, id: NodeId) -> Bdd {
+        self.inner.lock().incref(id);
+        Bdd { mgr: self.clone(), id }
+    }
+
+    /// The constant `false` function (no models).
+    pub fn zero(&self) -> Bdd {
+        self.wrap(FALSE)
+    }
+
+    /// The constant `true` function (all models).
+    pub fn one(&self) -> Bdd {
+        self.wrap(TRUE)
+    }
+
+    /// The positive literal for provenance variable `v`.
+    pub fn var(&self, v: Var) -> Bdd {
+        let id = self.inner.lock().mk_var(v);
+        self.wrap(id)
+    }
+
+    /// The negative literal `¬v`.
+    pub fn nvar(&self, v: Var) -> Bdd {
+        let id = self.inner.lock().mk_nvar(v);
+        self.wrap(id)
+    }
+
+    /// Conjunction of positive literals — the provenance of a single
+    /// conjunctive derivation (one rule firing).
+    pub fn cube(&self, vars: impl IntoIterator<Item = Var>) -> Bdd {
+        let mut vs: Vec<Var> = vars.into_iter().collect();
+        vs.sort_unstable();
+        vs.dedup();
+        let mut arena = self.inner.lock();
+        // Build bottom-up in reverse variable order: strictly linear work.
+        let mut acc = TRUE;
+        for &v in vs.iter().rev() {
+            acc = arena.mk(v, FALSE, acc);
+        }
+        drop(arena);
+        self.wrap(acc)
+    }
+
+    /// Disjunction of a set of functions (n-ary `or`).
+    pub fn or_many<'a>(&self, fs: impl IntoIterator<Item = &'a Bdd>) -> Bdd {
+        let mut acc = self.zero();
+        for f in fs {
+            acc = acc.or(f);
+        }
+        acc
+    }
+
+    /// Conjunction of a set of functions (n-ary `and`).
+    pub fn and_many<'a>(&self, fs: impl IntoIterator<Item = &'a Bdd>) -> Bdd {
+        let mut acc = self.one();
+        for f in fs {
+            acc = acc.and(f);
+        }
+        acc
+    }
+
+    /// Arena statistics snapshot.
+    pub fn stats(&self) -> BddManagerStats {
+        self.inner.lock().stats()
+    }
+
+    /// Drop all memoised operation results (they are rebuilt on demand).
+    pub fn clear_caches(&self) {
+        self.inner.lock().clear_caches()
+    }
+
+    /// Run mark-and-sweep garbage collection rooted at live handles; returns
+    /// the number of interior nodes reclaimed.
+    pub fn gc(&self) -> usize {
+        self.inner.lock().gc()
+    }
+
+    /// Total number of live external [`Bdd`] handles (diagnostic).
+    pub fn live_handles(&self) -> usize {
+        self.inner.lock().live_external_handles()
+    }
+
+    /// Enable/disable `ite` memoisation (ablation knob; defaults to enabled).
+    pub fn set_memoize(&self, on: bool) {
+        self.inner.lock().memoize = on;
+    }
+
+    fn same_arena(&self, other: &BddManager) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Whether two manager handles share one arena (handles from different
+    /// arenas must be re-anchored via serialise/deserialise before mixing).
+    pub fn ptr_eq(&self, other: &BddManager) -> bool {
+        self.same_arena(other)
+    }
+
+    pub(crate) fn with_arena<R>(&self, f: impl FnOnce(&mut Arena) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    pub(crate) fn wrap_id(&self, id: NodeId) -> Bdd {
+        self.wrap(id)
+    }
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BddManager")
+            .field("nodes", &s.nodes)
+            .field("peak_nodes", &s.peak_nodes)
+            .finish()
+    }
+}
+
+/// A Boolean function handle: canonical within its manager, cheap to clone,
+/// and kept alive across garbage collection while any handle exists.
+pub struct Bdd {
+    pub(crate) mgr: BddManager,
+    pub(crate) id: NodeId,
+}
+
+impl Clone for Bdd {
+    fn clone(&self) -> Self {
+        self.mgr.inner.lock().incref(self.id);
+        Bdd { mgr: self.mgr.clone(), id: self.id }
+    }
+}
+
+impl Drop for Bdd {
+    fn drop(&mut self) {
+        self.mgr.inner.lock().decref(self.id);
+    }
+}
+
+impl PartialEq for Bdd {
+    /// Canonicity makes semantic equivalence a pointer comparison — but only
+    /// within one manager. Handles from different managers are never equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.mgr.same_arena(&other.mgr)
+    }
+}
+
+impl Eq for Bdd {}
+
+impl Hash for Bdd {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl Bdd {
+    #[inline]
+    fn binop(&self, other: &Bdd, f: impl FnOnce(&mut Arena, NodeId, NodeId) -> NodeId) -> Bdd {
+        assert!(
+            self.mgr.same_arena(&other.mgr),
+            "combined Bdd handles from different managers"
+        );
+        let id = self.mgr.with_arena(|a| f(a, self.id, other.id));
+        self.mgr.wrap_id(id)
+    }
+
+    /// `self ∧ other` (the provenance of a join, Fig. 6).
+    pub fn and(&self, other: &Bdd) -> Bdd {
+        self.binop(other, |a, x, y| a.and(x, y))
+    }
+
+    /// `self ∨ other` (the provenance of union/duplicate projection, Fig. 6).
+    pub fn or(&self, other: &Bdd) -> Bdd {
+        self.binop(other, |a, x, y| a.or(x, y))
+    }
+
+    /// `¬self`.
+    pub fn not(&self) -> Bdd {
+        let id = self.mgr.with_arena(|a| a.not(self.id));
+        self.mgr.wrap_id(id)
+    }
+
+    /// `self ⊕ other`.
+    pub fn xor(&self, other: &Bdd) -> Bdd {
+        self.binop(other, |a, x, y| a.xor(x, y))
+    }
+
+    /// `self ∧ ¬other` — Algorithm 1's `deltaPv` and the pseudocode's `x − y`.
+    pub fn diff(&self, other: &Bdd) -> Bdd {
+        self.binop(other, |a, x, y| a.diff(x, y))
+    }
+
+    /// If-then-else with `self` as the guard.
+    pub fn ite(&self, then: &Bdd, els: &Bdd) -> Bdd {
+        assert!(self.mgr.same_arena(&then.mgr) && self.mgr.same_arena(&els.mgr));
+        let id = self.mgr.with_arena(|a| a.ite(self.id, then.id, els.id));
+        self.mgr.wrap_id(id)
+    }
+
+    /// Substitute `false` for `var`: the deletion primitive of §4 ("zero out
+    /// the variable of the deleted base tuple").
+    pub fn restrict_false(&self, var: Var) -> Bdd {
+        let id = self.mgr.with_arena(|a| a.restrict(self.id, var, false));
+        self.mgr.wrap_id(id)
+    }
+
+    /// Substitute `true` for `var`.
+    pub fn restrict_true(&self, var: Var) -> Bdd {
+        let id = self.mgr.with_arena(|a| a.restrict(self.id, var, true));
+        self.mgr.wrap_id(id)
+    }
+
+    /// Set every variable in `vars` to false — processing a batch of base
+    /// deletions in one pass.
+    pub fn restrict_all_false(&self, vars: &[Var]) -> Bdd {
+        let id = self.mgr.with_arena(|a| {
+            let mut cur = self.id;
+            for &v in vars {
+                cur = a.restrict(cur, v, false);
+            }
+            cur
+        });
+        self.mgr.wrap_id(id)
+    }
+
+    /// Existentially quantify one variable.
+    pub fn exists(&self, var: Var) -> Bdd {
+        let id = self.mgr.with_arena(|a| a.exists(self.id, var));
+        self.mgr.wrap_id(id)
+    }
+
+    /// `true` iff the function is the constant `false` (tuple no longer
+    /// derivable).
+    pub fn is_false(&self) -> bool {
+        self.id == FALSE
+    }
+
+    /// `true` iff the function is the constant `true`.
+    pub fn is_true(&self) -> bool {
+        self.id == TRUE
+    }
+
+    /// `self → other` holds for all assignments (absorption test used by
+    /// MinShip line 16: a new derivation is useful iff it is *not* implied).
+    pub fn implies(&self, other: &Bdd) -> bool {
+        self.diff(other).is_false()
+    }
+
+    /// Ascending list of variables the function depends on.
+    pub fn support(&self) -> Vec<Var> {
+        self.mgr.with_arena(|a| a.support(self.id))
+    }
+
+    /// Whether `var` is in the support.
+    pub fn depends_on(&self, var: Var) -> bool {
+        self.mgr.with_arena(|a| a.depends_on(self.id, var))
+    }
+
+    /// Number of interior DAG nodes — the unit of the paper's per-tuple
+    /// provenance size metric.
+    pub fn dag_size(&self) -> usize {
+        self.mgr.with_arena(|a| a.dag_size(self.id))
+    }
+
+    /// Evaluate under a total assignment.
+    pub fn eval(&self, mut assignment: impl FnMut(Var) -> bool) -> bool {
+        self.mgr.with_arena(|a| a.eval(self.id, &mut assignment))
+    }
+
+    /// Number of satisfying assignments over the universe `0..nvars`.
+    pub fn sat_count(&self, nvars: u32) -> f64 {
+        self.mgr.with_arena(|a| a.sat_count(self.id, nvars))
+    }
+
+    /// One satisfying partial assignment, or `None` for `false`.
+    pub fn one_sat(&self) -> Option<Vec<(Var, bool)>> {
+        self.mgr.with_arena(|a| a.one_sat(self.id))
+    }
+
+    /// The manager owning this handle.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bdd({})", crate::display::to_sop_string(self, 8))
+    }
+}

@@ -1,0 +1,49 @@
+//! # netrec-bdd — reduced ordered binary decision diagrams
+//!
+//! A from-scratch ROBDD library serving as the physical encoding of
+//! *absorption provenance* (Liu et al., ICDE 2009, §4.1). The paper used
+//! JavaBDD; this crate provides the same facilities in safe Rust:
+//!
+//! * hash-consed unique table, so every Boolean function has exactly one
+//!   canonical node — Boolean absorption (`a ∧ (a ∨ b) ≡ a`) falls out of
+//!   canonicity for free;
+//! * memoised `ite` (if-then-else) as the single combinator behind
+//!   `and`/`or`/`not`/`xor`/`diff`;
+//! * `restrict` (variable substitution by a constant), the operation used to
+//!   process base-tuple deletions;
+//! * `support` extraction, satisfying-assignment enumeration, model counting;
+//! * a compact DAG serialisation used both for shipping annotations across the
+//!   simulated network and for the paper's "per-tuple provenance bytes"
+//!   metric;
+//! * mark-and-sweep garbage collection driven by live external handles.
+//!
+//! Handles ([`Bdd`]) are cheap to clone, reference-counted, and keep their
+//! nodes alive across garbage collections. All operations go through a
+//! [`BddManager`]; combining handles from different managers panics (each
+//! simulated peer owns its own manager, and annotations cross peers only in
+//! serialised form).
+//!
+//! ```
+//! use netrec_bdd::BddManager;
+//!
+//! let mgr = BddManager::new();
+//! let (p1, p2, p3) = (mgr.var(1), mgr.var(2), mgr.var(3));
+//! // absorption: p1 ∨ (p1 ∧ p2 ∧ p3) collapses to p1
+//! let f = p1.or(&p1.and(&p2).and(&p3));
+//! assert_eq!(f, p1);
+//! // deleting base tuple 1 (restrict p1 := false) kills the expression
+//! assert!(f.restrict_false(1).is_false());
+//! ```
+
+mod arena;
+mod display;
+mod handle;
+mod serialize;
+
+pub use arena::{BddManagerStats, Var};
+pub use display::Cube;
+pub use handle::{Bdd, BddManager};
+pub use serialize::DecodeError;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,166 @@
+//! Compact DAG serialisation of BDDs.
+//!
+//! This is the format in which absorption provenance crosses the simulated
+//! network, and its length is the paper's "per-tuple provenance overhead (B)"
+//! metric. The encoding is a child-first node list:
+//!
+//! ```text
+//! varint(node_count)
+//! for each interior node, child-first:
+//!     varint(var)  varint(lo_ref)  varint(hi_ref)
+//! ```
+//!
+//! where a child reference is `0` for the FALSE terminal, `1` for TRUE, and
+//! `k + 2` for the `k`-th node of the list. The root is the last node (or the
+//! encoding is `[0]`/`[1]` alone for the constants, using a one-byte tag).
+
+use crate::arena::{FALSE, TRUE};
+use crate::handle::{Bdd, BddManager};
+
+/// Error decoding a serialised BDD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the announced node count was read.
+    Truncated,
+    /// A child reference pointed at a node not yet defined.
+    ForwardReference,
+    /// Variable ordering was violated (child variable ≤ parent variable).
+    OrderViolation,
+    /// Trailing bytes after the root node.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated BDD encoding"),
+            DecodeError::ForwardReference => write!(f, "forward child reference"),
+            DecodeError::OrderViolation => write!(f, "variable order violation"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+impl Bdd {
+    /// Serialise to the compact wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let triples = self.mgr.with_arena(|a| a.nodes_triples(self.id));
+        let mut out = Vec::with_capacity(2 + triples.len() * 4);
+        if self.id == FALSE {
+            write_varint(&mut out, 0);
+            out.push(0);
+            return out;
+        }
+        if self.id == TRUE {
+            write_varint(&mut out, 0);
+            out.push(1);
+            return out;
+        }
+        write_varint(&mut out, triples.len() as u64);
+        // Map arena node id → wire reference.
+        let mut wire_ref = std::collections::HashMap::with_capacity(triples.len());
+        wire_ref.insert(FALSE, 0u64);
+        wire_ref.insert(TRUE, 1u64);
+        for (k, (id, var, lo, hi)) in triples.iter().enumerate() {
+            wire_ref.insert(*id, k as u64 + 2);
+            write_varint(&mut out, u64::from(*var));
+            write_varint(&mut out, wire_ref[lo]);
+            write_varint(&mut out, wire_ref[hi]);
+        }
+        out
+    }
+
+    /// Length of [`Bdd::encode`] without materialising the buffer.
+    pub fn encoded_len(&self) -> usize {
+        // Encoding is cheap enough that measuring via encode() keeps the two
+        // definitions from drifting; annotations are small by design.
+        self.encode().len()
+    }
+}
+
+impl BddManager {
+    /// Rebuild a serialised function inside *this* manager (hash-consing
+    /// merges it with existing nodes, which is how a receiving peer absorbs a
+    /// shipped annotation into its local state).
+    pub fn decode(&self, bytes: &[u8]) -> Result<Bdd, DecodeError> {
+        let mut pos = 0usize;
+        let count = read_varint(bytes, &mut pos).ok_or(DecodeError::Truncated)? as usize;
+        // Every interior node costs at least three bytes, so a count larger
+        // than that bound is necessarily truncated — reject before allocating.
+        if count > bytes.len() / 3 + 1 {
+            return Err(DecodeError::Truncated);
+        }
+        if count == 0 {
+            let tag = *bytes.get(pos).ok_or(DecodeError::Truncated)?;
+            pos += 1;
+            if pos != bytes.len() {
+                return Err(DecodeError::TrailingBytes);
+            }
+            return match tag {
+                0 => Ok(self.zero()),
+                1 => Ok(self.one()),
+                _ => Err(DecodeError::ForwardReference),
+            };
+        }
+        let mut ids: Vec<u32> = Vec::with_capacity(count + 2);
+        ids.push(FALSE);
+        ids.push(TRUE);
+        // Track each wire node's variable so ordering can be validated; the
+        // terminals sort above every variable.
+        let mut vars: Vec<u32> = vec![u32::MAX, u32::MAX];
+        let root = self.with_arena(|a| -> Result<u32, DecodeError> {
+            let mut last = FALSE;
+            for _ in 0..count {
+                let var = read_varint(bytes, &mut pos).ok_or(DecodeError::Truncated)? as u32;
+                let lo_ref = read_varint(bytes, &mut pos).ok_or(DecodeError::Truncated)? as usize;
+                let hi_ref = read_varint(bytes, &mut pos).ok_or(DecodeError::Truncated)? as usize;
+                if lo_ref >= ids.len() || hi_ref >= ids.len() {
+                    return Err(DecodeError::ForwardReference);
+                }
+                if var >= vars[lo_ref] || var >= vars[hi_ref] {
+                    return Err(DecodeError::OrderViolation);
+                }
+                let id = a.mk(var, ids[lo_ref], ids[hi_ref]);
+                ids.push(id);
+                vars.push(var);
+                last = id;
+            }
+            Ok(last)
+        })?;
+        if pos != bytes.len() {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(self.wrap_id(root))
+    }
+}

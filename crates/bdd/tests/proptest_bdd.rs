@@ -1,0 +1,142 @@
+//! Property tests: random Boolean expressions over ≤ 8 variables are built
+//! both as BDDs and as brute-force truth tables; every operation must agree,
+//! and serialisation must round-trip.
+
+use netrec_bdd::{Bdd, BddManager};
+use proptest::prelude::*;
+
+const NVARS: u32 = 8;
+
+/// A tiny expression AST mirrored into both representations.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_bdd(m: &BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => m.var(*v),
+        Expr::Not(a) => to_bdd(m, a).not(),
+        Expr::And(a, b) => to_bdd(m, a).and(&to_bdd(m, b)),
+        Expr::Or(a, b) => to_bdd(m, a).or(&to_bdd(m, b)),
+        Expr::Xor(a, b) => to_bdd(m, a).xor(&to_bdd(m, b)),
+    }
+}
+
+fn eval_expr(e: &Expr, bits: u32) -> bool {
+    match e {
+        Expr::Var(v) => bits & (1 << v) != 0,
+        Expr::Not(a) => !eval_expr(a, bits),
+        Expr::And(a, b) => eval_expr(a, bits) && eval_expr(b, bits),
+        Expr::Or(a, b) => eval_expr(a, bits) || eval_expr(b, bits),
+        Expr::Xor(a, b) => eval_expr(a, bits) ^ eval_expr(b, bits),
+    }
+}
+
+fn truth_table(f: &Bdd) -> Vec<bool> {
+    (0..(1u32 << NVARS)).map(|bits| f.eval(|v| bits & (1 << v) != 0)).collect()
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let m = BddManager::new();
+        let f = to_bdd(&m, &e);
+        for bits in 0..(1u32 << NVARS) {
+            prop_assert_eq!(f.eval(|v| bits & (1 << v) != 0), eval_expr(&e, bits));
+        }
+    }
+
+    #[test]
+    fn canonicity_semantic_eq_is_handle_eq(a in arb_expr(), b in arb_expr()) {
+        let m = BddManager::new();
+        let fa = to_bdd(&m, &a);
+        let fb = to_bdd(&m, &b);
+        let same_semantics = (0..(1u32 << NVARS))
+            .all(|bits| eval_expr(&a, bits) == eval_expr(&b, bits));
+        prop_assert_eq!(fa == fb, same_semantics);
+    }
+
+    #[test]
+    fn restrict_false_matches_semantics(e in arb_expr(), v in 0..NVARS) {
+        let m = BddManager::new();
+        let f = to_bdd(&m, &e);
+        let r = f.restrict_false(v);
+        for bits in 0..(1u32 << NVARS) {
+            let forced = bits & !(1 << v);
+            prop_assert_eq!(
+                r.eval(|x| bits & (1 << x) != 0),
+                eval_expr(&e, forced)
+            );
+        }
+        // Restricted function no longer depends on v.
+        prop_assert!(!r.depends_on(v));
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in arb_expr()) {
+        let m = BddManager::new();
+        let f = to_bdd(&m, &e);
+        let expected = truth_table(&f).iter().filter(|&&b| b).count() as f64;
+        prop_assert_eq!(f.sat_count(NVARS), expected);
+    }
+
+    #[test]
+    fn encode_decode_identity(e in arb_expr()) {
+        let m = BddManager::new();
+        let f = to_bdd(&m, &e);
+        let bytes = f.encode();
+        prop_assert_eq!(&m.decode(&bytes).unwrap(), &f);
+        // Cross-manager decode preserves semantics.
+        let m2 = BddManager::new();
+        let g = m2.decode(&bytes).unwrap();
+        prop_assert_eq!(truth_table(&f), truth_table(&g));
+    }
+
+    #[test]
+    fn decode_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let m = BddManager::new();
+        let _ = m.decode(&bytes); // must return Ok or Err, never panic
+    }
+
+    #[test]
+    fn absorption_or_of_superset_cube(vars in proptest::collection::btree_set(0..NVARS, 1..5), extra in 0..NVARS) {
+        // cube(S) ∨ cube(S ∪ {x}) == cube(S): the paper's absorption rule.
+        let m = BddManager::new();
+        let base: Vec<u32> = vars.iter().copied().collect();
+        let mut sup = base.clone();
+        sup.push(extra);
+        let c1 = m.cube(base.clone());
+        let c2 = m.cube(sup);
+        prop_assert_eq!(c1.or(&c2), c1);
+    }
+
+    #[test]
+    fn gc_preserves_semantics(e in arb_expr()) {
+        let m = BddManager::new();
+        let f = to_bdd(&m, &e);
+        let before = truth_table(&f);
+        // Generate garbage then collect.
+        for v in 20..40 {
+            let _ = m.var(v).and(&m.var(v + 1));
+        }
+        m.gc();
+        prop_assert_eq!(truth_table(&f), before);
+    }
+}

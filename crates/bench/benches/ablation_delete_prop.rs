@@ -1,0 +1,60 @@
+//! Ablation: deletion propagation — dataflow shrink-DELs (paper-style,
+//! deletions travel the derivation paths) vs broadcast tombstones (every
+//! peer restricts its own state from a tiny control message).
+//!
+//! Trade-off: dataflow pays per-derivation DEL traffic but touches only the
+//! peers that hold affected state; broadcast pays peers × deletions control
+//! messages but no tuple-level DEL traffic. DESIGN.md discusses why
+//! dataflow-only deletion needs shrink propagation to be sound.
+
+use netrec_bench::{Figure, Panels, Scale};
+use netrec_core::{RunBudget, System, SystemConfig};
+use netrec_engine::{DeleteProp, Strategy};
+use netrec_topo::{transit_stub, TransitStubParams, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.pick(
+        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams::default(),
+    );
+    let peers = scale.pick(4, 12);
+    let topo = transit_stub(params, 42);
+    let ratios = [0.2, 0.4];
+    let budget = RunBudget::sim_seconds(300)
+        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let mut fig = Figure::new(
+        "ablation_delete_prop",
+        &format!(
+            "delete propagation: dataflow vs broadcast (reachable, {} nodes, {} peers)",
+            topo.node_count(),
+            peers
+        ),
+        "deletion ratio",
+        ratios.iter().map(|r| r.to_string()).collect(),
+    );
+    for (label, delete_prop) in
+        [("Dataflow DELs", DeleteProp::Dataflow), ("Broadcast tombstones", DeleteProp::Broadcast)]
+    {
+        let strategy = Strategy { delete_prop, ..Strategy::absorption_lazy() };
+        let mut series = Vec::new();
+        for &ratio in &ratios {
+            let mut sys =
+                System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+            sys.apply(&Workload::insert_links(&topo, 1.0, 7));
+            sys.run("load");
+            sys.apply(&Workload::delete_links(&topo, ratio, 13));
+            let report = sys.run("delete");
+            if report.converged() {
+                assert_eq!(
+                    sys.view("reachable"),
+                    sys.oracle_view("reachable"),
+                    "{label} diverged at {ratio}"
+                );
+            }
+            series.push(Panels::from_report(&report));
+        }
+        fig.push_row(label, series);
+    }
+    fig.finish();
+}

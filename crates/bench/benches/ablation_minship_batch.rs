@@ -1,0 +1,51 @@
+//! Ablation: MinShip's batching window (§5: "By changing the batching
+//! interval or conditions, we can adjust how many alternate derivations are
+//! propagated" — a smaller interval propagates more state, infinity is lazy
+//! propagation). Sweeps the eager flush period between near-immediate and
+//! effectively-lazy on the reachable insertion workload.
+
+use netrec_bench::{Figure, Panels, Scale};
+use netrec_core::{RunBudget, System, SystemConfig};
+use netrec_engine::{ShipPolicy, Strategy};
+use netrec_topo::{transit_stub, TransitStubParams, Workload};
+use netrec_types::Duration;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.pick(
+        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams::default(),
+    );
+    let peers = scale.pick(4, 12);
+    let topo = transit_stub(params, 42);
+    let budget = RunBudget::sim_seconds(600)
+        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let mut fig = Figure::new(
+        "ablation_minship_batch",
+        &format!(
+            "MinShip batching window sweep (reachable inserts, {} nodes, {} peers)",
+            topo.node_count(),
+            peers
+        ),
+        "policy",
+        vec!["insert 100%".into()],
+    );
+    let policies: Vec<(String, ShipPolicy)> = vec![
+        ("Immediate (no buffer)".into(), ShipPolicy::Immediate),
+        ("Eager 100ms".into(), ShipPolicy::Eager { period: Duration::from_millis(100), batch: 256 }),
+        ("Eager 1s (paper)".into(), ShipPolicy::eager_1s()),
+        ("Eager 10s".into(), ShipPolicy::Eager { period: Duration::from_secs(10), batch: 1 << 20 }),
+        ("Lazy (∞)".into(), ShipPolicy::Lazy),
+    ];
+    for (label, ship) in policies {
+        let strategy = Strategy { ship, ..Strategy::absorption_lazy() };
+        let mut sys = System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+        sys.apply(&Workload::insert_links(&topo, 1.0, 7));
+        let report = sys.run("insert");
+        if report.converged() {
+            assert_eq!(sys.view("reachable"), sys.oracle_view("reachable"), "{label}");
+        }
+        fig.push_row(label, vec![Panels::from_report(&report)]);
+    }
+    fig.finish();
+}

@@ -1,0 +1,64 @@
+//! Figure 7: `reachable` view computation as insertions are performed.
+//!
+//! X-axis: fraction of the topology's link tuples inserted (0.5, 0.75, 1.0).
+//! Schemes: DRed (set semantics — no annotations), Relative Eager/Lazy,
+//! Absorption Eager/Lazy. Expected shape (paper §7.2): DRed cheapest on an
+//! insertion-only workload; relative provenance heaviest per tuple;
+//! absorption lazy the best annotated scheme.
+
+use netrec_bench::{Figure, Panels, Scale};
+use netrec_core::{RunBudget, System, SystemConfig};
+use netrec_engine::Strategy;
+use netrec_topo::{transit_stub, TransitStubParams, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.pick(
+        TransitStubParams { transits_per_domain: 1, ..Default::default() }, // 25 nodes
+        TransitStubParams::default(),                                       // 100 nodes (paper)
+    );
+    let peers = scale.pick(4, 12);
+    let topo = transit_stub(params, 42);
+    let ratios = [0.5, 0.75, 1.0];
+    let mut fig = Figure::new(
+        "fig07",
+        &format!(
+            "reachable: insertion workload ({} nodes, {} link tuples, {} peers)",
+            topo.node_count(),
+            topo.link_tuple_count(),
+            peers
+        ),
+        "insertion ratio",
+        ratios.iter().map(|r| format!("{r}")).collect(),
+    );
+    let schemes: Vec<(&str, Strategy)> = vec![
+        ("DRed", Strategy::set()),
+        ("Relative Eager", Strategy::relative_eager()),
+        ("Relative Lazy", Strategy::relative_lazy()),
+        ("Absorption Eager", Strategy::absorption_eager()),
+        ("Absorption Lazy", Strategy::absorption_lazy()),
+    ];
+    for (label, strategy) in schemes {
+        let mut series = Vec::new();
+        for &ratio in &ratios {
+            let budget = RunBudget::sim_seconds(300)
+                .with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
+            let mut sys =
+                System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+            sys.apply(&Workload::insert_links(&topo, ratio, 7));
+            let report = sys.run("insert");
+            // Oracle check (skipped for relative mode, whose annotation cap
+            // can over-delete on dense graphs — see DESIGN.md).
+            if report.converged() && strategy.mode != netrec_prov::ProvMode::Relative {
+                assert_eq!(
+                    sys.view("reachable"),
+                    sys.oracle_view("reachable"),
+                    "{label} diverged from oracle at ratio {ratio}"
+                );
+            }
+            series.push(Panels::from_report(&report));
+        }
+        fig.push_row(label, series);
+    }
+    fig.finish();
+}

@@ -1,0 +1,77 @@
+//! Figure 8: `reachable` view maintenance as deletions are performed.
+//!
+//! The topology is fully loaded, then a fraction of the link tuples is
+//! deleted. Expected shape (paper §7.2): DRed is an order of magnitude more
+//! expensive than absorption in communication and convergence time (it
+//! over-deletes and re-derives); relative provenance beats DRed but loses to
+//! absorption on every metric.
+
+use netrec_bench::{Figure, Panels, Scale};
+use netrec_core::{dred, RunBudget, System, SystemConfig};
+use netrec_engine::Strategy;
+use netrec_topo::{transit_stub, TransitStubParams, Workload};
+use netrec_types::UpdateKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.pick(
+        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams::default(),
+    );
+    let peers = scale.pick(4, 12);
+    let topo = transit_stub(params, 42);
+    let ratios = scale.pick(vec![0.2, 0.6, 1.0], vec![0.2, 0.4, 0.6, 0.8, 1.0]);
+    let budget = RunBudget::sim_seconds(300)
+        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let mut fig = Figure::new(
+        "fig08",
+        &format!(
+            "reachable: deletion workload ({} nodes, {} link tuples, {} peers)",
+            topo.node_count(),
+            topo.link_tuple_count(),
+            peers
+        ),
+        "deletion ratio",
+        ratios.iter().map(|r| format!("{r}")).collect(),
+    );
+    let schemes: Vec<(&str, Strategy)> = vec![
+        ("DRed", Strategy::set()),
+        ("Relative Lazy", Strategy::relative_lazy()),
+        ("Absorption Eager", Strategy::absorption_eager()),
+        ("Absorption Lazy", Strategy::absorption_lazy()),
+    ];
+    for (label, strategy) in schemes {
+        let mut series = Vec::new();
+        for &ratio in &ratios {
+            let mut sys =
+                System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+            sys.apply(&Workload::insert_links(&topo, 1.0, 7));
+            let load = sys.run("load");
+            if !load.converged() {
+                // Can't even load: report the load failure for this cell.
+                series.push(Panels::from_report(&load));
+                continue;
+            }
+            let deletions = Workload::delete_links(&topo, ratio, 13);
+            let report = if strategy == Strategy::set() {
+                let dels: Vec<(String, netrec_types::Tuple)> =
+                    deletions.ops.iter().map(|op| (op.rel.clone(), op.tuple.clone())).collect();
+                dred::dred_delete(sys.runner(), &dels)
+            } else {
+                for op in &deletions.ops {
+                    sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+                }
+                sys.run("delete")
+            };
+            if report.converged()
+                && strategy != Strategy::set()
+                && strategy.mode != netrec_prov::ProvMode::Relative
+            {
+                assert_eq!(sys.view("reachable"), sys.oracle_view("reachable"), "{label} {ratio}");
+            }
+            series.push(Panels::from_report(&report));
+        }
+        fig.push_row(label, series);
+    }
+    fig.finish();
+}

@@ -1,0 +1,60 @@
+//! Figure 9: `region` query computation as insertions (sensor triggers) are
+//! performed. Smaller absolute overheads than `reachable` — the sensor
+//! network is sparser and regions are local — but the same scheme ordering.
+
+use netrec_bench::{Figure, Panels, Scale};
+use netrec_core::{RunBudget, System, SystemConfig};
+use netrec_engine::Strategy;
+use netrec_topo::{SensorGrid, SensorGridParams};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.pick(
+        SensorGridParams { sensors: 49, seeds: 3, ..Default::default() },
+        SensorGridParams::default(),
+    );
+    let peers = scale.pick(4, 12);
+    let grid = SensorGrid::generate(params, 42);
+    let ratios = [0.5, 0.75, 1.0];
+    let budget = RunBudget::sim_seconds(300)
+        .with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
+    let mut fig = Figure::new(
+        "fig09",
+        &format!(
+            "region: trigger (insertion) workload ({} sensors, {} seeds, {} peers)",
+            grid.sensor_count(),
+            grid.seeds.len(),
+            peers
+        ),
+        "trigger ratio",
+        ratios.iter().map(|r| format!("{r}")).collect(),
+    );
+    let schemes: Vec<(&str, Strategy)> = vec![
+        ("DRed", Strategy::set()),
+        ("Absorption Eager", Strategy::absorption_eager()),
+        ("Absorption Lazy", Strategy::absorption_lazy()),
+    ];
+    for (label, strategy) in schemes {
+        let mut series = Vec::new();
+        for &ratio in &ratios {
+            let mut sys = System::regions(SystemConfig::new(strategy, peers).with_budget(budget));
+            sys.apply(&grid.sensor_ops());
+            sys.apply(&grid.near_ops());
+            sys.apply(&grid.seed_ops());
+            sys.run("static load");
+            // Measured phase: the trigger insertions only.
+            sys.apply(&grid.trigger_ops(ratio, 3));
+            let report = sys.run("trigger");
+            if report.converged() {
+                assert_eq!(
+                    sys.view("regionSizes"),
+                    sys.oracle_view("regionSizes"),
+                    "{label} diverged at ratio {ratio}"
+                );
+            }
+            series.push(Panels::from_report(&report));
+        }
+        fig.push_row(label, series);
+    }
+    fig.finish();
+}

@@ -1,0 +1,73 @@
+//! Figure 10: `region` query maintenance as deletions (sensor untriggers)
+//! are performed. The trends mirror Fig. 8: DRed recomputes, absorption
+//! restricts.
+
+use netrec_bench::{Figure, Panels, Scale};
+use netrec_core::{dred, RunBudget, System, SystemConfig};
+use netrec_engine::Strategy;
+use netrec_topo::{SensorGrid, SensorGridParams};
+use netrec_types::UpdateKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.pick(
+        SensorGridParams { sensors: 49, seeds: 3, ..Default::default() },
+        SensorGridParams::default(),
+    );
+    let peers = scale.pick(4, 12);
+    let grid = SensorGrid::generate(params, 42);
+    let ratios = scale.pick(vec![0.2, 0.6, 1.0], vec![0.2, 0.4, 0.6, 0.8, 1.0]);
+    let budget = RunBudget::sim_seconds(300)
+        .with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
+    let mut fig = Figure::new(
+        "fig10",
+        &format!(
+            "region: untrigger (deletion) workload ({} sensors, {} peers)",
+            grid.sensor_count(),
+            peers
+        ),
+        "deletion ratio of triggered sensors",
+        ratios.iter().map(|r| format!("{r}")).collect(),
+    );
+    let schemes: Vec<(&str, Strategy)> = vec![
+        ("DRed", Strategy::set()),
+        ("Absorption Eager", Strategy::absorption_eager()),
+        ("Absorption Lazy", Strategy::absorption_lazy()),
+    ];
+    for (label, strategy) in schemes {
+        let mut series = Vec::new();
+        for &ratio in &ratios {
+            let mut sys = System::regions(SystemConfig::new(strategy, peers).with_budget(budget));
+            sys.apply(&grid.sensor_ops());
+            sys.apply(&grid.near_ops());
+            sys.apply(&grid.seed_ops());
+            sys.apply(&grid.trigger_ops(0.5, 3));
+            let load = sys.run("load");
+            if !load.converged() {
+                series.push(Panels::from_report(&load));
+                continue;
+            }
+            let deletions = grid.untrigger_ops(0.5, ratio, 3);
+            let report = if strategy == Strategy::set() {
+                let dels: Vec<(String, netrec_types::Tuple)> =
+                    deletions.ops.iter().map(|op| (op.rel.clone(), op.tuple.clone())).collect();
+                dred::dred_delete(sys.runner(), &dels)
+            } else {
+                for op in &deletions.ops {
+                    sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+                }
+                sys.run("untrigger")
+            };
+            if report.converged() && strategy != Strategy::set() {
+                assert_eq!(
+                    sys.view("regionSizes"),
+                    sys.oracle_view("regionSizes"),
+                    "{label} diverged at ratio {ratio}"
+                );
+            }
+            series.push(Panels::from_report(&report));
+        }
+        fig.push_row(label, series);
+    }
+    fig.finish();
+}

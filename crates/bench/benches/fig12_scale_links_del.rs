@@ -1,0 +1,56 @@
+//! Figure 12: scaling the input, deletion workload — after a full load, 20%
+//! of the link tuples are deleted (the paper's "further experimented with
+//! deleting an additional 20% of the links"). Same eager/lazy × dense/sparse
+//! grid as Fig. 11.
+
+use netrec_bench::{Figure, Panels, Scale};
+use netrec_core::{RunBudget, System, SystemConfig};
+use netrec_engine::{ShipPolicy, Strategy};
+use netrec_topo::{transit_stub_for_links, Density, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes = scale.pick(vec![100usize, 200], vec![100, 200, 400, 800]);
+    let peers = scale.pick(4, 12);
+    let budget = RunBudget::sim_seconds(300)
+        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let mut fig = Figure::new(
+        "fig12",
+        &format!("reachable: scaling link tuples, delete 20% after load ({peers} peers)"),
+        "total link tuples",
+        sizes.iter().map(|s| s.to_string()).collect(),
+    );
+    let schemes: Vec<(&str, ShipPolicy, Density)> = vec![
+        ("Eager Dense", ShipPolicy::eager_1s(), Density::Dense),
+        ("Lazy Dense", ShipPolicy::Lazy, Density::Dense),
+        ("Eager Sparse", ShipPolicy::eager_1s(), Density::Sparse),
+        ("Lazy Sparse", ShipPolicy::Lazy, Density::Sparse),
+    ];
+    for (label, ship, density) in schemes {
+        let strategy = Strategy { ship, ..Strategy::absorption_lazy() };
+        let mut series = Vec::new();
+        for &links in &sizes {
+            let topo = transit_stub_for_links(links, density, 42);
+            let mut sys =
+                System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+            sys.apply(&Workload::insert_links(&topo, 1.0, 7));
+            let load = sys.run("load");
+            if !load.converged() {
+                series.push(Panels::from_report(&load));
+                continue;
+            }
+            sys.apply(&Workload::delete_links(&topo, 0.2, 13));
+            let report = sys.run("delete 20%");
+            if report.converged() {
+                assert_eq!(
+                    sys.view("reachable"),
+                    sys.oracle_view("reachable"),
+                    "{label} diverged at {links} links"
+                );
+            }
+            series.push(Panels::from_report(&report));
+        }
+        fig.push_row(label, series);
+    }
+    fig.finish();
+}

@@ -1,0 +1,69 @@
+//! Figure 13: varying the number of physical query-processing peers with the
+//! input held constant — DRed vs Absorption Lazy over a full load followed
+//! by a 20% deletion pass.
+//!
+//! The 24-peer point spans two simulated clusters joined by a slow link
+//! (§7.1's 16-node + 8-node setup): per-peer state and communication fall
+//! with more peers, while convergence time jumps between 16 and 24 peers
+//! because traffic starts crossing the 100 Mbps inter-cluster link. The
+//! communication panel reports **per-peer** MB for this figure, as the paper
+//! does.
+
+use netrec_bench::{Figure, Panels, Scale};
+use netrec_core::{dred, ClusterSpec, RunBudget, System, SystemConfig};
+use netrec_engine::Strategy;
+use netrec_topo::{transit_stub, TransitStubParams, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = scale.pick(
+        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams::default(),
+    );
+    let topo = transit_stub(params, 42);
+    let peer_counts: Vec<u32> = vec![4, 8, 12, 16, 24];
+    let budget = RunBudget::sim_seconds(300)
+        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let mut fig = Figure::new(
+        "fig13",
+        &format!(
+            "reachable: varying physical peers ({} nodes, {} link tuples; comm = per-peer MB)",
+            topo.node_count(),
+            topo.link_tuple_count()
+        ),
+        "physical peers",
+        peer_counts.iter().map(|p| p.to_string()).collect(),
+    );
+    for (label, strategy) in [("DRed", Strategy::set()), ("Absorption Lazy", Strategy::absorption_lazy())]
+    {
+        let mut series = Vec::new();
+        for &peers in &peer_counts {
+            let cluster = if peers > 16 {
+                ClusterSpec::two_clusters(16, peers - 16)
+            } else {
+                ClusterSpec::single(peers)
+            };
+            let cfg = SystemConfig::new(strategy, peers).with_cluster(cluster).with_budget(budget);
+            let mut sys = System::reachable(cfg);
+            sys.apply(&Workload::insert_links(&topo, 1.0, 7));
+            let load = sys.run("load");
+            let deletions = Workload::delete_links(&topo, 0.2, 13);
+            let del_report = if strategy == Strategy::set() {
+                let dels: Vec<(String, netrec_types::Tuple)> =
+                    deletions.ops.iter().map(|op| (op.rel.clone(), op.tuple.clone())).collect();
+                dred::dred_delete(sys.runner(), &dels)
+            } else {
+                sys.apply(&deletions);
+                sys.run("delete")
+            };
+            let combined = load.merged(del_report, "load+delete");
+            let mut panels = Panels::from_report(&combined);
+            // This figure reports per-peer communication.
+            panels.comm_mb /= f64::from(peers);
+            panels.state_mb /= f64::from(peers);
+            series.push(panels);
+        }
+        fig.push_row(label, series);
+    }
+    fig.finish();
+}

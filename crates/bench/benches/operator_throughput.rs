@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the engine's hot paths: end-to-end update
+//! throughput of the reachable fixpoint on one simulated cluster, per
+//! maintenance strategy. Complements the figure harnesses with stable,
+//! comparable numbers for regression tracking.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netrec_core::{queries, RunnerConfig};
+use netrec_engine::runner::Runner;
+use netrec_engine::Strategy;
+use netrec_topo::{random_graph, Workload};
+use netrec_types::UpdateKind;
+use std::hint::black_box;
+
+fn load_runner(strategy: Strategy) -> (Runner, Workload) {
+    let topo = random_graph(16, 28, 11);
+    let runner = Runner::new(queries::reachable::plan(), RunnerConfig::new(strategy, 4));
+    let load = Workload::insert_links(&topo, 1.0, 3);
+    (runner, load)
+}
+
+fn bench_insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/reachable_load_16n");
+    for (name, strategy) in [
+        ("set", Strategy::set()),
+        ("absorption_lazy", Strategy::absorption_lazy()),
+        ("absorption_eager", Strategy::absorption_eager()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || load_runner(strategy),
+                |(mut runner, load)| {
+                    for op in &load.ops {
+                        runner.inject(&op.rel, op.tuple.clone(), UpdateKind::Insert, None);
+                    }
+                    black_box(runner.run_phase("load"))
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_deletion(c: &mut Criterion) {
+    c.bench_function("engine/reachable_single_deletion_absorption", |b| {
+        b.iter_batched(
+            || {
+                let (mut runner, load) = load_runner(Strategy::absorption_lazy());
+                for op in &load.ops {
+                    runner.inject(&op.rel, op.tuple.clone(), UpdateKind::Insert, None);
+                }
+                runner.run_phase("load");
+                let victim = load.ops[0].tuple.clone();
+                (runner, victim)
+            },
+            |(mut runner, victim)| {
+                runner.inject("link", victim, UpdateKind::Delete, None);
+                black_box(runner.run_phase("delete"))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_insert_throughput, bench_single_deletion);
+criterion_main!(benches);

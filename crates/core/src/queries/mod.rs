@@ -1,0 +1,26 @@
+//! The paper's three query families, as distributed plans plus matching
+//! oracle programs (§2, Queries 1–3).
+//!
+//! Every function here returns both halves of the reproduction story: a
+//! [`netrec_engine::Plan`] for the distributed engine and (separately) a
+//! [`netrec_engine::reference::Program`] whose from-scratch evaluation the
+//! maintained views must equal — the property the integration tests and the
+//! bench harnesses assert.
+
+pub mod paths;
+pub mod reachable;
+pub mod regions;
+
+/// Aggregate-selection configuration for the shortest-path query (Fig. 14's
+/// three columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggSelChoice {
+    /// Prune with both objectives (min cost *and* min hop count) — the
+    /// paper's "Multi AggSel".
+    Multi,
+    /// Prune with path cost only — "Single AggSel".
+    SingleCost,
+    /// No pruning — "No AggSel"; does not terminate on cyclic topologies and
+    /// is reported as `> budget`, like the paper's "> 5 min" entries.
+    None,
+}

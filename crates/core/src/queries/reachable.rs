@@ -1,0 +1,85 @@
+//! Query 1: network reachability (transitive closure), the paper's running
+//! example and the Fig. 4 plan.
+//!
+//! ```text
+//! reachable(x,y) :- link(x,y).
+//! reachable(x,y) :- link(x,z), reachable(z,y).
+//! ```
+//!
+//! `link` and `reachable` are both partitioned on their first attribute;
+//! computing the view ships `link` tuples to the peer owning their `dst`,
+//! joins with the `reachable` partition there, and MinShips results back to
+//! the peer owning their `src`.
+
+use netrec_engine::expr::Expr;
+use netrec_engine::plan::{Dest, Plan, PlanBuilder, JOIN_BUILD, JOIN_PROBE};
+use netrec_engine::reference::{Atom, Program, Rule, Term};
+
+/// Build the distributed plan.
+pub fn plan() -> Plan {
+    let mut b = PlanBuilder::new();
+    let link = b.edb("link", &["src", "dst", "cost"], 0);
+    let reach = b.idb("reachable", &["src", "dst"], 0);
+    let ing = b.ingress(link);
+    let base_map = b.map(vec![Expr::col(0), Expr::col(1)], vec![]);
+    let store = b.store(reach, true, None);
+    // Recursive case: row = link(x,z,c) ++ reachable(z,y); emit (x, y).
+    let join = b.join(vec![1], vec![0], vec![], vec![Expr::col(0), Expr::col(4)]);
+    let ex = b.exchange(Some(1), Dest { op: join, input: JOIN_BUILD });
+    let ship = b.minship(Some(0), Dest { op: store, input: 0 });
+    b.connect(ing, base_map, 0);
+    b.connect(base_map, store, 0);
+    b.connect(ing, ex, 0);
+    b.connect(join, ship, 0);
+    b.connect(store, join, JOIN_PROBE);
+    b.build().expect("reachable plan is well-formed")
+}
+
+/// Oracle program over the same catalog ids as [`plan`].
+pub fn program(plan: &Plan) -> Program {
+    let link = plan.catalog.id("link").expect("link");
+    let reach = plan.catalog.id("reachable").expect("reachable");
+    Program {
+        rules: vec![
+            Rule {
+                head: reach,
+                head_exprs: vec![Expr::col(0), Expr::col(1)],
+                body: vec![Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)] }],
+                preds: vec![],
+                nvars: 3,
+            },
+            Rule {
+                head: reach,
+                head_exprs: vec![Expr::col(0), Expr::col(3)],
+                body: vec![
+                    Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)] },
+                    Atom { rel: reach, terms: vec![Term::Var(1), Term::Var(3)] },
+                ],
+                preds: vec![],
+                nvars: 4,
+            },
+        ],
+        aggs: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_shape() {
+        let p = plan();
+        assert!(p.is_recursive());
+        assert_eq!(p.views.len(), 1);
+        assert!(p.catalog.id("reachable").is_some());
+    }
+
+    #[test]
+    fn oracle_program_uses_plan_ids() {
+        let p = plan();
+        let prog = program(&p);
+        assert_eq!(prog.rules.len(), 2);
+        assert_eq!(prog.rules[0].head, p.catalog.id("reachable").unwrap());
+    }
+}

@@ -1,0 +1,220 @@
+//! High-level facade: a maintained distributed view system.
+
+use std::collections::BTreeSet;
+
+use netrec_engine::reference::{Db, Program};
+use netrec_engine::runner::{RunReport, Runner, RunnerConfig};
+use netrec_engine::strategy::Strategy;
+use netrec_sim::{ClusterSpec, CostModel, Partitioner, RunBudget};
+use netrec_topo::Workload;
+use netrec_types::{Tuple, UpdateKind};
+
+use crate::queries::{paths, reachable, regions, AggSelChoice};
+
+/// Configuration for a [`System`].
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Maintenance strategy (provenance scheme, ship policy, delete mode).
+    pub strategy: Strategy,
+    /// Number of physical query-processing peers.
+    pub peers: u32,
+    /// Key placement (defaults to hash placement, the DHT substitute).
+    pub partitioner: Partitioner,
+    /// Cluster model (defaults to one gigabit cluster).
+    pub cluster: ClusterSpec,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Per-phase budget.
+    pub budget: RunBudget,
+}
+
+impl SystemConfig {
+    /// Hash-partitioned single-cluster defaults.
+    pub fn new(strategy: Strategy, peers: u32) -> SystemConfig {
+        let rc = RunnerConfig::new(strategy, peers);
+        SystemConfig {
+            strategy,
+            peers,
+            partitioner: rc.partitioner,
+            cluster: rc.cluster,
+            cost: rc.cost,
+            budget: rc.budget,
+        }
+    }
+
+    /// Direct (modulo) placement: logical node X lives on peer X.
+    pub fn direct(strategy: Strategy, peers: u32) -> SystemConfig {
+        SystemConfig { partitioner: Partitioner::Direct { peers }, ..SystemConfig::new(strategy, peers) }
+    }
+
+    /// Override the cluster model (e.g. the two-cluster scale-out profile).
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> SystemConfig {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Override the per-phase budget.
+    pub fn with_budget(mut self, budget: RunBudget) -> SystemConfig {
+        self.budget = budget;
+        self
+    }
+
+    fn runner_config(&self) -> RunnerConfig {
+        RunnerConfig {
+            strategy: self.strategy,
+            partitioner: self.partitioner,
+            cluster: self.cluster.clone(),
+            cost: self.cost,
+            budget: self.budget,
+        }
+    }
+}
+
+/// A running distributed view system: one of the paper's query families
+/// instantiated over a simulated cluster, plus the matching oracle program
+/// and a mirror of the live base state for from-scratch checking.
+pub struct System {
+    runner: Runner,
+    oracle: Program,
+    /// Live base tuples (mirrors the ingress state; drives the oracle).
+    base: Db,
+}
+
+impl System {
+    fn build(plan: netrec_engine::Plan, oracle: Program, cfg: &SystemConfig) -> System {
+        System { runner: Runner::new(plan, cfg.runner_config()), oracle, base: Db::new() }
+    }
+
+    /// Query 1: network reachability.
+    pub fn reachable(cfg: SystemConfig) -> System {
+        let plan = reachable::plan();
+        let oracle = reachable::program(&plan);
+        System::build(plan, oracle, &cfg)
+    }
+
+    /// Query 2: shortest/cheapest paths with the chosen aggregate selection.
+    pub fn shortest_paths(cfg: SystemConfig, choice: AggSelChoice) -> System {
+        let plan = paths::plan(choice);
+        let oracle = paths::program(&plan);
+        System::build(plan, oracle, &cfg)
+    }
+
+    /// Query 3: contiguous sensor regions.
+    pub fn regions(cfg: SystemConfig) -> System {
+        let plan = regions::plan();
+        let oracle = regions::program(&plan);
+        System::build(plan, oracle, &cfg)
+    }
+
+    /// Feed a workload script into the EDB ingresses (updates queue behind
+    /// whatever has already been simulated).
+    pub fn apply(&mut self, workload: &Workload) {
+        for op in &workload.ops {
+            self.inject(&op.rel, op.tuple.clone(), op.kind, op.ttl);
+        }
+    }
+
+    /// Feed one base operation.
+    pub fn inject(
+        &mut self,
+        rel: &str,
+        tuple: Tuple,
+        kind: UpdateKind,
+        ttl: Option<netrec_types::Duration>,
+    ) {
+        let rel_id = self.runner.plan().catalog.id(rel).expect("known relation");
+        match kind {
+            UpdateKind::Insert => {
+                self.base.entry(rel_id).or_default().insert(tuple.clone());
+            }
+            UpdateKind::Delete => {
+                if let Some(set) = self.base.get_mut(&rel_id) {
+                    set.remove(&tuple);
+                }
+            }
+        }
+        self.runner.inject(rel, tuple, kind, ttl);
+    }
+
+    /// Run to quiescence (or budget) and report.
+    pub fn run(&mut self, label: &str) -> RunReport {
+        self.runner.run_phase(label)
+    }
+
+    /// Current contents of a view across all peers.
+    pub fn view(&self, rel: &str) -> BTreeSet<Tuple> {
+        self.runner.view(rel)
+    }
+
+    /// From-scratch oracle evaluation of a view over the current base state.
+    ///
+    /// Note: TTL expirations happen inside the simulation; when a workload
+    /// uses TTLs the caller must account for expired tuples itself.
+    pub fn oracle_view(&self, rel: &str) -> BTreeSet<Tuple> {
+        let rel_id = self.runner.plan().catalog.id(rel).expect("known relation");
+        let db = self.oracle.evaluate(&self.base);
+        db.get(&rel_id).cloned().unwrap_or_default()
+    }
+
+    /// The underlying runner (metrics, provenance inspection, DRed driver).
+    pub fn runner(&mut self) -> &mut Runner {
+        &mut self.runner
+    }
+
+    /// Immutable runner access.
+    pub fn runner_ref(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// The live base tuples this system has been fed (minus deletions).
+    pub fn base_state(&self) -> &Db {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_topo::random_graph;
+
+    #[test]
+    fn reachable_system_matches_oracle() {
+        let topo = random_graph(10, 16, 3);
+        let mut sys = System::reachable(SystemConfig::new(Strategy::absorption_lazy(), 4));
+        sys.apply(&Workload::insert_links(&topo, 1.0, 1));
+        let rep = sys.run("load");
+        assert!(rep.converged());
+        assert_eq!(sys.view("reachable"), sys.oracle_view("reachable"));
+        // Delete a few links and re-check.
+        sys.apply(&Workload::delete_links(&topo, 0.25, 2));
+        let rep = sys.run("churn");
+        assert!(rep.converged());
+        assert_eq!(sys.view("reachable"), sys.oracle_view("reachable"));
+    }
+
+    #[test]
+    fn paths_system_small_graph() {
+        // Line topology 0-1-2: unique paths, easy to verify.
+        let mut sys = System::shortest_paths(
+            SystemConfig::new(Strategy::absorption_lazy(), 3),
+            AggSelChoice::Multi,
+        );
+        for (a, b) in [(0u32, 1u32), (1, 0), (1, 2), (2, 1)] {
+            sys.inject(
+                "link",
+                Tuple::new(vec![
+                    netrec_types::Value::Addr(netrec_types::NetAddr(a)),
+                    netrec_types::Value::Addr(netrec_types::NetAddr(b)),
+                    netrec_types::Value::Int(5),
+                ]),
+                UpdateKind::Insert,
+                None,
+            );
+        }
+        let rep = sys.run("load");
+        assert!(rep.converged());
+        for view in ["minCost", "minHops", "cheapestPath", "fewestHops", "shortestCheapestPath"] {
+            assert_eq!(sys.view(view), sys.oracle_view(view), "view {view}");
+        }
+    }
+}

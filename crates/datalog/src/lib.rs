@@ -1,0 +1,38 @@
+//! # netrec-datalog — NDlog-style Datalog front end
+//!
+//! The paper writes all of its queries in Datalog (with SQL-99 equivalents);
+//! declarative networking's NDlog additionally marks the partitioning
+//! attribute with a location specifier (`link(@X, Y, C)`). This crate
+//! provides:
+//!
+//! * a hand-rolled lexer/parser for that dialect ([`parse_program`]),
+//!   including aggregate heads (`min<C>`, `max<C>`, `count<X>`, `sum<C>`),
+//!   assignments (`C := C0 + C1`), list construction (`[X, Y]`, `[X | P]`),
+//!   comparisons, and `@` location specifiers;
+//! * stratification checking;
+//! * a compiler to the centralized reference evaluator
+//!   ([`Compiled::oracle`]);
+//! * a distributed planner ([`Compiled::plan`]) that lowers every rule to
+//!   the engine's operator graph: ingresses for EDB atoms, pipelined hash
+//!   joins with repartitioning exchanges, MinShips into the head stores, and
+//!   group aggregates for aggregate heads — the same shape as the paper's
+//!   Fig. 4 plan.
+//!
+//! ```
+//! let program = netrec_datalog::parse_program(r#"
+//!     reachable(@X, Y) :- link(@X, Y, C).
+//!     reachable(@X, Y) :- link(@X, Z, C), reachable(@Z, Y).
+//! "#).unwrap();
+//! let compiled = netrec_datalog::compile(&program).unwrap();
+//! assert!(compiled.plan().is_recursive());
+//! ```
+
+mod ast;
+mod compile;
+mod lexer;
+mod parser;
+mod planner;
+
+pub use ast::{Aggregate, Arg, AstAtom, AstRule, AstProgram, BodyExpr, BodyLit, Cmp};
+pub use compile::{compile, Compiled, CompileError};
+pub use parser::{parse_program, ParseError};

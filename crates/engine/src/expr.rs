@@ -1,0 +1,232 @@
+//! Row expressions, predicates and aggregate functions.
+//!
+//! Join outputs and map stages compute new columns from the (concatenated)
+//! input row: path concatenation (`p = concat([x], p1)`), cost addition
+//! (`c = c0 + c1`), hop increments. Filters evaluate predicates over the same
+//! row. The reference evaluator reuses these types, so the oracle and the
+//! distributed engine share exactly one expression semantics.
+
+use netrec_types::{Tuple, Value};
+
+/// A scalar expression over a row of values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Col(usize),
+    /// Literal.
+    Const(Value),
+    /// Integer addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Build a list from element expressions (`[x, y]`).
+    MakeList(Vec<Expr>),
+    /// Prepend element to a list (`concat([x], p)`).
+    Prepend(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: `Col`.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Convenience: integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Value::Int(v))
+    }
+
+    /// `a + b` over columns.
+    pub fn add_cols(a: usize, b: usize) -> Expr {
+        Expr::Add(Box::new(Expr::Col(a)), Box::new(Expr::Col(b)))
+    }
+
+    /// Evaluate against a row. Returns `None` on a type mismatch (treated as
+    /// filter failure; planner-validated programs never hit this).
+    pub fn eval(&self, row: &[Value]) -> Option<Value> {
+        match self {
+            Expr::Col(i) => row.get(*i).cloned(),
+            Expr::Const(v) => Some(v.clone()),
+            Expr::Add(a, b) => {
+                let (a, b) = (a.eval(row)?.as_int()?, b.eval(row)?.as_int()?);
+                Some(Value::Int(a + b))
+            }
+            Expr::MakeList(items) => {
+                let vals: Option<Vec<Value>> = items.iter().map(|e| e.eval(row)).collect();
+                Some(Value::list(vals?))
+            }
+            Expr::Prepend(head, list) => {
+                let h = head.eval(row)?;
+                list.eval(row)?.list_prepend(h)
+            }
+        }
+    }
+}
+
+/// Comparison operators for predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to two values (total order over [`Value`]).
+    pub fn test(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A filter predicate over a row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pred {
+    /// Compare two expressions.
+    Cmp(Expr, CmpOp, Expr),
+    /// List in column does **not** contain the value of the expression
+    /// (cycle avoidance in path queries: `x ∉ p1`).
+    NotInList(Expr, Expr),
+    /// Disjunction: at least one sub-predicate holds (e.g. the simple-path
+    /// filter "x ∉ p1 ∨ x = y", which admits simple cycles).
+    Any(Vec<Pred>),
+}
+
+impl Pred {
+    /// Evaluate; type mismatches fail the predicate.
+    pub fn test(&self, row: &[Value]) -> bool {
+        match self {
+            Pred::Cmp(a, op, b) => match (a.eval(row), b.eval(row)) {
+                (Some(x), Some(y)) => op.test(&x, &y),
+                _ => false,
+            },
+            Pred::NotInList(elem, list) => match (elem.eval(row), list.eval(row)) {
+                (Some(e), Some(Value::List(items))) => !items.contains(&e),
+                _ => false,
+            },
+            Pred::Any(alternatives) => alternatives.iter().any(|p| p.test(row)),
+        }
+    }
+}
+
+/// Project a row through expressions into an output tuple; `None` if any
+/// expression fails.
+pub fn project(exprs: &[Expr], row: &[Value]) -> Option<Tuple> {
+    exprs.iter().map(|e| e.eval(row)).collect::<Option<Vec<Value>>>().map(Tuple::new)
+}
+
+/// Aggregate functions supported by [`crate::ops::aggregate`] and by
+/// aggregate selection. AVERAGE derives from SUM and COUNT as in the paper's
+/// footnote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Minimum of the aggregated column.
+    Min,
+    /// Maximum of the aggregated column.
+    Max,
+    /// Count of tuples in the group.
+    Count,
+    /// Integer sum of the aggregated column.
+    Sum,
+}
+
+impl AggFn {
+    /// Is `a` strictly better than `b` for pruning purposes? Only meaningful
+    /// for MIN/MAX (aggregate selection's "better than" test).
+    pub fn better(self, a: &Value, b: &Value) -> bool {
+        match self {
+            AggFn::Min => a < b,
+            AggFn::Max => a > b,
+            AggFn::Count | AggFn::Sum => false,
+        }
+    }
+
+    /// Whether this function admits aggregate-selection pruning.
+    pub fn prunable(self) -> bool {
+        matches!(self, AggFn::Min | AggFn::Max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_types::NetAddr;
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Addr(NetAddr(1)),
+            Value::Int(10),
+            Value::Int(32),
+            Value::list(vec![Value::Addr(NetAddr(2)), Value::Addr(NetAddr(3))]),
+        ]
+    }
+
+    #[test]
+    fn eval_basics() {
+        let r = row();
+        assert_eq!(Expr::col(1).eval(&r), Some(Value::Int(10)));
+        assert_eq!(Expr::int(7).eval(&r), Some(Value::Int(7)));
+        assert_eq!(Expr::add_cols(1, 2).eval(&r), Some(Value::Int(42)));
+        assert_eq!(Expr::Col(9).eval(&r), None);
+        // type mismatch: adding an address
+        assert_eq!(Expr::add_cols(0, 1).eval(&r), None);
+    }
+
+    #[test]
+    fn lists() {
+        let r = row();
+        let made = Expr::MakeList(vec![Expr::col(0), Expr::col(1)]).eval(&r).unwrap();
+        assert_eq!(made, Value::list(vec![Value::Addr(NetAddr(1)), Value::Int(10)]));
+        let prep = Expr::Prepend(Box::new(Expr::col(0)), Box::new(Expr::col(3))).eval(&r).unwrap();
+        assert_eq!(prep.as_list().unwrap().len(), 3);
+        assert_eq!(prep.as_list().unwrap()[0], Value::Addr(NetAddr(1)));
+    }
+
+    #[test]
+    fn predicates() {
+        let r = row();
+        assert!(Pred::Cmp(Expr::col(1), CmpOp::Lt, Expr::col(2)).test(&r));
+        assert!(!Pred::Cmp(Expr::col(1), CmpOp::Gt, Expr::col(2)).test(&r));
+        assert!(Pred::Cmp(Expr::col(1), CmpOp::Eq, Expr::int(10)).test(&r));
+        assert!(Pred::Cmp(Expr::col(1), CmpOp::Ne, Expr::int(9)).test(&r));
+        assert!(Pred::Cmp(Expr::col(1), CmpOp::Le, Expr::int(10)).test(&r));
+        assert!(Pred::Cmp(Expr::col(1), CmpOp::Ge, Expr::int(10)).test(&r));
+        // x ∉ p
+        assert!(Pred::NotInList(Expr::col(0), Expr::col(3)).test(&r));
+        let in_list = Expr::Const(Value::Addr(NetAddr(2)));
+        assert!(!Pred::NotInList(in_list, Expr::col(3)).test(&r));
+        // mismatches fail closed
+        assert!(!Pred::Cmp(Expr::Col(9), CmpOp::Eq, Expr::int(1)).test(&r));
+        assert!(!Pred::NotInList(Expr::col(0), Expr::col(1)).test(&r));
+    }
+
+    #[test]
+    fn projection() {
+        let r = row();
+        let t = project(&[Expr::col(0), Expr::add_cols(1, 2)], &r).unwrap();
+        assert_eq!(t, Tuple::new(vec![Value::Addr(NetAddr(1)), Value::Int(42)]));
+        assert!(project(&[Expr::Col(9)], &r).is_none());
+    }
+
+    #[test]
+    fn agg_better() {
+        assert!(AggFn::Min.better(&Value::Int(1), &Value::Int(2)));
+        assert!(AggFn::Max.better(&Value::Int(3), &Value::Int(2)));
+        assert!(!AggFn::Count.better(&Value::Int(3), &Value::Int(2)));
+        assert!(AggFn::Min.prunable() && AggFn::Max.prunable());
+        assert!(!AggFn::Sum.prunable() && !AggFn::Count.prunable());
+    }
+}

@@ -1,0 +1,263 @@
+//! Incremental windowed group-by aggregation (§6) with deletion support.
+//!
+//! Maintains, per group, the multiset of contributing tuples (with their
+//! annotations) and the current aggregate value. When the value — or the
+//! provenance of the emitted result — changes, the operator retracts the
+//! previously emitted output tuple and emits the new one. MIN/MAX outputs
+//! carry the disjunction of the annotations of the value's witnesses (as in
+//! Algorithm 4's `P[B[...]]`); COUNT/SUM outputs carry a constant-true
+//! annotation and rely on explicit retraction for maintenance.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use netrec_prov::{Prov, ProvMode};
+use netrec_types::{RelId, Tuple, UpdateKind, Value};
+
+use crate::expr::AggFn;
+use crate::plan::Dest;
+use crate::update::Update;
+
+use super::{DeleteOutcome, Ectx, MergeOutcome, ProvTable};
+
+/// Group-by aggregate operator state.
+pub struct AggregateOp {
+    group_cols: Vec<usize>,
+    agg: AggFn,
+    agg_col: usize,
+    out_rel: RelId,
+    dests: Vec<Dest>,
+    /// All contributing tuples with annotations (deletion support).
+    contrib: ProvTable,
+    /// Group → sorted multiset of (value, tuples).
+    groups: HashMap<Tuple, BTreeMap<Value, HashSet<Tuple>>>,
+    /// Group → last emitted output (tuple, annotation).
+    emitted: HashMap<Tuple, (Tuple, Prov)>,
+}
+
+impl AggregateOp {
+    /// Build from plan fields.
+    pub fn new(
+        group_cols: Vec<usize>,
+        agg: AggFn,
+        agg_col: usize,
+        out_rel: RelId,
+        dests: Vec<Dest>,
+        mode: ProvMode,
+    ) -> AggregateOp {
+        AggregateOp {
+            group_cols,
+            agg,
+            agg_col,
+            out_rel,
+            dests,
+            contrib: ProvTable::new(mode, true),
+            groups: HashMap::new(),
+            emitted: HashMap::new(),
+        }
+    }
+
+    fn group_of(&self, t: &Tuple) -> Tuple {
+        t.key(&self.group_cols)
+    }
+
+    fn value_of(&self, t: &Tuple) -> Value {
+        t.get(self.agg_col).clone()
+    }
+
+    /// Current aggregate output for a group, or `None` when empty.
+    fn compute(&self, g: &Tuple, mode: ProvMode, mgr: &netrec_bdd::BddManager) -> Option<(Tuple, Prov)> {
+        let members = self.groups.get(g)?;
+        if members.is_empty() {
+            return None;
+        }
+        let (value, witnesses): (Value, &HashSet<Tuple>) = match self.agg {
+            AggFn::Min => {
+                let (v, w) = members.first_key_value()?;
+                (v.clone(), w)
+            }
+            AggFn::Max => {
+                let (v, w) = members.last_key_value()?;
+                (v.clone(), w)
+            }
+            AggFn::Count => {
+                let n: usize = members.values().map(HashSet::len).sum();
+                (Value::Int(n as i64), members.values().next()?)
+            }
+            AggFn::Sum => {
+                let mut s = 0i64;
+                for (v, ts) in members {
+                    s += v.as_int().unwrap_or(0) * ts.len() as i64;
+                }
+                (Value::Int(s), members.values().next()?)
+            }
+        };
+        let mut out_vals: Vec<Value> = g.values().to_vec();
+        out_vals.push(value);
+        let out_tuple = Tuple::new(out_vals);
+        let prov = match (self.agg, mode) {
+            (AggFn::Min | AggFn::Max, ProvMode::Absorption) => {
+                let mut acc = mgr.zero();
+                let mut ws: Vec<&Tuple> = witnesses.iter().collect();
+                ws.sort();
+                for w in ws {
+                    if let Some(Prov::Bdd(b)) = self.contrib.get(w) {
+                        acc = acc.or(b);
+                    }
+                }
+                Prov::Bdd(acc)
+            }
+            (AggFn::Min | AggFn::Max, ProvMode::Relative) => {
+                let mut ws: Vec<&Tuple> = witnesses.iter().collect();
+                ws.sort();
+                let ants: Vec<&Prov> = ws.iter().filter_map(|w| self.contrib.get(w)).collect();
+                if ants.is_empty() {
+                    Prov::None
+                } else {
+                    Prov::rel_derive(u32::MAX, self.out_rel, out_tuple.clone(), &ants)
+                }
+            }
+            (_, ProvMode::Absorption) => Prov::Bdd(mgr.one()),
+            (_, ProvMode::Counting) => Prov::Count(1),
+            (_, ProvMode::Relative) => Prov::Rel(std::sync::Arc::new(
+                netrec_prov::RelProv::base(netrec_bdd::Var::MAX),
+            )),
+            (_, ProvMode::Set) => Prov::None,
+        };
+        Some((out_tuple, prov))
+    }
+
+    fn prov_eq(a: &Prov, b: &Prov) -> bool {
+        match (a, b) {
+            (Prov::None, Prov::None) => true,
+            (Prov::Count(x), Prov::Count(y)) => x == y,
+            (Prov::Bdd(x), Prov::Bdd(y)) => x == y,
+            // Relative annotations: compare by size (graphs are canonical
+            // enough for revision detection).
+            (Prov::Rel(x), Prov::Rel(y)) => {
+                x.node_count() == y.node_count() && x.encoded_len() == y.encoded_len()
+            }
+            _ => false,
+        }
+    }
+
+    /// Re-derive the output for `g` and emit DEL/INS revisions on change.
+    fn revise(&mut self, g: &Tuple, out: &mut Vec<Update>, ectx: &Ectx<'_>) {
+        let new = self.compute(g, ectx.strategy.mode, ectx.mgr);
+        let old = self.emitted.get(g);
+        match (old, new) {
+            (None, None) => {}
+            (Some((ot, op)), Some((nt, np))) => {
+                if *ot == nt && Self::prov_eq(op, &np) {
+                    return;
+                }
+                let (ot, op) = (ot.clone(), op.clone());
+                out.push(Update::del_retract(self.out_rel, ot, op));
+                out.push(Update::ins(self.out_rel, nt.clone(), np.clone()));
+                self.emitted.insert(g.clone(), (nt, np));
+            }
+            (Some((ot, op)), None) => {
+                out.push(Update::del_retract(self.out_rel, ot.clone(), op.clone()));
+                self.emitted.remove(g);
+            }
+            (None, Some((nt, np))) => {
+                out.push(Update::ins(self.out_rel, nt.clone(), np.clone()));
+                self.emitted.insert(g.clone(), (nt, np));
+            }
+        }
+    }
+
+    fn detach(&mut self, g: &Tuple, t: &Tuple) {
+        if let Some(members) = self.groups.get_mut(g) {
+            let v = t.get(self.agg_col).clone();
+            if let Some(set) = members.get_mut(&v) {
+                set.remove(t);
+                if set.is_empty() {
+                    members.remove(&v);
+                }
+            }
+            if members.is_empty() {
+                self.groups.remove(g);
+            }
+        }
+    }
+
+    /// Process a batch.
+    pub fn on_updates(&mut self, ups: Vec<Update>, ectx: &mut Ectx<'_>) {
+        let mut out = Vec::new();
+        let mut touched: Vec<Tuple> = Vec::new();
+        for u in ups {
+            match u.kind {
+                UpdateKind::Insert => {
+                    let g = self.group_of(&u.tuple);
+                    match self.contrib.merge_ins(&u.tuple, &u.prov) {
+                        MergeOutcome::New(_) => {
+                            let v = self.value_of(&u.tuple);
+                            self.groups
+                                .entry(g.clone())
+                                .or_default()
+                                .entry(v)
+                                .or_default()
+                                .insert(u.tuple.clone());
+                            touched.push(g);
+                        }
+                        MergeOutcome::Changed(_) => touched.push(g),
+                        MergeOutcome::Absorbed => {}
+                    }
+                }
+                UpdateKind::Delete if !u.cause.is_empty() => {
+                    for (t, outcome) in self.contrib.restrict_cause(&u.cause) {
+                        let g = self.group_of(&t);
+                        if matches!(outcome, DeleteOutcome::Died(_)) {
+                            self.detach(&g, &t);
+                        }
+                        touched.push(g);
+                    }
+                }
+                UpdateKind::Delete => {
+                    let g = self.group_of(&u.tuple);
+                    if let Some(outcome) = self.contrib.retract(&u.tuple, &u.prov) {
+                        if matches!(outcome, DeleteOutcome::Died(_)) {
+                            self.detach(&g, &u.tuple);
+                        }
+                        touched.push(g);
+                    }
+                }
+            }
+        }
+        touched.sort();
+        touched.dedup();
+        for g in touched {
+            self.revise(&g, &mut out, ectx);
+        }
+        ectx.emit_local(&self.dests, out);
+    }
+
+    /// Broadcast-mode tombstone: restrict contributors and emit revisions.
+    pub fn on_tombstone(&mut self, vars: &[netrec_bdd::Var], ectx: &mut Ectx<'_>) {
+        let mut out = Vec::new();
+        let mut touched: Vec<Tuple> = Vec::new();
+        for (t, outcome) in self.contrib.restrict_cause(vars) {
+            let g = self.group_of(&t);
+            if matches!(outcome, DeleteOutcome::Died(_)) {
+                self.detach(&g, &t);
+            }
+            touched.push(g);
+        }
+        touched.sort();
+        touched.dedup();
+        for g in touched {
+            self.revise(&g, &mut out, ectx);
+        }
+        ectx.emit_local(&self.dests, out);
+    }
+
+    /// Resident state bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.contrib.state_bytes()
+            + self
+                .emitted
+                .values()
+                .map(|(t, p)| t.encoded_len() + p.encoded_len() + 48)
+                .sum::<usize>()
+    }
+}

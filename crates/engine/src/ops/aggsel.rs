@@ -1,0 +1,313 @@
+//! Aggregate selection (Algorithm 4) extended to update streams.
+//!
+//! Prunes tuples that cannot contribute to MIN/MAX objectives: a tuple
+//! passes only if it *ties or beats* the current group best under at least
+//! one registered aggregate (keeping ties preserves the set of co-optimal
+//! answers, as in Sudarshan & Ramakrishnan's original aggregate selection).
+//! Deletions of a forwarded best trigger re-emission of the next-best
+//! tuples, so downstream state converges to the same fixpoint it would have
+//! reached without pruning — with far less traffic (Fig. 14).
+//!
+//! The state can be embedded inside a Store (Algorithm 1 lines 2–8) or run
+//! standalone in front of a MinShip (Algorithm 3 lines 4–8).
+
+use std::collections::{HashMap, HashSet};
+
+use netrec_prov::{Prov, ProvMode};
+use netrec_types::{Tuple, UpdateKind, Value};
+
+use crate::plan::{AggSelSpec, Dest};
+use crate::update::Update;
+
+use super::{DeleteOutcome, Ectx, MergeOutcome, ProvTable};
+
+/// The reusable pruning state (`H`, `P`, `B` of Algorithm 4, plus the
+/// forwarded set `F` that keeps downstream deletion bookkeeping exact).
+pub struct AggSelState {
+    spec: AggSelSpec,
+    groups: HashMap<Tuple, HashSet<Tuple>>,
+    prov: ProvTable,
+    /// Per group: current best value per aggregate.
+    best: HashMap<Tuple, Vec<Option<Value>>>,
+    forwarded: HashSet<Tuple>,
+}
+
+impl AggSelState {
+    /// Fresh state for a pruning spec.
+    pub fn new(spec: AggSelSpec, mode: ProvMode) -> AggSelState {
+        AggSelState {
+            spec,
+            groups: HashMap::new(),
+            prov: ProvTable::new(mode, true),
+            best: HashMap::new(),
+            forwarded: HashSet::new(),
+        }
+    }
+
+    fn group_of(&self, t: &Tuple) -> Tuple {
+        t.key(&self.spec.group_cols)
+    }
+
+    fn agg_value(&self, t: &Tuple, agg_idx: usize) -> Value {
+        t.get(self.spec.aggs[agg_idx].0).clone()
+    }
+
+    /// Does `t` tie-or-beat the group best under aggregate `i`?
+    fn competitive(&self, g: &Tuple, t: &Tuple, i: usize) -> bool {
+        let (_, f) = self.spec.aggs[i];
+        match self.best.get(g).and_then(|b| b[i].clone()) {
+            None => true,
+            Some(best) => {
+                let v = self.agg_value(t, i);
+                !f.better(&best, &v) // t survives unless strictly worse
+            }
+        }
+    }
+
+    /// Is `t` strictly worse than the best under *every* aggregate (i.e.
+    /// dominated and therefore prunable)?
+    fn dominated(&self, g: &Tuple, t: &Tuple) -> bool {
+        (0..self.spec.aggs.len()).all(|i| !self.competitive(g, t, i))
+    }
+
+    fn update_bests(&mut self, g: &Tuple, t: &Tuple) -> bool {
+        let n = self.spec.aggs.len();
+        let entry = self.best.entry(g.clone()).or_insert_with(|| vec![None; n]);
+        let mut improved = false;
+        for i in 0..n {
+            let v = t.get(self.spec.aggs[i].0).clone();
+            let better = match &entry[i] {
+                None => true,
+                Some(b) => self.spec.aggs[i].1.better(&v, b),
+            };
+            if better {
+                entry[i] = Some(v);
+                improved = true;
+            }
+        }
+        improved
+    }
+
+    fn recompute_bests(&mut self, g: &Tuple) {
+        let n = self.spec.aggs.len();
+        let members = self.groups.get(g);
+        let mut bests: Vec<Option<Value>> = vec![None; n];
+        if let Some(members) = members {
+            for t in members {
+                for (i, best) in bests.iter_mut().enumerate() {
+                    let v = t.get(self.spec.aggs[i].0).clone();
+                    let better = match best {
+                        None => true,
+                        Some(b) => self.spec.aggs[i].1.better(&v, b),
+                    };
+                    if better {
+                        *best = Some(v);
+                    }
+                }
+            }
+        }
+        if bests.iter().all(Option::is_none) {
+            self.best.remove(g);
+        } else {
+            self.best.insert(g.clone(), bests);
+        }
+    }
+
+    /// After bests changed for group `g`: retract forwarded tuples that are
+    /// now dominated, and forward not-yet-forwarded tuples that became
+    /// competitive.
+    fn rebalance(&mut self, g: &Tuple, out: &mut Vec<Update>, rel: netrec_types::RelId) {
+        let members: Vec<Tuple> = self
+            .groups
+            .get(g)
+            .map(|s| {
+                let mut v: Vec<Tuple> = s.iter().cloned().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default();
+        for t in members {
+            let is_fwd = self.forwarded.contains(&t);
+            let dominated = self.dominated(g, &t);
+            if is_fwd && dominated {
+                let pv = self.prov.get(&t).cloned().unwrap_or(Prov::None);
+                self.forwarded.remove(&t);
+                out.push(Update::del_retract(rel, t, pv));
+            } else if !is_fwd && !dominated {
+                let pv = self.prov.get(&t).cloned().unwrap_or(Prov::None);
+                self.forwarded.insert(t.clone());
+                out.push(Update::ins(rel, t, pv));
+            }
+        }
+    }
+
+    /// Run the pruning over a batch; returns the updates to pass through
+    /// (survivors, revisions, and relevant deletions).
+    pub fn filter(&mut self, ups: Vec<Update>) -> Vec<Update> {
+        let mut out = Vec::new();
+        for u in ups {
+            match u.kind {
+                UpdateKind::Insert => {
+                    let g = self.group_of(&u.tuple);
+                    let delta = match self.prov.merge_ins(&u.tuple, &u.prov) {
+                        MergeOutcome::New(d) => {
+                            self.groups.entry(g.clone()).or_default().insert(u.tuple.clone());
+                            d
+                        }
+                        MergeOutcome::Changed(d) => d,
+                        MergeOutcome::Absorbed => continue,
+                    };
+                    if self.forwarded.contains(&u.tuple) {
+                        // Alternative derivation of an already-forwarded
+                        // tuple: keep downstream annotations complete.
+                        out.push(Update::ins(u.rel, u.tuple, delta));
+                        continue;
+                    }
+                    if self.dominated(&g, &u.tuple) {
+                        continue; // pruned: cannot affect any aggregate
+                    }
+                    let improved = self.update_bests(&g, &u.tuple);
+                    self.forwarded.insert(u.tuple.clone());
+                    out.push(Update::ins(u.rel, u.tuple.clone(), delta));
+                    if improved {
+                        // Retract forwarded tuples the new best dominates.
+                        self.rebalance(&g, &mut out, u.rel);
+                    }
+                }
+                UpdateKind::Delete if !u.cause.is_empty() => {
+                    let rel = u.rel;
+                    let mut touched_groups: HashSet<Tuple> = HashSet::new();
+                    for (t, outcome) in self.prov.restrict_cause(&u.cause) {
+                        let g = self.group_of(&t);
+                        match outcome {
+                            DeleteOutcome::Died(p) => {
+                                if let Some(set) = self.groups.get_mut(&g) {
+                                    set.remove(&t);
+                                    if set.is_empty() {
+                                        self.groups.remove(&g);
+                                    }
+                                }
+                                touched_groups.insert(g);
+                                if self.forwarded.remove(&t) {
+                                    out.push(Update::del_cause(rel, t, p, u.cause.clone()));
+                                }
+                            }
+                            DeleteOutcome::Shrunk(p) => {
+                                if self.forwarded.contains(&t) {
+                                    out.push(Update::del_cause(rel, t, p, u.cause.clone()));
+                                }
+                            }
+                        }
+                    }
+                    let mut gs: Vec<Tuple> = touched_groups.into_iter().collect();
+                    gs.sort();
+                    for g in gs {
+                        self.recompute_bests(&g);
+                        self.rebalance(&g, &mut out, rel);
+                    }
+                }
+                UpdateKind::Delete => {
+                    let g = self.group_of(&u.tuple);
+                    let rel = u.rel;
+                    if let Some(outcome) = self.prov.retract(&u.tuple, &u.prov) {
+                        match outcome {
+                            DeleteOutcome::Died(p) => {
+                                if let Some(set) = self.groups.get_mut(&g) {
+                                    set.remove(&u.tuple);
+                                    if set.is_empty() {
+                                        self.groups.remove(&g);
+                                    }
+                                }
+                                if self.forwarded.remove(&u.tuple) {
+                                    out.push(Update::del_retract(rel, u.tuple, p));
+                                }
+                                self.recompute_bests(&g);
+                                self.rebalance(&g, &mut out, rel);
+                            }
+                            DeleteOutcome::Shrunk(p) => {
+                                if self.forwarded.contains(&u.tuple) {
+                                    out.push(Update::del_retract(rel, u.tuple, p));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Broadcast-mode tombstone: restrict everything, rebalance groups, and
+    /// return the revision stream (next-best re-emissions).
+    pub fn on_tombstone(&mut self, vars: &[netrec_bdd::Var]) -> Vec<Update> {
+        let mut out = Vec::new();
+        let mut touched: HashSet<Tuple> = HashSet::new();
+        let rel = netrec_types::RelId(0); // overwritten by caller's dests; rel is cosmetic here
+        for (t, outcome) in self.prov.restrict_cause(vars) {
+            let g = self.group_of(&t);
+            if matches!(outcome, DeleteOutcome::Died(_)) {
+                if let Some(set) = self.groups.get_mut(&g) {
+                    set.remove(&t);
+                    if set.is_empty() {
+                        self.groups.remove(&g);
+                    }
+                }
+                self.forwarded.remove(&t);
+                touched.insert(g);
+            }
+        }
+        let mut gs: Vec<Tuple> = touched.into_iter().collect();
+        gs.sort();
+        for g in gs {
+            self.recompute_bests(&g);
+            self.rebalance(&g, &mut out, rel);
+        }
+        out
+    }
+
+    /// Resident state bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.prov.state_bytes()
+            + self.best.len() * 64
+            + self.forwarded.len() * 16
+    }
+}
+
+/// Standalone aggregate-selection operator.
+pub struct AggSelOp {
+    state: AggSelState,
+    dests: Vec<Dest>,
+    out_rel_seen: Option<netrec_types::RelId>,
+}
+
+impl AggSelOp {
+    /// Build from plan fields.
+    pub fn new(spec: AggSelSpec, dests: Vec<Dest>, mode: ProvMode) -> AggSelOp {
+        AggSelOp { state: AggSelState::new(spec, mode), dests, out_rel_seen: None }
+    }
+
+    /// Process a batch.
+    pub fn on_updates(&mut self, ups: Vec<Update>, ectx: &mut Ectx<'_>) {
+        if let Some(u) = ups.first() {
+            self.out_rel_seen = Some(u.rel);
+        }
+        let out = self.state.filter(ups);
+        ectx.emit_local(&self.dests, out);
+    }
+
+    /// Broadcast-mode tombstone.
+    pub fn on_tombstone(&mut self, vars: &[netrec_bdd::Var], ectx: &mut Ectx<'_>) {
+        let mut out = self.state.on_tombstone(vars);
+        if let Some(rel) = self.out_rel_seen {
+            for u in &mut out {
+                u.rel = rel;
+            }
+        }
+        ectx.emit_local(&self.dests, out);
+    }
+
+    /// Resident state bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.state.state_bytes()
+    }
+}

@@ -1,0 +1,78 @@
+//! Stateless plumbing operators: Map (project/filter) and Exchange (the
+//! conventional Ship that repartitions a stream by key).
+
+use crate::expr::{project, Expr, Pred};
+use crate::plan::Dest;
+use crate::update::Update;
+
+use super::Ectx;
+
+/// Local projection + filter. Annotations pass through unchanged (selection
+/// and projection keep provenance per Fig. 6 — duplicate projections merge
+/// downstream at the next store).
+pub struct MapOp {
+    exprs: Vec<Expr>,
+    preds: Vec<Pred>,
+    out_rel: netrec_types::RelId,
+    dests: Vec<Dest>,
+}
+
+impl MapOp {
+    /// Build from plan fields.
+    pub fn new(
+        exprs: Vec<Expr>,
+        preds: Vec<Pred>,
+        out_rel: netrec_types::RelId,
+        dests: Vec<Dest>,
+    ) -> MapOp {
+        MapOp { exprs, preds, out_rel, dests }
+    }
+
+    /// Process a batch.
+    pub fn on_updates(&mut self, ups: Vec<Update>, ectx: &mut Ectx<'_>) {
+        let mut out = Vec::with_capacity(ups.len());
+        for u in ups {
+            let row = u.tuple.values();
+            // Deletions pass through even when the filter fails on NULL-ish
+            // rows? No: Map is deterministic per tuple, so a deleted tuple
+            // either passed the filter at insert time (and its DEL must pass
+            // too) or never produced output. Same predicate decides both.
+            if !self.preds.iter().all(|p| p.test(row)) {
+                continue;
+            }
+            let Some(tuple) = project(&self.exprs, row) else { continue };
+            out.push(Update { rel: self.out_rel, tuple, ..u });
+        }
+        ectx.emit_local(&self.dests, out);
+    }
+
+    /// Maps hold no state.
+    pub fn state_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// The conventional Ship: forwards every update to the peer owning the
+/// routing key. All bandwidth spent by non-buffered shipping is counted
+/// here.
+pub struct ExchangeOp {
+    route_col: Option<usize>,
+    dest: Dest,
+}
+
+impl ExchangeOp {
+    /// Build from plan fields.
+    pub fn new(route_col: Option<usize>, dest: Dest) -> ExchangeOp {
+        ExchangeOp { route_col, dest }
+    }
+
+    /// Process a batch: group by destination peer and ship.
+    pub fn on_updates(&mut self, ups: Vec<Update>, ectx: &mut Ectx<'_>) {
+        ectx.emit_routed(self.route_col, self.dest, ups);
+    }
+
+    /// Exchanges hold no state.
+    pub fn state_bytes(&self) -> usize {
+        0
+    }
+}

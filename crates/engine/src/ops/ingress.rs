@@ -1,0 +1,145 @@
+//! EDB ingress: variable allocation, set-semantics dedup, soft-state TTLs,
+//! deletion origination, and DRed re-derivation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netrec_bdd::Var;
+use netrec_prov::{Prov, ProvMode, VarAllocator, VarTable};
+use netrec_types::{Duration, RelId, Tuple, UpdateKind};
+
+use crate::plan::Dest;
+use crate::strategy::DeleteProp;
+use crate::update::Update;
+
+use super::Ectx;
+
+/// Ingress operator for one base relation on one peer.
+pub struct IngressOp {
+    rel: RelId,
+    dests: Vec<Dest>,
+    /// Live base tuples → provenance variable (annotation modes) —
+    /// also the set-semantics dedup table (every mode).
+    vars: VarTable,
+    /// TTL bookkeeping: timer id → (tuple, var-at-arming). Expiry is ignored
+    /// if the tuple was deleted (and possibly re-inserted with a new var)
+    /// in the meantime.
+    pending_ttl: HashMap<u32, (Tuple, Option<Var>)>,
+    next_ttl: u32,
+}
+
+impl IngressOp {
+    /// New ingress for `rel` feeding `dests`.
+    pub fn new(rel: RelId, dests: Vec<Dest>) -> IngressOp {
+        IngressOp { rel, dests, vars: VarTable::new(), pending_ttl: HashMap::new(), next_ttl: 0 }
+    }
+
+    /// The base relation.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Provenance variable of a live base tuple (tests, provenance explorer).
+    pub fn var_of(&self, t: &Tuple) -> Option<Var> {
+        self.vars.get(self.rel, t)
+    }
+
+    /// Live base tuples (used by tests and the DRed driver).
+    pub fn live(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.vars.iter().map(|(_, t, _)| t.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// Handle an external base operation. Returns the TTL timer request (if
+    /// any) for the peer to arm: `(local ttl id, delay)`.
+    pub fn on_base(
+        &mut self,
+        kind: UpdateKind,
+        tuple: Tuple,
+        ttl: Option<Duration>,
+        alloc: &mut VarAllocator,
+        ectx: &mut Ectx<'_>,
+    ) -> Option<(u32, Duration)> {
+        match kind {
+            UpdateKind::Insert => {
+                let Some(var) = self.vars.insert(self.rel, tuple.clone(), alloc) else {
+                    return None; // duplicate insertion: set semantics no-op
+                };
+                let prov = Prov::base(ectx.strategy.mode, var, ectx.mgr);
+                let up = Update::ins(self.rel, tuple.clone(), prov);
+                ectx.emit_local(&self.dests, vec![up]);
+                ttl.map(|d| {
+                    let id = self.next_ttl;
+                    self.next_ttl += 1;
+                    self.pending_ttl.insert(id, (tuple, Some(var)));
+                    (id, d)
+                })
+            }
+            UpdateKind::Delete => {
+                self.delete(tuple, alloc, ectx);
+                None
+            }
+        }
+    }
+
+    fn delete(&mut self, tuple: Tuple, _alloc: &mut VarAllocator, ectx: &mut Ectx<'_>) {
+        let Some(var) = self.vars.remove(self.rel, &tuple) else {
+            return; // deleting an absent tuple is ignored (§6's assumption)
+        };
+        match ectx.strategy.mode {
+            ProvMode::Set => {
+                let up = Update::del_retract(self.rel, tuple, Prov::None);
+                ectx.emit_local(&self.dests, vec![up]);
+            }
+            ProvMode::Counting => {
+                let up = Update::del_retract(self.rel, tuple, Prov::Count(1));
+                ectx.emit_local(&self.dests, vec![up]);
+            }
+            ProvMode::Absorption | ProvMode::Relative => {
+                let cause: Arc<[Var]> = Arc::from(vec![var].into_boxed_slice());
+                match ectx.strategy.delete_prop {
+                    DeleteProp::Broadcast => {
+                        // Tiny control message to every peer; local operators
+                        // are reached through the self-tombstone.
+                        ectx.broadcast_tombstone(cause);
+                    }
+                    DeleteProp::Dataflow => {
+                        let prov = Prov::base(ectx.strategy.mode, var, ectx.mgr);
+                        let up = Update::del_cause(self.rel, tuple, prov, cause);
+                        ectx.emit_local(&self.dests, vec![up]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A TTL timer fired: delete the tuple if still live under the same
+    /// variable (explicit deletion or re-insertion cancels expiry).
+    pub fn on_ttl(&mut self, ttl_id: u32, alloc: &mut VarAllocator, ectx: &mut Ectx<'_>) {
+        let Some((tuple, armed_var)) = self.pending_ttl.remove(&ttl_id) else {
+            return;
+        };
+        let current = self.vars.get(self.rel, &tuple);
+        if current.is_some() && current == armed_var {
+            self.delete(tuple, alloc, ectx);
+        }
+    }
+
+    /// DRed phase 2: re-emit every live base tuple as an insertion (set
+    /// semantics downstream dedups *after* shipping, reproducing DRed's
+    /// re-derivation traffic).
+    pub fn rederive(&mut self, ectx: &mut Ectx<'_>) {
+        let ups: Vec<Update> = self
+            .live()
+            .into_iter()
+            .map(|t| Update::ins(self.rel, t, Prov::None))
+            .collect();
+        ectx.emit_local(&self.dests, ups);
+    }
+
+    /// Resident state bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.vars.iter().map(|(_, t, _)| t.encoded_len() + 4 + 48).sum()
+    }
+}

@@ -1,0 +1,260 @@
+//! The pipelined symmetric hash join (Algorithm 2), provenance-aware.
+//!
+//! Both inputs stream; each side maintains a key-indexed tuple table (`hR`,
+//! `hS`) and a provenance table (`pR`, `pS`). Insertions probe the other
+//! side with their *delta* annotation against the other side's *merged*
+//! annotation — the standard symmetric delta-join, which the paper's
+//! pseudocode expresses as `u.pv ∧ pj[t]`. Deletions restrict the arriving
+//! tuple's entry and forward cause-carrying deletions for every matching
+//! output, so downstream state is restricted along exactly the paths the
+//! derivations took.
+
+use std::collections::{HashMap, HashSet};
+
+use netrec_prov::{Prov, ProvMode};
+use netrec_types::{RelId, Tuple, UpdateKind, Value};
+
+use crate::expr::{project, Expr, Pred};
+use crate::plan::{Dest, JOIN_BUILD};
+use crate::update::Update;
+
+use super::{DeleteOutcome, Ectx, MergeOutcome, ProvTable};
+
+struct Side {
+    key_cols: Vec<usize>,
+    by_key: HashMap<Tuple, HashSet<Tuple>>,
+    prov: ProvTable,
+}
+
+impl Side {
+    fn new(key_cols: Vec<usize>, mode: ProvMode) -> Side {
+        Side { key_cols, by_key: HashMap::new(), prov: ProvTable::new(mode, true) }
+    }
+
+    fn key(&self, t: &Tuple) -> Tuple {
+        t.key(&self.key_cols)
+    }
+
+    fn add(&mut self, t: &Tuple) {
+        self.by_key.entry(self.key(t)).or_default().insert(t.clone());
+    }
+
+    fn remove(&mut self, t: &Tuple) {
+        if let Some(set) = self.by_key.get_mut(&self.key(t)) {
+            set.remove(t);
+            if set.is_empty() {
+                self.by_key.remove(&self.key(t));
+            }
+        }
+    }
+
+    fn matches(&self, key: &Tuple) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> =
+            self.by_key.get(key).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        v.sort(); // deterministic emission order
+        v
+    }
+}
+
+/// The join operator state.
+pub struct JoinOp {
+    preds: Vec<Pred>,
+    emit: Vec<Expr>,
+    out_rel: RelId,
+    rule_id: u32,
+    dests: Vec<Dest>,
+    build: Side,
+    probe: Side,
+}
+
+impl JoinOp {
+    /// Build from plan fields.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        build_key: Vec<usize>,
+        probe_key: Vec<usize>,
+        preds: Vec<Pred>,
+        emit: Vec<Expr>,
+        out_rel: RelId,
+        rule_id: u32,
+        dests: Vec<Dest>,
+        mode: ProvMode,
+    ) -> JoinOp {
+        JoinOp {
+            preds,
+            emit,
+            out_rel,
+            rule_id,
+            dests,
+            build: Side::new(build_key, mode),
+            probe: Side::new(probe_key, mode),
+        }
+    }
+
+    fn row(&self, from_build: bool, mine: &Tuple, other: &Tuple) -> Vec<Value> {
+        // Output rows are always `build ++ probe` regardless of arrival side.
+        let (b, p) = if from_build { (mine, other) } else { (other, mine) };
+        let mut row = Vec::with_capacity(b.arity() + p.arity());
+        row.extend_from_slice(b.values());
+        row.extend_from_slice(p.values());
+        row
+    }
+
+    fn out_prov(
+        &self,
+        mode: ProvMode,
+        delta: &Prov,
+        other: &Prov,
+        out_tuple: &Tuple,
+    ) -> Prov {
+        match mode {
+            ProvMode::Set => Prov::None,
+            ProvMode::Counting => delta.and(other),
+            ProvMode::Absorption => delta.and(other),
+            ProvMode::Relative => Prov::rel_derive(
+                self.rule_id,
+                self.out_rel,
+                out_tuple.clone(),
+                &[delta, other],
+            ),
+        }
+    }
+
+    /// Process a batch arriving on one input.
+    pub fn on_updates(&mut self, input: u8, ups: Vec<Update>, ectx: &mut Ectx<'_>) {
+        let mode = ectx.strategy.mode;
+        let mut out = Vec::new();
+        for u in ups {
+            let from_build = input == JOIN_BUILD;
+            match u.kind {
+                UpdateKind::Insert => {
+                    let (mine, other) = if from_build {
+                        (&mut self.build, &self.probe)
+                    } else {
+                        (&mut self.probe, &self.build)
+                    };
+                    let outcome = mine.prov.merge_ins(&u.tuple, &u.prov);
+                    let delta = match outcome {
+                        MergeOutcome::New(d) => {
+                            mine.add(&u.tuple);
+                            d
+                        }
+                        MergeOutcome::Changed(d) => d,
+                        MergeOutcome::Absorbed => continue,
+                    };
+                    let key = mine.key(&u.tuple);
+                    for t2 in other.matches(&key) {
+                        let row = self.row(from_build, &u.tuple, &t2);
+                        if !self.preds.iter().all(|p| p.test(&row)) {
+                            continue;
+                        }
+                        let Some(out_tuple) = project(&self.emit, &row) else { continue };
+                        let other_side = if from_build { &self.probe } else { &self.build };
+                        let other_prov = other_side.prov.get(&t2).expect("matched tuple has prov");
+                        let prov = self.out_prov(mode, &delta, other_prov, &out_tuple);
+                        out.push(Update::ins(self.out_rel, out_tuple, prov));
+                    }
+                }
+                UpdateKind::Delete if !u.cause.is_empty() => {
+                    // Cause-restrict path (HalfPipeDel + shrink forwarding).
+                    let (mine, _) = if from_build {
+                        (&mut self.build, &self.probe)
+                    } else {
+                        (&mut self.probe, &self.build)
+                    };
+                    let Some(outcome) = mine.prov.restrict_cause_tuple(&u.tuple, &u.cause)
+                    else {
+                        continue; // unaffected or unknown: cascade stops here
+                    };
+                    let removed = match outcome {
+                        DeleteOutcome::Died(p) => {
+                            mine.remove(&u.tuple);
+                            p
+                        }
+                        DeleteOutcome::Shrunk(p) => p,
+                    };
+                    let key = if from_build {
+                        self.build.key(&u.tuple)
+                    } else {
+                        self.probe.key(&u.tuple)
+                    };
+                    let other_side = if from_build { &self.probe } else { &self.build };
+                    for t2 in other_side.matches(&key) {
+                        let row = self.row(from_build, &u.tuple, &t2);
+                        if !self.preds.iter().all(|p| p.test(&row)) {
+                            continue;
+                        }
+                        let Some(out_tuple) = project(&self.emit, &row) else { continue };
+                        let other_prov = other_side.prov.get(&t2).expect("matched");
+                        let pv = match mode {
+                            ProvMode::Absorption => removed.and(other_prov),
+                            _ => removed.clone(),
+                        };
+                        out.push(Update::del_cause(self.out_rel, out_tuple, pv, u.cause.clone()));
+                    }
+                }
+                UpdateKind::Delete => {
+                    // Retract path (set semantics / counting / aggregate
+                    // revisions flowing through a join).
+                    let (mine, _) = if from_build {
+                        (&mut self.build, &self.probe)
+                    } else {
+                        (&mut self.probe, &self.build)
+                    };
+                    let Some(outcome) = mine.prov.retract(&u.tuple, &u.prov) else {
+                        continue;
+                    };
+                    let removed = match outcome {
+                        DeleteOutcome::Died(p) => {
+                            mine.remove(&u.tuple);
+                            p
+                        }
+                        DeleteOutcome::Shrunk(p) => p,
+                    };
+                    let key = if from_build {
+                        self.build.key(&u.tuple)
+                    } else {
+                        self.probe.key(&u.tuple)
+                    };
+                    let other_side = if from_build { &self.probe } else { &self.build };
+                    for t2 in other_side.matches(&key) {
+                        let row = self.row(from_build, &u.tuple, &t2);
+                        if !self.preds.iter().all(|p| p.test(&row)) {
+                            continue;
+                        }
+                        let Some(out_tuple) = project(&self.emit, &row) else { continue };
+                        let other_prov = other_side.prov.get(&t2).expect("matched");
+                        let pv = match mode {
+                            ProvMode::Set => Prov::None,
+                            _ => removed.and(other_prov),
+                        };
+                        out.push(Update::del_retract(self.out_rel, out_tuple, pv));
+                    }
+                }
+            }
+        }
+        ectx.emit_local(&self.dests, out);
+    }
+
+    /// Broadcast-mode tombstone: restrict both sides fully; no emissions
+    /// (every peer restricts its own state).
+    pub fn on_tombstone(&mut self, vars: &[netrec_bdd::Var]) {
+        for side in [&mut self.build, &mut self.probe] {
+            for (t, outcome) in side.prov.restrict_cause(vars) {
+                if matches!(outcome, DeleteOutcome::Died(_)) {
+                    side.remove(&t);
+                }
+            }
+        }
+    }
+
+    /// Resident state bytes across both sides.
+    pub fn state_bytes(&self) -> usize {
+        self.build.prov.state_bytes() + self.probe.prov.state_bytes()
+    }
+
+    /// Live tuples per side (diagnostics).
+    pub fn side_sizes(&self) -> (usize, usize) {
+        (self.build.prov.len(), self.probe.prov.len())
+    }
+}

@@ -1,0 +1,235 @@
+//! The MinShip operator (Algorithm 3): provenance-buffering ship.
+//!
+//! The first derivation of every tuple ships immediately (it changes the
+//! downstream result); later derivations are buffered in `Pins` where
+//! absorption merges them. Deletions accumulate in `Pdel`:
+//!
+//! * **Eager** policy: buffers flush on a periodic timer or when the batch
+//!   threshold is reached (the paper flushes once a second).
+//! * **Lazy** policy: insertions stay buffered indefinitely; a deletion for
+//!   a shipped tuple flushes the deletion *and* the buffered alternative
+//!   derivation, restoring the receiver's knowledge just in time.
+//! * **Immediate** policy: degenerate to a conventional Ship (every update
+//!   forwarded as-is) — the costliest configuration.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netrec_bdd::Var;
+use netrec_prov::{Prov, ProvMode};
+use netrec_types::{Tuple, UpdateKind};
+
+use crate::plan::Dest;
+use crate::strategy::ShipPolicy;
+use crate::update::Update;
+
+use super::{Ectx, ProvTable};
+
+/// MinShip operator state.
+pub struct MinShipOp {
+    route_col: Option<usize>,
+    dest: Dest,
+    /// Annotations already shipped (`Bsent`), kept restricted so the local
+    /// view of the receiver's knowledge stays accurate.
+    sent: ProvTable,
+    /// Buffered insertions (`Pins`).
+    pins: ProvTable,
+    /// Buffered deletions (`Pdel`): tuple → (annotation, accumulated cause).
+    pdel: HashMap<Tuple, (Prov, Vec<Var>)>,
+    /// Relation tag observed on the stream (for re-emission).
+    rel_seen: Option<netrec_types::RelId>,
+    /// Whether a flush timer is currently armed (eager mode).
+    pub(crate) timer_armed: bool,
+}
+
+impl MinShipOp {
+    /// Build from plan fields.
+    pub fn new(route_col: Option<usize>, dest: Dest, mode: ProvMode) -> MinShipOp {
+        MinShipOp {
+            route_col,
+            dest,
+            sent: ProvTable::new(mode, false),
+            pins: ProvTable::new(mode, false),
+            pdel: HashMap::new(),
+            rel_seen: None,
+            timer_armed: false,
+        }
+    }
+
+    /// Number of distinct tuples currently buffered.
+    fn buffered(&self) -> usize {
+        self.pins.len() + self.pdel.len()
+    }
+
+    /// Process a batch. Returns `true` if the caller should arm a flush
+    /// timer (eager mode with newly-buffered state).
+    pub fn on_updates(&mut self, ups: Vec<Update>, ectx: &mut Ectx<'_>) -> bool {
+        let policy = ectx.strategy.ship;
+        if matches!(policy, ShipPolicy::Immediate) {
+            ectx.emit_routed(self.route_col, self.dest, ups);
+            return false;
+        }
+        let mut send_now: Vec<Update> = Vec::new();
+        for u in ups {
+            self.rel_seen = Some(u.rel);
+            match u.kind {
+                UpdateKind::Insert => {
+                    if !self.sent.contains(&u.tuple) {
+                        // First derivation: ship immediately (Alg. 3 L11–13).
+                        self.sent.merge_ins(&u.tuple, &u.prov);
+                        send_now.push(u);
+                    } else {
+                        // Absorbed into what was already sent? (L16)
+                        let absorbed = match (&u.prov, self.sent.get(&u.tuple)) {
+                            (Prov::Bdd(pv), Some(Prov::Bdd(sent))) => pv.implies(sent),
+                            (Prov::Rel(pv), Some(Prov::Rel(sent))) => !sent.would_change(pv),
+                            _ => true, // set/counting: nothing new to say
+                        };
+                        if !absorbed {
+                            self.pins.merge_ins(&u.tuple, &u.prov);
+                        }
+                    }
+                }
+                UpdateKind::Delete if !u.cause.is_empty() => {
+                    // Restrict buffered and sent knowledge (Alg. 3 L20–25).
+                    let _ = self.pins.restrict_cause(&u.cause);
+                    let _ = self.sent.restrict_cause(&u.cause);
+                    let entry = self
+                        .pdel
+                        .entry(u.tuple.clone())
+                        .or_insert_with(|| (u.prov.clone(), Vec::new()));
+                    if let (Prov::Bdd(acc), Prov::Bdd(pv)) = (&entry.0, &u.prov) {
+                        entry.0 = Prov::Bdd(acc.or(pv));
+                    }
+                    for v in u.cause.iter() {
+                        if !entry.1.contains(v) {
+                            entry.1.push(*v);
+                        }
+                    }
+                    if matches!(policy, ShipPolicy::Lazy) {
+                        self.flush_lazy(ectx);
+                    }
+                }
+                UpdateKind::Delete => {
+                    // Retraction: drop any buffered insertion and forward.
+                    let _ = self.pins.retract(&u.tuple, &u.prov);
+                    let _ = self.sent.retract(&u.tuple, &u.prov);
+                    send_now.push(u);
+                }
+            }
+        }
+        if !send_now.is_empty() {
+            ectx.emit_routed(self.route_col, self.dest, send_now);
+        }
+        match policy {
+            ShipPolicy::Eager { batch, .. } => {
+                if self.buffered() >= batch {
+                    self.flush_eager(ectx);
+                    false
+                } else {
+                    let should_arm = self.buffered() > 0 && !self.timer_armed;
+                    if should_arm {
+                        self.timer_armed = true;
+                    }
+                    should_arm
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Eager flush (BatchShipEager): ship all buffered insertions and
+    /// deletions. Returns `true` if anything was sent.
+    pub fn flush_eager(&mut self, ectx: &mut Ectx<'_>) -> bool {
+        let Some(rel) = self.rel_seen else { return false };
+        let mut out: Vec<Update> = Vec::new();
+        // Deletions first: they unblock receiver-side state.
+        let pdel = std::mem::take(&mut self.pdel);
+        let mut dels: Vec<(Tuple, (Prov, Vec<Var>))> = pdel.into_iter().collect();
+        dels.sort_by(|a, b| a.0.cmp(&b.0));
+        for (t, (pv, cause)) in dels {
+            out.push(Update::del_cause(rel, t, pv, Arc::from(cause.into_boxed_slice())));
+        }
+        let mut ins: Vec<(Tuple, Prov)> =
+            self.pins.iter().map(|(t, p)| (t.clone(), p.clone())).collect();
+        ins.sort_by(|a, b| a.0.cmp(&b.0));
+        self.pins = ProvTable::new(self.pins.mode(), false);
+        for (t, pv) in ins {
+            self.sent.merge_ins(&t, &pv);
+            out.push(Update::ins(rel, t, pv));
+        }
+        let sent = !out.is_empty();
+        ectx.emit_routed(self.route_col, self.dest, out);
+        sent
+    }
+
+    /// Lazy flush (BatchShipLazy): ship buffered deletions, each followed by
+    /// the buffered alternative derivation of the same tuple (if any).
+    fn flush_lazy(&mut self, ectx: &mut Ectx<'_>) {
+        let Some(rel) = self.rel_seen else { return };
+        let mut out: Vec<Update> = Vec::new();
+        let pdel = std::mem::take(&mut self.pdel);
+        let mut dels: Vec<(Tuple, (Prov, Vec<Var>))> = pdel.into_iter().collect();
+        dels.sort_by(|a, b| a.0.cmp(&b.0));
+        for (t, (pv, cause)) in dels {
+            out.push(Update::del_cause(rel, t.clone(), pv, Arc::from(cause.into_boxed_slice())));
+            if let Some(alt) = self.pins.get(&t).cloned() {
+                self.sent.merge_ins(&t, &alt);
+                out.push(Update::ins(rel, t.clone(), alt.clone()));
+                let _ = self.pins.retract(&t, &alt);
+            }
+        }
+        ectx.emit_routed(self.route_col, self.dest, out);
+    }
+
+    /// Timer fired (eager period elapsed).
+    pub fn on_flush_timer(&mut self, ectx: &mut Ectx<'_>) -> bool {
+        self.timer_armed = false;
+        self.flush_eager(ectx);
+        // Re-arm if new state accumulated during the flush.
+        let rearm = self.buffered() > 0;
+        if rearm {
+            self.timer_armed = true;
+        }
+        rearm
+    }
+
+    /// Broadcast-mode tombstone: restrict buffers, then release buffered
+    /// alternative derivations for every tuple whose *shipped* annotation
+    /// was affected — the receiver restricted its own copy and only this
+    /// peer knows the surviving alternatives.
+    pub fn on_tombstone(&mut self, vars: &[Var], ectx: &mut Ectx<'_>) {
+        let _ = self.pins.restrict_cause(vars);
+        let affected = self.sent.restrict_cause(vars);
+        let Some(rel) = self.rel_seen else { return };
+        let mut out: Vec<Update> = Vec::new();
+        for (t, _) in affected {
+            if let Some(alt) = self.pins.get(&t).cloned() {
+                self.sent.merge_ins(&t, &alt);
+                out.push(Update::ins(rel, t.clone(), alt.clone()));
+                let _ = self.pins.retract(&t, &alt);
+            }
+        }
+        ectx.emit_routed(self.route_col, self.dest, out);
+    }
+
+    /// Resident state bytes (`Bsent` + `Pins` + `Pdel`).
+    pub fn state_bytes(&self) -> usize {
+        let pdel: usize = self
+            .pdel
+            .iter()
+            .map(|(t, (p, c))| t.encoded_len() + p.encoded_len() + c.len() * 4 + 48)
+            .sum();
+        self.sent.state_bytes() + self.pins.state_bytes() + pdel
+    }
+
+    /// Buffered insertion count (tests).
+    pub fn pins_len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Shipped tuple count (tests).
+    pub fn sent_len(&self) -> usize {
+        self.sent.len()
+    }
+}

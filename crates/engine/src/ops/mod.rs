@@ -1,0 +1,575 @@
+//! The provenance-aware operators.
+//!
+//! Every stateful operator is built on [`ProvTable`], the `tuple →
+//! provenance` hash table of Algorithm 1, with mode-specific merge
+//! (insertion), cause-restrict (base deletion) and retract (aggregate
+//! revision / set-semantics delete) transitions. The per-operator files
+//! implement the paper's algorithms on top of it.
+
+pub mod aggregate;
+pub mod aggsel;
+pub mod exchange;
+pub mod ingress;
+pub mod join;
+pub mod minship;
+pub mod store;
+
+use std::collections::{HashMap, HashSet};
+
+use netrec_bdd::{BddManager, Var};
+use netrec_prov::{Prov, ProvMode};
+use netrec_sim::{NetApi, Partitioner, PeerId};
+use netrec_types::{Tuple, Value};
+
+use crate::plan::{Dest, Plan};
+use crate::strategy::Strategy;
+use crate::update::{Msg, Update};
+
+pub use aggregate::AggregateOp;
+pub use aggsel::AggSelOp;
+pub use exchange::{ExchangeOp, MapOp};
+pub use ingress::IngressOp;
+pub use join::JoinOp;
+pub use minship::MinShipOp;
+pub use store::StoreOp;
+
+/// Runtime state of one operator instance.
+pub enum OpState {
+    /// EDB ingress.
+    Ingress(IngressOp),
+    /// Projection/filter.
+    Map(MapOp),
+    /// Repartitioning ship.
+    Exchange(ExchangeOp),
+    /// Pipelined hash join.
+    Join(JoinOp),
+    /// Provenance-buffering ship.
+    MinShip(MinShipOp),
+    /// Store / fixpoint.
+    Store(StoreOp),
+    /// Aggregate selection.
+    AggSel(AggSelOp),
+    /// Group-by aggregate.
+    Aggregate(AggregateOp),
+}
+
+/// Emission context handed to operators: identifies the peer, the strategy,
+/// and wraps the network API with routing helpers.
+pub struct Ectx<'a> {
+    /// This peer.
+    pub me: PeerId,
+    /// Total physical peers.
+    pub peers: u32,
+    /// Run strategy.
+    pub strategy: &'a Strategy,
+    /// Key placement.
+    pub partitioner: Partitioner,
+    /// This peer's BDD manager.
+    pub mgr: &'a BddManager,
+    /// Network access for this callback.
+    pub net: &'a mut NetApi<Msg>,
+}
+
+impl<'a> Ectx<'a> {
+    /// Hand a batch to local destinations (no network traffic).
+    pub fn emit_local(&mut self, dests: &[Dest], ups: Vec<Update>) {
+        if ups.is_empty() || dests.is_empty() {
+            return;
+        }
+        for d in &dests[1..] {
+            let msg = Msg::Updates(ups.clone());
+            let meta = msg.meta();
+            self.net.send(self.me, Plan::port(d.op, d.input), msg, meta);
+        }
+        let d = dests[0];
+        let msg = Msg::Updates(ups);
+        let meta = msg.meta();
+        self.net.send(self.me, Plan::port(d.op, d.input), msg, meta);
+    }
+
+    /// Route a batch by key column to the owning peers (one message per
+    /// destination peer — this is where bandwidth is spent).
+    pub fn emit_routed(&mut self, route_col: Option<usize>, dest: Dest, ups: Vec<Update>) {
+        if ups.is_empty() {
+            return;
+        }
+        let mut by_peer: HashMap<PeerId, Vec<Update>> = HashMap::new();
+        for u in ups {
+            let peer = self.peer_for(route_col, &u.tuple);
+            by_peer.entry(peer).or_default().push(u);
+        }
+        let port = Plan::port(dest.op, dest.input);
+        let mut peers: Vec<PeerId> = by_peer.keys().copied().collect();
+        peers.sort(); // deterministic send order
+        for p in peers {
+            let msg = Msg::Updates(by_peer.remove(&p).expect("key"));
+            let meta = msg.meta();
+            self.net.send(p, port, msg, meta);
+        }
+    }
+
+    /// The peer owning `tuple[col]` (peer 0 for `None` — global aggregates).
+    pub fn peer_for(&self, col: Option<usize>, tuple: &Tuple) -> PeerId {
+        match col {
+            None => PeerId(0),
+            Some(c) => match tuple.get(c) {
+                Value::Addr(a) => self.partitioner.place(*a),
+                other => {
+                    // Hash non-address keys (region ids, costs) stably.
+                    let mut buf = Vec::with_capacity(other.encoded_len());
+                    netrec_types::wire::put_value(&mut buf, other);
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    for b in buf {
+                        h ^= u64::from(b);
+                        h = h.wrapping_mul(0x1_0000_0193);
+                    }
+                    PeerId((h % u64::from(self.peers)) as u32)
+                }
+            },
+        }
+    }
+
+    /// Broadcast a tombstone to every peer (including self).
+    pub fn broadcast_tombstone(&mut self, vars: std::sync::Arc<[Var]>) {
+        for p in 0..self.peers {
+            let msg = Msg::Tombstone(vars.clone());
+            let meta = netrec_sim::MsgMeta::control(msg.encoded_len());
+            self.net.send(PeerId(p), crate::peer::TOMBSTONE_PORT, msg, meta);
+        }
+    }
+}
+
+/// Result of merging an insertion into a [`ProvTable`].
+#[derive(Clone, Debug)]
+pub enum MergeOutcome {
+    /// First derivation of the tuple; forward with this annotation.
+    New(Prov),
+    /// Annotation changed (new derivation not absorbed); forward the delta.
+    Changed(Prov),
+    /// Fully absorbed — nothing to forward (Algorithm 1's no-op case).
+    Absorbed,
+}
+
+/// What happened to one entry during a deletion pass.
+#[derive(Clone, Debug)]
+pub enum DeleteOutcome {
+    /// The tuple is no longer derivable; carries its final (pre-removal)
+    /// annotation.
+    Died(Prov),
+    /// The annotation shrank but the tuple survives; carries the removed
+    /// part (what downstream copies should subtract/learn about).
+    Shrunk(Prov),
+}
+
+/// The shared `tuple → provenance` table with optional variable index.
+pub struct ProvTable {
+    map: HashMap<Tuple, Prov>,
+    counts: HashMap<Tuple, i64>,
+    var_index: Option<HashMap<Var, HashSet<Tuple>>>,
+    mode: ProvMode,
+}
+
+impl ProvTable {
+    /// Empty table for `mode`; `indexed` enables the var → tuples index.
+    pub fn new(mode: ProvMode, indexed: bool) -> ProvTable {
+        ProvTable {
+            map: HashMap::new(),
+            counts: HashMap::new(),
+            var_index: if indexed { Some(HashMap::new()) } else { None },
+            mode,
+        }
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Does the table contain `t`?
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.map.contains_key(t)
+    }
+
+    /// Annotation of `t`.
+    pub fn get(&self, t: &Tuple) -> Option<&Prov> {
+        self.map.get(t)
+    }
+
+    /// Iterate live tuples.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.map.keys()
+    }
+
+    /// Iterate `(tuple, annotation)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Prov)> + '_ {
+        self.map.iter()
+    }
+
+    fn index_insert(&mut self, t: &Tuple, prov: &Prov) {
+        if let Some(index) = &mut self.var_index {
+            let vars = match prov {
+                Prov::Bdd(b) => b.support(),
+                Prov::Rel(r) => r.support(),
+                _ => Vec::new(),
+            };
+            for v in vars {
+                index.entry(v).or_default().insert(t.clone());
+            }
+        }
+    }
+
+    /// Merge an insertion (Algorithm 1 lines 11–26).
+    pub fn merge_ins(&mut self, t: &Tuple, prov: &Prov) -> MergeOutcome {
+        match self.mode {
+            ProvMode::Set => {
+                if self.map.contains_key(t) {
+                    MergeOutcome::Absorbed
+                } else {
+                    self.map.insert(t.clone(), Prov::None);
+                    MergeOutcome::New(Prov::None)
+                }
+            }
+            ProvMode::Counting => {
+                let c = prov.count();
+                let entry = self.counts.entry(t.clone()).or_insert(0);
+                let was_zero = *entry == 0;
+                *entry += c;
+                if was_zero {
+                    self.map.insert(t.clone(), Prov::Count(c));
+                    MergeOutcome::New(Prov::Count(c))
+                } else {
+                    self.map.insert(t.clone(), Prov::Count(*entry));
+                    MergeOutcome::Changed(Prov::Count(c))
+                }
+            }
+            ProvMode::Absorption => {
+                match self.map.get(t) {
+                    None => {
+                        self.map.insert(t.clone(), prov.clone());
+                        self.index_insert(t, prov);
+                        MergeOutcome::New(prov.clone())
+                    }
+                    Some(old) => {
+                        let merged = old.or(prov);
+                        let delta = prov.bdd().diff(old.bdd());
+                        if delta.is_false() {
+                            MergeOutcome::Absorbed
+                        } else {
+                            self.map.insert(t.clone(), merged);
+                            self.index_insert(t, prov);
+                            MergeOutcome::Changed(Prov::Bdd(delta))
+                        }
+                    }
+                }
+            }
+            ProvMode::Relative => match self.map.get(t) {
+                None => {
+                    self.map.insert(t.clone(), prov.clone());
+                    self.index_insert(t, prov);
+                    MergeOutcome::New(prov.clone())
+                }
+                Some(old) => {
+                    // Relative annotations are self-contained derivation
+                    // closures and can grow combinatorially on dense graphs
+                    // (this is the cost the paper measures). Beyond the cap
+                    // we stop retaining additional alternative derivations:
+                    // deletions may then over-delete (the tuple is dropped
+                    // even though an unretained derivation survives) — a
+                    // documented bound, see DESIGN.md.
+                    const RELATIVE_NODE_CAP: usize = 256;
+                    if old.rel().node_count() >= RELATIVE_NODE_CAP {
+                        return MergeOutcome::Absorbed;
+                    }
+                    if old.rel().would_change(prov.rel()) {
+                        let merged = old.or(prov);
+                        self.map.insert(t.clone(), merged);
+                        self.index_insert(t, prov);
+                        MergeOutcome::Changed(prov.clone())
+                    } else {
+                        MergeOutcome::Absorbed
+                    }
+                }
+            },
+        }
+    }
+
+    /// Apply a cause-restrict deletion (Algorithm 1 lines 27–35): substitute
+    /// `false` for every variable in `cause` across (affected) entries.
+    /// Returns the per-tuple outcomes, deterministically ordered.
+    pub fn restrict_cause(&mut self, cause: &[Var]) -> Vec<(Tuple, DeleteOutcome)> {
+        if !matches!(self.mode, ProvMode::Absorption | ProvMode::Relative) {
+            return Vec::new();
+        }
+        let candidates: Vec<Tuple> = if let Some(index) = &mut self.var_index {
+            let mut set: HashSet<Tuple> = HashSet::new();
+            for v in cause {
+                if let Some(ts) = index.remove(v) {
+                    set.extend(ts);
+                }
+            }
+            let mut v: Vec<Tuple> = set.into_iter().collect();
+            v.sort();
+            v
+        } else {
+            let mut v: Vec<Tuple> = self.map.keys().cloned().collect();
+            v.sort();
+            v
+        };
+        let dead_set: HashSet<Var> = cause.iter().copied().collect();
+        let mut out = Vec::new();
+        for t in candidates {
+            let Some(old) = self.map.get(&t) else { continue };
+            match (&self.mode, old) {
+                (ProvMode::Absorption, Prov::Bdd(b)) => {
+                    let new = b.restrict_all_false(cause);
+                    if new == *b {
+                        continue;
+                    }
+                    let removed = Prov::Bdd(b.diff(&new));
+                    if new.is_false() {
+                        let old = self.map.remove(&t).expect("present");
+                        out.push((t, DeleteOutcome::Died(old)));
+                    } else {
+                        self.map.insert(t.clone(), Prov::Bdd(new));
+                        out.push((t, DeleteOutcome::Shrunk(removed)));
+                    }
+                }
+                (ProvMode::Relative, Prov::Rel(r)) => match r.kill_vars(&dead_set) {
+                    None => {
+                        let old = self.map.remove(&t).expect("present");
+                        out.push((t, DeleteOutcome::Died(old)));
+                    }
+                    Some(survivor) => {
+                        if survivor.node_count() != r.node_count()
+                            || survivor.encoded_len() != r.encoded_len()
+                        {
+                            let removed = Prov::Rel(std::sync::Arc::new(survivor.clone()));
+                            self.map.insert(t.clone(), Prov::Rel(std::sync::Arc::new(survivor)));
+                            out.push((t, DeleteOutcome::Shrunk(removed)));
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Cause-restrict a *single* tuple's entry (the per-update deletion path
+    /// of Algorithm 2's `HalfPipeDel`). Returns `None` when the entry is
+    /// absent or unaffected — idempotence is what terminates cascaded
+    /// deletion propagation.
+    pub fn restrict_cause_tuple(&mut self, t: &Tuple, cause: &[Var]) -> Option<DeleteOutcome> {
+        let old = self.map.get(t)?;
+        match (&self.mode, old) {
+            (ProvMode::Absorption, Prov::Bdd(b)) => {
+                let new = b.restrict_all_false(cause);
+                if new == *b {
+                    return None;
+                }
+                let removed = Prov::Bdd(b.diff(&new));
+                if new.is_false() {
+                    self.map.remove(t).map(DeleteOutcome::Died)
+                } else {
+                    self.map.insert(t.clone(), Prov::Bdd(new));
+                    Some(DeleteOutcome::Shrunk(removed))
+                }
+            }
+            (ProvMode::Relative, Prov::Rel(r)) => {
+                let dead: HashSet<Var> = cause.iter().copied().collect();
+                match r.kill_vars(&dead) {
+                    None => self.map.remove(t).map(DeleteOutcome::Died),
+                    Some(survivor) => {
+                        if survivor.node_count() != r.node_count()
+                            || survivor.encoded_len() != r.encoded_len()
+                        {
+                            let shrunk = Prov::Rel(std::sync::Arc::new(survivor.clone()));
+                            self.map.insert(t.clone(), Prov::Rel(std::sync::Arc::new(survivor)));
+                            Some(DeleteOutcome::Shrunk(shrunk))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Apply a retraction (aggregate revision, set-mode delete, counting
+    /// decrement) to one tuple.
+    pub fn retract(&mut self, t: &Tuple, prov: &Prov) -> Option<DeleteOutcome> {
+        match self.mode {
+            ProvMode::Set => self.map.remove(t).map(DeleteOutcome::Died),
+            ProvMode::Counting => {
+                let c = prov.count();
+                let entry = self.counts.get_mut(t)?;
+                *entry -= c;
+                if *entry <= 0 {
+                    self.counts.remove(t);
+                    self.map.remove(t).map(DeleteOutcome::Died)
+                } else {
+                    let now = *entry;
+                    self.map.insert(t.clone(), Prov::Count(now));
+                    Some(DeleteOutcome::Shrunk(Prov::Count(c)))
+                }
+            }
+            ProvMode::Absorption => {
+                let old = self.map.get(t)?;
+                let new = old.bdd().diff(prov.bdd());
+                if new == *old.bdd() {
+                    return None;
+                }
+                if new.is_false() {
+                    self.map.remove(t).map(DeleteOutcome::Died)
+                } else {
+                    self.map.insert(t.clone(), Prov::Bdd(new));
+                    Some(DeleteOutcome::Shrunk(prov.clone()))
+                }
+            }
+            ProvMode::Relative => {
+                // Relative annotations cannot subtract a sub-graph soundly;
+                // retraction removes the tuple outright (aggregate outputs
+                // are single-writer, so this is exact).
+                self.map.remove(t).map(DeleteOutcome::Died)
+            }
+        }
+    }
+
+    /// Approximate resident bytes: tuples + annotations + per-entry
+    /// bookkeeping (hash slots, pointers).
+    pub fn state_bytes(&self) -> usize {
+        const ENTRY_OVERHEAD: usize = 48;
+        self.map
+            .iter()
+            .map(|(t, p)| t.encoded_len() + p.encoded_len() + ENTRY_OVERHEAD)
+            .sum()
+    }
+
+    /// The mode this table runs in.
+    pub fn mode(&self) -> ProvMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_bdd::BddManager;
+
+    fn t(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn set_mode_dedups() {
+        let mut pt = ProvTable::new(ProvMode::Set, false);
+        assert!(matches!(pt.merge_ins(&t(1), &Prov::None), MergeOutcome::New(_)));
+        assert!(matches!(pt.merge_ins(&t(1), &Prov::None), MergeOutcome::Absorbed));
+        assert!(matches!(pt.retract(&t(1), &Prov::None), Some(DeleteOutcome::Died(_))));
+        assert!(pt.retract(&t(1), &Prov::None).is_none());
+    }
+
+    #[test]
+    fn counting_mode_counts() {
+        let mut pt = ProvTable::new(ProvMode::Counting, false);
+        assert!(matches!(pt.merge_ins(&t(1), &Prov::Count(2)), MergeOutcome::New(_)));
+        assert!(matches!(pt.merge_ins(&t(1), &Prov::Count(3)), MergeOutcome::Changed(_)));
+        assert!(matches!(
+            pt.retract(&t(1), &Prov::Count(4)),
+            Some(DeleteOutcome::Shrunk(_))
+        ));
+        assert!(matches!(pt.retract(&t(1), &Prov::Count(1)), Some(DeleteOutcome::Died(_))));
+    }
+
+    #[test]
+    fn absorption_merge_and_absorb() {
+        let mgr = BddManager::new();
+        let mut pt = ProvTable::new(ProvMode::Absorption, true);
+        let p1 = Prov::Bdd(mgr.var(1));
+        let p12 = Prov::Bdd(mgr.var(1).and(&mgr.var(2)));
+        assert!(matches!(pt.merge_ins(&t(1), &p12), MergeOutcome::New(_)));
+        // p1 is NOT absorbed by p1∧p2 (it is more general).
+        assert!(matches!(pt.merge_ins(&t(1), &p1), MergeOutcome::Changed(_)));
+        // now p1∧p2 IS absorbed by p1.
+        assert!(matches!(pt.merge_ins(&t(1), &p12), MergeOutcome::Absorbed));
+    }
+
+    #[test]
+    fn absorption_restrict_kills_and_shrinks() {
+        let mgr = BddManager::new();
+        let mut pt = ProvTable::new(ProvMode::Absorption, true);
+        pt.merge_ins(&t(1), &Prov::Bdd(mgr.var(1).or(&mgr.var(2))));
+        pt.merge_ins(&t(2), &Prov::Bdd(mgr.var(1)));
+        pt.merge_ins(&t(3), &Prov::Bdd(mgr.var(3)));
+        let outcomes = pt.restrict_cause(&[1]);
+        assert_eq!(outcomes.len(), 2, "t3 untouched");
+        let died: Vec<_> = outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, DeleteOutcome::Died(_)))
+            .map(|(t, _)| t.clone())
+            .collect();
+        assert_eq!(died, vec![t(2)]);
+        assert!(pt.contains(&t(1)) && pt.contains(&t(3)) && !pt.contains(&t(2)));
+        assert_eq!(pt.get(&t(1)).unwrap().bdd(), &mgr.var(2));
+    }
+
+    #[test]
+    fn unindexed_scan_matches_indexed() {
+        let mgr = BddManager::new();
+        let mk = |indexed: bool| {
+            let mut pt = ProvTable::new(ProvMode::Absorption, indexed);
+            pt.merge_ins(&t(1), &Prov::Bdd(mgr.var(1).or(&mgr.var(2))));
+            pt.merge_ins(&t(2), &Prov::Bdd(mgr.var(1)));
+            let mut outs = pt.restrict_cause(&[1]);
+            outs.sort_by(|a, b| a.0.cmp(&b.0));
+            (outs.len(), pt.contains(&t(1)), pt.contains(&t(2)))
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn absorption_retract() {
+        let mgr = BddManager::new();
+        let mut pt = ProvTable::new(ProvMode::Absorption, false);
+        let a = Prov::Bdd(mgr.var(1));
+        let b = Prov::Bdd(mgr.var(2));
+        pt.merge_ins(&t(1), &a.or(&b));
+        assert!(matches!(pt.retract(&t(1), &a), Some(DeleteOutcome::Shrunk(_))));
+        assert!(pt.contains(&t(1)));
+        assert!(matches!(pt.retract(&t(1), &b), Some(DeleteOutcome::Died(_))));
+        assert!(!pt.contains(&t(1)));
+    }
+
+    #[test]
+    fn relative_restrict() {
+        let mgr = BddManager::new();
+        let mut pt = ProvTable::new(ProvMode::Relative, true);
+        let a = Prov::base(ProvMode::Relative, 1, &mgr);
+        let b = Prov::base(ProvMode::Relative, 2, &mgr);
+        let rel = netrec_types::RelId(0);
+        let d1 = Prov::rel_derive(0, rel, t(9), &[&a]);
+        let d2 = Prov::rel_derive(1, rel, t(9), &[&b]);
+        pt.merge_ins(&t(9), &d1);
+        pt.merge_ins(&t(9), &d2);
+        let out = pt.restrict_cause(&[1]);
+        assert!(matches!(out[0].1, DeleteOutcome::Shrunk(_)));
+        let out = pt.restrict_cause(&[2]);
+        assert!(matches!(out[0].1, DeleteOutcome::Died(_)));
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn state_bytes_grow() {
+        let mgr = BddManager::new();
+        let mut pt = ProvTable::new(ProvMode::Absorption, false);
+        let empty = pt.state_bytes();
+        pt.merge_ins(&t(1), &Prov::Bdd(mgr.var(1)));
+        assert!(pt.state_bytes() > empty);
+    }
+}

@@ -1,0 +1,158 @@
+//! The Store / Fixpoint operator (Algorithm 1).
+//!
+//! Maintains `P : tuple → provenance` for one relation partition and emits
+//! exactly the updates that change some annotation:
+//!
+//! * insertions merge alternative derivations (`P[t] ∨= pv`) and forward the
+//!   non-absorbed delta — when nothing changes, nothing propagates, which is
+//!   the fixpoint termination condition;
+//! * cause-deletions substitute `false` for the deleted variables across the
+//!   (support-indexed) table, forward *death* deletions for tuples that left
+//!   the view, and forward *shrink* deletions for tuples whose annotation
+//!   lost derivations — downstream state restricts along the same paths;
+//! * retract-deletions subtract a specific annotation (aggregate revisions,
+//!   set-mode DRed deletes).
+//!
+//! A Store whose output loops back into a join's probe input is the plan's
+//! fixpoint; the same operator materialises non-recursive views.
+
+use netrec_prov::ProvMode;
+use netrec_types::{RelId, Tuple, UpdateKind};
+
+use crate::plan::{AggSelSpec, Dest};
+use crate::update::Update;
+
+use super::aggsel::AggSelState;
+use super::{DeleteOutcome, Ectx, MergeOutcome, ProvTable};
+
+/// Store operator state.
+pub struct StoreOp {
+    rel: RelId,
+    is_view: bool,
+    table: ProvTable,
+    aggsel: Option<AggSelState>,
+    dests: Vec<Dest>,
+}
+
+impl StoreOp {
+    /// Build from plan fields.
+    pub fn new(
+        rel: RelId,
+        is_view: bool,
+        aggsel: Option<&AggSelSpec>,
+        dests: Vec<Dest>,
+        mode: ProvMode,
+        support_index: bool,
+    ) -> StoreOp {
+        StoreOp {
+            rel,
+            is_view,
+            table: ProvTable::new(mode, support_index),
+            aggsel: aggsel.map(|s| AggSelState::new(s.clone(), mode)),
+            dests,
+        }
+    }
+
+    /// The relation this store materialises.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Whether this store is a reported view.
+    pub fn is_view(&self) -> bool {
+        self.is_view
+    }
+
+    /// Current contents (sorted for determinism).
+    pub fn contents(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.table.tuples().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Annotation of a tuple (tests / provenance explorer).
+    pub fn prov_of(&self, t: &Tuple) -> Option<&netrec_prov::Prov> {
+        self.table.get(t)
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Process a batch (Algorithm 1 main loop).
+    pub fn on_updates(&mut self, ups: Vec<Update>, ectx: &mut Ectx<'_>) {
+        // Embedded aggregate selection (Algorithm 1 lines 2–8): prune the
+        // stream before it touches the fixpoint state.
+        let ups = match &mut self.aggsel {
+            Some(sel) => sel.filter(ups),
+            None => ups,
+        };
+        let mut out = Vec::new();
+        for u in ups {
+            // Relative mode: annotations arrive rooted at whichever operator
+            // produced them (base variable, join output, ...). Re-root at
+            // this store's relation so alternative derivations of one view
+            // tuple merge as OR-branches of a single node.
+            let u = if let netrec_prov::Prov::Rel(_) = &u.prov {
+                if u.kind == UpdateKind::Insert {
+                    let rerooted = netrec_prov::Prov::rel_derive(
+                        u32::MAX - 1,
+                        self.rel,
+                        u.tuple.clone(),
+                        &[&u.prov],
+                    );
+                    Update { prov: rerooted, ..u }
+                } else {
+                    u
+                }
+            } else {
+                u
+            };
+            match u.kind {
+                UpdateKind::Insert => match self.table.merge_ins(&u.tuple, &u.prov) {
+                    MergeOutcome::New(delta) | MergeOutcome::Changed(delta) => {
+                        out.push(Update::ins(self.rel, u.tuple, delta));
+                    }
+                    MergeOutcome::Absorbed => {}
+                },
+                UpdateKind::Delete if !u.cause.is_empty() => {
+                    for (t, outcome) in self.table.restrict_cause(&u.cause) {
+                        let removed = match outcome {
+                            DeleteOutcome::Died(p) | DeleteOutcome::Shrunk(p) => p,
+                        };
+                        out.push(Update::del_cause(self.rel, t, removed, u.cause.clone()));
+                    }
+                }
+                UpdateKind::Delete => {
+                    if let Some(outcome) = self.table.retract(&u.tuple, &u.prov) {
+                        let removed = match outcome {
+                            DeleteOutcome::Died(p) | DeleteOutcome::Shrunk(p) => p,
+                        };
+                        out.push(Update::del_retract(self.rel, u.tuple, removed));
+                    }
+                }
+            }
+        }
+        ectx.emit_local(&self.dests, out);
+    }
+
+    /// Broadcast-mode tombstone: restrict the whole partition locally; no
+    /// forwarding (all peers restrict independently).
+    pub fn on_tombstone(&mut self, vars: &[netrec_bdd::Var]) {
+        let _ = self.table.restrict_cause(vars);
+        if let Some(sel) = &mut self.aggsel {
+            sel.on_tombstone(vars);
+        }
+    }
+
+    /// Resident state bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.table.state_bytes() + self.aggsel.as_ref().map_or(0, |s| s.state_bytes())
+    }
+}

@@ -1,0 +1,339 @@
+//! One physical peer: hosts an instance of every plan operator over its
+//! horizontal partition, dispatches messages/timers, and enforces the
+//! cross-channel deletion hygiene (dead-variable sanitisation).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use netrec_bdd::{BddManager, Var};
+use netrec_prov::{Prov, VarAllocator};
+use netrec_sim::{NetApi, Partitioner, PeerId, PeerNode, Port};
+use netrec_types::UpdateKind;
+
+use crate::ops::{
+    AggSelOp, AggregateOp, Ectx, ExchangeOp, IngressOp, JoinOp, MapOp, MinShipOp, OpState, StoreOp,
+};
+use crate::plan::{OpSpec, Plan};
+use crate::strategy::{ShipPolicy, Strategy};
+use crate::update::{Msg, Update};
+
+/// Port reserved for tombstone broadcasts (outside the operator port space).
+pub const TOMBSTONE_PORT: Port = Port(u16::MAX);
+
+const FLUSH_TIMER_BIT: u64 = 1 << 63;
+
+/// Engine peer state (implements [`PeerNode`] for both runtimes).
+pub struct EnginePeer {
+    me: PeerId,
+    peers: u32,
+    #[allow(dead_code)]
+    plan: Arc<Plan>,
+    strategy: Strategy,
+    partitioner: Partitioner,
+    mgr: BddManager,
+    alloc: VarAllocator,
+    ops: Vec<OpState>,
+    /// Every variable this peer has learned is dead — incoming insertions
+    /// are restricted against this set so late-arriving derivations cannot
+    /// resurrect deleted base tuples (cross-channel races).
+    dead_vars: HashSet<Var>,
+}
+
+impl EnginePeer {
+    /// Instantiate the plan on peer `me`.
+    pub fn new(
+        me: PeerId,
+        peers: u32,
+        plan: Arc<Plan>,
+        strategy: Strategy,
+        partitioner: Partitioner,
+    ) -> EnginePeer {
+        let mgr = BddManager::new();
+        let ops = plan
+            .ops
+            .iter()
+            .map(|spec| match spec {
+                OpSpec::Ingress { rel, dests } => {
+                    OpState::Ingress(IngressOp::new(*rel, dests.clone()))
+                }
+                OpSpec::Map { exprs, preds, out_rel, dests } => OpState::Map(MapOp::new(
+                    exprs.clone(),
+                    preds.clone(),
+                    *out_rel,
+                    dests.clone(),
+                )),
+                OpSpec::Exchange { route_col, dest } => {
+                    OpState::Exchange(ExchangeOp::new(*route_col, *dest))
+                }
+                OpSpec::Join { build_key, probe_key, preds, emit, out_rel, rule_id, dests } => {
+                    OpState::Join(JoinOp::new(
+                        build_key.clone(),
+                        probe_key.clone(),
+                        preds.clone(),
+                        emit.clone(),
+                        *out_rel,
+                        *rule_id,
+                        dests.clone(),
+                        strategy.mode,
+                    ))
+                }
+                OpSpec::MinShip { route_col, dest } => {
+                    OpState::MinShip(MinShipOp::new(*route_col, *dest, strategy.mode))
+                }
+                OpSpec::Store { rel, is_view, aggsel, dests } => OpState::Store(StoreOp::new(
+                    *rel,
+                    *is_view,
+                    aggsel.as_ref(),
+                    dests.clone(),
+                    strategy.mode,
+                    strategy.support_index,
+                )),
+                OpSpec::AggSel { spec, dests } => {
+                    OpState::AggSel(AggSelOp::new(spec.clone(), dests.clone(), strategy.mode))
+                }
+                OpSpec::Aggregate { group_cols, agg, agg_col, out_rel, dests } => {
+                    OpState::Aggregate(AggregateOp::new(
+                        group_cols.clone(),
+                        *agg,
+                        *agg_col,
+                        *out_rel,
+                        dests.clone(),
+                        strategy.mode,
+                    ))
+                }
+            })
+            .collect();
+        EnginePeer {
+            me,
+            peers,
+            plan,
+            strategy,
+            partitioner,
+            mgr,
+            alloc: VarAllocator::new(me.0),
+            ops,
+            dead_vars: HashSet::new(),
+        }
+    }
+
+    /// This peer's operator states (post-run inspection).
+    pub fn ops(&self) -> &[OpState] {
+        &self.ops
+    }
+
+    /// Sum of operator state bytes on this peer.
+    pub fn state_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                OpState::Ingress(o) => o.state_bytes(),
+                OpState::Map(o) => o.state_bytes(),
+                OpState::Exchange(o) => o.state_bytes(),
+                OpState::Join(o) => o.state_bytes(),
+                OpState::MinShip(o) => o.state_bytes(),
+                OpState::Store(o) => o.state_bytes(),
+                OpState::AggSel(o) => o.state_bytes(),
+                OpState::Aggregate(o) => o.state_bytes(),
+            })
+            .sum()
+    }
+
+    /// The BDD manager of this peer (diagnostics).
+    pub fn bdd_manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// Incoming-update hygiene: re-anchor foreign BDDs into the local
+    /// manager (the serialise/deserialise of a real deployment) and restrict
+    /// insertions against known-dead variables so no channel race can
+    /// resurrect a deleted base tuple.
+    fn sanitize(&self, ups: Vec<Update>) -> Vec<Update> {
+        let mut out = Vec::with_capacity(ups.len());
+        for mut u in ups {
+            if let Prov::Bdd(b) = &u.prov {
+                if !b.manager().ptr_eq(&self.mgr) {
+                    u.prov = u.prov.reanchor(&self.mgr);
+                }
+            }
+            if u.kind == UpdateKind::Insert && !self.dead_vars.is_empty() {
+                match &u.prov {
+                    Prov::Bdd(b) => {
+                        let hit: Vec<Var> =
+                            b.support().into_iter().filter(|v| self.dead_vars.contains(v)).collect();
+                        if !hit.is_empty() {
+                            let restricted = b.restrict_all_false(&hit);
+                            if restricted.is_false() {
+                                continue;
+                            }
+                            u.prov = Prov::Bdd(restricted);
+                        }
+                    }
+                    Prov::Rel(r)
+                        if r.mentions_any(&self.dead_vars) => {
+                            match r.kill_vars(&self.dead_vars) {
+                                None => continue,
+                                Some(alive) => u.prov = Prov::Rel(Arc::new(alive)),
+                            }
+                        }
+                    _ => {}
+                }
+            }
+            out.push(u);
+        }
+        out
+    }
+
+    fn dispatch(&mut self, op_idx: usize, input: u8, ups: Vec<Update>, net: &mut NetApi<Msg>) {
+        let mut ectx = Ectx {
+            me: self.me,
+            peers: self.peers,
+            strategy: &self.strategy,
+            partitioner: self.partitioner,
+            mgr: &self.mgr,
+            net,
+        };
+        match &mut self.ops[op_idx] {
+            OpState::Ingress(_) => panic!("ingress receives Msg::Base, not updates"),
+            OpState::Map(o) => o.on_updates(ups, &mut ectx),
+            OpState::Exchange(o) => o.on_updates(ups, &mut ectx),
+            OpState::Join(o) => o.on_updates(input, ups, &mut ectx),
+            OpState::MinShip(o) => {
+                let arm = o.on_updates(ups, &mut ectx);
+                if arm {
+                    if let ShipPolicy::Eager { period, .. } = self.strategy.ship {
+                        net.set_timer(period, FLUSH_TIMER_BIT | op_idx as u64);
+                    }
+                }
+            }
+            OpState::Store(o) => o.on_updates(ups, &mut ectx),
+            OpState::AggSel(o) => o.on_updates(ups, &mut ectx),
+            OpState::Aggregate(o) => o.on_updates(ups, &mut ectx),
+        }
+    }
+
+    fn apply_tombstone(&mut self, vars: &[Var], net: &mut NetApi<Msg>) {
+        self.dead_vars.extend(vars.iter().copied());
+        for i in 0..self.ops.len() {
+            let mut ectx = Ectx {
+                me: self.me,
+                peers: self.peers,
+                strategy: &self.strategy,
+                partitioner: self.partitioner,
+                mgr: &self.mgr,
+                net,
+            };
+            match &mut self.ops[i] {
+                OpState::Join(o) => o.on_tombstone(vars),
+                OpState::MinShip(o) => o.on_tombstone(vars, &mut ectx),
+                OpState::Store(o) => o.on_tombstone(vars),
+                OpState::AggSel(o) => o.on_tombstone(vars, &mut ectx),
+                OpState::Aggregate(o) => o.on_tombstone(vars, &mut ectx),
+                _ => {}
+            }
+        }
+    }
+
+    fn record_causes(&mut self, ups: &[Update]) {
+        for u in ups {
+            if u.is_delete() {
+                self.dead_vars.extend(u.cause.iter().copied());
+            }
+        }
+    }
+}
+
+impl PeerNode<Msg> for EnginePeer {
+    fn on_message(&mut self, port: Port, msg: Msg, net: &mut NetApi<Msg>) {
+        if port == TOMBSTONE_PORT {
+            if let Msg::Tombstone(vars) = msg {
+                let vars = vars.to_vec();
+                self.apply_tombstone(&vars, net);
+            }
+            return;
+        }
+        let (op, input) = Plan::port_target(port);
+        match msg {
+            Msg::Updates(ups) => {
+                self.record_causes(&ups);
+                let ups = self.sanitize(ups);
+                if !ups.is_empty() {
+                    self.dispatch(op.0 as usize, input, ups, net);
+                }
+            }
+            Msg::Tombstone(vars) => {
+                let vars = vars.to_vec();
+                self.apply_tombstone(&vars, net);
+            }
+            Msg::Rederive => {
+                let mut ectx = Ectx {
+                    me: self.me,
+                    peers: self.peers,
+                    strategy: &self.strategy,
+                    partitioner: self.partitioner,
+                    mgr: &self.mgr,
+                    net,
+                };
+                if let OpState::Ingress(o) = &mut self.ops[op.0 as usize] {
+                    o.rederive(&mut ectx);
+                }
+            }
+            Msg::Base { kind, tuple, ttl } => {
+                let mut ectx = Ectx {
+                    me: self.me,
+                    peers: self.peers,
+                    strategy: &self.strategy,
+                    partitioner: self.partitioner,
+                    mgr: &self.mgr,
+                    net,
+                };
+                let OpState::Ingress(o) = &mut self.ops[op.0 as usize] else {
+                    panic!("Msg::Base sent to non-ingress op {op:?}");
+                };
+                if let Some((ttl_id, delay)) = o.on_base(kind, tuple, ttl, &mut self.alloc, &mut ectx)
+                {
+                    let id = ((op.0 as u64) << 32) | u64::from(ttl_id);
+                    net.set_timer(delay, id);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: u64, net: &mut NetApi<Msg>) {
+        if id & FLUSH_TIMER_BIT != 0 {
+            let op_idx = (id & !FLUSH_TIMER_BIT) as usize;
+            let mut ectx = Ectx {
+                me: self.me,
+                peers: self.peers,
+                strategy: &self.strategy,
+                partitioner: self.partitioner,
+                mgr: &self.mgr,
+                net,
+            };
+            if let OpState::MinShip(o) = &mut self.ops[op_idx] {
+                let rearm = o.on_flush_timer(&mut ectx);
+                if rearm {
+                    if let ShipPolicy::Eager { period, .. } = self.strategy.ship {
+                        net.set_timer(period, id);
+                    }
+                }
+            }
+        } else {
+            let op_idx = (id >> 32) as usize;
+            let ttl_id = (id & 0xffff_ffff) as u32;
+            let mut ectx = Ectx {
+                me: self.me,
+                peers: self.peers,
+                strategy: &self.strategy,
+                partitioner: self.partitioner,
+                mgr: &self.mgr,
+                net,
+            };
+            if let OpState::Ingress(o) = &mut self.ops[op_idx] {
+                o.on_ttl(ttl_id, &mut self.alloc, &mut ectx);
+            }
+        }
+    }
+}
+
+// Re-export for runner use.
+

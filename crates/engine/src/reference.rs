@@ -1,0 +1,412 @@
+//! Centralized reference evaluator — the correctness oracle.
+//!
+//! An independent, from-scratch, *centralized* Datalog engine with stratified
+//! aggregation: naive fixpoint evaluation over variable-based rules. Every
+//! distributed run in the test suite is checked against a from-scratch
+//! re-evaluation of the surviving base tuples through this module; the two
+//! implementations share only the expression types, so agreement is strong
+//! evidence of correctness.
+
+use std::collections::{BTreeSet, HashMap};
+
+use netrec_types::{RelId, Tuple, Value};
+
+use crate::expr::{AggFn, Expr, Pred};
+
+/// A term in a body atom.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// A rule variable (id is rule-local).
+    Var(u16),
+    /// A constant to match.
+    Const(Value),
+}
+
+/// A positive body atom.
+#[derive(Clone, Debug)]
+pub struct Atom {
+    /// Relation scanned.
+    pub rel: RelId,
+    /// One term per column.
+    pub terms: Vec<Term>,
+}
+
+/// One Datalog rule. `head_exprs` and `preds` treat the rule's variable
+/// vector as a row: `Expr::Col(v)` reads variable `v`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Head relation.
+    pub head: RelId,
+    /// Head column expressions over the variables.
+    pub head_exprs: Vec<Expr>,
+    /// Positive body atoms, joined in order.
+    pub body: Vec<Atom>,
+    /// Filters over the (fully bound) variables.
+    pub preds: Vec<Pred>,
+    /// Number of variables used.
+    pub nvars: u16,
+}
+
+/// A stratified aggregate clause: `head(group…, agg(col)) :- source(...)`.
+#[derive(Clone, Debug)]
+pub struct AggClause {
+    /// Output relation (`group columns ++ aggregate value`).
+    pub head: RelId,
+    /// Aggregated relation.
+    pub source: RelId,
+    /// Grouping columns of `source`.
+    pub group_cols: Vec<usize>,
+    /// Aggregate function.
+    pub agg: AggFn,
+    /// Aggregated column of `source`.
+    pub agg_col: usize,
+}
+
+/// A reference program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Plain rules.
+    pub rules: Vec<Rule>,
+    /// Aggregate clauses (each introduces a stratum boundary).
+    pub aggs: Vec<AggClause>,
+}
+
+/// A database instance.
+pub type Db = HashMap<RelId, BTreeSet<Tuple>>;
+
+impl Program {
+    /// Evaluate to fixpoint over the given base facts; returns the full
+    /// instance (base + derived).
+    ///
+    /// Panics on aggregate cycles (non-stratifiable programs).
+    pub fn evaluate(&self, edb: &Db) -> Db {
+        let mut db: Db = edb.clone();
+        let levels = self.stratify();
+        let max_level = levels.values().copied().max().unwrap_or(0);
+        for level in 0..=max_level {
+            // Aggregates feeding this level run first (their sources are
+            // strictly below).
+            for agg in &self.aggs {
+                if levels.get(&agg.head).copied().unwrap_or(0) == level {
+                    let out = eval_agg(agg, &db);
+                    db.entry(agg.head).or_default().extend(out);
+                }
+            }
+            // Then the level's rules to fixpoint (aggregates within the
+            // level re-run as their sources grow — needed when an aggregate
+            // consumes a same-level-adjacent relation computed by rules).
+            loop {
+                let mut changed = false;
+                for rule in &self.rules {
+                    if levels.get(&rule.head).copied().unwrap_or(0) != level {
+                        continue;
+                    }
+                    let derived = eval_rule(rule, &db);
+                    let target = db.entry(rule.head).or_default();
+                    for t in derived {
+                        changed |= target.insert(t);
+                    }
+                }
+                for agg in &self.aggs {
+                    if levels.get(&agg.head).copied().unwrap_or(0) == level {
+                        let fresh = eval_agg(agg, &db);
+                        let target = db.entry(agg.head).or_default();
+                        if *target != fresh {
+                            *target = fresh;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        db
+    }
+
+    /// Assign each relation a stratum: aggregate edges strictly increase the
+    /// level, rule edges keep it at least as high.
+    fn stratify(&self) -> HashMap<RelId, usize> {
+        let mut level: HashMap<RelId, usize> = HashMap::new();
+        let rel_count_bound = 4 * (self.rules.len() + self.aggs.len()) + 8;
+        for _ in 0..rel_count_bound {
+            let mut changed = false;
+            for rule in &self.rules {
+                let body_max =
+                    rule.body.iter().map(|a| level.get(&a.rel).copied().unwrap_or(0)).max().unwrap_or(0);
+                let cur = level.entry(rule.head).or_insert(0);
+                if *cur < body_max {
+                    *cur = body_max;
+                    changed = true;
+                }
+            }
+            for agg in &self.aggs {
+                let src = level.get(&agg.source).copied().unwrap_or(0);
+                let cur = level.entry(agg.head).or_insert(0);
+                if *cur < src + 1 {
+                    *cur = src + 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return level;
+            }
+        }
+        panic!("program is not stratifiable (aggregate cycle)");
+    }
+}
+
+fn eval_rule(rule: &Rule, db: &Db) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let mut binding: Vec<Option<Value>> = vec![None; rule.nvars as usize];
+    eval_atoms(rule, 0, &mut binding, db, &mut out);
+    out
+}
+
+fn eval_atoms(
+    rule: &Rule,
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    db: &Db,
+    out: &mut Vec<Tuple>,
+) {
+    if depth == rule.body.len() {
+        let row: Vec<Value> = binding
+            .iter()
+            .map(|v| v.clone().unwrap_or(Value::Int(i64::MIN)))
+            .collect();
+        if !rule.preds.iter().all(|p| p.test(&row)) {
+            return;
+        }
+        if let Some(vals) =
+            rule.head_exprs.iter().map(|e| e.eval(&row)).collect::<Option<Vec<Value>>>()
+        {
+            out.push(Tuple::new(vals));
+        }
+        return;
+    }
+    let atom = &rule.body[depth];
+    let Some(tuples) = db.get(&atom.rel) else { return };
+    'tuples: for t in tuples {
+        if t.arity() != atom.terms.len() {
+            continue;
+        }
+        let mut bound_here: Vec<u16> = Vec::new();
+        for (i, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    if t.get(i) != c {
+                        for v in bound_here.drain(..) {
+                            binding[v as usize] = None;
+                        }
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => match &binding[*v as usize] {
+                    Some(bound) => {
+                        if t.get(i) != bound {
+                            for v in bound_here.drain(..) {
+                                binding[v as usize] = None;
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        binding[*v as usize] = Some(t.get(i).clone());
+                        bound_here.push(*v);
+                    }
+                },
+            }
+        }
+        eval_atoms(rule, depth + 1, binding, db, out);
+        for v in bound_here {
+            binding[v as usize] = None;
+        }
+    }
+}
+
+fn eval_agg(agg: &AggClause, db: &Db) -> BTreeSet<Tuple> {
+    let mut groups: HashMap<Tuple, Vec<Value>> = HashMap::new();
+    if let Some(tuples) = db.get(&agg.source) {
+        for t in tuples {
+            let g = t.key(&agg.group_cols);
+            groups.entry(g).or_default().push(t.get(agg.agg_col).clone());
+        }
+    }
+    let mut out = BTreeSet::new();
+    for (g, vals) in groups {
+        let value = match agg.agg {
+            AggFn::Min => vals.iter().min().cloned(),
+            AggFn::Max => vals.iter().max().cloned(),
+            AggFn::Count => Some(Value::Int(vals.len() as i64)),
+            AggFn::Sum => Some(Value::Int(vals.iter().filter_map(Value::as_int).sum())),
+        };
+        if let Some(v) = value {
+            let mut row = g.values().to_vec();
+            row.push(v);
+            out.insert(Tuple::new(row));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_types::NetAddr;
+
+    fn addr(i: u32) -> Value {
+        Value::Addr(NetAddr(i))
+    }
+
+    /// reachable(x,y) :- link(x,y).
+    /// reachable(x,y) :- link(x,z), reachable(z,y).
+    fn reachable_program(link: RelId, reach: RelId) -> Program {
+        Program {
+            rules: vec![
+                Rule {
+                    head: reach,
+                    head_exprs: vec![Expr::col(0), Expr::col(1)],
+                    body: vec![Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1)] }],
+                    preds: vec![],
+                    nvars: 2,
+                },
+                Rule {
+                    head: reach,
+                    head_exprs: vec![Expr::col(0), Expr::col(2)],
+                    body: vec![
+                        Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1)] },
+                        Atom { rel: reach, terms: vec![Term::Var(1), Term::Var(2)] },
+                    ],
+                    preds: vec![],
+                    nvars: 3,
+                },
+            ],
+            aggs: vec![],
+        }
+    }
+
+    #[test]
+    fn transitive_closure_fig2() {
+        // Paper Fig. 3: links A→B, B→C, C→A, C→B over A=0,B=1,C=2.
+        let link = RelId(0);
+        let reach = RelId(1);
+        let prog = reachable_program(link, reach);
+        let mut edb: Db = HashMap::new();
+        let links = [(0, 1), (1, 2), (2, 0), (2, 1)];
+        edb.insert(
+            link,
+            links.iter().map(|&(a, b)| Tuple::new(vec![addr(a), addr(b)])).collect(),
+        );
+        let db = prog.evaluate(&edb);
+        // Fully connected: all 9 pairs (Fig. 2 step 4).
+        assert_eq!(db[&reach].len(), 9);
+        // Delete link(C,B): still all 9 pairs (the paper's point).
+        let links2 = [(0, 1), (1, 2), (2, 0)];
+        edb.insert(
+            link,
+            links2.iter().map(|&(a, b)| Tuple::new(vec![addr(a), addr(b)])).collect(),
+        );
+        let db2 = prog.evaluate(&edb);
+        assert_eq!(db2[&reach].len(), 9, "A,B,C remain mutually reachable");
+    }
+
+    #[test]
+    fn constants_and_preds() {
+        let r = RelId(0);
+        let out = RelId(1);
+        let prog = Program {
+            rules: vec![Rule {
+                head: out,
+                head_exprs: vec![Expr::col(1)],
+                body: vec![Atom { rel: r, terms: vec![Term::Const(Value::Int(1)), Term::Var(1)] }],
+                preds: vec![Pred::Cmp(Expr::col(1), crate::expr::CmpOp::Gt, Expr::int(10))],
+                nvars: 2,
+            }],
+            aggs: vec![],
+        };
+        let mut edb: Db = HashMap::new();
+        edb.insert(
+            r,
+            [
+                Tuple::new(vec![Value::Int(1), Value::Int(20)]),
+                Tuple::new(vec![Value::Int(1), Value::Int(5)]),
+                Tuple::new(vec![Value::Int(2), Value::Int(30)]),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let db = prog.evaluate(&edb);
+        assert_eq!(db[&out].len(), 1);
+        assert!(db[&out].contains(&Tuple::new(vec![Value::Int(20)])));
+    }
+
+    #[test]
+    fn stratified_aggregate() {
+        // sizes(g, count(x)) over member(g, x); biggest(max(size)).
+        let member = RelId(0);
+        let sizes = RelId(1);
+        let biggest = RelId(2);
+        let prog = Program {
+            rules: vec![],
+            aggs: vec![
+                AggClause { head: sizes, source: member, group_cols: vec![0], agg: AggFn::Count, agg_col: 1 },
+                AggClause { head: biggest, source: sizes, group_cols: vec![], agg: AggFn::Max, agg_col: 1 },
+            ],
+        };
+        let mut edb: Db = HashMap::new();
+        edb.insert(
+            member,
+            [
+                Tuple::new(vec![Value::Int(1), Value::Int(10)]),
+                Tuple::new(vec![Value::Int(1), Value::Int(11)]),
+                Tuple::new(vec![Value::Int(2), Value::Int(12)]),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let db = prog.evaluate(&edb);
+        assert!(db[&sizes].contains(&Tuple::new(vec![Value::Int(1), Value::Int(2)])));
+        assert!(db[&sizes].contains(&Tuple::new(vec![Value::Int(2), Value::Int(1)])));
+        assert_eq!(db[&biggest].iter().next().unwrap(), &Tuple::new(vec![Value::Int(2)]));
+    }
+
+    #[test]
+    fn sum_and_min_aggregates() {
+        let src = RelId(0);
+        let s = RelId(1);
+        let m = RelId(2);
+        let prog = Program {
+            rules: vec![],
+            aggs: vec![
+                AggClause { head: s, source: src, group_cols: vec![0], agg: AggFn::Sum, agg_col: 1 },
+                AggClause { head: m, source: src, group_cols: vec![0], agg: AggFn::Min, agg_col: 1 },
+            ],
+        };
+        let mut edb: Db = HashMap::new();
+        edb.insert(
+            src,
+            [
+                Tuple::new(vec![Value::Int(1), Value::Int(4)]),
+                Tuple::new(vec![Value::Int(1), Value::Int(6)]),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let db = prog.evaluate(&edb);
+        assert!(db[&s].contains(&Tuple::new(vec![Value::Int(1), Value::Int(10)])));
+        assert!(db[&m].contains(&Tuple::new(vec![Value::Int(1), Value::Int(4)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "not stratifiable")]
+    fn aggregate_cycle_panics() {
+        let a = RelId(0);
+        let prog = Program {
+            rules: vec![],
+            aggs: vec![AggClause { head: a, source: a, group_cols: vec![], agg: AggFn::Count, agg_col: 0 }],
+        };
+        prog.evaluate(&HashMap::new());
+    }
+}

@@ -1,0 +1,305 @@
+//! Drives a plan over the simulated cluster and gathers the paper's four
+//! evaluation metrics per phase.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use netrec_sim::{ClusterSpec, CostModel, Partitioner, PeerId, RunBudget, RunOutcome, Simulator};
+use netrec_types::{Duration, SimTime, Tuple, UpdateKind};
+
+use crate::ops::OpState;
+use crate::peer::EnginePeer;
+use crate::plan::Plan;
+use crate::strategy::Strategy;
+use crate::update::Msg;
+
+pub use crate::peer::TOMBSTONE_PORT;
+
+/// Full run configuration.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Maintenance strategy.
+    pub strategy: Strategy,
+    /// Key placement across peers.
+    pub partitioner: Partitioner,
+    /// Cluster latency/bandwidth model.
+    pub cluster: ClusterSpec,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Per-phase budget (the paper cuts runs off at 5 minutes).
+    pub budget: RunBudget,
+}
+
+impl RunnerConfig {
+    /// `peers` hash-partitioned gigabit peers with the paper's 5-minute cap.
+    pub fn new(strategy: Strategy, peers: u32) -> RunnerConfig {
+        RunnerConfig {
+            strategy,
+            partitioner: Partitioner::Hash { peers },
+            cluster: ClusterSpec::single(peers),
+            cost: CostModel::default(),
+            budget: RunBudget {
+                max_events: 50_000_000,
+                max_time: SimTime(300 * 1_000_000),
+                max_wall: std::time::Duration::from_secs(60),
+            },
+        }
+    }
+
+    /// Direct (modulo) placement — used by the worked examples where logical
+    /// node X is physical peer X.
+    pub fn direct(strategy: Strategy, peers: u32) -> RunnerConfig {
+        RunnerConfig { partitioner: Partitioner::Direct { peers }, ..RunnerConfig::new(strategy, peers) }
+    }
+}
+
+/// Metrics for one run phase (load, deletion, re-derivation, ...), matching
+/// the paper's four reported panels plus raw counters.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Phase label.
+    pub label: String,
+    /// Converged or budget-exceeded.
+    pub outcome: RunOutcome,
+    /// Simulated time from phase start to quiescence.
+    pub convergence: Duration,
+    /// Bytes shipped between peers during the phase.
+    pub bytes: u64,
+    /// Messages shipped.
+    pub msgs: u64,
+    /// Update tuples shipped.
+    pub tuples: u64,
+    /// Annotation bytes shipped.
+    pub prov_bytes: u64,
+    /// Mean annotation bytes per shipped tuple (panel a).
+    pub prov_bytes_per_tuple: f64,
+    /// Total operator state bytes at phase end (panel c).
+    pub state_bytes: usize,
+    /// Events processed.
+    pub events: u64,
+    /// Wall-clock time spent simulating.
+    pub wall: std::time::Duration,
+}
+
+impl RunReport {
+    /// Whether the phase reached quiescence.
+    pub fn converged(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Converged { .. })
+    }
+
+    /// Merge two consecutive phases (e.g. DRed's over-delete + re-derive).
+    pub fn merged(self, other: RunReport, label: impl Into<String>) -> RunReport {
+        let outcome = match (self.outcome, other.outcome) {
+            (RunOutcome::Converged { .. }, RunOutcome::Converged { at }) => {
+                RunOutcome::Converged { at }
+            }
+            (RunOutcome::BudgetExceeded { at, pending }, _)
+            | (_, RunOutcome::BudgetExceeded { at, pending }) => {
+                RunOutcome::BudgetExceeded { at, pending }
+            }
+        };
+        let tuples = self.tuples + other.tuples;
+        let prov_bytes = self.prov_bytes + other.prov_bytes;
+        RunReport {
+            label: label.into(),
+            outcome,
+            convergence: self.convergence + other.convergence,
+            bytes: self.bytes + other.bytes,
+            msgs: self.msgs + other.msgs,
+            tuples,
+            prov_bytes,
+            prov_bytes_per_tuple: if tuples == 0 {
+                0.0
+            } else {
+                prov_bytes as f64 / tuples as f64
+            },
+            state_bytes: other.state_bytes,
+            events: self.events + other.events,
+            wall: self.wall + other.wall,
+        }
+    }
+}
+
+/// The workload driver: owns the simulator and the plan.
+pub struct Runner {
+    plan: Arc<Plan>,
+    cfg: RunnerConfig,
+    sim: Simulator<Msg, EnginePeer>,
+    inject_seq: u64,
+}
+
+impl Runner {
+    /// Instantiate `plan` on the configured cluster.
+    pub fn new(plan: Plan, cfg: RunnerConfig) -> Runner {
+        let plan = Arc::new(plan);
+        let peers = cfg.partitioner.peers();
+        let nodes: Vec<EnginePeer> = (0..peers)
+            .map(|p| {
+                EnginePeer::new(PeerId(p), peers, Arc::clone(&plan), cfg.strategy, cfg.partitioner)
+            })
+            .collect();
+        let sim = Simulator::new(nodes, cfg.cluster.clone(), cfg.cost);
+        Runner { plan, cfg, sim, inject_seq: 0 }
+    }
+
+    /// The plan under execution.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.cfg
+    }
+
+    /// Queue one base-relation operation at its owning peer's ingress. The
+    /// operation enters after everything already simulated (injections during
+    /// a run are scheduled at the current frontier).
+    pub fn inject(
+        &mut self,
+        rel_name: &str,
+        tuple: Tuple,
+        kind: UpdateKind,
+        ttl: Option<Duration>,
+    ) {
+        let rel = self
+            .plan
+            .catalog
+            .id(rel_name)
+            .unwrap_or_else(|| panic!("unknown relation `{rel_name}`"));
+        let ingress = *self
+            .plan
+            .ingress_of
+            .get(&rel)
+            .unwrap_or_else(|| panic!("relation `{rel_name}` has no ingress"));
+        let schema = self.plan.catalog.schema(rel);
+        let key_col = schema.partition_col;
+        let peer = match tuple.try_get(key_col).and_then(|v| v.as_addr()) {
+            Some(addr) => self.cfg.partitioner.place(addr),
+            None => PeerId(0),
+        };
+        let at = self.sim.last_finish() + Duration::from_micros(1);
+        self.inject_seq += 1;
+        self.sim.inject(at, peer, Plan::port(ingress, 0), Msg::Base { kind, tuple, ttl });
+    }
+
+    /// Trigger DRed phase 2: every ingress on every peer re-emits its live
+    /// base tuples.
+    pub fn rederive_all(&mut self) {
+        let at = self.sim.last_finish() + Duration::from_micros(1);
+        let ingresses: Vec<_> = self.plan.ingress_of.values().copied().collect();
+        for p in 0..self.sim.peer_count() {
+            for ing in &ingresses {
+                self.sim.inject(at, PeerId(p), Plan::port(*ing, 0), Msg::Rederive);
+            }
+        }
+    }
+
+    /// Run to quiescence (or budget) and report the phase's metrics.
+    pub fn run_phase(&mut self, label: impl Into<String>) -> RunReport {
+        let start_time = self.sim.last_finish();
+        let m0 = self.sim.metrics().clone();
+        let e0 = self.sim.events_processed();
+        let wall0 = std::time::Instant::now();
+        let outcome = self.sim.run(self.cfg.budget);
+        let wall = wall0.elapsed();
+        let m1 = self.sim.metrics();
+        let bytes = m1.total_bytes() - m0.total_bytes();
+        let msgs = m1.total_msgs() - m0.total_msgs();
+        let tuples = m1.total_tuples() - m0.total_tuples();
+        let prov_bytes = m1.total_prov_bytes() - m0.total_prov_bytes();
+        let end_time = match outcome {
+            RunOutcome::Converged { at } => at,
+            RunOutcome::BudgetExceeded { at, .. } => at,
+        };
+        RunReport {
+            label: label.into(),
+            outcome,
+            convergence: end_time - start_time,
+            bytes,
+            msgs,
+            tuples,
+            prov_bytes,
+            prov_bytes_per_tuple: if tuples == 0 { 0.0 } else { prov_bytes as f64 / tuples as f64 },
+            state_bytes: self.state_bytes(),
+            events: self.sim.events_processed() - e0,
+            wall,
+        }
+    }
+
+    /// Union of a view relation's partitions across all peers.
+    pub fn view(&self, rel_name: &str) -> BTreeSet<Tuple> {
+        let rel = self
+            .plan
+            .catalog
+            .id(rel_name)
+            .unwrap_or_else(|| panic!("unknown relation `{rel_name}`"));
+        let mut out = BTreeSet::new();
+        for peer in self.sim.peers() {
+            for op in peer.ops() {
+                if let OpState::Store(s) = op {
+                    if s.rel() == rel {
+                        out.extend(s.contents());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Annotation of one view tuple, searched across peers (tests and the
+    /// provenance explorer example).
+    pub fn view_prov(&self, rel_name: &str, tuple: &Tuple) -> Option<netrec_prov::Prov> {
+        let rel = self.plan.catalog.id(rel_name)?;
+        for peer in self.sim.peers() {
+            for op in peer.ops() {
+                if let OpState::Store(s) = op {
+                    if s.rel() == rel {
+                        if let Some(p) = s.prov_of(tuple) {
+                            return Some(p.clone());
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Provenance variable assigned to a live base tuple (searched across
+    /// peers' ingress operators).
+    pub fn base_var(&self, rel_name: &str, tuple: &Tuple) -> Option<netrec_bdd::Var> {
+        let rel = self.plan.catalog.id(rel_name)?;
+        for peer in self.sim.peers() {
+            for op in peer.ops() {
+                if let OpState::Ingress(i) = op {
+                    if i.rel() == rel {
+                        if let Some(v) = i.var_of(tuple) {
+                            return Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Total operator state bytes across all peers.
+    pub fn state_bytes(&self) -> usize {
+        self.sim.peers().iter().map(EnginePeer::state_bytes).sum()
+    }
+
+    /// Traffic metrics (cumulative over all phases).
+    pub fn metrics(&self) -> &netrec_sim::NetMetrics {
+        self.sim.metrics()
+    }
+
+    /// Access a peer (tests / provenance explorer).
+    pub fn peer(&self, p: PeerId) -> &EnginePeer {
+        self.sim.peer(p)
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> u32 {
+        self.sim.peer_count()
+    }
+}

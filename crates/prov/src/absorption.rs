@@ -1,0 +1,171 @@
+//! Base-tuple variable management for annotation-carrying schemes.
+//!
+//! Every EDB insertion is assigned a fresh provenance variable by the peer
+//! that owns the tuple. Peers allocate from disjoint id spaces (peer id in
+//! the high bits), so no cross-peer coordination is needed — mirroring how
+//! the paper's system assigns tuple identity at the ingress node. If a tuple
+//! is deleted and later re-inserted it receives a *new* variable: the old
+//! derivations died with the old variable.
+
+use std::collections::HashMap;
+
+use netrec_bdd::Var;
+use netrec_types::{RelId, Tuple};
+
+/// Bits reserved for the per-peer counter; supports 2^22 ≈ 4.2 M base
+/// insertions per peer and 1024 peers, far beyond the paper's workloads.
+const PEER_SHIFT: u32 = 22;
+const COUNTER_MASK: u32 = (1 << PEER_SHIFT) - 1;
+
+/// Allocates provenance variables for one peer.
+#[derive(Clone, Debug)]
+pub struct VarAllocator {
+    peer: u32,
+    next: u32,
+}
+
+impl VarAllocator {
+    /// Allocator for physical peer `peer`.
+    pub fn new(peer: u32) -> VarAllocator {
+        assert!(peer < (1 << (32 - PEER_SHIFT)), "peer id out of range");
+        VarAllocator { peer, next: 0 }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn alloc(&mut self) -> Var {
+        let v = (self.peer << PEER_SHIFT) | self.next;
+        self.next += 1;
+        assert!(self.next <= COUNTER_MASK, "variable space exhausted for peer {}", self.peer);
+        v
+    }
+
+    /// Which peer allocated a given variable.
+    pub fn owner_of(var: Var) -> u32 {
+        var >> PEER_SHIFT
+    }
+
+    /// Number of variables handed out so far.
+    pub fn allocated(&self) -> u32 {
+        self.next
+    }
+}
+
+/// Per-peer map from live base tuples to their current variable.
+///
+/// Used at ingress: an EDB `Insert` allocates and records a variable; an EDB
+/// `Delete` (explicit or TTL expiry) looks up and removes it, yielding the
+/// variable whose deletion must be propagated.
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    live: HashMap<(RelId, Tuple), Var>,
+}
+
+impl VarTable {
+    /// Empty table.
+    pub fn new() -> VarTable {
+        VarTable::default()
+    }
+
+    /// Record a newly inserted base tuple. Returns `None` (and leaves the
+    /// table unchanged) if the tuple is already live — set semantics: a
+    /// duplicate base insertion is a no-op.
+    pub fn insert(
+        &mut self,
+        rel: RelId,
+        tuple: Tuple,
+        alloc: &mut VarAllocator,
+    ) -> Option<Var> {
+        use std::collections::hash_map::Entry;
+        match self.live.entry((rel, tuple)) {
+            Entry::Occupied(_) => None,
+            Entry::Vacant(e) => {
+                let v = alloc.alloc();
+                e.insert(v);
+                Some(v)
+            }
+        }
+    }
+
+    /// Remove a base tuple, returning its variable; `None` if it was not
+    /// live (deletion of an absent tuple is ignored, per Algorithm 4's
+    /// "deletions before insertions are not allowed" assumption).
+    pub fn remove(&mut self, rel: RelId, tuple: &Tuple) -> Option<Var> {
+        self.live.remove(&(rel, tuple.clone()))
+    }
+
+    /// Current variable of a live base tuple.
+    pub fn get(&self, rel: RelId, tuple: &Tuple) -> Option<Var> {
+        self.live.get(&(rel, tuple.clone())).copied()
+    }
+
+    /// Number of live base tuples.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no base tuples are live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Iterate over live `(rel, tuple, var)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Tuple, Var)> + '_ {
+        self.live.iter().map(|((r, t), v)| (*r, t, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_types::Value;
+
+    fn t(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn allocator_is_peer_disjoint() {
+        let mut a0 = VarAllocator::new(0);
+        let mut a1 = VarAllocator::new(1);
+        let vs: Vec<Var> = (0..4).map(|_| a0.alloc()).chain((0..4).map(|_| a1.alloc())).collect();
+        let unique: std::collections::HashSet<_> = vs.iter().collect();
+        assert_eq!(unique.len(), 8);
+        assert!(vs[..4].iter().all(|&v| VarAllocator::owner_of(v) == 0));
+        assert!(vs[4..].iter().all(|&v| VarAllocator::owner_of(v) == 1));
+        assert_eq!(a0.allocated(), 4);
+    }
+
+    #[test]
+    fn table_tracks_lifecycle() {
+        let mut alloc = VarAllocator::new(0);
+        let mut table = VarTable::new();
+        let rel = RelId(0);
+        let v1 = table.insert(rel, t(1), &mut alloc).expect("fresh");
+        assert_eq!(table.insert(rel, t(1), &mut alloc), None, "duplicate is no-op");
+        assert_eq!(table.get(rel, &t(1)), Some(v1));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.remove(rel, &t(1)), Some(v1));
+        assert_eq!(table.remove(rel, &t(1)), None, "double delete ignored");
+        assert!(table.is_empty());
+        // Re-insertion gets a fresh variable.
+        let v2 = table.insert(rel, t(1), &mut alloc).expect("fresh again");
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn iter_exposes_live_tuples() {
+        let mut alloc = VarAllocator::new(2);
+        let mut table = VarTable::new();
+        table.insert(RelId(0), t(1), &mut alloc);
+        table.insert(RelId(1), t(2), &mut alloc);
+        let mut seen: Vec<_> = table.iter().map(|(r, _, _)| r).collect();
+        seen.sort();
+        assert_eq!(seen, vec![RelId(0), RelId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer id out of range")]
+    fn oversized_peer_rejected() {
+        let _ = VarAllocator::new(1 << 10);
+    }
+}

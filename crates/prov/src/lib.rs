@@ -1,0 +1,34 @@
+//! # netrec-prov — provenance algebras for incremental view maintenance
+//!
+//! The paper's central idea is to annotate every view tuple with enough
+//! derivability bookkeeping that a base-tuple deletion can be applied
+//! *directly*, without DRed's over-delete/re-derive scan. This crate
+//! implements the three annotation schemes compared in the evaluation:
+//!
+//! * [`absorption`] — **absorption provenance** (§4): a Boolean expression
+//!   over base-tuple variables, physically a ROBDD ([`netrec_bdd`]), so
+//!   Boolean absorption keeps annotations minimal and deletion is
+//!   `restrict(var ← false)`.
+//! * [`relative`] — **relative provenance** (Green et al., VLDB'07; the
+//!   paper's §4 "provenance alternatives"): an AND-OR derivation graph that
+//!   records which tuples were immediate consequents of which others.
+//!   Derivability after deletion requires a least-fixpoint traversal, and the
+//!   annotations ship whole derivation subgraphs — which is exactly why the
+//!   paper finds it heavier than absorption on every metric.
+//! * Counting (embedded in [`Prov::Count`]) — the classical counting
+//!   algorithm (Gupta–Mumick–Subrahmanian, SIGMOD'93), sound only for
+//!   non-recursive views; included as the related-work baseline.
+//!
+//! [`Prov`] is the tagged union the engine's operators carry on every update;
+//! [`VarAllocator`]/[`VarTable`] manage the base-tuple variable space, which
+//! is shared by the absorption *and* relative schemes (base tuples are
+//! identified by variable in both).
+
+pub mod absorption;
+pub mod relative;
+
+mod prov;
+
+pub use absorption::{VarAllocator, VarTable};
+pub use prov::{Prov, ProvMode};
+pub use relative::RelProv;

@@ -1,0 +1,248 @@
+//! The tagged provenance union carried on every update.
+
+use std::sync::Arc;
+
+use netrec_bdd::{Bdd, BddManager, Var};
+
+use crate::relative::RelProv;
+
+/// Which maintenance scheme a run uses. Determines the [`Prov`] variant on
+/// every update and how the stateful operators process deletions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProvMode {
+    /// Plain set semantics: no annotations. Deletions cannot be maintained
+    /// incrementally (DRed's two-phase protocol sits on top of this mode).
+    Set,
+    /// Counting algorithm: an integer multiplicity per tuple. Sound for
+    /// non-recursive views only (Gupta et al., SIGMOD'93).
+    Counting,
+    /// Absorption provenance over BDDs (the paper's contribution).
+    Absorption,
+    /// Relative provenance derivation graphs (the heavier baseline).
+    Relative,
+}
+
+/// A provenance annotation.
+///
+/// Arithmetic is variant-homogeneous: the engine fixes one [`ProvMode`] per
+/// run, so mixing variants is a logic error and panics loudly.
+#[derive(Clone, Debug)]
+pub enum Prov {
+    /// No annotation (set semantics / DRed).
+    None,
+    /// Multiplicity (counting algorithm).
+    Count(i64),
+    /// Absorption provenance: a Boolean function of base variables.
+    Bdd(Bdd),
+    /// Relative provenance: a derivation graph. `Arc` because annotations are
+    /// immutable and shared between operator state and in-flight updates.
+    Rel(Arc<RelProv>),
+}
+
+impl Prov {
+    /// Annotation of a freshly inserted base tuple under `mode`.
+    pub fn base(mode: ProvMode, var: Var, mgr: &BddManager) -> Prov {
+        match mode {
+            ProvMode::Set => Prov::None,
+            ProvMode::Counting => Prov::Count(1),
+            ProvMode::Absorption => Prov::Bdd(mgr.var(var)),
+            ProvMode::Relative => Prov::Rel(Arc::new(RelProv::base(var))),
+        }
+    }
+
+    /// Conjunction — the provenance of a join result (Fig. 6).
+    ///
+    /// For relative provenance the conjunction is *deferred*: the join passes
+    /// both annotations onward and the rule-head stage calls
+    /// [`RelProv::derive`] with all antecedents, so this method only handles
+    /// the algebraic modes and panics for `Rel` (callers must use
+    /// [`Prov::rel_derive`]).
+    pub fn and(&self, other: &Prov) -> Prov {
+        match (self, other) {
+            (Prov::None, Prov::None) => Prov::None,
+            (Prov::Count(a), Prov::Count(b)) => Prov::Count(a * b),
+            (Prov::Bdd(a), Prov::Bdd(b)) => Prov::Bdd(a.and(b)),
+            (a, b) => panic!("Prov::and on mismatched/unsupported variants {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Disjunction — merging an alternative derivation of the same tuple.
+    pub fn or(&self, other: &Prov) -> Prov {
+        match (self, other) {
+            (Prov::None, Prov::None) => Prov::None,
+            (Prov::Count(a), Prov::Count(b)) => Prov::Count(a + b),
+            (Prov::Bdd(a), Prov::Bdd(b)) => Prov::Bdd(a.or(b)),
+            (Prov::Rel(a), Prov::Rel(b)) => Prov::Rel(Arc::new(a.merge(b))),
+            (a, b) => panic!("Prov::or on mismatched variants {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Relative-provenance rule firing: head tuple derived from antecedents.
+    pub fn rel_derive(
+        rule: u32,
+        rel: netrec_types::RelId,
+        tuple: netrec_types::Tuple,
+        antecedents: &[&Prov],
+    ) -> Prov {
+        let ants: Vec<&RelProv> = antecedents
+            .iter()
+            .map(|p| match p {
+                Prov::Rel(r) => r.as_ref(),
+                other => panic!("rel_derive antecedent is not relative provenance: {other:?}"),
+            })
+            .collect();
+        Prov::Rel(Arc::new(RelProv::derive(rule, rel, tuple, &ants)))
+    }
+
+    /// The BDD inside an absorption annotation; panics otherwise.
+    pub fn bdd(&self) -> &Bdd {
+        match self {
+            Prov::Bdd(b) => b,
+            other => panic!("expected absorption provenance, got {other:?}"),
+        }
+    }
+
+    /// The graph inside a relative annotation; panics otherwise.
+    pub fn rel(&self) -> &RelProv {
+        match self {
+            Prov::Rel(r) => r,
+            other => panic!("expected relative provenance, got {other:?}"),
+        }
+    }
+
+    /// Multiplicity inside a counting annotation; panics otherwise.
+    pub fn count(&self) -> i64 {
+        match self {
+            Prov::Count(c) => *c,
+            other => panic!("expected counting provenance, got {other:?}"),
+        }
+    }
+
+    /// Bytes this annotation adds to a shipped tuple — the paper's
+    /// "per-tuple provenance overhead" metric. `None`/`Count` are one tag
+    /// byte (and a varint for the count).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Prov::None => 1,
+            Prov::Count(c) => 1 + netrec_types::wire::varint_len(c.unsigned_abs()),
+            Prov::Bdd(b) => 1 + b.encoded_len(),
+            Prov::Rel(r) => 1 + r.encoded_len(),
+        }
+    }
+
+    /// Re-anchor an annotation into another peer's BDD manager, simulating
+    /// the serialise-on-send / deserialise-on-receive of a real deployment.
+    /// Non-BDD variants are value types and pass through unchanged.
+    pub fn reanchor(&self, target: &BddManager) -> Prov {
+        match self {
+            Prov::Bdd(b) => {
+                let bytes = b.encode();
+                Prov::Bdd(target.decode(&bytes).expect("well-formed annotation"))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Is this annotation dead (tuple no longer derivable)? `None` never
+    /// reports dead (set semantics has no liveness information).
+    pub fn is_dead(&self) -> bool {
+        match self {
+            Prov::None => false,
+            Prov::Count(c) => *c <= 0,
+            Prov::Bdd(b) => b.is_false(),
+            Prov::Rel(_) => false, // death decided by RelProv::kill_vars
+        }
+    }
+
+    /// The mode this annotation belongs to (diagnostics).
+    pub fn mode(&self) -> ProvMode {
+        match self {
+            Prov::None => ProvMode::Set,
+            Prov::Count(_) => ProvMode::Counting,
+            Prov::Bdd(_) => ProvMode::Absorption,
+            Prov::Rel(_) => ProvMode::Relative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_types::{RelId, Tuple, Value};
+
+    #[test]
+    fn base_per_mode() {
+        let mgr = BddManager::new();
+        assert!(matches!(Prov::base(ProvMode::Set, 0, &mgr), Prov::None));
+        assert_eq!(Prov::base(ProvMode::Counting, 0, &mgr).count(), 1);
+        assert_eq!(Prov::base(ProvMode::Absorption, 3, &mgr).bdd(), &mgr.var(3));
+        assert_eq!(Prov::base(ProvMode::Relative, 3, &mgr).rel().support(), vec![3]);
+    }
+
+    #[test]
+    fn algebra_per_mode() {
+        let mgr = BddManager::new();
+        let a = Prov::base(ProvMode::Absorption, 1, &mgr);
+        let b = Prov::base(ProvMode::Absorption, 2, &mgr);
+        assert_eq!(a.and(&b).bdd(), &mgr.var(1).and(&mgr.var(2)));
+        assert_eq!(a.or(&b).bdd(), &mgr.var(1).or(&mgr.var(2)));
+        let c1 = Prov::Count(2);
+        let c2 = Prov::Count(3);
+        assert_eq!(c1.and(&c2).count(), 6);
+        assert_eq!(c1.or(&c2).count(), 5);
+        assert!(matches!(Prov::None.and(&Prov::None), Prov::None));
+    }
+
+    #[test]
+    fn rel_derive_and_or() {
+        let mgr = BddManager::new();
+        let a = Prov::base(ProvMode::Relative, 1, &mgr);
+        let b = Prov::base(ProvMode::Relative, 2, &mgr);
+        let t = Tuple::new(vec![Value::Int(9)]);
+        let d1 = Prov::rel_derive(0, RelId(5), t.clone(), &[&a, &b]);
+        let d2 = Prov::rel_derive(1, RelId(5), t, &[&a]);
+        let both = d1.or(&d2);
+        assert_eq!(both.rel().support(), vec![1, 2]);
+    }
+
+    #[test]
+    fn encoded_len_ordering_matches_paper() {
+        // relative annotations are strictly larger than absorption for the
+        // same derivation — the paper's Fig. 7a in miniature.
+        let mgr = BddManager::new();
+        let abs = Prov::base(ProvMode::Absorption, 1, &mgr)
+            .and(&Prov::base(ProvMode::Absorption, 2, &mgr));
+        let a = Prov::base(ProvMode::Relative, 1, &mgr);
+        let b = Prov::base(ProvMode::Relative, 2, &mgr);
+        let rel = Prov::rel_derive(0, RelId(1), Tuple::new(vec![Value::Int(1)]), &[&a, &b]);
+        assert!(rel.encoded_len() > abs.encoded_len());
+        assert!(Prov::None.encoded_len() < abs.encoded_len());
+    }
+
+    #[test]
+    fn reanchor_moves_between_managers() {
+        let m1 = BddManager::new();
+        let m2 = BddManager::new();
+        let p = Prov::Bdd(m1.var(4).or(&m1.var(5)));
+        let q = p.reanchor(&m2);
+        assert_eq!(q.bdd(), &m2.var(4).or(&m2.var(5)));
+        // non-BDD annotations unchanged
+        assert_eq!(Prov::Count(3).reanchor(&m2).count(), 3);
+    }
+
+    #[test]
+    fn is_dead() {
+        let mgr = BddManager::new();
+        assert!(Prov::Bdd(mgr.zero()).is_dead());
+        assert!(!Prov::Bdd(mgr.var(1)).is_dead());
+        assert!(Prov::Count(0).is_dead());
+        assert!(!Prov::None.is_dead());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mixed_variants_panic() {
+        let mgr = BddManager::new();
+        let _ = Prov::Count(1).or(&Prov::Bdd(mgr.one()));
+    }
+}

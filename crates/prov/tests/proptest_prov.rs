@@ -1,0 +1,129 @@
+//! Property tests for the provenance algebras: absorption (BDD) behaviour
+//! under random derivation DAGs, and agreement between relative provenance's
+//! derivability verdicts and the Boolean semantics of the same derivations.
+
+use std::collections::HashSet;
+
+use netrec_bdd::{Bdd, BddManager, Var};
+use netrec_prov::RelProv;
+use netrec_types::{RelId, Tuple, Value};
+use proptest::prelude::*;
+
+/// A random monotone derivation structure: `n_base` base tuples, then a
+/// sequence of derived nodes each produced by 1–2 rules over earlier nodes.
+#[derive(Clone, Debug)]
+struct DerivationDag {
+    n_base: u32,
+    /// For each derived node: alternative derivations, each a list of
+    /// antecedent indices (negative space: 0..n_base are bases, then derived
+    /// nodes in order).
+    derived: Vec<Vec<Vec<usize>>>,
+}
+
+fn arb_dag() -> impl Strategy<Value = DerivationDag> {
+    (2u32..6, 1usize..6).prop_flat_map(|(n_base, n_derived)| {
+        let mut node_strategies = Vec::new();
+        for d in 0..n_derived {
+            let pool = n_base as usize + d;
+            // 1..=2 alternative derivations, each with 1..=2 antecedents.
+            let deriv = proptest::collection::vec(
+                proptest::collection::vec(0..pool, 1..3),
+                1..3,
+            );
+            node_strategies.push(deriv);
+        }
+        node_strategies.prop_map(move |derived| DerivationDag { n_base, derived })
+    })
+}
+
+/// Build both representations of node `idx`'s provenance.
+fn build(
+    dag: &DerivationDag,
+    mgr: &BddManager,
+) -> (Vec<Bdd>, Vec<RelProv>) {
+    let mut bdds: Vec<Bdd> = Vec::new();
+    let mut rels: Vec<RelProv> = Vec::new();
+    for v in 0..dag.n_base {
+        bdds.push(mgr.var(v));
+        rels.push(RelProv::base(v));
+    }
+    for (d, alts) in dag.derived.iter().enumerate() {
+        let key_tuple = Tuple::new(vec![Value::Int(d as i64)]);
+        let mut bdd_acc: Option<Bdd> = None;
+        let mut rel_acc: Option<RelProv> = None;
+        for (rule, ants) in alts.iter().enumerate() {
+            let bdd_term = mgr.and_many(ants.iter().map(|&a| &bdds[a]));
+            let ant_refs: Vec<&RelProv> = ants.iter().map(|&a| &rels[a]).collect();
+            let rel_term =
+                RelProv::derive(rule as u32, RelId(7), key_tuple.clone(), &ant_refs);
+            bdd_acc = Some(match bdd_acc {
+                None => bdd_term,
+                Some(acc) => acc.or(&bdd_term),
+            });
+            rel_acc = Some(match rel_acc {
+                None => rel_term,
+                Some(acc) => acc.merge(&rel_term),
+            });
+        }
+        bdds.push(bdd_acc.unwrap());
+        rels.push(rel_acc.unwrap());
+    }
+    (bdds, rels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// For every node and every base-deletion set, relative provenance's
+    /// derivability verdict must equal the absorption BDD's "restrict the
+    /// dead vars to false, check non-false" — the two algebras must agree on
+    /// which tuples survive.
+    #[test]
+    fn relative_and_absorption_agree_on_derivability(
+        dag in arb_dag(),
+        dead_mask in any::<u32>(),
+    ) {
+        let mgr = BddManager::new();
+        let (bdds, rels) = build(&dag, &mgr);
+        let dead: HashSet<Var> =
+            (0..dag.n_base).filter(|v| dead_mask & (1 << v) != 0).collect();
+        let dead_list: Vec<Var> = dead.iter().copied().collect();
+        for i in 0..bdds.len() {
+            let bdd_alive = !bdds[i].restrict_all_false(&dead_list).is_false();
+            let rel_alive = rels[i].kill_vars(&dead).is_some();
+            prop_assert_eq!(
+                bdd_alive, rel_alive,
+                "node {} disagrees (dead = {:?})", i, dead
+            );
+        }
+    }
+
+    /// Killing variables is monotone for relative provenance: a survivor of
+    /// a larger deletion set also survives every subset.
+    #[test]
+    fn kill_vars_is_monotone(dag in arb_dag(), mask in any::<u32>()) {
+        let mgr = BddManager::new();
+        let (_, rels) = build(&dag, &mgr);
+        let all: HashSet<Var> = (0..dag.n_base).filter(|v| mask & (1 << v) != 0).collect();
+        let half: HashSet<Var> = all.iter().copied().take(all.len() / 2).collect();
+        for rel in &rels {
+            if rel.kill_vars(&all).is_some() {
+                prop_assert!(rel.kill_vars(&half).is_some());
+            }
+        }
+    }
+
+    /// The encoded length of a relative annotation dominates the absorption
+    /// annotation built from the same derivations (the paper's Fig. 7a
+    /// ordering).
+    #[test]
+    fn relative_encodes_larger_than_absorption(dag in arb_dag()) {
+        let mgr = BddManager::new();
+        let (bdds, rels) = build(&dag, &mgr);
+        // Compare the final (deepest) derived node.
+        let last = bdds.len() - 1;
+        if last >= dag.n_base as usize {
+            prop_assert!(rels[last].encoded_len() >= bdds[last].encoded_len());
+        }
+    }
+}

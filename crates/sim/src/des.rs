@@ -1,0 +1,488 @@
+//! The deterministic discrete-event runner.
+//!
+//! Peers implement [`PeerNode`]; the simulator delivers messages and timer
+//! expirations in global timestamp order, modelling:
+//!
+//! * **FIFO channels** — per ordered peer pair, deliveries never reorder
+//!   (§3.1 assumes reliable in-order delivery); a channel also serialises its
+//!   bandwidth, so a large message delays the ones queued behind it;
+//! * **link latency/bandwidth** — from [`ClusterSpec`];
+//! * **CPU occupancy** — each delivery keeps the receiving peer busy for a
+//!   [`CostModel`]-determined span, so message-heavy strategies (DRed)
+//!   converge later even when bandwidth is plentiful;
+//! * **quiescence detection** — the run converges when no events remain;
+//!   convergence time is when the last event finished processing.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use netrec_types::{Duration, SimTime};
+
+use crate::metrics::{MsgMeta, NetMetrics};
+use crate::net::{ClusterSpec, CostModel, PeerId, Port};
+
+/// Logic hosted on one peer.
+pub trait PeerNode<M> {
+    /// A message arrived on `port`.
+    fn on_message(&mut self, port: Port, msg: M, net: &mut NetApi<M>);
+    /// A timer set via [`NetApi::set_timer`] fired.
+    fn on_timer(&mut self, id: u64, net: &mut NetApi<M>) {
+        let _ = (id, net);
+    }
+}
+
+/// The interface a peer uses to interact with the network during a callback.
+/// Sends and timers are collected and scheduled when the callback returns.
+pub struct NetApi<M> {
+    now: SimTime,
+    me: PeerId,
+    out: Vec<(PeerId, Port, M, MsgMeta)>,
+    timers: Vec<(Duration, u64)>,
+}
+
+impl<M> NetApi<M> {
+    /// Current simulated time (the moment this callback's processing ends).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The peer this callback runs on.
+    pub fn me(&self) -> PeerId {
+        self.me
+    }
+
+    /// Ship a message. Self-sends are free local hand-offs between operators
+    /// on the same peer; remote sends are charged to the metrics and delayed
+    /// by the link model.
+    pub fn send(&mut self, to: PeerId, port: Port, msg: M, meta: MsgMeta) {
+        self.out.push((to, port, msg, meta));
+    }
+
+    /// Arm a one-shot timer that fires on this peer after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, id: u64) {
+        self.timers.push((delay, id));
+    }
+
+    pub(crate) fn fresh(now: SimTime, me: PeerId) -> NetApi<M> {
+        NetApi { now, me, out: Vec::new(), timers: Vec::new() }
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (Vec<(PeerId, Port, M, MsgMeta)>, Vec<(Duration, u64)>) {
+        (self.out, self.timers)
+    }
+}
+
+enum EventKind<M> {
+    Deliver { port: Port, msg: M, meta: MsgMeta },
+    Timer { id: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    to: PeerId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Bounds on a run, so that configurations the paper reports as "did not
+/// complete within 5 minutes" terminate with an explicit verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct RunBudget {
+    /// Maximum number of events to process.
+    pub max_events: u64,
+    /// Maximum simulated time.
+    pub max_time: SimTime,
+    /// Maximum *wall-clock* time — guards configurations whose state
+    /// genuinely explodes (relative provenance on dense graphs, no-AggSel
+    /// path enumeration). Checked every few thousand events.
+    pub max_wall: std::time::Duration,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            max_events: u64::MAX,
+            max_time: SimTime(u64::MAX),
+            max_wall: std::time::Duration::from_secs(3600),
+        }
+    }
+}
+
+impl RunBudget {
+    /// Budget capped at `secs` of simulated time (the paper's 5-minute cap).
+    pub fn sim_seconds(secs: u64) -> RunBudget {
+        RunBudget { max_time: SimTime(secs * 1_000_000), ..Default::default() }
+    }
+
+    /// Additionally cap wall-clock time (builder style).
+    pub fn with_wall(mut self, wall: std::time::Duration) -> RunBudget {
+        self.max_wall = wall;
+        self
+    }
+}
+
+/// Result of [`Simulator::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All events drained: the distributed computation reached fixpoint.
+    Converged {
+        /// Completion time of the last processed event.
+        at: SimTime,
+    },
+    /// The budget was exhausted first (reported as `> budget` in the paper's
+    /// style).
+    BudgetExceeded {
+        /// Simulated time when the run was cut off.
+        at: SimTime,
+        /// Events still pending.
+        pending: usize,
+    },
+}
+
+impl RunOutcome {
+    /// Convergence time, if converged.
+    pub fn converged_at(self) -> Option<SimTime> {
+        match self {
+            RunOutcome::Converged { at } => Some(at),
+            RunOutcome::BudgetExceeded { .. } => None,
+        }
+    }
+}
+
+/// The discrete-event simulator: owns the peers, the event queue, the clock,
+/// and the traffic metrics.
+pub struct Simulator<M, N> {
+    peers: Vec<N>,
+    spec: ClusterSpec,
+    cost: CostModel,
+    queue: BinaryHeap<Event<M>>,
+    seq: u64,
+    /// FIFO/bandwidth serialisation point per directed channel.
+    chan_clock: HashMap<(PeerId, PeerId), SimTime>,
+    busy_until: Vec<SimTime>,
+    metrics: NetMetrics,
+    events_processed: u64,
+    last_finish: SimTime,
+}
+
+impl<M, N: PeerNode<M>> Simulator<M, N> {
+    /// Build a simulator from peers (index = `PeerId`), a cluster model and a
+    /// CPU cost model.
+    pub fn new(peers: Vec<N>, spec: ClusterSpec, cost: CostModel) -> Simulator<M, N> {
+        assert_eq!(peers.len() as u32, spec.peers(), "peer count mismatch with cluster spec");
+        let n = peers.len();
+        Simulator {
+            peers,
+            spec,
+            cost,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            chan_clock: HashMap::new(),
+            busy_until: vec![SimTime::ZERO; n],
+            metrics: NetMetrics::new(n as u32),
+            events_processed: 0,
+            last_finish: SimTime::ZERO,
+        }
+    }
+
+    /// Inject an external input (EDB stream element) at time `at`. Not
+    /// counted as network traffic: it models data arriving at its ingress
+    /// peer from the local sub-network.
+    pub fn inject(&mut self, at: SimTime, to: PeerId, port: Port, msg: M) {
+        let seq = self.next_seq();
+        self.push(Event {
+            at,
+            seq,
+            to,
+            kind: EventKind::Deliver { port, msg, meta: MsgMeta::default() },
+        });
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn push(&mut self, ev: Event<M>) {
+        self.queue.push(ev);
+    }
+
+    /// Run until quiescence or budget exhaustion.
+    pub fn run(&mut self, budget: RunBudget) -> RunOutcome {
+        let wall_start = std::time::Instant::now();
+        while let Some(ev) = self.queue.pop() {
+            let wall_blown = wall_start.elapsed() > budget.max_wall;
+            if self.events_processed >= budget.max_events
+                || ev.at > budget.max_time
+                || wall_blown
+            {
+                let at = self.last_finish.max(ev.at);
+                let pending = self.queue.len() + 1;
+                return RunOutcome::BudgetExceeded { at, pending };
+            }
+            self.events_processed += 1;
+            let peer = ev.to;
+            let start = ev.at.max(self.busy_until[peer.0 as usize]);
+            let span = match &ev.kind {
+                EventKind::Deliver { meta, .. } => self.cost.cost(meta.tuples),
+                EventKind::Timer { .. } => Duration::ZERO,
+            };
+            let finish = start + span;
+            self.busy_until[peer.0 as usize] = finish;
+            self.last_finish = self.last_finish.max(finish);
+            let mut api =
+                NetApi { now: finish, me: peer, out: Vec::new(), timers: Vec::new() };
+            match ev.kind {
+                EventKind::Deliver { port, msg, .. } => {
+                    self.peers[peer.0 as usize].on_message(port, msg, &mut api);
+                }
+                EventKind::Timer { id } => {
+                    self.peers[peer.0 as usize].on_timer(id, &mut api);
+                }
+            }
+            let NetApi { out, timers, .. } = api;
+            for (to, port, msg, meta) in out {
+                self.route(finish, peer, to, port, msg, meta);
+            }
+            for (delay, id) in timers {
+                let at = finish + delay;
+                let seq = self.next_seq();
+                self.push(Event { at, seq, to: peer, kind: EventKind::Timer { id } });
+            }
+        }
+        RunOutcome::Converged { at: self.last_finish }
+    }
+
+    fn route(&mut self, now: SimTime, from: PeerId, to: PeerId, port: Port, msg: M, meta: MsgMeta) {
+        let at = if from == to {
+            now // local operator hand-off
+        } else {
+            self.metrics.record_send(from, to, meta);
+            // FIFO + serialised bandwidth: the channel is busy until the
+            // previous message finished arriving.
+            let ready = (*self.chan_clock.entry((from, to)).or_insert(SimTime::ZERO)).max(now);
+            let arrive = ready + self.spec.delay(from, to, meta.bytes);
+            self.chan_clock.insert((from, to), arrive);
+            arrive
+        };
+        let seq = self.next_seq();
+        self.push(Event { at, seq, to, kind: EventKind::Deliver { port, msg, meta } });
+    }
+
+    /// Traffic metrics accumulated so far.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Completion time of the last processed event.
+    pub fn last_finish(&self) -> SimTime {
+        self.last_finish
+    }
+
+    /// Immutable access to a peer's logic (post-run inspection).
+    pub fn peer(&self, p: PeerId) -> &N {
+        &self.peers[p.0 as usize]
+    }
+
+    /// Mutable access to a peer's logic.
+    pub fn peer_mut(&mut self, p: PeerId) -> &mut N {
+        &mut self.peers[p.0 as usize]
+    }
+
+    /// All peers.
+    pub fn peers(&self) -> &[N] {
+        &self.peers
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> u32 {
+        self.peers.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relay test node: forwards each received integer to a destination peer
+    /// until the hop count runs out.
+    struct Relay {
+        received: Vec<(Port, u64, SimTime)>,
+        forward_to: Option<PeerId>,
+    }
+
+    impl PeerNode<u64> for Relay {
+        fn on_message(&mut self, port: Port, msg: u64, net: &mut NetApi<u64>) {
+            self.received.push((port, msg, net.now()));
+            if msg > 0 {
+                if let Some(to) = self.forward_to {
+                    net.send(to, Port(0), msg - 1, MsgMeta { bytes: 64, prov_bytes: 8, tuples: 1 });
+                }
+            }
+        }
+        fn on_timer(&mut self, id: u64, net: &mut NetApi<u64>) {
+            self.received.push((Port(999), id, net.now()));
+        }
+    }
+
+    fn two_relays() -> Simulator<u64, Relay> {
+        let peers = vec![
+            Relay { received: vec![], forward_to: Some(PeerId(1)) },
+            Relay { received: vec![], forward_to: Some(PeerId(0)) },
+        ];
+        Simulator::new(peers, ClusterSpec::single(2), CostModel::default())
+    }
+
+    #[test]
+    fn ping_pong_converges_and_counts() {
+        let mut sim = two_relays();
+        sim.inject(SimTime::ZERO, PeerId(0), Port(0), 5);
+        let out = sim.run(RunBudget::default());
+        let at = out.converged_at().expect("converged");
+        assert!(at > SimTime::ZERO);
+        // 5 forwards: 0→1 (msg 4), 1→0 (3), 0→1 (2), 1→0 (1), 0→1 (0).
+        assert_eq!(sim.metrics().total_msgs(), 5);
+        assert_eq!(sim.metrics().total_bytes(), 5 * 64);
+        assert_eq!(sim.metrics().total_prov_bytes(), 5 * 8);
+        assert_eq!(sim.peer(PeerId(1)).received.len(), 3);
+        assert_eq!(sim.peer(PeerId(0)).received.len(), 3);
+    }
+
+    #[test]
+    fn fifo_per_channel_despite_sizes() {
+        // A huge message then a tiny one on the same channel must arrive in
+        // order.
+        struct Recorder(Vec<u64>);
+        impl PeerNode<u64> for Recorder {
+            fn on_message(&mut self, _p: Port, msg: u64, _net: &mut NetApi<u64>) {
+                self.0.push(msg);
+            }
+        }
+        struct Sender;
+        impl PeerNode<u64> for Sender {
+            fn on_message(&mut self, _p: Port, _m: u64, net: &mut NetApi<u64>) {
+                net.send(PeerId(1), Port(0), 1, MsgMeta { bytes: 1_000_000, ..Default::default() });
+                net.send(PeerId(1), Port(0), 2, MsgMeta { bytes: 1, ..Default::default() });
+            }
+        }
+        enum Node {
+            S(Sender),
+            R(Recorder),
+        }
+        impl PeerNode<u64> for Node {
+            fn on_message(&mut self, p: Port, m: u64, net: &mut NetApi<u64>) {
+                match self {
+                    Node::S(s) => s.on_message(p, m, net),
+                    Node::R(r) => r.on_message(p, m, net),
+                }
+            }
+        }
+        let mut sim = Simulator::new(
+            vec![Node::S(Sender), Node::R(Recorder(vec![]))],
+            ClusterSpec::single(2),
+            CostModel::default(),
+        );
+        sim.inject(SimTime::ZERO, PeerId(0), Port(0), 0);
+        sim.run(RunBudget::default());
+        match sim.peer(PeerId(1)) {
+            Node::R(r) => assert_eq!(r.0, vec![1, 2]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct T(Vec<(u64, SimTime)>);
+        impl PeerNode<u64> for T {
+            fn on_message(&mut self, _p: Port, _m: u64, net: &mut NetApi<u64>) {
+                net.set_timer(Duration::from_millis(10), 1);
+                net.set_timer(Duration::from_millis(5), 2);
+            }
+            fn on_timer(&mut self, id: u64, net: &mut NetApi<u64>) {
+                self.0.push((id, net.now()));
+            }
+        }
+        let mut sim = Simulator::new(vec![T(vec![])], ClusterSpec::single(1), CostModel::default());
+        sim.inject(SimTime::ZERO, PeerId(0), Port(0), 0);
+        sim.run(RunBudget::default());
+        let fired = &sim.peer(PeerId(0)).0;
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].0, 2, "5ms timer first");
+        assert_eq!(fired[1].0, 1);
+        assert!(fired[0].1 < fired[1].1);
+    }
+
+    #[test]
+    fn budget_exceeded_reports_pending() {
+        struct Loop;
+        impl PeerNode<u64> for Loop {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                net.send(net.me(), Port(0), m + 1, MsgMeta::default());
+            }
+        }
+        let mut sim = Simulator::new(vec![Loop], ClusterSpec::single(1), CostModel::default());
+        sim.inject(SimTime::ZERO, PeerId(0), Port(0), 0);
+        let out = sim.run(RunBudget { max_events: 100, ..Default::default() });
+        assert!(matches!(out, RunOutcome::BudgetExceeded { pending, .. } if pending >= 1));
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut sim = two_relays();
+            sim.inject(SimTime::ZERO, PeerId(0), Port(0), 9);
+            let out = sim.run(RunBudget::default());
+            (out, sim.metrics().total_bytes(), sim.last_finish())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cpu_cost_serialises_a_peer() {
+        // Two simultaneous deliveries to one peer: the second is processed
+        // after the first's CPU span.
+        struct T(Vec<SimTime>);
+        impl PeerNode<u64> for T {
+            fn on_message(&mut self, _p: Port, _m: u64, net: &mut NetApi<u64>) {
+                self.0.push(net.now());
+            }
+        }
+        let cost =
+            CostModel { per_message: Duration::from_millis(1), per_tuple: Duration::ZERO };
+        let mut sim = Simulator::new(vec![T(vec![])], ClusterSpec::single(1), cost);
+        sim.inject(SimTime::ZERO, PeerId(0), Port(0), 1);
+        sim.inject(SimTime::ZERO, PeerId(0), Port(0), 2);
+        sim.run(RunBudget::default());
+        let times = &sim.peer(PeerId(0)).0;
+        assert_eq!(times.len(), 2);
+        assert_eq!(times[0], SimTime(1_000));
+        assert_eq!(times[1], SimTime(2_000));
+    }
+}

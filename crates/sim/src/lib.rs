@@ -1,0 +1,34 @@
+//! # netrec-sim — simulated cluster substrate
+//!
+//! The paper ran its Java query processor on two physical clusters joined by
+//! a shared 100 Mbps campus link. This crate substitutes a **deterministic
+//! discrete-event simulation** of that environment (see DESIGN.md's
+//! substitution ledger):
+//!
+//! * [`des`] — the event-driven runner: peers exchange messages over
+//!   FIFO-per-channel links with a latency + bandwidth + CPU cost model;
+//!   one-shot timers drive MinShip's periodic flushes and soft-state expiry;
+//!   the run converges when no events remain (global quiescence), and the
+//!   convergence time is the timestamp of the last processed event —
+//!   mirroring the paper's "time taken for a distributed query to finish
+//!   execution on all distributed nodes".
+//! * [`net`] — the cluster model ([`ClusterSpec`]: intra/inter-cluster
+//!   latency and bandwidth, the 16+8 two-cluster profile of §7) and the
+//!   [`Partitioner`] that places horizontal partitions on peers (hash-based,
+//!   standing in for FreePastry).
+//! * [`metrics`] — per-peer byte/message/tuple accounting; every number in
+//!   `EXPERIMENTS.md` flows from here.
+//! * [`threaded`] — a real concurrent runtime (one OS thread per peer,
+//!   crossbeam channels) running the same [`PeerNode`] logic, used to
+//!   demonstrate that the operator implementations are actually
+//!   thread-safe/distributable. Byte metrics match the DES exactly; timing is
+//!   wall-clock rather than modelled.
+
+pub mod des;
+pub mod metrics;
+pub mod net;
+pub mod threaded;
+
+pub use des::{NetApi, PeerNode, RunBudget, RunOutcome, Simulator};
+pub use metrics::{MsgMeta, NetMetrics, PeerMetrics};
+pub use net::{ClusterSpec, CostModel, Partitioner, PeerId, Port};

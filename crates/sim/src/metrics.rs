@@ -1,0 +1,140 @@
+//! Traffic accounting: the source of every number in `EXPERIMENTS.md`.
+
+use crate::net::PeerId;
+
+/// Size metadata the sender attaches to each message: the engine computes
+/// these from the wire encoding of the updates it ships.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Total message bytes (tuples + annotations + framing).
+    pub bytes: usize,
+    /// Bytes attributable to provenance annotations alone.
+    pub prov_bytes: usize,
+    /// Number of update tuples in the message.
+    pub tuples: u32,
+}
+
+impl MsgMeta {
+    /// Metadata for a tuple-free control message of `bytes`.
+    pub fn control(bytes: usize) -> MsgMeta {
+        MsgMeta { bytes, prov_bytes: 0, tuples: 0 }
+    }
+}
+
+/// Per-peer traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeerMetrics {
+    /// Messages sent to other peers (local loopback is not traffic).
+    pub msgs_sent: u64,
+    /// Bytes sent to other peers.
+    pub bytes_sent: u64,
+    /// Annotation bytes within `bytes_sent`.
+    pub prov_bytes_sent: u64,
+    /// Update tuples shipped to other peers.
+    pub tuples_sent: u64,
+    /// Messages received from other peers.
+    pub msgs_recv: u64,
+    /// Bytes received from other peers.
+    pub bytes_recv: u64,
+}
+
+/// Whole-run traffic metrics.
+#[derive(Clone, Debug, Default)]
+pub struct NetMetrics {
+    /// Counters per peer, indexed by `PeerId`.
+    pub per_peer: Vec<PeerMetrics>,
+}
+
+impl NetMetrics {
+    /// Zeroed metrics for `peers` peers.
+    pub fn new(peers: u32) -> NetMetrics {
+        NetMetrics { per_peer: vec![PeerMetrics::default(); peers as usize] }
+    }
+
+    /// Record one remote send.
+    pub fn record_send(&mut self, from: PeerId, to: PeerId, meta: MsgMeta) {
+        let s = &mut self.per_peer[from.0 as usize];
+        s.msgs_sent += 1;
+        s.bytes_sent += meta.bytes as u64;
+        s.prov_bytes_sent += meta.prov_bytes as u64;
+        s.tuples_sent += u64::from(meta.tuples);
+        let r = &mut self.per_peer[to.0 as usize];
+        r.msgs_recv += 1;
+        r.bytes_recv += meta.bytes as u64;
+    }
+
+    /// Total bytes shipped across the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_peer.iter().map(|p| p.bytes_sent).sum()
+    }
+
+    /// Total messages shipped.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_peer.iter().map(|p| p.msgs_sent).sum()
+    }
+
+    /// Total update tuples shipped.
+    pub fn total_tuples(&self) -> u64 {
+        self.per_peer.iter().map(|p| p.tuples_sent).sum()
+    }
+
+    /// Total annotation bytes shipped.
+    pub fn total_prov_bytes(&self) -> u64 {
+        self.per_peer.iter().map(|p| p.prov_bytes_sent).sum()
+    }
+
+    /// Mean communication per peer in bytes — the paper reports per-node
+    /// communication overhead in the scale-out experiment.
+    pub fn avg_bytes_per_peer(&self) -> f64 {
+        if self.per_peer.is_empty() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.per_peer.len() as f64
+    }
+
+    /// Mean annotation bytes per shipped tuple — the paper's "per-tuple
+    /// provenance overhead (B)".
+    pub fn prov_bytes_per_tuple(&self) -> f64 {
+        let tuples = self.total_tuples();
+        if tuples == 0 {
+            return 0.0;
+        }
+        self.total_prov_bytes() as f64 / tuples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut m = NetMetrics::new(3);
+        m.record_send(PeerId(0), PeerId(1), MsgMeta { bytes: 100, prov_bytes: 40, tuples: 2 });
+        m.record_send(PeerId(1), PeerId(2), MsgMeta { bytes: 50, prov_bytes: 10, tuples: 1 });
+        assert_eq!(m.total_bytes(), 150);
+        assert_eq!(m.total_msgs(), 2);
+        assert_eq!(m.total_tuples(), 3);
+        assert_eq!(m.total_prov_bytes(), 50);
+        assert_eq!(m.avg_bytes_per_peer(), 50.0);
+        assert!((m.prov_bytes_per_tuple() - 50.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.per_peer[1].msgs_sent, 1);
+        assert_eq!(m.per_peer[1].msgs_recv, 1);
+        assert_eq!(m.per_peer[2].bytes_recv, 50);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = NetMetrics::new(0);
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.avg_bytes_per_peer(), 0.0);
+        assert_eq!(m.prov_bytes_per_tuple(), 0.0);
+    }
+
+    #[test]
+    fn control_meta() {
+        let c = MsgMeta::control(9);
+        assert_eq!(c.bytes, 9);
+        assert_eq!(c.tuples, 0);
+    }
+}

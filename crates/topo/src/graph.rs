@@ -1,0 +1,248 @@
+//! Core topology representation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use netrec_types::{Duration, NetAddr};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Link density profile (§7.3: dense ≈ 4 links per node, sparse ≈ 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Density {
+    /// ~4 incident links per node (the paper's default).
+    Dense,
+    /// ~2 incident links per node.
+    Sparse,
+}
+
+impl Density {
+    /// Target incident links per node.
+    pub fn degree(self) -> usize {
+        match self {
+            Density::Dense => 4,
+            Density::Sparse => 2,
+        }
+    }
+}
+
+/// Role of a node in a transit-stub topology (used by the latency model and
+/// by partition-affinity experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Backbone transit router.
+    Transit,
+    /// Stub-network router.
+    Stub,
+    /// Sensor node (sensor-grid topologies).
+    Sensor,
+}
+
+/// An undirected physical link; the base `link` relation materialises it as
+/// two directed tuples (the paper counts 400 link tuples for ~200 links).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NetAddr,
+    /// Other endpoint.
+    pub b: NetAddr,
+    /// Propagation latency (also used as the routing cost attribute).
+    pub latency: Duration,
+}
+
+/// A generated network topology.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    /// Node addresses, 0-based and contiguous.
+    pub nodes: Vec<NetAddr>,
+    /// Node classes, parallel to `nodes`.
+    pub classes: Vec<NodeClass>,
+    /// Undirected links (no duplicates, no self-loops).
+    pub links: Vec<Link>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of directed `link` base tuples (2 × undirected links).
+    pub fn link_tuple_count(&self) -> usize {
+        self.links.len() * 2
+    }
+
+    /// Average incident links per node.
+    pub fn avg_degree(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.links.len() as f64 / self.nodes.len() as f64
+    }
+
+    /// Adjacency as a map from node to its neighbours with latencies.
+    pub fn adjacency(&self) -> HashMap<NetAddr, Vec<(NetAddr, Duration)>> {
+        let mut adj: HashMap<NetAddr, Vec<(NetAddr, Duration)>> = HashMap::new();
+        for n in &self.nodes {
+            adj.entry(*n).or_default();
+        }
+        for l in &self.links {
+            adj.entry(l.a).or_default().push((l.b, l.latency));
+            adj.entry(l.b).or_default().push((l.a, l.latency));
+        }
+        adj
+    }
+
+    /// Whether the topology is connected (BFS from node 0).
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let adj = self.adjacency();
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![self.nodes[0]];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for (m, _) in &adj[&n] {
+                if !seen.contains(m) {
+                    stack.push(*m);
+                }
+            }
+        }
+        seen.len() == self.nodes.len()
+    }
+
+    /// Ground-truth all-pairs reachability (transitive closure including
+    /// self-loops via cycles), used as the oracle in integration tests.
+    pub fn reachable_pairs(&self) -> BTreeSet<(NetAddr, NetAddr)> {
+        // Directed closure over the symmetric link set: follow edges at least
+        // one hop (reachable(x,x) requires a cycle through x, which any
+        // bidirectional link provides).
+        let adj = self.adjacency();
+        let mut out = BTreeSet::new();
+        for &start in &self.nodes {
+            let mut seen: BTreeSet<NetAddr> = BTreeSet::new();
+            let mut stack: Vec<NetAddr> = adj[&start].iter().map(|(m, _)| *m).collect();
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n) {
+                    continue;
+                }
+                out.insert((start, n));
+                for (m, _) in &adj[&n] {
+                    if !seen.contains(m) {
+                        stack.push(*m);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn link_exists(&self, a: NetAddr, b: NetAddr) -> bool {
+        self.links.iter().any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+    }
+
+    /// Add an undirected link unless it already exists or is a self-loop;
+    /// returns whether it was added.
+    pub fn add_link(&mut self, a: NetAddr, b: NetAddr, latency: Duration) -> bool {
+        if a == b || self.link_exists(a, b) {
+            return false;
+        }
+        self.links.push(Link { a, b, latency });
+        true
+    }
+}
+
+/// A connected random graph with `n` nodes and (about) `m` undirected links:
+/// a random spanning tree plus random extra edges. Used by property tests.
+pub fn random_graph(n: usize, m: usize, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology {
+        nodes: (0..n as u32).map(NetAddr).collect(),
+        classes: vec![NodeClass::Stub; n],
+        links: Vec::new(),
+    };
+    if n <= 1 {
+        return topo;
+    }
+    // Random spanning tree: attach each node to a random earlier node.
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        topo.add_link(NetAddr(i as u32), NetAddr(j as u32), Duration::from_millis(2));
+    }
+    let mut attempts = 0;
+    while topo.links.len() < m && attempts < m * 20 {
+        attempts += 1;
+        let a = rng.random_range(0..n) as u32;
+        let b = rng.random_range(0..n) as u32;
+        topo.add_link(NetAddr(a), NetAddr(b), Duration::from_millis(2));
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_connected_and_sized() {
+        let t = random_graph(20, 35, 7);
+        assert_eq!(t.node_count(), 20);
+        assert!(t.is_connected());
+        assert!(t.link_count() >= 19, "at least a spanning tree");
+        assert!(t.link_count() <= 35);
+        assert_eq!(t.link_tuple_count(), t.link_count() * 2);
+    }
+
+    #[test]
+    fn no_duplicate_or_self_links() {
+        let t = random_graph(12, 40, 3);
+        let mut seen = BTreeSet::new();
+        for l in &t.links {
+            assert_ne!(l.a, l.b, "self loop");
+            let key = (l.a.min(l.b), l.a.max(l.b));
+            assert!(seen.insert(key), "duplicate link {key:?}");
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = random_graph(15, 25, 42);
+        let b = random_graph(15, 25, 42);
+        assert_eq!(a.links, b.links);
+        let c = random_graph(15, 25, 43);
+        assert_ne!(a.links, c.links);
+    }
+
+    #[test]
+    fn reachability_oracle_on_known_graph() {
+        // Paper Fig. 3: A=0, B=1, C=2 with links A-B, B-C, C-A (bidirectional
+        // here; the oracle treats links symmetrically).
+        let mut t = Topology {
+            nodes: vec![NetAddr(0), NetAddr(1), NetAddr(2)],
+            classes: vec![NodeClass::Stub; 3],
+            links: vec![],
+        };
+        t.add_link(NetAddr(0), NetAddr(1), Duration::from_millis(1));
+        t.add_link(NetAddr(1), NetAddr(2), Duration::from_millis(1));
+        let pairs = t.reachable_pairs();
+        // Fully connected including self-reachability through back-and-forth.
+        assert_eq!(pairs.len(), 9);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let t = random_graph(0, 0, 1);
+        assert!(t.is_connected());
+        assert_eq!(t.avg_degree(), 0.0);
+        let t1 = random_graph(1, 5, 1);
+        assert!(t1.is_connected());
+        assert_eq!(t1.link_count(), 0);
+    }
+}

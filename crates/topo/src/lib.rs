@@ -1,0 +1,28 @@
+//! # netrec-topo — network topologies and update workloads
+//!
+//! The paper evaluates on (1) simulated Internet router graphs produced by
+//! GT-ITM's transit-stub model and (2) a simulated 100 m × 100 m sensor grid.
+//! This crate regenerates both, deterministically from a seed:
+//!
+//! * [`transit_stub`] — transit-stub topologies with the paper's default
+//!   shape (one transit domain of four transit routers, three stubs per
+//!   transit router, eight routers per stub ⇒ 100 nodes) and the paper's
+//!   latency classes (transit–transit 50 ms, transit–stub 10 ms, intra-stub
+//!   2 ms). *Dense* targets four links per node, *sparse* two, matching §7.3.
+//! * [`sensor`] — jittered sensor grids with `near(x,y)` proximity pairs
+//!   (distance < k, default 20 m) and seed regions, matching §7.1's region
+//!   workload.
+//! * [`workload`] — reproducible insert/delete scripts over the generated
+//!   base relations (insertion ratios, deletion ratios, trigger/untrigger
+//!   sequences).
+//! * [`random_graph`] — Erdős–Rényi-style graphs for property tests.
+
+mod graph;
+pub mod sensor;
+pub mod transit_stub;
+pub mod workload;
+
+pub use graph::{random_graph, Density, Link, NodeClass, Topology};
+pub use sensor::{SensorGrid, SensorGridParams};
+pub use transit_stub::{transit_stub, transit_stub_for_links, TransitStubParams};
+pub use workload::{link_tuples, BaseOp, Workload};

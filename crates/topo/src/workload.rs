@@ -1,0 +1,320 @@
+//! Update workloads: reproducible insert/delete scripts over base relations.
+//!
+//! The evaluation drives every experiment with scripted update streams:
+//! insertion ratios (Figs. 7, 9, 11), deletion ratios after a full load
+//! (Figs. 8, 10, 12), and trigger/untrigger sequences for the sensor query.
+//! A [`Workload`] is an ordered list of [`BaseOp`]s that the engine driver
+//! feeds into the EDB ingress of the owning peers.
+
+use netrec_types::{Duration, NetAddr, Tuple, UpdateKind, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::graph::Topology;
+use crate::sensor::SensorGrid;
+
+/// One scripted operation against a base relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaseOp {
+    /// Relation name (resolved to a `RelId` by the driver's catalog).
+    pub rel: String,
+    /// The tuple inserted or deleted.
+    pub tuple: Tuple,
+    /// Insert or delete.
+    pub kind: UpdateKind,
+    /// Optional soft-state TTL for insertions (§3.1 windows on base data).
+    pub ttl: Option<Duration>,
+}
+
+impl BaseOp {
+    /// Insertion without TTL.
+    pub fn insert(rel: impl Into<String>, tuple: Tuple) -> BaseOp {
+        BaseOp { rel: rel.into(), tuple, kind: UpdateKind::Insert, ttl: None }
+    }
+
+    /// Deletion.
+    pub fn delete(rel: impl Into<String>, tuple: Tuple) -> BaseOp {
+        BaseOp { rel: rel.into(), tuple, kind: UpdateKind::Delete, ttl: None }
+    }
+
+    /// Attach a TTL (builder style, insertions only).
+    pub fn with_ttl(mut self, ttl: Duration) -> BaseOp {
+        debug_assert_eq!(self.kind, UpdateKind::Insert, "TTL only applies to insertions");
+        self.ttl = Some(ttl);
+        self
+    }
+}
+
+/// An ordered script of base-relation operations.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// Operations in injection order.
+    pub ops: Vec<BaseOp>,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: BaseOp) {
+        self.ops.push(op);
+    }
+
+    /// Concatenate two scripts.
+    pub fn then(mut self, mut other: Workload) -> Workload {
+        self.ops.append(&mut other.ops);
+        self
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count of insertions.
+    pub fn insert_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind == UpdateKind::Insert).count()
+    }
+
+    /// Count of deletions.
+    pub fn delete_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind == UpdateKind::Delete).count()
+    }
+}
+
+/// The directed `link(src, dst, cost)` base tuples of a topology: two per
+/// undirected link, with the cost attribute equal to the latency in
+/// milliseconds (the paper's link tuples carry `src`, `dst` and latency
+/// cost).
+pub fn link_tuples(topo: &Topology) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(topo.links.len() * 2);
+    for l in &topo.links {
+        let cost = Value::Int(l.latency.as_millis_f64() as i64);
+        out.push(Tuple::new(vec![Value::Addr(l.a), Value::Addr(l.b), cost.clone()]));
+        out.push(Tuple::new(vec![Value::Addr(l.b), Value::Addr(l.a), cost]));
+    }
+    out
+}
+
+impl Workload {
+    /// Insert a shuffled `ratio` fraction of a topology's link tuples
+    /// (Fig. 7/9/11 insertion workloads; `ratio = 1.0` loads everything).
+    pub fn insert_links(topo: &Topology, ratio: f64, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples = link_tuples(topo);
+        tuples.shuffle(&mut rng);
+        let take = ((tuples.len() as f64) * ratio).round() as usize;
+        Workload {
+            ops: tuples.into_iter().take(take).map(|t| BaseOp::insert("link", t)).collect(),
+        }
+    }
+
+    /// Delete a shuffled `ratio` fraction of a topology's link tuples
+    /// (Fig. 8/12 deletion workloads; issued after a full insert pass).
+    pub fn delete_links(topo: &Topology, ratio: f64, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples = link_tuples(topo);
+        tuples.shuffle(&mut rng);
+        let take = ((tuples.len() as f64) * ratio).round() as usize;
+        Workload {
+            ops: tuples.into_iter().take(take).map(|t| BaseOp::delete("link", t)).collect(),
+        }
+    }
+}
+
+impl SensorGrid {
+    /// `sensor(addr, x, y)` base tuples (positions in decimetres).
+    pub fn sensor_ops(&self) -> Workload {
+        Workload {
+            ops: self
+                .sensors
+                .iter()
+                .zip(&self.positions)
+                .map(|(&s, &(x, y))| {
+                    BaseOp::insert(
+                        "sensor",
+                        Tuple::new(vec![Value::Addr(s), Value::Int(x), Value::Int(y)]),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// `near(x, y)` proximity tuples.
+    pub fn near_ops(&self) -> Workload {
+        Workload {
+            ops: self
+                .near
+                .iter()
+                .map(|&(a, b)| {
+                    BaseOp::insert("near", Tuple::new(vec![Value::Addr(a), Value::Addr(b)]))
+                })
+                .collect(),
+        }
+    }
+
+    /// `mainSensorInRegion(rid, sensor)` seed tuples, region ids `0..seeds`.
+    pub fn seed_ops(&self) -> Workload {
+        Workload {
+            ops: self
+                .seeds
+                .iter()
+                .enumerate()
+                .map(|(rid, &s)| {
+                    BaseOp::insert(
+                        "mainSensorInRegion",
+                        Tuple::new(vec![Value::Addr(s), Value::Int(rid as i64)]),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// `isTriggered(sensor)` insertions: all seed sensors plus a `ratio`
+    /// fraction of the rest, shuffled (§7.1: "Initially all the seed sensors
+    /// are triggered. Also we trigger half of the sensors in the network").
+    pub fn trigger_ops(&self, ratio: f64, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rest: Vec<NetAddr> =
+            self.sensors.iter().copied().filter(|s| !self.seeds.contains(s)).collect();
+        rest.shuffle(&mut rng);
+        let take = ((rest.len() as f64) * ratio).round() as usize;
+        let mut ops: Vec<BaseOp> = self
+            .seeds
+            .iter()
+            .map(|&s| BaseOp::insert("isTriggered", Tuple::new(vec![Value::Addr(s)])))
+            .collect();
+        ops.dedup();
+        ops.extend(
+            rest.into_iter()
+                .take(take)
+                .map(|s| BaseOp::insert("isTriggered", Tuple::new(vec![Value::Addr(s)]))),
+        );
+        Workload { ops }
+    }
+
+    /// Untrigger (delete `isTriggered`) a `ratio` fraction of the sensors
+    /// triggered by [`SensorGrid::trigger_ops`] with the same arguments —
+    /// the Fig. 10 deletion workload.
+    pub fn untrigger_ops(&self, trigger_ratio: f64, delete_ratio: f64, seed: u64) -> Workload {
+        let triggered = self.trigger_ops(trigger_ratio, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        // Only non-seed sensors get untriggered (seeds anchor the regions).
+        let mut candidates: Vec<Tuple> = triggered
+            .ops
+            .iter()
+            .filter(|op| {
+                op.tuple
+                    .get(0)
+                    .as_addr()
+                    .map(|a| !self.seeds.contains(&a))
+                    .unwrap_or(false)
+            })
+            .map(|op| op.tuple.clone())
+            .collect();
+        candidates.shuffle(&mut rng);
+        let take = ((candidates.len() as f64) * delete_ratio).round() as usize;
+        Workload {
+            ops: candidates
+                .into_iter()
+                .take(take)
+                .map(|t| BaseOp::delete("isTriggered", t))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::random_graph;
+    use crate::sensor::SensorGridParams;
+
+    #[test]
+    fn link_tuples_are_directed_pairs() {
+        let topo = random_graph(10, 15, 1);
+        let tuples = link_tuples(&topo);
+        assert_eq!(tuples.len(), topo.link_count() * 2);
+        // For every (a,b) the reverse (b,a) exists with the same cost.
+        let set: std::collections::HashSet<_> = tuples.iter().cloned().collect();
+        for t in &tuples {
+            let rev = Tuple::new(vec![t.get(1).clone(), t.get(0).clone(), t.get(2).clone()]);
+            assert!(set.contains(&rev));
+        }
+    }
+
+    #[test]
+    fn insert_ratio_scales_and_shuffles() {
+        let topo = random_graph(20, 40, 2);
+        let full = Workload::insert_links(&topo, 1.0, 3);
+        let half = Workload::insert_links(&topo, 0.5, 3);
+        assert_eq!(full.len(), topo.link_tuple_count());
+        assert_eq!(half.len(), topo.link_tuple_count() / 2);
+        assert_eq!(full.insert_count(), full.len());
+        // Same seed ⇒ same order; different seed ⇒ (almost surely) different.
+        let again = Workload::insert_links(&topo, 1.0, 3);
+        assert_eq!(full.ops, again.ops);
+        let other = Workload::insert_links(&topo, 1.0, 4);
+        assert_ne!(full.ops, other.ops);
+    }
+
+    #[test]
+    fn delete_ops_are_deletions() {
+        let topo = random_graph(10, 20, 5);
+        let w = Workload::delete_links(&topo, 0.2, 7);
+        assert!(w.ops.iter().all(|o| o.kind == UpdateKind::Delete));
+        assert_eq!(w.delete_count(), w.len());
+        assert_eq!(w.len(), (topo.link_tuple_count() as f64 * 0.2).round() as usize);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let topo = random_graph(6, 8, 1);
+        let w = Workload::insert_links(&topo, 1.0, 1).then(Workload::delete_links(&topo, 0.5, 1));
+        assert_eq!(w.len(), topo.link_tuple_count() + topo.link_tuple_count() / 2);
+    }
+
+    #[test]
+    fn sensor_workloads_cover_relations() {
+        let g = SensorGrid::generate(SensorGridParams::default(), 1);
+        assert_eq!(g.sensor_ops().len(), 100);
+        assert_eq!(g.near_ops().len(), g.near.len());
+        assert_eq!(g.seed_ops().len(), 5);
+        let trig = g.trigger_ops(0.5, 2);
+        // all seeds + half the rest
+        let distinct_seeds: std::collections::HashSet<_> = g.seeds.iter().collect();
+        let expected = distinct_seeds.len() + (100 - distinct_seeds.len()) / 2;
+        assert!(
+            (trig.len() as i64 - expected as i64).abs() <= 1,
+            "expected ≈{expected}, got {}",
+            trig.len()
+        );
+    }
+
+    #[test]
+    fn untrigger_never_touches_seeds() {
+        let g = SensorGrid::generate(SensorGridParams::default(), 3);
+        let unt = g.untrigger_ops(0.5, 1.0, 2);
+        assert!(!unt.is_empty());
+        for op in &unt.ops {
+            assert_eq!(op.kind, UpdateKind::Delete);
+            let addr = op.tuple.get(0).as_addr().unwrap();
+            assert!(!g.seeds.contains(&addr));
+        }
+    }
+
+    #[test]
+    fn ttl_builder() {
+        let op = BaseOp::insert("link", Tuple::empty()).with_ttl(Duration::from_secs(30));
+        assert_eq!(op.ttl, Some(Duration::from_secs(30)));
+    }
+}

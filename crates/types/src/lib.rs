@@ -1,0 +1,60 @@
+//! # netrec-types — data model shared across the netrec stack
+//!
+//! Defines the logical data model of the distributed recursive view engine:
+//!
+//! * [`Value`] / [`Tuple`] — the relational values that flow through
+//!   operators and across the simulated network. Tuples are immutable and
+//!   cheaply cloneable (`Arc`-backed), because operator state tables and
+//!   in-flight messages share them heavily.
+//! * [`NetAddr`] — logical network addresses (router ids, sensor ids). The
+//!   paper's convention is that a relation is horizontally partitioned on its
+//!   first attribute, which holds a `NetAddr`.
+//! * [`Schema`] / [`Catalog`] / [`RelId`] — relation metadata, including the
+//!   partition column ("location specifier" in NDlog terms) and whether the
+//!   relation is base (EDB) or derived (IDB).
+//! * [`UpdateKind`] — insert/delete tags for update streams (§3.1: inputs are
+//!   streams of insertions and deletions over base data).
+//! * [`wire`] — a compact, deterministic binary encoding. Bandwidth numbers
+//!   in the evaluation are byte counts of this encoding, so it is hand-rolled
+//!   rather than delegated to a general serialisation framework.
+//! * [`SimTime`] — simulated wall-clock time used by the discrete-event
+//!   runtime and by soft-state TTL expiry.
+
+mod schema;
+mod time;
+mod tuple;
+mod value;
+pub mod wire;
+
+pub use schema::{Catalog, RelId, RelKind, Schema, SchemaError};
+pub use time::{Duration, SimTime};
+pub use tuple::{tup, Tuple};
+pub use value::{NetAddr, Value};
+
+/// Tag distinguishing insertions from deletions in an update stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// A tuple enters the relation (paper: `INS`).
+    Insert,
+    /// A tuple (or one of its derivations) leaves the relation (paper: `DEL`).
+    Delete,
+}
+
+impl UpdateKind {
+    /// One-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            UpdateKind::Insert => 0,
+            UpdateKind::Delete => 1,
+        }
+    }
+
+    /// Inverse of [`UpdateKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(UpdateKind::Insert),
+            1 => Some(UpdateKind::Delete),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Relation schemas and the catalog.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable identifier of a relation within a [`Catalog`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u16);
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel#{}", self.0)
+    }
+}
+
+/// Whether a relation holds base facts or derived facts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelKind {
+    /// Extensional (base) relation: receives external insert/delete streams;
+    /// each inserted tuple is assigned a provenance variable; only EDB tuples
+    /// may carry soft-state TTLs (§3.1).
+    Edb,
+    /// Intensional (derived) relation: maintained by the engine.
+    Idb,
+}
+
+/// Schema of one relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Relation name (e.g. `"link"`, `"reachable"`).
+    pub name: String,
+    /// Column names, defining the arity.
+    pub columns: Vec<String>,
+    /// Column by whose value tuples are partitioned across peers — the NDlog
+    /// "location specifier". By the paper's convention this defaults to 0.
+    pub partition_col: usize,
+    /// Base or derived.
+    pub kind: RelKind,
+}
+
+impl Schema {
+    /// Convenience constructor with partition column 0.
+    pub fn new(name: impl Into<String>, columns: &[&str], kind: RelKind) -> Schema {
+        Schema {
+            name: name.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            partition_col: 0,
+            kind,
+        }
+    }
+
+    /// Override the partition column (builder style).
+    pub fn partitioned_on(mut self, col: usize) -> Schema {
+        self.partition_col = col;
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a named column.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// Errors raised when registering schemas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A relation with this name already exists.
+    Duplicate(String),
+    /// Partition column index out of range.
+    BadPartitionCol { relation: String, col: usize, arity: usize },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Duplicate(name) => write!(f, "duplicate relation `{name}`"),
+            SchemaError::BadPartitionCol { relation, col, arity } => write!(
+                f,
+                "relation `{relation}`: partition column {col} out of range for arity {arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The set of relations known to a running system. Shared (read-only after
+/// setup) by the planner, the operators, and the metrics layer.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    schemas: Vec<Schema>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a schema, returning its id.
+    pub fn add(&mut self, schema: Schema) -> Result<RelId, SchemaError> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(SchemaError::Duplicate(schema.name.clone()));
+        }
+        if schema.partition_col >= schema.arity() && schema.arity() > 0 {
+            return Err(SchemaError::BadPartitionCol {
+                relation: schema.name.clone(),
+                col: schema.partition_col,
+                arity: schema.arity(),
+            });
+        }
+        let id = RelId(self.schemas.len() as u16);
+        self.by_name.insert(schema.name.clone(), id);
+        self.schemas.push(schema);
+        Ok(id)
+    }
+
+    /// Schema lookup by id; panics on a stale id (catalog is append-only).
+    pub fn schema(&self, id: RelId) -> &Schema {
+        &self.schemas[id.0 as usize]
+    }
+
+    /// Id lookup by name.
+    pub fn id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of a relation id.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.schema(id).name
+    }
+
+    /// All relation ids in registration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.schemas.len()).map(|i| RelId(i as u16))
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        let link = cat.add(Schema::new("link", &["src", "dst", "cost"], RelKind::Edb)).unwrap();
+        let reach = cat.add(Schema::new("reachable", &["src", "dst"], RelKind::Idb)).unwrap();
+        assert_ne!(link, reach);
+        assert_eq!(cat.id("link"), Some(link));
+        assert_eq!(cat.id("nope"), None);
+        assert_eq!(cat.name(reach), "reachable");
+        assert_eq!(cat.schema(link).arity(), 3);
+        assert_eq!(cat.schema(link).col("dst"), Some(1));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.rel_ids().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut cat = Catalog::new();
+        cat.add(Schema::new("r", &["a"], RelKind::Edb)).unwrap();
+        assert_eq!(
+            cat.add(Schema::new("r", &["b"], RelKind::Idb)),
+            Err(SchemaError::Duplicate("r".into()))
+        );
+    }
+
+    #[test]
+    fn bad_partition_col_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat
+            .add(Schema::new("r", &["a", "b"], RelKind::Edb).partitioned_on(5))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::BadPartitionCol { col: 5, arity: 2, .. }));
+    }
+
+    #[test]
+    fn partitioned_on_builder() {
+        let s = Schema::new("path", &["src", "dst", "vec"], RelKind::Idb).partitioned_on(0);
+        assert_eq!(s.partition_col, 0);
+        let s2 = s.clone().partitioned_on(1);
+        assert_eq!(s2.partition_col, 1);
+    }
+}

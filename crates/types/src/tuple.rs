@@ -1,0 +1,174 @@
+//! Immutable, cheaply-cloneable tuples.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::{NetAddr, Value};
+
+/// A relational tuple. Internally `Arc<[Value]>`: cloning a tuple — which the
+/// operators do for every hash-table entry and every shipped message — is a
+/// reference-count bump.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Tuple {
+        Tuple(values.into().into())
+    }
+
+    /// Empty tuple (used by zero-column aggregates such as Query 3's
+    /// `largestRegion`).
+    pub fn empty() -> Tuple {
+        Tuple(Vec::new().into())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Column accessor; panics on out-of-range like slice indexing.
+    pub fn get(&self, col: usize) -> &Value {
+        &self.0[col]
+    }
+
+    /// Checked column accessor.
+    pub fn try_get(&self, col: usize) -> Option<&Value> {
+        self.0.get(col)
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The address in column `col`, panicking with context when the column is
+    /// not an address — partition columns are validated at plan build time,
+    /// so this is an internal invariant.
+    pub fn addr_at(&self, col: usize) -> NetAddr {
+        self.0[col]
+            .as_addr()
+            .unwrap_or_else(|| panic!("column {col} of {self:?} is not an address"))
+    }
+
+    /// Project onto the given columns, producing a new tuple.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c].clone()).collect::<Vec<_>>().into())
+    }
+
+    /// Key extraction for joins/grouping: like [`Tuple::project`] but the
+    /// intent (a key, possibly of different arity than any schema) is
+    /// explicit at call sites.
+    pub fn key(&self, cols: &[usize]) -> Tuple {
+        self.project(cols)
+    }
+
+    /// Concatenate two tuples (join output before projection).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into())
+    }
+
+    /// Byte size of this tuple in the wire encoding.
+    pub fn encoded_len(&self) -> usize {
+        crate::wire::tuple_encoded_len(self)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect::<Vec<_>>().into())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples:
+/// `tuple![addr(1), 5, "x"]`-style via `Tuple::from(vec![...])` is verbose,
+/// so `tup(...)` takes anything convertible to `Value`.
+pub fn tup<const N: usize>(values: [Value; N]) -> Tuple {
+    Tuple::new(values.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        Tuple::new(vec![Value::Addr(NetAddr(1)), Value::Int(10), Value::str("x")])
+    }
+
+    #[test]
+    fn accessors_and_arity() {
+        let t = t();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), &Value::Int(10));
+        assert_eq!(t.try_get(3), None);
+        assert_eq!(t.addr_at(0), NetAddr(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an address")]
+    fn addr_at_panics_on_non_address() {
+        t().addr_at(1);
+    }
+
+    #[test]
+    fn project_and_key() {
+        let t = t();
+        assert_eq!(t.project(&[2, 0]), Tuple::new(vec![Value::str("x"), Value::Addr(NetAddr(1))]));
+        assert_eq!(t.key(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Tuple::new(vec![Value::Int(1)]);
+        let b = Tuple::new(vec![Value::Int(2), Value::Int(3)]);
+        assert_eq!(a.concat(&b), Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = t();
+        let b = a.clone();
+        assert!(std::ptr::eq(a.values().as_ptr(), b.values().as_ptr()));
+    }
+
+    #[test]
+    fn hash_eq_by_value() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(t());
+        assert!(s.contains(&Tuple::new(vec![
+            Value::Addr(NetAddr(1)),
+            Value::Int(10),
+            Value::str("x")
+        ])));
+    }
+}

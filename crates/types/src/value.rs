@@ -1,0 +1,219 @@
+//! Scalar values and logical network addresses.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A logical network address: a router in the declarative-networking
+/// workloads, a sensor in the region workloads. Relations are horizontally
+/// partitioned by a `NetAddr` attribute (by convention the first one).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetAddr(pub u32);
+
+impl fmt::Debug for NetAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NetAddr {
+    fn from(v: u32) -> Self {
+        NetAddr(v)
+    }
+}
+
+/// A relational value.
+///
+/// The variants cover everything the paper's three query families need:
+/// addresses, integer measures (latency costs, hop counts, region sizes),
+/// strings (region identifiers), Booleans, and lists (materialised path
+/// vectors, as in Query 2's `concat([x], p1)`).
+///
+/// `Ord` is total: values of different variants order by variant rank. The
+/// engine's aggregate operators compare only like-typed values, but a total
+/// order keeps state tables deterministic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Boolean flag (e.g. a sensor's triggered bit).
+    Bool(bool),
+    /// Signed integer measure: link cost in milliseconds, hop count, size.
+    Int(i64),
+    /// Logical network address.
+    Addr(NetAddr),
+    /// Interned string (region names, labels).
+    Str(Arc<str>),
+    /// Immutable list, used for path vectors.
+    List(Arc<[Value]>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct a path/list value.
+    pub fn list(items: impl Into<Vec<Value>>) -> Value {
+        Value::List(items.into().into())
+    }
+
+    /// Address accessor; `None` when the variant differs.
+    pub fn as_addr(&self) -> Option<NetAddr> {
+        match self {
+            Value::Addr(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List accessor.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Prepend an element to a list value (Query 2's `concat([x], p)`);
+    /// returns `None` if `self` is not a list.
+    pub fn list_prepend(&self, head: Value) -> Option<Value> {
+        let tail = self.as_list()?;
+        let mut items = Vec::with_capacity(tail.len() + 1);
+        items.push(head);
+        items.extend_from_slice(tail);
+        Some(Value::List(items.into()))
+    }
+
+    /// Size of this value in the wire encoding, in bytes.
+    pub fn encoded_len(&self) -> usize {
+        crate::wire::value_encoded_len(self)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<NetAddr> for Value {
+    fn from(v: NetAddr) -> Self {
+        Value::Addr(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Addr(a) => write!(f, "{a}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Addr(NetAddr(3)).as_addr(), Some(NetAddr(3)));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::list(vec![Value::Int(1)]).as_list(), Some(&[Value::Int(1)][..]));
+    }
+
+    #[test]
+    fn list_prepend_builds_paths() {
+        let p = Value::list(vec![Value::Addr(NetAddr(2)), Value::Addr(NetAddr(3))]);
+        let p2 = p.list_prepend(Value::Addr(NetAddr(1))).unwrap();
+        assert_eq!(
+            p2.as_list().unwrap().iter().filter_map(Value::as_addr).collect::<Vec<_>>(),
+            vec![NetAddr(1), NetAddr(2), NetAddr(3)]
+        );
+        assert!(Value::Int(1).list_prepend(Value::Int(0)).is_none());
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let mut vs = [Value::str("b"),
+            Value::Int(2),
+            Value::Bool(false),
+            Value::Addr(NetAddr(1)),
+            Value::Int(-5),
+            Value::str("a")];
+        vs.sort();
+        let ints: Vec<_> = vs.iter().filter_map(Value::as_int).collect();
+        assert_eq!(ints, vec![-5, 2]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Value::Addr(NetAddr(4))), "n4");
+        assert_eq!(format!("{:?}", Value::list(vec![Value::Int(1), Value::Int(2)])), "[1,2]");
+        assert_eq!(format!("{}", Value::str("hi")), "hi");
+    }
+}

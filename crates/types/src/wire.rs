@@ -1,0 +1,296 @@
+//! The netrec wire format.
+//!
+//! Every message that crosses the simulated network is encoded with these
+//! routines, and the byte counts reported in `EXPERIMENTS.md` are exactly
+//! `buf.len()` of these encodings. The format is deliberately simple:
+//!
+//! ```text
+//! value   := tag:u8 payload
+//!            tag 0: Bool      payload = 1 byte
+//!            tag 1: Int       payload = zigzag varint
+//!            tag 2: Addr      payload = varint
+//!            tag 3: Str       payload = varint len + utf8 bytes
+//!            tag 4: List      payload = varint len + values
+//! tuple   := varint arity + values
+//! ```
+//!
+//! Varints are LEB128; signed integers are zigzag-coded. The encoding is
+//! self-delimiting, so tuples can be concatenated into message bodies without
+//! framing.
+
+use bytes::{Buf, BufMut};
+
+use crate::tuple::Tuple;
+use crate::value::{NetAddr, Value};
+
+/// Error decoding a wire buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended mid-value.
+    Truncated,
+    /// Unknown value tag byte.
+    BadTag(u8),
+    /// String payload was not valid UTF-8.
+    BadUtf8,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire data"),
+            WireError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in string value"),
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append an unsigned LEB128 varint.
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(b);
+            return;
+        }
+        buf.put_u8(b | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+pub fn get_varint(buf: &mut impl Buf) -> Result<u64, WireError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        let b = buf.get_u8();
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+/// Number of bytes [`put_varint`] writes for `v`.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode one value.
+pub fn put_value(buf: &mut impl BufMut, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            buf.put_u8(0);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(1);
+            put_varint(buf, zigzag(*i));
+        }
+        Value::Addr(a) => {
+            buf.put_u8(2);
+            put_varint(buf, u64::from(a.0));
+        }
+        Value::Str(s) => {
+            buf.put_u8(3);
+            put_varint(buf, s.len() as u64);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::List(items) => {
+            buf.put_u8(4);
+            put_varint(buf, items.len() as u64);
+            for item in items.iter() {
+                put_value(buf, item);
+            }
+        }
+    }
+}
+
+/// Decode one value.
+pub fn get_value(buf: &mut impl Buf) -> Result<Value, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => {
+            if !buf.has_remaining() {
+                return Err(WireError::Truncated);
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        1 => Ok(Value::Int(unzigzag(get_varint(buf)?))),
+        2 => {
+            let raw = get_varint(buf)?;
+            Ok(Value::Addr(NetAddr(raw as u32)))
+        }
+        3 => {
+            let len = get_varint(buf)? as usize;
+            if buf.remaining() < len {
+                return Err(WireError::Truncated);
+            }
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            let s = std::str::from_utf8(&bytes).map_err(|_| WireError::BadUtf8)?;
+            Ok(Value::str(s))
+        }
+        4 => {
+            let len = get_varint(buf)? as usize;
+            // Each element costs ≥ 1 byte; bound before allocating.
+            if len > buf.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(get_value(buf)?);
+            }
+            Ok(Value::list(items))
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+/// Byte length of one encoded value.
+pub fn value_encoded_len(v: &Value) -> usize {
+    match v {
+        Value::Bool(_) => 2,
+        Value::Int(i) => 1 + varint_len(zigzag(*i)),
+        Value::Addr(a) => 1 + varint_len(u64::from(a.0)),
+        Value::Str(s) => 1 + varint_len(s.len() as u64) + s.len(),
+        Value::List(items) => {
+            1 + varint_len(items.len() as u64)
+                + items.iter().map(value_encoded_len).sum::<usize>()
+        }
+    }
+}
+
+/// Encode a tuple (arity prefix + values).
+pub fn put_tuple(buf: &mut impl BufMut, t: &Tuple) {
+    put_varint(buf, t.arity() as u64);
+    for v in t.values() {
+        put_value(buf, v);
+    }
+}
+
+/// Decode a tuple.
+pub fn get_tuple(buf: &mut impl Buf) -> Result<Tuple, WireError> {
+    let arity = get_varint(buf)? as usize;
+    if arity > buf.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut vals = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        vals.push(get_value(buf)?);
+    }
+    Ok(Tuple::new(vals))
+}
+
+/// Byte length of one encoded tuple.
+pub fn tuple_encoded_len(t: &Tuple) -> usize {
+    varint_len(t.arity() as u64) + t.values().iter().map(value_encoded_len).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_value(v: &Value) {
+        let mut buf = Vec::new();
+        put_value(&mut buf, v);
+        assert_eq!(buf.len(), value_encoded_len(v), "len mismatch for {v:?}");
+        let mut slice = &buf[..];
+        assert_eq!(&get_value(&mut slice).unwrap(), v);
+        assert!(slice.is_empty(), "trailing bytes for {v:?}");
+    }
+
+    #[test]
+    fn value_round_trips() {
+        for v in [
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Addr(NetAddr(0)),
+            Value::Addr(NetAddr(u32::MAX)),
+            Value::str(""),
+            Value::str("hello world"),
+            Value::list(vec![]),
+            Value::list(vec![Value::Int(1), Value::str("x"), Value::list(vec![Value::Bool(true)])]),
+        ] {
+            round_trip_value(&v);
+        }
+    }
+
+    #[test]
+    fn tuple_round_trips() {
+        let t = Tuple::new(vec![
+            Value::Addr(NetAddr(3)),
+            Value::Int(-99),
+            Value::list(vec![Value::Addr(NetAddr(1)), Value::Addr(NetAddr(2))]),
+        ]);
+        let mut buf = Vec::new();
+        put_tuple(&mut buf, &t);
+        assert_eq!(buf.len(), tuple_encoded_len(&t));
+        assert_eq!(get_tuple(&mut &buf[..]).unwrap(), t);
+        // Self-delimiting: two tuples concatenate cleanly.
+        let mut buf2 = Vec::new();
+        put_tuple(&mut buf2, &t);
+        put_tuple(&mut buf2, &Tuple::empty());
+        let mut slice = &buf2[..];
+        assert_eq!(get_tuple(&mut slice).unwrap(), t);
+        assert_eq!(get_tuple(&mut slice).unwrap(), Tuple::empty());
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn varint_lengths() {
+        for (v, len) in [(0u64, 1), (127, 1), (128, 2), (16_383, 2), (16_384, 3), (u64::MAX, 10)] {
+            assert_eq!(varint_len(v), len, "varint_len({v})");
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), len);
+            assert_eq!(get_varint(&mut &buf[..]).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for i in [-1_000_000i64, -1, 0, 1, 42, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(get_value(&mut &[][..]), Err(WireError::Truncated));
+        assert_eq!(get_value(&mut &[9u8][..]), Err(WireError::BadTag(9)));
+        assert_eq!(get_value(&mut &[3u8, 5, b'a'][..]), Err(WireError::Truncated));
+        assert_eq!(get_value(&mut &[3u8, 1, 0xff][..]), Err(WireError::BadUtf8));
+        // 11-byte varint overflows.
+        let overlong = [1u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80];
+        assert_eq!(get_value(&mut &overlong[..]), Err(WireError::VarintOverflow));
+    }
+}

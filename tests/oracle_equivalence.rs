@@ -1,0 +1,133 @@
+//! Property tests: for random topologies and random update scripts, the
+//! distributed maintained views equal a from-scratch centralized evaluation,
+//! across maintenance strategies and deletion-propagation modes — the
+//! system's core correctness contract.
+
+use netrec::core::{AggSelChoice, System, SystemConfig};
+use netrec::engine::strategy::{DeleteProp, Strategy};
+use netrec::topo::{random_graph, SensorGrid, SensorGridParams, Workload};
+use netrec_types::UpdateKind;
+use proptest::prelude::*;
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::absorption_lazy(),
+        Strategy::absorption_eager(),
+        Strategy { delete_prop: DeleteProp::Broadcast, ..Strategy::absorption_lazy() },
+        Strategy::relative_lazy(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn reachable_matches_oracle_under_churn(
+        seed in 0u64..1_000,
+        n in 5usize..10,
+        extra in 0usize..8,
+        delete_stride in 2usize..5,
+        peers in 2u32..5,
+    ) {
+        let topo = random_graph(n, n - 1 + extra, seed);
+        for strategy in strategies() {
+            let mut sys = System::reachable(SystemConfig::new(strategy, peers));
+            sys.apply(&Workload::insert_links(&topo, 1.0, seed));
+            prop_assert!(sys.run("load").converged());
+            prop_assert_eq!(sys.view("reachable"), sys.oracle_view("reachable"));
+            // Interleave deletions of every `delete_stride`-th link tuple
+            // with convergence checks.
+            let tuples = netrec::topo::link_tuples(&topo);
+            for t in tuples.iter().step_by(delete_stride) {
+                sys.inject("link", t.clone(), UpdateKind::Delete, None);
+            }
+            prop_assert!(sys.run("churn").converged());
+            prop_assert_eq!(
+                sys.view("reachable"),
+                sys.oracle_view("reachable"),
+                "strategy {}", strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn regions_match_oracle_under_churn(
+        seed in 0u64..1_000,
+        trigger_ratio in 0.3f64..0.9,
+        delete_ratio in 0.2f64..1.0,
+    ) {
+        let grid = SensorGrid::generate(
+            SensorGridParams { sensors: 25, seeds: 2, ..Default::default() },
+            seed,
+        );
+        let mut sys = System::regions(SystemConfig::new(Strategy::absorption_lazy(), 3));
+        sys.apply(&grid.sensor_ops());
+        sys.apply(&grid.near_ops());
+        sys.apply(&grid.seed_ops());
+        sys.apply(&grid.trigger_ops(trigger_ratio, seed));
+        prop_assert!(sys.run("load").converged());
+        for view in ["activeRegion", "regionSizes", "largestRegions"] {
+            prop_assert_eq!(sys.view(view), sys.oracle_view(view), "{} after load", view);
+        }
+        sys.apply(&grid.untrigger_ops(trigger_ratio, delete_ratio, seed));
+        prop_assert!(sys.run("untrigger").converged());
+        for view in ["activeRegion", "regionSizes", "largestRegions"] {
+            prop_assert_eq!(sys.view(view), sys.oracle_view(view), "{} after untrigger", view);
+        }
+    }
+
+    #[test]
+    fn shortest_paths_match_oracle(
+        seed in 0u64..1_000,
+        n in 4usize..8,
+    ) {
+        let topo = random_graph(n, n + 2, seed);
+        for choice in [AggSelChoice::Multi, AggSelChoice::SingleCost] {
+            let mut sys = System::shortest_paths(
+                SystemConfig::new(Strategy::absorption_lazy(), 3),
+                choice,
+            );
+            sys.apply(&Workload::insert_links(&topo, 1.0, seed));
+            prop_assert!(sys.run("load").converged());
+            prop_assert_eq!(sys.view("minCost"), sys.oracle_view("minCost"));
+            if matches!(choice, AggSelChoice::Multi) {
+                for view in ["minHops", "cheapestPath", "fewestHops", "shortestCheapestPath"] {
+                    prop_assert_eq!(sys.view(view), sys.oracle_view(view), "{}", view);
+                }
+            }
+            // Delete one link and re-verify the cost views.
+            let victim = netrec::topo::link_tuples(&topo)[0].clone();
+            sys.inject("link", victim, UpdateKind::Delete, None);
+            prop_assert!(sys.run("delete").converged());
+            prop_assert_eq!(sys.view("minCost"), sys.oracle_view("minCost"));
+        }
+    }
+
+    #[test]
+    fn dred_and_absorption_agree(
+        seed in 0u64..1_000,
+        n in 5usize..9,
+    ) {
+        let topo = random_graph(n, n + 3, seed);
+        // DRed pipeline.
+        let mut dred_sys = System::reachable(SystemConfig::new(Strategy::set(), 3));
+        dred_sys.apply(&Workload::insert_links(&topo, 1.0, seed));
+        prop_assert!(dred_sys.run("load").converged());
+        let dels: Vec<(String, netrec_types::Tuple)> = netrec::topo::link_tuples(&topo)
+            .into_iter()
+            .step_by(3)
+            .map(|t| ("link".to_string(), t))
+            .collect();
+        let report = netrec::core::dred::dred_delete(dred_sys.runner(), &dels);
+        prop_assert!(report.converged());
+        // Absorption pipeline with identical updates.
+        let mut abs = System::reachable(SystemConfig::new(Strategy::absorption_lazy(), 3));
+        abs.apply(&Workload::insert_links(&topo, 1.0, seed));
+        prop_assert!(abs.run("load").converged());
+        for (rel, t) in &dels {
+            abs.inject(rel, t.clone(), UpdateKind::Delete, None);
+        }
+        prop_assert!(abs.run("delete").converged());
+        prop_assert_eq!(dred_sys.view("reachable"), abs.view("reachable"));
+    }
+}

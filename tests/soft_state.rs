@@ -1,0 +1,85 @@
+//! Soft-state semantics (§3.1): TTL expiry on base tuples behaves exactly
+//! like explicit deletion, refreshes keep tuples alive, and expirations
+//! cascade through the recursive view.
+
+use netrec::core::{System, SystemConfig};
+use netrec::Strategy;
+use netrec_types::{Duration, NetAddr, Tuple, UpdateKind, Value};
+
+fn addr(i: u32) -> Value {
+    Value::Addr(NetAddr(i))
+}
+
+fn link(a: u32, b: u32) -> Tuple {
+    Tuple::new(vec![addr(a), addr(b), Value::Int(1)])
+}
+
+fn sys() -> System {
+    System::reachable(SystemConfig::direct(Strategy::absorption_lazy(), 3))
+}
+
+#[test]
+fn ttl_expiry_equals_explicit_deletion() {
+    // Chain 0→1→2 where 1→2 expires after 1 simulated second.
+    let mut with_ttl = sys();
+    with_ttl.inject("link", link(0, 1), UpdateKind::Insert, None);
+    with_ttl.inject("link", link(1, 2), UpdateKind::Insert, Some(Duration::from_secs(1)));
+    assert!(with_ttl.run("load+expire").converged());
+
+    let mut with_delete = sys();
+    with_delete.inject("link", link(0, 1), UpdateKind::Insert, None);
+    with_delete.inject("link", link(1, 2), UpdateKind::Insert, None);
+    with_delete.run("load");
+    with_delete.inject("link", link(1, 2), UpdateKind::Delete, None);
+    assert!(with_delete.run("delete").converged());
+
+    assert_eq!(with_ttl.view("reachable"), with_delete.view("reachable"));
+    // Only 0→1 remains.
+    assert_eq!(with_ttl.view("reachable").len(), 1);
+}
+
+#[test]
+fn explicit_delete_before_expiry_does_not_double_fire() {
+    let mut s = sys();
+    s.inject("link", link(0, 1), UpdateKind::Insert, Some(Duration::from_secs(5)));
+    s.inject("link", link(0, 1), UpdateKind::Delete, None); // deleted immediately
+    assert!(s.run("churn").converged());
+    assert!(s.view("reachable").is_empty());
+}
+
+#[test]
+fn reinsertion_after_expiry_gets_fresh_identity() {
+    let mut s = sys();
+    s.inject("link", link(0, 1), UpdateKind::Insert, Some(Duration::from_secs(1)));
+    assert!(s.run("expire").converged());
+    assert!(s.view("reachable").is_empty(), "expired");
+    // Re-insert without TTL: the tuple must come back and stay.
+    s.inject("link", link(0, 1), UpdateKind::Insert, None);
+    assert!(s.run("reinsert").converged());
+    assert_eq!(s.view("reachable").len(), 1);
+}
+
+#[test]
+fn expiry_cascades_through_recursion() {
+    // Ring 0→1→2→0; the ring-closing link expires. Self-reachability
+    // (x,x) tuples must all disappear with it.
+    let mut s = sys();
+    s.inject("link", link(0, 1), UpdateKind::Insert, None);
+    s.inject("link", link(1, 2), UpdateKind::Insert, None);
+    s.inject("link", link(2, 0), UpdateKind::Insert, Some(Duration::from_secs(2)));
+    assert!(s.run("load+expire").converged());
+    let view = s.view("reachable");
+    // Remaining: 0→1, 0→2, 1→2 only.
+    assert_eq!(view.len(), 3, "got {view:?}");
+    assert!(view.iter().all(|t| t.get(0) != t.get(1)), "no self-reachability left");
+}
+
+#[test]
+fn staggered_ttls_expire_in_order() {
+    let mut s = sys();
+    s.inject("link", link(0, 1), UpdateKind::Insert, Some(Duration::from_secs(10)));
+    s.inject("link", link(1, 2), UpdateKind::Insert, Some(Duration::from_secs(1)));
+    assert!(s.run("run to full expiry").converged());
+    // Both eventually expire (quiescence only happens after all timers).
+    assert!(s.view("reachable").is_empty());
+}
