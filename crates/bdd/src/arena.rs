@@ -5,7 +5,7 @@
 //! struct — the handle layer wraps it in a `parking_lot::Mutex` so the public
 //! API is `Send + Sync`.
 
-use std::collections::HashMap;
+use netrec_types::{FxHashMap, FxHashSet};
 
 /// A provenance variable. In netrec, every base (EDB) tuple insertion is
 /// assigned a fresh globally-unique variable; the variable is set to `false`
@@ -48,10 +48,14 @@ pub struct BddManagerStats {
 
 pub(crate) struct Arena {
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeId>,
-    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    unique: FxHashMap<Node, NodeId>,
+    ite_cache: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
     /// External reference counts per node id, maintained by handle clone/drop.
-    extrefs: HashMap<NodeId, u32>,
+    extrefs: FxHashMap<NodeId, u32>,
+    /// Memoised wire-encoding lengths per root id. Sound because node ids
+    /// are never reused (gc tombstones dead slots); cleared on gc so entries
+    /// for unreachable roots do not accumulate.
+    pub(crate) encoded_len_cache: FxHashMap<NodeId, u32>,
     stats: BddManagerStats,
     /// When `false`, `ite` results are not memoised (ablation knob for the
     /// `bdd_ops` bench; absorption provenance relies on memoisation for its
@@ -63,15 +67,24 @@ impl Arena {
     pub(crate) fn new() -> Self {
         let mut a = Arena {
             nodes: Vec::with_capacity(1024),
-            unique: HashMap::with_capacity(1024),
-            ite_cache: HashMap::with_capacity(1024),
-            extrefs: HashMap::new(),
+            unique: FxHashMap::with_capacity_and_hasher(1024, Default::default()),
+            ite_cache: FxHashMap::with_capacity_and_hasher(1024, Default::default()),
+            extrefs: FxHashMap::default(),
+            encoded_len_cache: FxHashMap::default(),
             stats: BddManagerStats::default(),
             memoize: true,
         };
         // Terminals occupy slots 0 and 1 and are never hash-consed.
-        a.nodes.push(Node { var: TERMINAL_VAR, lo: FALSE, hi: FALSE });
-        a.nodes.push(Node { var: TERMINAL_VAR, lo: TRUE, hi: TRUE });
+        a.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: FALSE,
+            hi: FALSE,
+        });
+        a.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: TRUE,
+            hi: TRUE,
+        });
         a.stats.nodes = 2;
         a.stats.peak_nodes = 2;
         a
@@ -95,7 +108,10 @@ impl Arena {
     /// The reduced `mk`: returns the canonical node for `(var, lo, hi)`.
     pub(crate) fn mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
         debug_assert!(var < TERMINAL_VAR);
-        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi), "ordering violated");
+        debug_assert!(
+            var < self.var_of(lo) && var < self.var_of(hi),
+            "ordering violated"
+        );
         if lo == hi {
             return lo;
         }
@@ -200,7 +216,7 @@ impl Arena {
         // triple: restrict(f, v, val) has no natural ite encoding that avoids
         // building the literal, so we build the literal — `f|v←1 = ∃`-free
         // cofactor walk — with a local recursion + small cache instead.
-        let mut memo = HashMap::new();
+        let mut memo = FxHashMap::default();
         self.restrict_rec(f, var, val, &mut memo)
     }
 
@@ -209,7 +225,7 @@ impl Arena {
         f: NodeId,
         var: Var,
         val: bool,
-        memo: &mut HashMap<NodeId, NodeId>,
+        memo: &mut FxHashMap<NodeId, NodeId>,
     ) -> NodeId {
         let fvar = self.var_of(f);
         if fvar > var {
@@ -243,7 +259,7 @@ impl Arena {
     /// Collect the support (set of variables `f` depends on) in ascending
     /// order.
     pub(crate) fn support(&self, f: NodeId) -> Vec<Var> {
-        let mut seen = HashMap::new();
+        let mut seen = FxHashMap::default();
         let mut vars = Vec::new();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
@@ -263,7 +279,7 @@ impl Arena {
     /// Whether `var` occurs in the support of `f`, without materialising the
     /// full support vector.
     pub(crate) fn depends_on(&self, f: NodeId, var: Var) -> bool {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if n <= TRUE || !seen.insert(n) {
@@ -284,7 +300,7 @@ impl Arena {
     /// Number of DAG nodes reachable from `f` (terminals excluded) — the
     /// paper's per-annotation size measure.
     pub(crate) fn dag_size(&self, f: NodeId) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![f];
         let mut count = 0usize;
         while let Some(n) = stack.pop() {
@@ -303,7 +319,11 @@ impl Arena {
         let mut n = f;
         while n > TRUE {
             let node = self.nodes[n as usize];
-            n = if assignment(node.var) { node.hi } else { node.lo };
+            n = if assignment(node.var) {
+                node.hi
+            } else {
+                node.lo
+            };
         }
         n == TRUE
     }
@@ -311,7 +331,7 @@ impl Arena {
     /// Model count over an explicit variable universe of size `nvars`
     /// (variables are assumed to be `0..nvars`).
     pub(crate) fn sat_count(&self, f: NodeId, nvars: u32) -> f64 {
-        fn rec(a: &Arena, n: NodeId, memo: &mut HashMap<NodeId, f64>, nvars: u32) -> f64 {
+        fn rec(a: &Arena, n: NodeId, memo: &mut FxHashMap<NodeId, f64>, nvars: u32) -> f64 {
             if n == FALSE {
                 return 0.0;
             }
@@ -323,13 +343,18 @@ impl Arena {
             }
             let node = a.nodes[n as usize];
             let scale = |child: NodeId, a: &Arena| -> f64 {
-                let child_var = if child <= TRUE { nvars } else { a.var_of(child) };
+                let child_var = if child <= TRUE {
+                    nvars
+                } else {
+                    a.var_of(child)
+                };
                 let gap = child_var.saturating_sub(node.var + 1);
                 2f64.powi(gap as i32)
             };
             let lo_scale = scale(node.lo, a);
             let hi_scale = scale(node.hi, a);
-            let c = lo_scale * rec(a, node.lo, memo, nvars) + hi_scale * rec(a, node.hi, memo, nvars);
+            let c =
+                lo_scale * rec(a, node.lo, memo, nvars) + hi_scale * rec(a, node.hi, memo, nvars);
             memo.insert(n, c);
             c
         }
@@ -337,7 +362,7 @@ impl Arena {
             return 0.0;
         }
         let top = if f == TRUE { nvars } else { self.var_of(f) };
-        let mut memo = HashMap::new();
+        let mut memo = FxHashMap::default();
         2f64.powi(top as i32) * rec(self, f, &mut memo, nvars)
     }
 
@@ -398,13 +423,8 @@ impl Arena {
     /// serialiser and the DOT export: `(id, var, lo, hi)` per interior node.
     pub(crate) fn nodes_triples(&self, f: NodeId) -> Vec<(NodeId, Var, NodeId, NodeId)> {
         let mut order: Vec<NodeId> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        fn visit(
-            a: &Arena,
-            n: NodeId,
-            seen: &mut std::collections::HashSet<NodeId>,
-            order: &mut Vec<NodeId>,
-        ) {
+        let mut seen = FxHashSet::default();
+        fn visit(a: &Arena, n: NodeId, seen: &mut FxHashSet<NodeId>, order: &mut Vec<NodeId>) {
             if n <= TRUE || !seen.insert(n) {
                 return;
             }
@@ -464,6 +484,7 @@ impl Arena {
         // handle. The ite cache may reference dead ids, so it is dropped.
         self.ite_cache.clear();
         self.stats.ite_cache_entries = 0;
+        self.encoded_len_cache.clear();
         let reclaimed = before - self.unique.len();
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += reclaimed as u64;

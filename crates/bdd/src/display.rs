@@ -20,7 +20,11 @@ impl Cube {
     /// absorption provenance of plain Datalog always is) these identify the
     /// base tuples of one derivation.
     pub fn positive_vars(&self) -> Vec<Var> {
-        self.literals.iter().filter(|(_, pol)| *pol).map(|(v, _)| *v).collect()
+        self.literals
+            .iter()
+            .filter(|(_, pol)| *pol)
+            .map(|(v, _)| *v)
+            .collect()
     }
 }
 
@@ -43,8 +47,11 @@ impl Bdd {
     /// Graphviz DOT rendering of the DAG rooted at this function.
     pub fn to_dot(&self) -> String {
         let triples = self.mgr.with_arena(|a| a.nodes_triples(self.id));
-        let index: std::collections::HashMap<u32, usize> =
-            triples.iter().enumerate().map(|(i, &(id, ..))| (id, i)).collect();
+        let index: std::collections::HashMap<u32, usize> = triples
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, ..))| (id, i))
+            .collect();
         let name = |id: u32| -> String {
             match id {
                 0 => "f".into(),
@@ -82,7 +89,13 @@ pub(crate) fn to_sop_string(bdd: &Bdd, max_terms: usize) -> String {
             let lits: Vec<String> = cube
                 .literals
                 .iter()
-                .map(|(v, pol)| if *pol { format!("p{v}") } else { format!("!p{v}") })
+                .map(|(v, pol)| {
+                    if *pol {
+                        format!("p{v}")
+                    } else {
+                        format!("!p{v}")
+                    }
+                })
                 .collect();
             parts.push(lits.join("."));
         } else {

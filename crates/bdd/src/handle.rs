@@ -28,12 +28,17 @@ impl Default for BddManager {
 impl BddManager {
     /// Create an empty manager containing only the two terminals.
     pub fn new() -> Self {
-        BddManager { inner: Arc::new(Mutex::new(Arena::new())) }
+        BddManager {
+            inner: Arc::new(Mutex::new(Arena::new())),
+        }
     }
 
     fn wrap(&self, id: NodeId) -> Bdd {
         self.inner.lock().incref(id);
-        Bdd { mgr: self.clone(), id }
+        Bdd {
+            mgr: self.clone(),
+            id,
+        }
     }
 
     /// The constant `false` function (no models).
@@ -157,7 +162,10 @@ pub struct Bdd {
 impl Clone for Bdd {
     fn clone(&self) -> Self {
         self.mgr.inner.lock().incref(self.id);
-        Bdd { mgr: self.mgr.clone(), id: self.id }
+        Bdd {
+            mgr: self.mgr.clone(),
+            id: self.id,
+        }
     }
 }
 

@@ -101,11 +101,28 @@ impl Bdd {
         out
     }
 
-    /// Length of [`Bdd::encode`] without materialising the buffer.
+    /// Length of [`Bdd::encode`].
+    ///
+    /// Memoised per root node: the engine measures the same annotations over
+    /// and over (per-update wire metadata plus state-size accounting), and
+    /// before memoisation this was one of the hottest functions in the whole
+    /// pipeline. The cache-miss path delegates to [`Bdd::encode`] so the two
+    /// definitions cannot drift; node ids are never reused, and gc clears
+    /// the cache.
     pub fn encoded_len(&self) -> usize {
-        // Encoding is cheap enough that measuring via encode() keeps the two
-        // definitions from drifting; annotations are small by design.
-        self.encode().len()
+        if self.id == FALSE || self.id == TRUE {
+            return 2;
+        }
+        if let Some(n) = self
+            .mgr
+            .with_arena(|a| a.encoded_len_cache.get(&self.id).copied())
+        {
+            return n as usize;
+        }
+        let len = self.encode().len();
+        self.mgr
+            .with_arena(|a| a.encoded_len_cache.insert(self.id, len as u32));
+        len
     }
 }
 

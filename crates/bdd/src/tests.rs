@@ -173,7 +173,12 @@ fn one_sat_is_satisfying() {
     let (_, a, b, c) = mgr3();
     let f = a.and(&b.not()).or(&c);
     let sat = f.one_sat().expect("satisfiable");
-    let lookup = |v: u32| sat.iter().find(|(sv, _)| *sv == v).map(|(_, val)| *val).unwrap_or(false);
+    let lookup = |v: u32| {
+        sat.iter()
+            .find(|(sv, _)| *sv == v)
+            .map(|(_, val)| *val)
+            .unwrap_or(false)
+    };
     assert!(f.eval(lookup));
     assert!(f.and(&f.not()).one_sat().is_none());
 }
@@ -219,7 +224,14 @@ fn dot_contains_nodes() {
 #[test]
 fn encode_decode_round_trip_same_manager() {
     let (m, a, b, c) = mgr3();
-    for f in [m.zero(), m.one(), a.clone(), a.and(&b), a.or(&b).and(&c.not()), a.xor(&c)] {
+    for f in [
+        m.zero(),
+        m.one(),
+        a.clone(),
+        a.and(&b),
+        a.or(&b).and(&c.not()),
+        a.xor(&c),
+    ] {
         let bytes = f.encode();
         let back = m.decode(&bytes).expect("decode");
         assert_eq!(back, f, "round-trip of {}", f.to_sop(8));

@@ -50,7 +50,9 @@ fn eval_expr(e: &Expr, bits: u32) -> bool {
 }
 
 fn truth_table(f: &Bdd) -> Vec<bool> {
-    (0..(1u32 << NVARS)).map(|bits| f.eval(|v| bits & (1 << v) != 0)).collect()
+    (0..(1u32 << NVARS))
+        .map(|bits| f.eval(|v| bits & (1 << v) != 0))
+        .collect()
 }
 
 proptest! {

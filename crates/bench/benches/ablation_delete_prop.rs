@@ -15,14 +15,17 @@ use netrec_topo::{transit_stub, TransitStubParams, Workload};
 fn main() {
     let scale = Scale::from_env();
     let params = scale.pick(
-        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams {
+            transits_per_domain: 1,
+            ..Default::default()
+        },
         TransitStubParams::default(),
     );
     let peers = scale.pick(4, 12);
     let topo = transit_stub(params, 42);
     let ratios = [0.2, 0.4];
-    let budget = RunBudget::sim_seconds(300)
-        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let budget =
+        RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
     let mut fig = Figure::new(
         "ablation_delete_prop",
         &format!(
@@ -33,14 +36,17 @@ fn main() {
         "deletion ratio",
         ratios.iter().map(|r| r.to_string()).collect(),
     );
-    for (label, delete_prop) in
-        [("Dataflow DELs", DeleteProp::Dataflow), ("Broadcast tombstones", DeleteProp::Broadcast)]
-    {
-        let strategy = Strategy { delete_prop, ..Strategy::absorption_lazy() };
+    for (label, delete_prop) in [
+        ("Dataflow DELs", DeleteProp::Dataflow),
+        ("Broadcast tombstones", DeleteProp::Broadcast),
+    ] {
+        let strategy = Strategy {
+            delete_prop,
+            ..Strategy::absorption_lazy()
+        };
         let mut series = Vec::new();
         for &ratio in &ratios {
-            let mut sys =
-                System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+            let mut sys = System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
             sys.apply(&Workload::insert_links(&topo, 1.0, 7));
             sys.run("load");
             sys.apply(&Workload::delete_links(&topo, ratio, 13));

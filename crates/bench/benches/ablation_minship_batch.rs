@@ -13,13 +13,16 @@ use netrec_types::Duration;
 fn main() {
     let scale = Scale::from_env();
     let params = scale.pick(
-        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams {
+            transits_per_domain: 1,
+            ..Default::default()
+        },
         TransitStubParams::default(),
     );
     let peers = scale.pick(4, 12);
     let topo = transit_stub(params, 42);
-    let budget = RunBudget::sim_seconds(600)
-        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let budget =
+        RunBudget::sim_seconds(600).with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
     let mut fig = Figure::new(
         "ablation_minship_batch",
         &format!(
@@ -32,18 +35,37 @@ fn main() {
     );
     let policies: Vec<(String, ShipPolicy)> = vec![
         ("Immediate (no buffer)".into(), ShipPolicy::Immediate),
-        ("Eager 100ms".into(), ShipPolicy::Eager { period: Duration::from_millis(100), batch: 256 }),
+        (
+            "Eager 100ms".into(),
+            ShipPolicy::Eager {
+                period: Duration::from_millis(100),
+                batch: 256,
+            },
+        ),
         ("Eager 1s (paper)".into(), ShipPolicy::eager_1s()),
-        ("Eager 10s".into(), ShipPolicy::Eager { period: Duration::from_secs(10), batch: 1 << 20 }),
+        (
+            "Eager 10s".into(),
+            ShipPolicy::Eager {
+                period: Duration::from_secs(10),
+                batch: 1 << 20,
+            },
+        ),
         ("Lazy (∞)".into(), ShipPolicy::Lazy),
     ];
     for (label, ship) in policies {
-        let strategy = Strategy { ship, ..Strategy::absorption_lazy() };
+        let strategy = Strategy {
+            ship,
+            ..Strategy::absorption_lazy()
+        };
         let mut sys = System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
         sys.apply(&Workload::insert_links(&topo, 1.0, 7));
         let report = sys.run("insert");
         if report.converged() {
-            assert_eq!(sys.view("reachable"), sys.oracle_view("reachable"), "{label}");
+            assert_eq!(
+                sys.view("reachable"),
+                sys.oracle_view("reachable"),
+                "{label}"
+            );
         }
         fig.push_row(label, vec![Panels::from_report(&report)]);
     }

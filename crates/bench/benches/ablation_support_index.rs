@@ -12,13 +12,16 @@ use netrec_topo::{transit_stub, TransitStubParams, Workload};
 fn main() {
     let scale = Scale::from_env();
     let params = scale.pick(
-        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams {
+            transits_per_domain: 1,
+            ..Default::default()
+        },
         TransitStubParams::default(),
     );
     let peers = scale.pick(4, 12);
     let topo = transit_stub(params, 42);
-    let budget = RunBudget::sim_seconds(300)
-        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let budget =
+        RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
     let mut fig = Figure::new(
         "ablation_support_index",
         &format!(
@@ -31,7 +34,10 @@ fn main() {
     );
     let mut views = Vec::new();
     for (label, support_index) in [("var→tuple index", true), ("full-table scan", false)] {
-        let strategy = Strategy { support_index, ..Strategy::absorption_lazy() };
+        let strategy = Strategy {
+            support_index,
+            ..Strategy::absorption_lazy()
+        };
         let mut sys = System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
         sys.apply(&Workload::insert_links(&topo, 1.0, 7));
         sys.run("load");

@@ -60,7 +60,9 @@ fn bench_implies(c: &mut Criterion) {
 fn bench_encode_decode(c: &mut Criterion) {
     let mgr = BddManager::new();
     let f = random_dnf(&mgr, 48, 32, 6);
-    c.bench_function("bdd/encode_annotation", |b| b.iter(|| black_box(f.encode())));
+    c.bench_function("bdd/encode_annotation", |b| {
+        b.iter(|| black_box(f.encode()))
+    });
     let bytes = f.encode();
     let peer = BddManager::new();
     c.bench_function("bdd/decode_annotation", |b| {

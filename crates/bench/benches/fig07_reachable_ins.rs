@@ -14,8 +14,11 @@ use netrec_topo::{transit_stub, TransitStubParams, Workload};
 fn main() {
     let scale = Scale::from_env();
     let params = scale.pick(
-        TransitStubParams { transits_per_domain: 1, ..Default::default() }, // 25 nodes
-        TransitStubParams::default(),                                       // 100 nodes (paper)
+        TransitStubParams {
+            transits_per_domain: 1,
+            ..Default::default()
+        }, // 25 nodes
+        TransitStubParams::default(), // 100 nodes (paper)
     );
     let peers = scale.pick(4, 12);
     let topo = transit_stub(params, 42);
@@ -43,8 +46,7 @@ fn main() {
         for &ratio in &ratios {
             let budget = RunBudget::sim_seconds(300)
                 .with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
-            let mut sys =
-                System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+            let mut sys = System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
             sys.apply(&Workload::insert_links(&topo, ratio, 7));
             let report = sys.run("insert");
             // Oracle check (skipped for relative mode, whose annotation cap

@@ -15,14 +15,17 @@ use netrec_types::UpdateKind;
 fn main() {
     let scale = Scale::from_env();
     let params = scale.pick(
-        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams {
+            transits_per_domain: 1,
+            ..Default::default()
+        },
         TransitStubParams::default(),
     );
     let peers = scale.pick(4, 12);
     let topo = transit_stub(params, 42);
     let ratios = scale.pick(vec![0.2, 0.6, 1.0], vec![0.2, 0.4, 0.6, 0.8, 1.0]);
-    let budget = RunBudget::sim_seconds(300)
-        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let budget =
+        RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
     let mut fig = Figure::new(
         "fig08",
         &format!(
@@ -43,8 +46,7 @@ fn main() {
     for (label, strategy) in schemes {
         let mut series = Vec::new();
         for &ratio in &ratios {
-            let mut sys =
-                System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+            let mut sys = System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
             sys.apply(&Workload::insert_links(&topo, 1.0, 7));
             let load = sys.run("load");
             if !load.converged() {
@@ -54,8 +56,11 @@ fn main() {
             }
             let deletions = Workload::delete_links(&topo, ratio, 13);
             let report = if strategy == Strategy::set() {
-                let dels: Vec<(String, netrec_types::Tuple)> =
-                    deletions.ops.iter().map(|op| (op.rel.clone(), op.tuple.clone())).collect();
+                let dels: Vec<(String, netrec_types::Tuple)> = deletions
+                    .ops
+                    .iter()
+                    .map(|op| (op.rel.clone(), op.tuple.clone()))
+                    .collect();
                 dred::dred_delete(sys.runner(), &dels)
             } else {
                 for op in &deletions.ops {
@@ -67,7 +72,11 @@ fn main() {
                 && strategy != Strategy::set()
                 && strategy.mode != netrec_prov::ProvMode::Relative
             {
-                assert_eq!(sys.view("reachable"), sys.oracle_view("reachable"), "{label} {ratio}");
+                assert_eq!(
+                    sys.view("reachable"),
+                    sys.oracle_view("reachable"),
+                    "{label} {ratio}"
+                );
             }
             series.push(Panels::from_report(&report));
         }

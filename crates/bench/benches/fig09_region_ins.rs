@@ -10,14 +10,18 @@ use netrec_topo::{SensorGrid, SensorGridParams};
 fn main() {
     let scale = Scale::from_env();
     let params = scale.pick(
-        SensorGridParams { sensors: 49, seeds: 3, ..Default::default() },
+        SensorGridParams {
+            sensors: 49,
+            seeds: 3,
+            ..Default::default()
+        },
         SensorGridParams::default(),
     );
     let peers = scale.pick(4, 12);
     let grid = SensorGrid::generate(params, 42);
     let ratios = [0.5, 0.75, 1.0];
-    let budget = RunBudget::sim_seconds(300)
-        .with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
+    let budget =
+        RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
     let mut fig = Figure::new(
         "fig09",
         &format!(

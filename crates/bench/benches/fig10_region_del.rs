@@ -11,14 +11,18 @@ use netrec_types::UpdateKind;
 fn main() {
     let scale = Scale::from_env();
     let params = scale.pick(
-        SensorGridParams { sensors: 49, seeds: 3, ..Default::default() },
+        SensorGridParams {
+            sensors: 49,
+            seeds: 3,
+            ..Default::default()
+        },
         SensorGridParams::default(),
     );
     let peers = scale.pick(4, 12);
     let grid = SensorGrid::generate(params, 42);
     let ratios = scale.pick(vec![0.2, 0.6, 1.0], vec![0.2, 0.4, 0.6, 0.8, 1.0]);
-    let budget = RunBudget::sim_seconds(300)
-        .with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
+    let budget =
+        RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
     let mut fig = Figure::new(
         "fig10",
         &format!(
@@ -49,8 +53,11 @@ fn main() {
             }
             let deletions = grid.untrigger_ops(0.5, ratio, 3);
             let report = if strategy == Strategy::set() {
-                let dels: Vec<(String, netrec_types::Tuple)> =
-                    deletions.ops.iter().map(|op| (op.rel.clone(), op.tuple.clone())).collect();
+                let dels: Vec<(String, netrec_types::Tuple)> = deletions
+                    .ops
+                    .iter()
+                    .map(|op| (op.rel.clone(), op.tuple.clone()))
+                    .collect();
                 dred::dred_delete(sys.runner(), &dels)
             } else {
                 for op in &deletions.ops {

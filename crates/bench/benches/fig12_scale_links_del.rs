@@ -12,8 +12,8 @@ fn main() {
     let scale = Scale::from_env();
     let sizes = scale.pick(vec![100usize, 200], vec![100, 200, 400, 800]);
     let peers = scale.pick(4, 12);
-    let budget = RunBudget::sim_seconds(300)
-        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let budget =
+        RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
     let mut fig = Figure::new(
         "fig12",
         &format!("reachable: scaling link tuples, delete 20% after load ({peers} peers)"),
@@ -27,12 +27,14 @@ fn main() {
         ("Lazy Sparse", ShipPolicy::Lazy, Density::Sparse),
     ];
     for (label, ship, density) in schemes {
-        let strategy = Strategy { ship, ..Strategy::absorption_lazy() };
+        let strategy = Strategy {
+            ship,
+            ..Strategy::absorption_lazy()
+        };
         let mut series = Vec::new();
         for &links in &sizes {
             let topo = transit_stub_for_links(links, density, 42);
-            let mut sys =
-                System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
+            let mut sys = System::reachable(SystemConfig::new(strategy, peers).with_budget(budget));
             sys.apply(&Workload::insert_links(&topo, 1.0, 7));
             let load = sys.run("load");
             if !load.converged() {

@@ -17,13 +17,16 @@ use netrec_topo::{transit_stub, TransitStubParams, Workload};
 fn main() {
     let scale = Scale::from_env();
     let params = scale.pick(
-        TransitStubParams { transits_per_domain: 1, ..Default::default() },
+        TransitStubParams {
+            transits_per_domain: 1,
+            ..Default::default()
+        },
         TransitStubParams::default(),
     );
     let topo = transit_stub(params, 42);
     let peer_counts: Vec<u32> = vec![4, 8, 12, 16, 24];
-    let budget = RunBudget::sim_seconds(300)
-        .with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
+    let budget =
+        RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(scale.pick(15, 90)));
     let mut fig = Figure::new(
         "fig13",
         &format!(
@@ -34,8 +37,10 @@ fn main() {
         "physical peers",
         peer_counts.iter().map(|p| p.to_string()).collect(),
     );
-    for (label, strategy) in [("DRed", Strategy::set()), ("Absorption Lazy", Strategy::absorption_lazy())]
-    {
+    for (label, strategy) in [
+        ("DRed", Strategy::set()),
+        ("Absorption Lazy", Strategy::absorption_lazy()),
+    ] {
         let mut series = Vec::new();
         for &peers in &peer_counts {
             let cluster = if peers > 16 {
@@ -43,14 +48,19 @@ fn main() {
             } else {
                 ClusterSpec::single(peers)
             };
-            let cfg = SystemConfig::new(strategy, peers).with_cluster(cluster).with_budget(budget);
+            let cfg = SystemConfig::new(strategy, peers)
+                .with_cluster(cluster)
+                .with_budget(budget);
             let mut sys = System::reachable(cfg);
             sys.apply(&Workload::insert_links(&topo, 1.0, 7));
             let load = sys.run("load");
             let deletions = Workload::delete_links(&topo, 0.2, 13);
             let del_report = if strategy == Strategy::set() {
-                let dels: Vec<(String, netrec_types::Tuple)> =
-                    deletions.ops.iter().map(|op| (op.rel.clone(), op.tuple.clone())).collect();
+                let dels: Vec<(String, netrec_types::Tuple)> = deletions
+                    .ops
+                    .iter()
+                    .map(|op| (op.rel.clone(), op.tuple.clone()))
+                    .collect();
                 dred::dred_delete(sys.runner(), &dels)
             } else {
                 sys.apply(&deletions);

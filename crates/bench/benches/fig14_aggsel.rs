@@ -20,8 +20,8 @@ fn main() {
     let peers = scale.pick(4, 12);
     // Path enumeration without aggregate selection grows state inside single
     // large join batches, so bound the event count as well as wall time.
-    let mut budget = RunBudget::sim_seconds(300)
-        .with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
+    let mut budget =
+        RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(scale.pick(10, 60)));
     budget.max_events = scale.pick(100_000, 2_000_000);
     let densities = [("Dense", Density::Dense), ("Sparse", Density::Sparse)];
     let mut fig = Figure::new(

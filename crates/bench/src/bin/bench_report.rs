@@ -1,0 +1,124 @@
+//! `bench-report`: a quick, scriptable perf tracker.
+//!
+//! Runs a reduced subset of the fig07 (reachable insertion) and fig08
+//! (reachable deletion) workloads as wall-clock microbenchmarks and writes
+//! `BENCH_<N>.json` at the repo root — a flat `name → ns/op` map, where an
+//! "op" is one injected base-relation update carried through to distributed
+//! convergence. The file sequence (`BENCH_1.json`, `BENCH_2.json`, ...)
+//! tracks the perf trajectory across PRs; CI and reviewers diff the numbers.
+//!
+//! Usage: `cargo run --release -p netrec-bench --bin bench-report [-- out.json]`
+//! Env: `BENCH_REPORT_SAMPLES` (default 5) — timed repetitions per entry
+//! (median reported).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use netrec_core::{RunBudget, System, SystemConfig};
+use netrec_engine::Strategy;
+use netrec_topo::{transit_stub, TransitStubParams, Workload};
+use netrec_types::UpdateKind;
+
+fn budget() -> RunBudget {
+    RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(60))
+}
+
+/// Median wall nanoseconds per workload op across samples of `f`.
+fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
+    let mut ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.total_cmp(b));
+    ns[ns.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    // Fail on an unwritable destination *before* spending minutes measuring.
+    if let Err(e) = std::fs::write(&out_path, "{}\n") {
+        eprintln!("bench-report: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    // A reduced fig07/fig08 topology (one transit, two stubs, five routers
+    // each — ~11 nodes): small enough that every scheme, including eager
+    // flushing with its timer traffic, converges in well under the budget,
+    // while keeping the hash-table and provenance hot paths dominant.
+    let params = TransitStubParams {
+        transits_per_domain: 1,
+        stubs_per_transit: 2,
+        nodes_per_stub: 5,
+        ..Default::default()
+    };
+    let peers = 4;
+    let topo = transit_stub(params, 42);
+    let load = Workload::insert_links(&topo, 1.0, 7);
+    let dels = Workload::delete_links(&topo, 0.6, 13);
+
+    // Absorption-eager is excluded: its periodic flush timers dominate the
+    // simulated run (tens of seconds of wall per sample), which makes the
+    // quick tracker too slow without adding signal — the full fig07/fig08
+    // harnesses still cover it.
+    let schemes: Vec<(&str, Strategy)> = vec![
+        ("set", Strategy::set()),
+        ("absorption_lazy", Strategy::absorption_lazy()),
+        ("relative_lazy", Strategy::relative_lazy()),
+    ];
+
+    let mut report: BTreeMap<String, f64> = BTreeMap::new();
+
+    for (label, strategy) in &schemes {
+        // fig07-style: full insertion load to convergence.
+        let name = format!("fig07/reachable_ins/{label}");
+        let ns = measure(samples, load.ops.len(), || {
+            let mut sys =
+                System::reachable(SystemConfig::new(*strategy, peers).with_budget(budget()));
+            sys.apply(&load);
+            assert!(sys.run("load").converged(), "{name}: load did not converge");
+        });
+        println!("{name:<45} {:>12.0} ns/op", ns);
+        report.insert(name, ns);
+
+        // fig08-style: deletion maintenance on the loaded system (set mode
+        // excluded: plain set semantics cannot maintain deletions without the
+        // DRed driver, which fig08 measures separately).
+        if strategy.mode != netrec_prov::ProvMode::Set {
+            let name = format!("fig08/reachable_del/{label}");
+            let ns = measure(samples, dels.ops.len(), || {
+                let mut sys =
+                    System::reachable(SystemConfig::new(*strategy, peers).with_budget(budget()));
+                sys.apply(&load);
+                assert!(sys.run("load").converged(), "{name}: load did not converge");
+                for op in &dels.ops {
+                    sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+                }
+                assert!(
+                    sys.run("delete").converged(),
+                    "{name}: delete did not converge"
+                );
+            });
+            println!("{name:<45} {:>12.0} ns/op", ns);
+            report.insert(name, ns);
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let entries: Vec<String> = report
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.1}"))
+        .collect();
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("wrote {out_path}");
+}

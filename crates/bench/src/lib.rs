@@ -112,7 +112,13 @@ const PANEL_NAMES: [&str; 4] = [
 impl Figure {
     /// New empty figure.
     pub fn new(id: &str, title: &str, x_label: &str, xs: Vec<String>) -> Figure {
-        Figure { id: id.into(), title: title.into(), x_label: x_label.into(), xs, rows: Vec::new() }
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            xs,
+            rows: Vec::new(),
+        }
     }
 
     /// Add one scheme's series.
@@ -128,7 +134,13 @@ impl Figure {
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         for (panel, name) in PANEL_NAMES.iter().enumerate() {
             let _ = writeln!(out, "\n{name}   [x = {}]", self.x_label);
-            let width = self.rows.iter().map(|(s, _)| s.len()).max().unwrap_or(8).max(8);
+            let width = self
+                .rows
+                .iter()
+                .map(|(s, _)| s.len())
+                .max()
+                .unwrap_or(8)
+                .max(8);
             let _ = write!(out, "  {:width$}", "scheme");
             for x in &self.xs {
                 let _ = write!(out, " {x:>12}");
@@ -150,7 +162,8 @@ impl Figure {
         let dir = PathBuf::from("target/figures");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.id));
-        let mut csv = String::from("scheme,x,prov_bytes_per_tuple,comm_mb,state_mb,time_s,converged\n");
+        let mut csv =
+            String::from("scheme,x,prov_bytes_per_tuple,comm_mb,state_mb,time_s,converged\n");
         for (scheme, panels) in &self.rows {
             for (x, p) in self.xs.iter().zip(panels) {
                 let _ = writeln!(
@@ -179,7 +192,13 @@ mod tests {
     use super::*;
 
     fn panels(v: f64, ok: bool) -> Panels {
-        Panels { prov_b: v, comm_mb: v, state_mb: v, time_s: v, converged: ok }
+        Panels {
+            prov_b: v,
+            comm_mb: v,
+            state_mb: v,
+            time_s: v,
+            converged: ok,
+        }
     }
 
     #[test]

@@ -73,16 +73,28 @@ pub fn plan(choice: AggSelChoice) -> Plan {
         vec![0],
         vec![],
         vec![
-            Expr::col(0),                                          // x
-            Expr::col(4),                                          // y
+            Expr::col(0),                                                  // x
+            Expr::col(4),                                                  // y
             Expr::Prepend(Box::new(Expr::col(0)), Box::new(Expr::col(5))), // concat([x],p1)
-            Expr::add_cols(2, 6),                                  // c0+c1
-            Expr::Add(Box::new(Expr::int(1)), Box::new(Expr::col(7))), // 1+l1
+            Expr::add_cols(2, 6),                                          // c0+c1
+            Expr::Add(Box::new(Expr::int(1)), Box::new(Expr::col(7))),     // 1+l1
         ],
     );
-    let link_ex = b.exchange(Some(1), Dest { op: rec_join, input: JOIN_BUILD });
+    let link_ex = b.exchange(
+        Some(1),
+        Dest {
+            op: rec_join,
+            input: JOIN_BUILD,
+        },
+    );
     // Ship-side pruning before the MinShip (Algorithm 3 lines 4–8).
-    let ship = b.minship(Some(0), Dest { op: path_store, input: 0 });
+    let ship = b.minship(
+        Some(0),
+        Dest {
+            op: path_store,
+            input: 0,
+        },
+    );
     let pre_ship: netrec_engine::plan::OpId = match aggsel_spec(choice) {
         Some(spec) => {
             let sel = b.aggsel(spec);
@@ -174,7 +186,10 @@ pub fn program(plan: &Plan) -> Program {
                     Expr::col(2),
                     Expr::int(1),
                 ],
-                body: vec![Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)] }],
+                body: vec![Atom {
+                    rel: link,
+                    terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)],
+                }],
                 preds: vec![],
                 nvars: 3,
             },
@@ -189,7 +204,10 @@ pub fn program(plan: &Plan) -> Program {
                     Expr::Add(Box::new(Expr::int(1)), Box::new(Expr::col(6))),
                 ],
                 body: vec![
-                    Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)] },
+                    Atom {
+                        rel: link,
+                        terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)],
+                    },
                     Atom {
                         rel: path,
                         terms: vec![
@@ -224,7 +242,10 @@ pub fn program(plan: &Plan) -> Program {
                             Term::Var(4),
                         ],
                     },
-                    Atom { rel: min_cost, terms: vec![Term::Var(0), Term::Var(1), Term::Var(3)] },
+                    Atom {
+                        rel: min_cost,
+                        terms: vec![Term::Var(0), Term::Var(1), Term::Var(3)],
+                    },
                 ],
                 preds: vec![],
                 nvars: 5,
@@ -244,7 +265,10 @@ pub fn program(plan: &Plan) -> Program {
                             Term::Var(4),
                         ],
                     },
-                    Atom { rel: min_hops, terms: vec![Term::Var(0), Term::Var(1), Term::Var(4)] },
+                    Atom {
+                        rel: min_hops,
+                        terms: vec![Term::Var(0), Term::Var(1), Term::Var(4)],
+                    },
                 ],
                 preds: vec![],
                 nvars: 5,
@@ -275,8 +299,20 @@ pub fn program(plan: &Plan) -> Program {
             },
         ],
         aggs: vec![
-            AggClause { head: min_cost, source: path, group_cols: vec![0, 1], agg: AggFn::Min, agg_col: 3 },
-            AggClause { head: min_hops, source: path, group_cols: vec![0, 1], agg: AggFn::Min, agg_col: 4 },
+            AggClause {
+                head: min_cost,
+                source: path,
+                group_cols: vec![0, 1],
+                agg: AggFn::Min,
+                agg_col: 3,
+            },
+            AggClause {
+                head: min_hops,
+                source: path,
+                group_cols: vec![0, 1],
+                agg: AggFn::Min,
+                agg_col: 4,
+            },
         ],
     }
 }
@@ -287,7 +323,11 @@ mod tests {
 
     #[test]
     fn plan_shapes() {
-        for choice in [AggSelChoice::Multi, AggSelChoice::SingleCost, AggSelChoice::None] {
+        for choice in [
+            AggSelChoice::Multi,
+            AggSelChoice::SingleCost,
+            AggSelChoice::None,
+        ] {
             let p = plan(choice);
             assert!(p.is_recursive());
             assert_eq!(p.views.len(), 6, "path + 5 derived views");

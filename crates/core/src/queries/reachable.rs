@@ -25,8 +25,20 @@ pub fn plan() -> Plan {
     let store = b.store(reach, true, None);
     // Recursive case: row = link(x,z,c) ++ reachable(z,y); emit (x, y).
     let join = b.join(vec![1], vec![0], vec![], vec![Expr::col(0), Expr::col(4)]);
-    let ex = b.exchange(Some(1), Dest { op: join, input: JOIN_BUILD });
-    let ship = b.minship(Some(0), Dest { op: store, input: 0 });
+    let ex = b.exchange(
+        Some(1),
+        Dest {
+            op: join,
+            input: JOIN_BUILD,
+        },
+    );
+    let ship = b.minship(
+        Some(0),
+        Dest {
+            op: store,
+            input: 0,
+        },
+    );
     b.connect(ing, base_map, 0);
     b.connect(base_map, store, 0);
     b.connect(ing, ex, 0);
@@ -44,7 +56,10 @@ pub fn program(plan: &Plan) -> Program {
             Rule {
                 head: reach,
                 head_exprs: vec![Expr::col(0), Expr::col(1)],
-                body: vec![Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)] }],
+                body: vec![Atom {
+                    rel: link,
+                    terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)],
+                }],
                 preds: vec![],
                 nvars: 3,
             },
@@ -52,8 +67,14 @@ pub fn program(plan: &Plan) -> Program {
                 head: reach,
                 head_exprs: vec![Expr::col(0), Expr::col(3)],
                 body: vec![
-                    Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)] },
-                    Atom { rel: reach, terms: vec![Term::Var(1), Term::Var(3)] },
+                    Atom {
+                        rel: link,
+                        terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)],
+                    },
+                    Atom {
+                        rel: reach,
+                        terms: vec![Term::Var(1), Term::Var(3)],
+                    },
                 ],
                 preds: vec![],
                 nvars: 4,

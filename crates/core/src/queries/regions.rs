@@ -47,20 +47,50 @@ pub fn plan() -> Plan {
     let j_rec1 = b.join(vec![0], vec![0], vec![], vec![Expr::col(0), Expr::col(2)]);
     // row = near(x,y) ++ j_rec1(x,rid) → (y, rid).
     let j_rec2 = b.join(vec![0], vec![0], vec![], vec![Expr::col(1), Expr::col(3)]);
-    let ship = b.minship(Some(0), Dest { op: active_store, input: 0 });
+    let ship = b.minship(
+        Some(0),
+        Dest {
+            op: active_store,
+            input: 0,
+        },
+    );
 
     // Aggregate cascade: count per region, then the global max.
-    let sizes_ex = b.exchange(Some(1), Dest { op: netrec_engine::plan::OpId(0), input: 0 });
+    let sizes_ex = b.exchange(
+        Some(1),
+        Dest {
+            op: netrec_engine::plan::OpId(0),
+            input: 0,
+        },
+    );
     let agg_sizes = b.aggregate(vec![1], AggFn::Count, 0);
     let sizes_store = b.store(sizes, true, None);
-    let largest_ex = b.exchange(None, Dest { op: netrec_engine::plan::OpId(0), input: 0 });
+    let largest_ex = b.exchange(
+        None,
+        Dest {
+            op: netrec_engine::plan::OpId(0),
+            input: 0,
+        },
+    );
     let agg_largest = b.aggregate(vec![], AggFn::Max, 1);
     let largest_store = b.store(largest, true, None);
     // largestRegions: row = regionSizes(rid,size) ++ largestRegion(size) → rid.
     let j_top = b.join(vec![1], vec![0], vec![], vec![Expr::col(0)]);
     let top_store = b.store(largests, true, None);
-    let sizes_to_join_ex = b.exchange(Some(1), Dest { op: j_top, input: JOIN_BUILD });
-    let largest_to_join_ex = b.exchange(Some(0), Dest { op: j_top, input: JOIN_PROBE });
+    let sizes_to_join_ex = b.exchange(
+        Some(1),
+        Dest {
+            op: j_top,
+            input: JOIN_BUILD,
+        },
+    );
+    let largest_to_join_ex = b.exchange(
+        Some(0),
+        Dest {
+            op: j_top,
+            input: JOIN_PROBE,
+        },
+    );
 
     // Wiring.
     b.connect(ing_main, j_base1, JOIN_BUILD);
@@ -92,7 +122,10 @@ pub fn plan() -> Plan {
 pub fn program(plan: &Plan) -> Program {
     let sensor = plan.catalog.id("sensor").expect("sensor");
     let near = plan.catalog.id("near").expect("near");
-    let main_in = plan.catalog.id("mainSensorInRegion").expect("mainSensorInRegion");
+    let main_in = plan
+        .catalog
+        .id("mainSensorInRegion")
+        .expect("mainSensorInRegion");
     let trig = plan.catalog.id("isTriggered").expect("isTriggered");
     let active = plan.catalog.id("activeRegion").expect("activeRegion");
     let sizes = plan.catalog.id("regionSizes").expect("regionSizes");
@@ -105,9 +138,18 @@ pub fn program(plan: &Plan) -> Program {
                 head: active,
                 head_exprs: vec![Expr::col(0), Expr::col(1)],
                 body: vec![
-                    Atom { rel: main_in, terms: vec![Term::Var(0), Term::Var(1)] },
-                    Atom { rel: trig, terms: vec![Term::Var(0)] },
-                    Atom { rel: sensor, terms: vec![Term::Var(0), Term::Var(2), Term::Var(3)] },
+                    Atom {
+                        rel: main_in,
+                        terms: vec![Term::Var(0), Term::Var(1)],
+                    },
+                    Atom {
+                        rel: trig,
+                        terms: vec![Term::Var(0)],
+                    },
+                    Atom {
+                        rel: sensor,
+                        terms: vec![Term::Var(0), Term::Var(2), Term::Var(3)],
+                    },
                 ],
                 preds: vec![],
                 nvars: 4,
@@ -117,9 +159,18 @@ pub fn program(plan: &Plan) -> Program {
                 head: active,
                 head_exprs: vec![Expr::col(2), Expr::col(1)],
                 body: vec![
-                    Atom { rel: active, terms: vec![Term::Var(0), Term::Var(1)] },
-                    Atom { rel: trig, terms: vec![Term::Var(0)] },
-                    Atom { rel: near, terms: vec![Term::Var(0), Term::Var(2)] },
+                    Atom {
+                        rel: active,
+                        terms: vec![Term::Var(0), Term::Var(1)],
+                    },
+                    Atom {
+                        rel: trig,
+                        terms: vec![Term::Var(0)],
+                    },
+                    Atom {
+                        rel: near,
+                        terms: vec![Term::Var(0), Term::Var(2)],
+                    },
                 ],
                 preds: vec![],
                 nvars: 3,
@@ -129,16 +180,34 @@ pub fn program(plan: &Plan) -> Program {
                 head: largests,
                 head_exprs: vec![Expr::col(0)],
                 body: vec![
-                    Atom { rel: sizes, terms: vec![Term::Var(0), Term::Var(1)] },
-                    Atom { rel: largest, terms: vec![Term::Var(1)] },
+                    Atom {
+                        rel: sizes,
+                        terms: vec![Term::Var(0), Term::Var(1)],
+                    },
+                    Atom {
+                        rel: largest,
+                        terms: vec![Term::Var(1)],
+                    },
                 ],
                 preds: vec![],
                 nvars: 2,
             },
         ],
         aggs: vec![
-            AggClause { head: sizes, source: active, group_cols: vec![1], agg: AggFn::Count, agg_col: 0 },
-            AggClause { head: largest, source: sizes, group_cols: vec![], agg: AggFn::Max, agg_col: 1 },
+            AggClause {
+                head: sizes,
+                source: active,
+                group_cols: vec![1],
+                agg: AggFn::Count,
+                agg_col: 0,
+            },
+            AggClause {
+                head: largest,
+                source: sizes,
+                group_cols: vec![],
+                agg: AggFn::Max,
+                agg_col: 1,
+            },
         ],
     }
 }

@@ -44,7 +44,10 @@ impl SystemConfig {
 
     /// Direct (modulo) placement: logical node X lives on peer X.
     pub fn direct(strategy: Strategy, peers: u32) -> SystemConfig {
-        SystemConfig { partitioner: Partitioner::Direct { peers }, ..SystemConfig::new(strategy, peers) }
+        SystemConfig {
+            partitioner: Partitioner::Direct { peers },
+            ..SystemConfig::new(strategy, peers)
+        }
     }
 
     /// Override the cluster model (e.g. the two-cluster scale-out profile).
@@ -82,7 +85,11 @@ pub struct System {
 
 impl System {
     fn build(plan: netrec_engine::Plan, oracle: Program, cfg: &SystemConfig) -> System {
-        System { runner: Runner::new(plan, cfg.runner_config()), oracle, base: Db::new() }
+        System {
+            runner: Runner::new(plan, cfg.runner_config()),
+            oracle,
+            base: Db::new(),
+        }
     }
 
     /// Query 1: network reachability.
@@ -213,7 +220,13 @@ mod tests {
         }
         let rep = sys.run("load");
         assert!(rep.converged());
-        for view in ["minCost", "minHops", "cheapestPath", "fewestHops", "shortestCheapestPath"] {
+        for view in [
+            "minCost",
+            "minHops",
+            "cheapestPath",
+            "fewestHops",
+            "shortestCheapestPath",
+        ] {
             assert_eq!(sys.view(view), sys.oracle_view(view), "view {view}");
         }
     }

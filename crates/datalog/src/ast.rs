@@ -34,7 +34,10 @@ pub enum Arg {
 impl Arg {
     /// Plain variable.
     pub fn var(name: &str) -> Arg {
-        Arg::Var { name: name.into(), located: false }
+        Arg::Var {
+            name: name.into(),
+            located: false,
+        }
     }
 
     /// The variable name if this is a variable argument.

@@ -42,15 +42,25 @@ pub enum CompileError {
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CompileError::ArityMismatch { relation, first, second } => {
-                write!(f, "relation `{relation}` used with arities {first} and {second}")
+            CompileError::ArityMismatch {
+                relation,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "relation `{relation}` used with arities {first} and {second}"
+                )
             }
             CompileError::UnboundHeadVar { relation, var } => {
                 write!(f, "head variable `{var}` of `{relation}` is unbound")
             }
             CompileError::UnboundVar(v) => write!(f, "variable `{v}` is unbound"),
             CompileError::AggregateShape(r) => {
-                write!(f, "aggregate rule for `{r}` must have exactly one body atom")
+                write!(
+                    f,
+                    "aggregate rule for `{r}` must have exactly one body atom"
+                )
             }
             CompileError::MisplacedAggregate(r) => {
                 write!(f, "aggregate argument outside a head in rule for `{r}`")
@@ -168,17 +178,29 @@ pub(crate) fn bind_body(atoms: &[&AstAtom]) -> RuleBindings {
                     }
                 }
                 Arg::Int(v) => {
-                    eq_preds.push(Pred::Cmp(Expr::col(col), CmpOp::Eq, Expr::Const(Value::Int(*v))));
+                    eq_preds.push(Pred::Cmp(
+                        Expr::col(col),
+                        CmpOp::Eq,
+                        Expr::Const(Value::Int(*v)),
+                    ));
                 }
                 Arg::Str(s) => {
-                    eq_preds.push(Pred::Cmp(Expr::col(col), CmpOp::Eq, Expr::Const(Value::str(s))));
+                    eq_preds.push(Pred::Cmp(
+                        Expr::col(col),
+                        CmpOp::Eq,
+                        Expr::Const(Value::str(s)),
+                    ));
                 }
                 Arg::Agg(..) => {}
             }
             col += 1;
         }
     }
-    RuleBindings { var_col, eq_preds, width: col }
+    RuleBindings {
+        var_col,
+        eq_preds,
+        width: col,
+    }
 }
 
 pub(crate) fn lower_expr(
@@ -202,7 +224,10 @@ pub(crate) fn lower_expr(
             Box::new(lower_expr(b, bind, assigns)?),
         ),
         BodyExpr::List(items) => Expr::MakeList(
-            items.iter().map(|i| lower_expr(i, bind, assigns)).collect::<Result<_, _>>()?,
+            items
+                .iter()
+                .map(|i| lower_expr(i, bind, assigns))
+                .collect::<Result<_, _>>()?,
         ),
         BodyExpr::Cons(head, tail) => Expr::Prepend(
             Box::new(lower_expr(head, bind, assigns)?),
@@ -296,24 +321,28 @@ pub(crate) fn lower_rule(rule: &AstRule) -> Result<LoweredRule<'_>, CompileError
     for arg in &rule.head.args {
         match arg {
             Arg::Var { name, .. } => {
-                head_exprs.push(lower_expr(
-                    &BodyExpr::Var(name.clone()),
-                    &bindings.var_col,
-                    &assigns,
-                ).map_err(|_| CompileError::UnboundHeadVar {
-                    relation: rule.head.name.clone(),
-                    var: name.clone(),
-                })?);
+                head_exprs.push(
+                    lower_expr(&BodyExpr::Var(name.clone()), &bindings.var_col, &assigns).map_err(
+                        |_| CompileError::UnboundHeadVar {
+                            relation: rule.head.name.clone(),
+                            var: name.clone(),
+                        },
+                    )?,
+                );
             }
             Arg::Int(v) => head_exprs.push(Expr::int(*v)),
             Arg::Str(s) => head_exprs.push(Expr::Const(Value::str(s))),
-            Arg::Agg(..) => {
-                return Err(CompileError::MisplacedAggregate(rule.head.name.clone()))
-            }
+            Arg::Agg(..) => return Err(CompileError::MisplacedAggregate(rule.head.name.clone())),
         }
     }
     let eq_preds = bindings.eq_preds.clone();
-    Ok(LoweredRule { atoms, user_preds: preds, eq_preds, head_exprs, bindings })
+    Ok(LoweredRule {
+        atoms,
+        user_preds: preds,
+        eq_preds,
+        head_exprs,
+        bindings,
+    })
 }
 
 /// Compile a parsed program to `(plan, oracle)`.
@@ -322,7 +351,11 @@ pub fn compile(ast: &AstProgram) -> Result<Compiled, CompileError> {
     let (plan, rel_ids) = crate::planner::build_plan(ast, &rels)?;
     let oracle = build_oracle(ast, &rel_ids)?;
     let views = ast.idb_relations();
-    Ok(Compiled { plan, oracle, views })
+    Ok(Compiled {
+        plan,
+        oracle,
+        views,
+    })
 }
 
 /// Compile the oracle program over the plan's relation ids.
@@ -362,7 +395,10 @@ fn build_oracle(
                 terms.push(term);
                 col += 1;
             }
-            body.push(Atom { rel: rel_ids[&atom.name], terms });
+            body.push(Atom {
+                rel: rel_ids[&atom.name],
+                terms,
+            });
         }
         rules.push(Rule {
             head: rel_ids[&rule.head.name],
@@ -407,7 +443,8 @@ pub(crate) fn aggregate_shape(
             _ => return Err(CompileError::AggregateShape(rule.head.name.clone())),
         }
     }
-    let (func, agg_col) = agg.ok_or_else(|| CompileError::AggregateShape(rule.head.name.clone()))?;
+    let (func, agg_col) =
+        agg.ok_or_else(|| CompileError::AggregateShape(rule.head.name.clone()))?;
     Ok((atom, group_cols, func, agg_col))
 }
 
@@ -419,19 +456,28 @@ mod tests {
     #[test]
     fn arity_mismatch_detected() {
         let ast = parse_program("r(X) :- s(X).\nr(X, Y) :- s(X), s(Y).").unwrap();
-        assert!(matches!(compile(&ast), Err(CompileError::ArityMismatch { .. })));
+        assert!(matches!(
+            compile(&ast),
+            Err(CompileError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
     fn unbound_head_var_detected() {
         let ast = parse_program("r(X, Z) :- s(X).").unwrap();
-        assert!(matches!(compile(&ast), Err(CompileError::UnboundHeadVar { .. })));
+        assert!(matches!(
+            compile(&ast),
+            Err(CompileError::UnboundHeadVar { .. })
+        ));
     }
 
     #[test]
     fn aggregate_shape_enforced() {
         let ast = parse_program("m(X, min<C>) :- s(X, C), t(X).").unwrap();
-        assert!(matches!(compile(&ast), Err(CompileError::AggregateShape(_))));
+        assert!(matches!(
+            compile(&ast),
+            Err(CompileError::AggregateShape(_))
+        ));
     }
 
     #[test]

@@ -33,6 +33,6 @@ mod lexer;
 mod parser;
 mod planner;
 
-pub use ast::{Aggregate, Arg, AstAtom, AstRule, AstProgram, BodyExpr, BodyLit, Cmp};
-pub use compile::{compile, Compiled, CompileError};
+pub use ast::{Aggregate, Arg, AstAtom, AstProgram, AstRule, BodyExpr, BodyLit, Cmp};
+pub use compile::{compile, CompileError, Compiled};
 pub use parser::{parse_program, ParseError};

@@ -148,7 +148,9 @@ fn parse_body_lit(p: &mut Parser) -> Result<BodyLit, ParseError> {
     // Lookahead: Ident `(` → atom; Var `:=` → assignment; Var `notin` → NotIn;
     // otherwise a comparison expression.
     match (p.peek().cloned(), p.toks.get(p.pos + 1).cloned()) {
-        (Some(Tok::Ident(name)), Some(Tok::LParen)) if name != "min" => parse_atom(p, false).map(BodyLit::Atom),
+        (Some(Tok::Ident(name)), Some(Tok::LParen)) if name != "min" => {
+            parse_atom(p, false).map(BodyLit::Atom)
+        }
         (Some(Tok::Var(v)), Some(Tok::Assign)) => {
             p.pos += 2;
             let e = parse_expr(p)?;
@@ -246,15 +248,15 @@ mod tests {
             .filter(|l| matches!(l, BodyLit::Assign(..)))
             .count();
         assert_eq!(assigns, 3);
-        assert!(prog.rules[1].body.iter().any(|l| matches!(l, BodyLit::NotIn(..))));
+        assert!(prog.rules[1]
+            .body
+            .iter()
+            .any(|l| matches!(l, BodyLit::NotIn(..))));
     }
 
     #[test]
     fn parses_comparisons_and_constants() {
-        let prog = parse_program(
-            r#"hot(@S) :- reading(@S, V, "temp"), V > 90, S != 0."#,
-        )
-        .unwrap();
+        let prog = parse_program(r#"hot(@S) :- reading(@S, V, "temp"), V > 90, S != 0."#).unwrap();
         let cmps = prog.rules[0]
             .body
             .iter()

@@ -37,7 +37,11 @@ pub(crate) fn build_plan(
         };
         rel_ids.insert(info.name.clone(), id);
         rel_info.insert(info.name.clone(), info);
-        let op = if info.is_edb { b.ingress(id) } else { b.store(id, true, None) };
+        let op = if info.is_edb {
+            b.ingress(id)
+        } else {
+            b.store(id, true, None)
+        };
         sources.insert(info.name.clone(), op);
     }
 
@@ -55,7 +59,13 @@ pub(crate) fn build_plan(
             } else {
                 None
             };
-            let ex_out = b.exchange(route_out, Dest { op: head_store, input: 0 });
+            let ex_out = b.exchange(
+                route_out,
+                Dest {
+                    op: head_store,
+                    input: 0,
+                },
+            );
             b.connect(source, ex_in, 0);
             b.connect(agg, ex_out, 0);
             continue;
@@ -90,18 +100,23 @@ pub(crate) fn build_plan(
             }
             let probe_cols: Vec<usize> = probe_key.iter().map(|&(i, _)| i).collect();
             // Identity projection of the concatenated row.
-            let emit: Vec<Expr> =
-                (0..acc_width + atom.args.len()).map(Expr::col).collect();
+            let emit: Vec<Expr> = (0..acc_width + atom.args.len()).map(Expr::col).collect();
             let join = b.join(build_key.clone(), probe_cols.clone(), vec![], emit);
             // Both inputs repartition on the first key column (or collapse
             // to peer 0 for a cross product).
             let ex_build = b.exchange(
                 build_key.first().copied(),
-                Dest { op: join, input: JOIN_BUILD },
+                Dest {
+                    op: join,
+                    input: JOIN_BUILD,
+                },
             );
             let ex_probe = b.exchange(
                 probe_cols.first().copied(),
-                Dest { op: join, input: JOIN_PROBE },
+                Dest {
+                    op: join,
+                    input: JOIN_PROBE,
+                },
             );
             b.connect(acc_op, ex_build, 0);
             b.connect(sources[&atom.name], ex_probe, 0);
@@ -117,7 +132,13 @@ pub(crate) fn build_plan(
 
         // Head projection + all filters, then route to the head store.
         let map = b.map(lowered.head_exprs.clone(), lowered.all_preds());
-        let ship = b.minship(Some(head_info.partition_col), Dest { op: head_store, input: 0 });
+        let ship = b.minship(
+            Some(head_info.partition_col),
+            Dest {
+                op: head_store,
+                input: 0,
+            },
+        );
         b.connect(acc_op, map, 0);
         b.connect(map, ship, 0);
     }

@@ -29,7 +29,9 @@ fn run_and_check(
     let mut runner = Runner::new(compiled.into_plan(), RunnerConfig::new(strategy, peers));
     let mut base: Db = Db::new();
     for (rel, tuple) in facts {
-        base.entry(catalog.id(rel).unwrap()).or_default().insert(tuple.clone());
+        base.entry(catalog.id(rel).unwrap())
+            .or_default()
+            .insert(tuple.clone());
         runner.inject(rel, tuple.clone(), UpdateKind::Insert, None);
     }
     let rep = runner.run_phase("load");
@@ -37,15 +39,19 @@ fn run_and_check(
     let check = |runner: &Runner, base: &Db, stage: &str| {
         let db = oracle.evaluate(base);
         for view in views {
-            let want: BTreeSet<Tuple> =
-                db.get(&catalog.id(view).unwrap()).cloned().unwrap_or_default();
+            let want: BTreeSet<Tuple> = db
+                .get(&catalog.id(view).unwrap())
+                .cloned()
+                .unwrap_or_default();
             assert_eq!(runner.view(view), want, "view {view} at {stage}");
         }
     };
     check(&runner, &base, "load");
     if !deletions.is_empty() {
         for (rel, tuple) in deletions {
-            base.get_mut(&catalog.id(rel).unwrap()).unwrap().remove(tuple);
+            base.get_mut(&catalog.id(rel).unwrap())
+                .unwrap()
+                .remove(tuple);
             runner.inject(rel, tuple.clone(), UpdateKind::Delete, None);
         }
         let rep = runner.run_phase("deletions");
@@ -95,7 +101,14 @@ fn datalog_aggregate_cascade() {
         ("member", Tuple::new(vec![addr(1), addr(11)])),
         ("member", Tuple::new(vec![addr(1), addr(12)])),
     ];
-    run_and_check(src, Strategy::absorption_lazy(), 3, &facts, &dels, &["sizes", "biggest"]);
+    run_and_check(
+        src,
+        Strategy::absorption_lazy(),
+        3,
+        &facts,
+        &dels,
+        &["sizes", "biggest"],
+    );
 }
 
 #[test]
@@ -106,7 +119,14 @@ fn datalog_filters_and_constants() {
         .iter()
         .map(|&(a, b, c)| ("link", Tuple::new(vec![addr(a), addr(b), Value::Int(c)])))
         .collect();
-    run_and_check(src, Strategy::absorption_lazy(), 2, &facts, &[], &["big", "capped"]);
+    run_and_check(
+        src,
+        Strategy::absorption_lazy(),
+        2,
+        &facts,
+        &[],
+        &["big", "capped"],
+    );
 }
 
 #[test]
@@ -150,6 +170,9 @@ fn datalog_horizon_query() {
         .filter_map(|t| t.get(1).as_addr().map(|a| a.0))
         .collect();
     assert!(from_zero.contains(&1) && from_zero.contains(&2) && from_zero.contains(&3));
-    assert!(!from_zero.contains(&4), "beyond the 3-hop horizon: {view:?}");
+    assert!(
+        !from_zero.contains(&4),
+        "beyond the 3-hop horizon: {view:?}"
+    );
     let _ = catalog;
 }

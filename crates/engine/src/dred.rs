@@ -50,7 +50,9 @@ pub fn dred_delete_sequential(runner: &mut Runner, deletions: &[(String, Tuple)]
     }
     combined.unwrap_or_else(|| RunReport {
         label: "dred/empty".into(),
-        outcome: netrec_sim::RunOutcome::Converged { at: netrec_types::SimTime::ZERO },
+        outcome: netrec_sim::RunOutcome::Converged {
+            at: netrec_types::SimTime::ZERO,
+        },
         convergence: netrec_types::Duration::ZERO,
         bytes: 0,
         msgs: 0,

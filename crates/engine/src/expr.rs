@@ -125,7 +125,11 @@ impl Pred {
 /// Project a row through expressions into an output tuple; `None` if any
 /// expression fails.
 pub fn project(exprs: &[Expr], row: &[Value]) -> Option<Tuple> {
-    exprs.iter().map(|e| e.eval(row)).collect::<Option<Vec<Value>>>().map(Tuple::new)
+    exprs
+        .iter()
+        .map(|e| e.eval(row))
+        .collect::<Option<Vec<Value>>>()
+        .map(Tuple::new)
 }
 
 /// Aggregate functions supported by [`crate::ops::aggregate`] and by
@@ -188,9 +192,16 @@ mod tests {
     #[test]
     fn lists() {
         let r = row();
-        let made = Expr::MakeList(vec![Expr::col(0), Expr::col(1)]).eval(&r).unwrap();
-        assert_eq!(made, Value::list(vec![Value::Addr(NetAddr(1)), Value::Int(10)]));
-        let prep = Expr::Prepend(Box::new(Expr::col(0)), Box::new(Expr::col(3))).eval(&r).unwrap();
+        let made = Expr::MakeList(vec![Expr::col(0), Expr::col(1)])
+            .eval(&r)
+            .unwrap();
+        assert_eq!(
+            made,
+            Value::list(vec![Value::Addr(NetAddr(1)), Value::Int(10)])
+        );
+        let prep = Expr::Prepend(Box::new(Expr::col(0)), Box::new(Expr::col(3)))
+            .eval(&r)
+            .unwrap();
         assert_eq!(prep.as_list().unwrap().len(), 3);
         assert_eq!(prep.as_list().unwrap()[0], Value::Addr(NetAddr(1)));
     }

@@ -31,9 +31,9 @@
 //! set-semantics execution as the paper's main baseline.
 
 pub mod dred;
-pub mod peer;
 pub mod expr;
 pub mod ops;
+pub mod peer;
 pub mod plan;
 pub mod reference;
 pub mod runner;

@@ -8,10 +8,10 @@
 //! Algorithm 4's `P[B[...]]`); COUNT/SUM outputs carry a constant-true
 //! annotation and rely on explicit retraction for maintenance.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use netrec_prov::{Prov, ProvMode};
-use netrec_types::{RelId, Tuple, UpdateKind, Value};
+use netrec_types::{FxHashMap, RelId, Tuple, UpdateKind, Value};
 
 use crate::expr::AggFn;
 use crate::plan::Dest;
@@ -28,10 +28,11 @@ pub struct AggregateOp {
     dests: Vec<Dest>,
     /// All contributing tuples with annotations (deletion support).
     contrib: ProvTable,
-    /// Group → sorted multiset of (value, tuples).
-    groups: HashMap<Tuple, BTreeMap<Value, HashSet<Tuple>>>,
+    /// Group → sorted multiset of (value, tuples). The per-value witness
+    /// sets are `BTreeSet`s so witness iteration is sorted by construction.
+    groups: FxHashMap<Tuple, BTreeMap<Value, BTreeSet<Tuple>>>,
     /// Group → last emitted output (tuple, annotation).
-    emitted: HashMap<Tuple, (Tuple, Prov)>,
+    emitted: FxHashMap<Tuple, (Tuple, Prov)>,
 }
 
 impl AggregateOp {
@@ -51,8 +52,8 @@ impl AggregateOp {
             out_rel,
             dests,
             contrib: ProvTable::new(mode, true),
-            groups: HashMap::new(),
-            emitted: HashMap::new(),
+            groups: FxHashMap::default(),
+            emitted: FxHashMap::default(),
         }
     }
 
@@ -65,12 +66,17 @@ impl AggregateOp {
     }
 
     /// Current aggregate output for a group, or `None` when empty.
-    fn compute(&self, g: &Tuple, mode: ProvMode, mgr: &netrec_bdd::BddManager) -> Option<(Tuple, Prov)> {
+    fn compute(
+        &self,
+        g: &Tuple,
+        mode: ProvMode,
+        mgr: &netrec_bdd::BddManager,
+    ) -> Option<(Tuple, Prov)> {
         let members = self.groups.get(g)?;
         if members.is_empty() {
             return None;
         }
-        let (value, witnesses): (Value, &HashSet<Tuple>) = match self.agg {
+        let (value, witnesses): (Value, &BTreeSet<Tuple>) = match self.agg {
             AggFn::Min => {
                 let (v, w) = members.first_key_value()?;
                 (v.clone(), w)
@@ -80,7 +86,7 @@ impl AggregateOp {
                 (v.clone(), w)
             }
             AggFn::Count => {
-                let n: usize = members.values().map(HashSet::len).sum();
+                let n: usize = members.values().map(BTreeSet::len).sum();
                 (Value::Int(n as i64), members.values().next()?)
             }
             AggFn::Sum => {
@@ -96,10 +102,9 @@ impl AggregateOp {
         let out_tuple = Tuple::new(out_vals);
         let prov = match (self.agg, mode) {
             (AggFn::Min | AggFn::Max, ProvMode::Absorption) => {
+                // Witness sets iterate in sorted order already.
                 let mut acc = mgr.zero();
-                let mut ws: Vec<&Tuple> = witnesses.iter().collect();
-                ws.sort();
-                for w in ws {
+                for w in witnesses {
                     if let Some(Prov::Bdd(b)) = self.contrib.get(w) {
                         acc = acc.or(b);
                     }
@@ -107,9 +112,10 @@ impl AggregateOp {
                 Prov::Bdd(acc)
             }
             (AggFn::Min | AggFn::Max, ProvMode::Relative) => {
-                let mut ws: Vec<&Tuple> = witnesses.iter().collect();
-                ws.sort();
-                let ants: Vec<&Prov> = ws.iter().filter_map(|w| self.contrib.get(w)).collect();
+                let ants: Vec<&Prov> = witnesses
+                    .iter()
+                    .filter_map(|w| self.contrib.get(w))
+                    .collect();
                 if ants.is_empty() {
                     Prov::None
                 } else {
@@ -118,9 +124,9 @@ impl AggregateOp {
             }
             (_, ProvMode::Absorption) => Prov::Bdd(mgr.one()),
             (_, ProvMode::Counting) => Prov::Count(1),
-            (_, ProvMode::Relative) => Prov::Rel(std::sync::Arc::new(
-                netrec_prov::RelProv::base(netrec_bdd::Var::MAX),
-            )),
+            (_, ProvMode::Relative) => Prov::Rel(std::sync::Arc::new(netrec_prov::RelProv::base(
+                netrec_bdd::Var::MAX,
+            ))),
             (_, ProvMode::Set) => Prov::None,
         };
         Some((out_tuple, prov))
@@ -184,7 +190,7 @@ impl AggregateOp {
     /// Process a batch.
     pub fn on_updates(&mut self, ups: Vec<Update>, ectx: &mut Ectx<'_>) {
         let mut out = Vec::new();
-        let mut touched: Vec<Tuple> = Vec::new();
+        let mut touched: BTreeSet<Tuple> = BTreeSet::new();
         for u in ups {
             match u.kind {
                 UpdateKind::Insert => {
@@ -198,9 +204,11 @@ impl AggregateOp {
                                 .entry(v)
                                 .or_default()
                                 .insert(u.tuple.clone());
-                            touched.push(g);
+                            touched.insert(g);
                         }
-                        MergeOutcome::Changed(_) => touched.push(g),
+                        MergeOutcome::Changed(_) => {
+                            touched.insert(g);
+                        }
                         MergeOutcome::Absorbed => {}
                     }
                 }
@@ -210,7 +218,7 @@ impl AggregateOp {
                         if matches!(outcome, DeleteOutcome::Died(_)) {
                             self.detach(&g, &t);
                         }
-                        touched.push(g);
+                        touched.insert(g);
                     }
                 }
                 UpdateKind::Delete => {
@@ -219,13 +227,11 @@ impl AggregateOp {
                         if matches!(outcome, DeleteOutcome::Died(_)) {
                             self.detach(&g, &u.tuple);
                         }
-                        touched.push(g);
+                        touched.insert(g);
                     }
                 }
             }
         }
-        touched.sort();
-        touched.dedup();
         for g in touched {
             self.revise(&g, &mut out, ectx);
         }
@@ -235,16 +241,14 @@ impl AggregateOp {
     /// Broadcast-mode tombstone: restrict contributors and emit revisions.
     pub fn on_tombstone(&mut self, vars: &[netrec_bdd::Var], ectx: &mut Ectx<'_>) {
         let mut out = Vec::new();
-        let mut touched: Vec<Tuple> = Vec::new();
+        let mut touched: BTreeSet<Tuple> = BTreeSet::new();
         for (t, outcome) in self.contrib.restrict_cause(vars) {
             let g = self.group_of(&t);
             if matches!(outcome, DeleteOutcome::Died(_)) {
                 self.detach(&g, &t);
             }
-            touched.push(g);
+            touched.insert(g);
         }
-        touched.sort();
-        touched.dedup();
         for g in touched {
             self.revise(&g, &mut out, ectx);
         }

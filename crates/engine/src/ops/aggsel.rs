@@ -11,10 +11,10 @@
 //! The state can be embedded inside a Store (Algorithm 1 lines 2–8) or run
 //! standalone in front of a MinShip (Algorithm 3 lines 4–8).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeSet;
 
 use netrec_prov::{Prov, ProvMode};
-use netrec_types::{Tuple, UpdateKind, Value};
+use netrec_types::{FxHashMap, FxHashSet, Tuple, UpdateKind, Value};
 
 use crate::plan::{AggSelSpec, Dest};
 use crate::update::Update;
@@ -25,11 +25,13 @@ use super::{DeleteOutcome, Ectx, MergeOutcome, ProvTable};
 /// forwarded set `F` that keeps downstream deletion bookkeeping exact).
 pub struct AggSelState {
     spec: AggSelSpec,
-    groups: HashMap<Tuple, HashSet<Tuple>>,
+    /// Group → members, sorted so rebalance scans in deterministic order
+    /// without cloning the member set.
+    groups: FxHashMap<Tuple, BTreeSet<Tuple>>,
     prov: ProvTable,
     /// Per group: current best value per aggregate.
-    best: HashMap<Tuple, Vec<Option<Value>>>,
-    forwarded: HashSet<Tuple>,
+    best: FxHashMap<Tuple, Vec<Option<Value>>>,
+    forwarded: FxHashSet<Tuple>,
 }
 
 impl AggSelState {
@@ -37,10 +39,10 @@ impl AggSelState {
     pub fn new(spec: AggSelSpec, mode: ProvMode) -> AggSelState {
         AggSelState {
             spec,
-            groups: HashMap::new(),
+            groups: FxHashMap::default(),
             prov: ProvTable::new(mode, true),
-            best: HashMap::new(),
-            forwarded: HashSet::new(),
+            best: FxHashMap::default(),
+            forwarded: FxHashSet::default(),
         }
     }
 
@@ -74,14 +76,14 @@ impl AggSelState {
         let n = self.spec.aggs.len();
         let entry = self.best.entry(g.clone()).or_insert_with(|| vec![None; n]);
         let mut improved = false;
-        for i in 0..n {
-            let v = t.get(self.spec.aggs[i].0).clone();
-            let better = match &entry[i] {
+        for (slot, (col, f)) in entry.iter_mut().zip(&self.spec.aggs) {
+            let v = t.get(*col).clone();
+            let better = match slot {
                 None => true,
-                Some(b) => self.spec.aggs[i].1.better(&v, b),
+                Some(b) => f.better(&v, b),
             };
             if better {
-                entry[i] = Some(v);
+                *slot = Some(v);
                 improved = true;
             }
         }
@@ -117,26 +119,23 @@ impl AggSelState {
     /// now dominated, and forward not-yet-forwarded tuples that became
     /// competitive.
     fn rebalance(&mut self, g: &Tuple, out: &mut Vec<Update>, rel: netrec_types::RelId) {
-        let members: Vec<Tuple> = self
-            .groups
-            .get(g)
-            .map(|s| {
-                let mut v: Vec<Tuple> = s.iter().cloned().collect();
-                v.sort();
-                v
-            })
-            .unwrap_or_default();
+        let Some(members) = self.groups.get(g) else {
+            return;
+        };
+        // `members` iterates sorted in place; only `forwarded`/`prov`
+        // (disjoint fields) are touched inside, so no defensive clone-and-
+        // sort of the member set.
         for t in members {
-            let is_fwd = self.forwarded.contains(&t);
-            let dominated = self.dominated(g, &t);
+            let is_fwd = self.forwarded.contains(t);
+            let dominated = self.dominated(g, t);
             if is_fwd && dominated {
-                let pv = self.prov.get(&t).cloned().unwrap_or(Prov::None);
-                self.forwarded.remove(&t);
-                out.push(Update::del_retract(rel, t, pv));
+                let pv = self.prov.get(t).cloned().unwrap_or(Prov::None);
+                self.forwarded.remove(t);
+                out.push(Update::del_retract(rel, t.clone(), pv));
             } else if !is_fwd && !dominated {
-                let pv = self.prov.get(&t).cloned().unwrap_or(Prov::None);
+                let pv = self.prov.get(t).cloned().unwrap_or(Prov::None);
                 self.forwarded.insert(t.clone());
-                out.push(Update::ins(rel, t, pv));
+                out.push(Update::ins(rel, t.clone(), pv));
             }
         }
     }
@@ -151,7 +150,10 @@ impl AggSelState {
                     let g = self.group_of(&u.tuple);
                     let delta = match self.prov.merge_ins(&u.tuple, &u.prov) {
                         MergeOutcome::New(d) => {
-                            self.groups.entry(g.clone()).or_default().insert(u.tuple.clone());
+                            self.groups
+                                .entry(g.clone())
+                                .or_default()
+                                .insert(u.tuple.clone());
                             d
                         }
                         MergeOutcome::Changed(d) => d,
@@ -176,7 +178,7 @@ impl AggSelState {
                 }
                 UpdateKind::Delete if !u.cause.is_empty() => {
                     let rel = u.rel;
-                    let mut touched_groups: HashSet<Tuple> = HashSet::new();
+                    let mut touched_groups: BTreeSet<Tuple> = BTreeSet::new();
                     for (t, outcome) in self.prov.restrict_cause(&u.cause) {
                         let g = self.group_of(&t);
                         match outcome {
@@ -199,9 +201,7 @@ impl AggSelState {
                             }
                         }
                     }
-                    let mut gs: Vec<Tuple> = touched_groups.into_iter().collect();
-                    gs.sort();
-                    for g in gs {
+                    for g in touched_groups {
                         self.recompute_bests(&g);
                         self.rebalance(&g, &mut out, rel);
                     }
@@ -241,7 +241,7 @@ impl AggSelState {
     /// return the revision stream (next-best re-emissions).
     pub fn on_tombstone(&mut self, vars: &[netrec_bdd::Var]) -> Vec<Update> {
         let mut out = Vec::new();
-        let mut touched: HashSet<Tuple> = HashSet::new();
+        let mut touched: BTreeSet<Tuple> = BTreeSet::new();
         let rel = netrec_types::RelId(0); // overwritten by caller's dests; rel is cosmetic here
         for (t, outcome) in self.prov.restrict_cause(vars) {
             let g = self.group_of(&t);
@@ -256,9 +256,7 @@ impl AggSelState {
                 touched.insert(g);
             }
         }
-        let mut gs: Vec<Tuple> = touched.into_iter().collect();
-        gs.sort();
-        for g in gs {
+        for g in touched {
             self.recompute_bests(&g);
             self.rebalance(&g, &mut out, rel);
         }
@@ -267,9 +265,7 @@ impl AggSelState {
 
     /// Resident state bytes.
     pub fn state_bytes(&self) -> usize {
-        self.prov.state_bytes()
-            + self.best.len() * 64
-            + self.forwarded.len() * 16
+        self.prov.state_bytes() + self.best.len() * 64 + self.forwarded.len() * 16
     }
 }
 
@@ -283,7 +279,11 @@ pub struct AggSelOp {
 impl AggSelOp {
     /// Build from plan fields.
     pub fn new(spec: AggSelSpec, dests: Vec<Dest>, mode: ProvMode) -> AggSelOp {
-        AggSelOp { state: AggSelState::new(spec, mode), dests, out_rel_seen: None }
+        AggSelOp {
+            state: AggSelState::new(spec, mode),
+            dests,
+            out_rel_seen: None,
+        }
     }
 
     /// Process a batch.

@@ -25,7 +25,12 @@ impl MapOp {
         out_rel: netrec_types::RelId,
         dests: Vec<Dest>,
     ) -> MapOp {
-        MapOp { exprs, preds, out_rel, dests }
+        MapOp {
+            exprs,
+            preds,
+            out_rel,
+            dests,
+        }
     }
 
     /// Process a batch.
@@ -40,8 +45,14 @@ impl MapOp {
             if !self.preds.iter().all(|p| p.test(row)) {
                 continue;
             }
-            let Some(tuple) = project(&self.exprs, row) else { continue };
-            out.push(Update { rel: self.out_rel, tuple, ..u });
+            let Some(tuple) = project(&self.exprs, row) else {
+                continue;
+            };
+            out.push(Update {
+                rel: self.out_rel,
+                tuple,
+                ..u
+            });
         }
         ectx.emit_local(&self.dests, out);
     }

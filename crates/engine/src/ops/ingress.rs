@@ -1,12 +1,11 @@
 //! EDB ingress: variable allocation, set-semantics dedup, soft-state TTLs,
 //! deletion origination, and DRed re-derivation.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use netrec_bdd::Var;
 use netrec_prov::{Prov, ProvMode, VarAllocator, VarTable};
-use netrec_types::{Duration, RelId, Tuple, UpdateKind};
+use netrec_types::{Duration, FxHashMap, RelId, Tuple, UpdateKind};
 
 use crate::plan::Dest;
 use crate::strategy::DeleteProp;
@@ -24,14 +23,20 @@ pub struct IngressOp {
     /// TTL bookkeeping: timer id → (tuple, var-at-arming). Expiry is ignored
     /// if the tuple was deleted (and possibly re-inserted with a new var)
     /// in the meantime.
-    pending_ttl: HashMap<u32, (Tuple, Option<Var>)>,
+    pending_ttl: FxHashMap<u32, (Tuple, Option<Var>)>,
     next_ttl: u32,
 }
 
 impl IngressOp {
     /// New ingress for `rel` feeding `dests`.
     pub fn new(rel: RelId, dests: Vec<Dest>) -> IngressOp {
-        IngressOp { rel, dests, vars: VarTable::new(), pending_ttl: HashMap::new(), next_ttl: 0 }
+        IngressOp {
+            rel,
+            dests,
+            vars: VarTable::new(),
+            pending_ttl: FxHashMap::default(),
+            next_ttl: 0,
+        }
     }
 
     /// The base relation.
@@ -140,6 +145,9 @@ impl IngressOp {
 
     /// Resident state bytes.
     pub fn state_bytes(&self) -> usize {
-        self.vars.iter().map(|(_, t, _)| t.encoded_len() + 4 + 48).sum()
+        self.vars
+            .iter()
+            .map(|(_, t, _)| t.encoded_len() + 4 + 48)
+            .sum()
     }
 }

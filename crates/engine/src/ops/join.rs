@@ -9,10 +9,10 @@
 //! output, so downstream state is restricted along exactly the paths the
 //! derivations took.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeSet;
 
 use netrec_prov::{Prov, ProvMode};
-use netrec_types::{RelId, Tuple, UpdateKind, Value};
+use netrec_types::{FxHashMap, RelId, Tuple, UpdateKind, Value};
 
 use crate::expr::{project, Expr, Pred};
 use crate::plan::{Dest, JOIN_BUILD};
@@ -22,13 +22,25 @@ use super::{DeleteOutcome, Ectx, MergeOutcome, ProvTable};
 
 struct Side {
     key_cols: Vec<usize>,
-    by_key: HashMap<Tuple, HashSet<Tuple>>,
+    /// Key → matching tuples. The per-key set is a `BTreeSet`, so probe
+    /// iteration is deterministic (sorted) by construction — no clone-and-
+    /// sort per arriving update — and the outer map probes via the tuples'
+    /// cached Fx hash.
+    by_key: FxHashMap<Tuple, BTreeSet<Tuple>>,
     prov: ProvTable,
 }
 
+/// Iterator over the matches for one key, in sorted order, borrowing the
+/// side's state (zero allocation per probe).
+type Matches<'a> = std::iter::Flatten<std::option::IntoIter<&'a BTreeSet<Tuple>>>;
+
 impl Side {
     fn new(key_cols: Vec<usize>, mode: ProvMode) -> Side {
-        Side { key_cols, by_key: HashMap::new(), prov: ProvTable::new(mode, true) }
+        Side {
+            key_cols,
+            by_key: FxHashMap::default(),
+            prov: ProvTable::new(mode, true),
+        }
     }
 
     fn key(&self, t: &Tuple) -> Tuple {
@@ -36,23 +48,24 @@ impl Side {
     }
 
     fn add(&mut self, t: &Tuple) {
-        self.by_key.entry(self.key(t)).or_default().insert(t.clone());
+        self.by_key
+            .entry(self.key(t))
+            .or_default()
+            .insert(t.clone());
     }
 
     fn remove(&mut self, t: &Tuple) {
-        if let Some(set) = self.by_key.get_mut(&self.key(t)) {
+        let key = self.key(t);
+        if let Some(set) = self.by_key.get_mut(&key) {
             set.remove(t);
             if set.is_empty() {
-                self.by_key.remove(&self.key(t));
+                self.by_key.remove(&key);
             }
         }
     }
 
-    fn matches(&self, key: &Tuple) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> =
-            self.by_key.get(key).map(|s| s.iter().cloned().collect()).unwrap_or_default();
-        v.sort(); // deterministic emission order
-        v
+    fn matches(&self, key: &Tuple) -> Matches<'_> {
+        self.by_key.get(key).into_iter().flatten()
     }
 }
 
@@ -93,20 +106,18 @@ impl JoinOp {
 
     fn row(&self, from_build: bool, mine: &Tuple, other: &Tuple) -> Vec<Value> {
         // Output rows are always `build ++ probe` regardless of arrival side.
-        let (b, p) = if from_build { (mine, other) } else { (other, mine) };
+        let (b, p) = if from_build {
+            (mine, other)
+        } else {
+            (other, mine)
+        };
         let mut row = Vec::with_capacity(b.arity() + p.arity());
         row.extend_from_slice(b.values());
         row.extend_from_slice(p.values());
         row
     }
 
-    fn out_prov(
-        &self,
-        mode: ProvMode,
-        delta: &Prov,
-        other: &Prov,
-        out_tuple: &Tuple,
-    ) -> Prov {
+    fn out_prov(&self, mode: ProvMode, delta: &Prov, other: &Prov, out_tuple: &Tuple) -> Prov {
         match mode {
             ProvMode::Set => Prov::None,
             ProvMode::Counting => delta.and(other),
@@ -140,17 +151,25 @@ impl JoinOp {
                             d
                         }
                         MergeOutcome::Changed(d) => d,
+                        // Set semantics: duplicate suppression belongs to the
+                        // stores, *after* shipping (§3.2; DRed's re-derive
+                        // phase depends on joins forwarding re-inserted base
+                        // tuples). Termination still holds because stores
+                        // absorb duplicates and forward nothing.
+                        MergeOutcome::Absorbed if mode == ProvMode::Set => Prov::None,
                         MergeOutcome::Absorbed => continue,
                     };
                     let key = mine.key(&u.tuple);
                     for t2 in other.matches(&key) {
-                        let row = self.row(from_build, &u.tuple, &t2);
+                        let row = self.row(from_build, &u.tuple, t2);
                         if !self.preds.iter().all(|p| p.test(&row)) {
                             continue;
                         }
-                        let Some(out_tuple) = project(&self.emit, &row) else { continue };
+                        let Some(out_tuple) = project(&self.emit, &row) else {
+                            continue;
+                        };
                         let other_side = if from_build { &self.probe } else { &self.build };
-                        let other_prov = other_side.prov.get(&t2).expect("matched tuple has prov");
+                        let other_prov = other_side.prov.get(t2).expect("matched tuple has prov");
                         let prov = self.out_prov(mode, &delta, other_prov, &out_tuple);
                         out.push(Update::ins(self.out_rel, out_tuple, prov));
                     }
@@ -162,8 +181,7 @@ impl JoinOp {
                     } else {
                         (&mut self.probe, &self.build)
                     };
-                    let Some(outcome) = mine.prov.restrict_cause_tuple(&u.tuple, &u.cause)
-                    else {
+                    let Some(outcome) = mine.prov.restrict_cause_tuple(&u.tuple, &u.cause) else {
                         continue; // unaffected or unknown: cascade stops here
                     };
                     let removed = match outcome {
@@ -180,17 +198,24 @@ impl JoinOp {
                     };
                     let other_side = if from_build { &self.probe } else { &self.build };
                     for t2 in other_side.matches(&key) {
-                        let row = self.row(from_build, &u.tuple, &t2);
+                        let row = self.row(from_build, &u.tuple, t2);
                         if !self.preds.iter().all(|p| p.test(&row)) {
                             continue;
                         }
-                        let Some(out_tuple) = project(&self.emit, &row) else { continue };
-                        let other_prov = other_side.prov.get(&t2).expect("matched");
+                        let Some(out_tuple) = project(&self.emit, &row) else {
+                            continue;
+                        };
+                        let other_prov = other_side.prov.get(t2).expect("matched");
                         let pv = match mode {
                             ProvMode::Absorption => removed.and(other_prov),
                             _ => removed.clone(),
                         };
-                        out.push(Update::del_cause(self.out_rel, out_tuple, pv, u.cause.clone()));
+                        out.push(Update::del_cause(
+                            self.out_rel,
+                            out_tuple,
+                            pv,
+                            u.cause.clone(),
+                        ));
                     }
                 }
                 UpdateKind::Delete => {
@@ -218,12 +243,14 @@ impl JoinOp {
                     };
                     let other_side = if from_build { &self.probe } else { &self.build };
                     for t2 in other_side.matches(&key) {
-                        let row = self.row(from_build, &u.tuple, &t2);
+                        let row = self.row(from_build, &u.tuple, t2);
                         if !self.preds.iter().all(|p| p.test(&row)) {
                             continue;
                         }
-                        let Some(out_tuple) = project(&self.emit, &row) else { continue };
-                        let other_prov = other_side.prov.get(&t2).expect("matched");
+                        let Some(out_tuple) = project(&self.emit, &row) else {
+                            continue;
+                        };
+                        let other_prov = other_side.prov.get(t2).expect("matched");
                         let pv = match mode {
                             ProvMode::Set => Prov::None,
                             _ => removed.and(other_prov),

@@ -12,12 +12,11 @@
 //! * **Immediate** policy: degenerate to a conventional Ship (every update
 //!   forwarded as-is) — the costliest configuration.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use netrec_bdd::Var;
 use netrec_prov::{Prov, ProvMode};
-use netrec_types::{Tuple, UpdateKind};
+use netrec_types::{FxHashMap, FxHashSet, Tuple, UpdateKind};
 
 use crate::plan::Dest;
 use crate::strategy::ShipPolicy;
@@ -35,7 +34,14 @@ pub struct MinShipOp {
     /// Buffered insertions (`Pins`).
     pins: ProvTable,
     /// Buffered deletions (`Pdel`): tuple → (annotation, accumulated cause).
-    pdel: HashMap<Tuple, (Prov, Vec<Var>)>,
+    pdel: FxHashMap<Tuple, (Prov, Vec<Var>)>,
+    /// Tuples whose *shipped* annotation has been cause-restricted since it
+    /// was last sent. For these, `sent` is a stale mirror of the receiver's
+    /// knowledge (a cause can reach the receiver along another dataflow path
+    /// and kill its copy outright), so arriving derivations must ship rather
+    /// than buffer — otherwise a revived tuple strands in `pins` and the
+    /// receiver over-deletes.
+    dirty: FxHashSet<Tuple>,
     /// Relation tag observed on the stream (for re-emission).
     rel_seen: Option<netrec_types::RelId>,
     /// Whether a flush timer is currently armed (eager mode).
@@ -50,7 +56,8 @@ impl MinShipOp {
             dest,
             sent: ProvTable::new(mode, false),
             pins: ProvTable::new(mode, false),
-            pdel: HashMap::new(),
+            pdel: FxHashMap::default(),
+            dirty: FxHashSet::default(),
             rel_seen: None,
             timer_armed: false,
         }
@@ -76,6 +83,17 @@ impl MinShipOp {
                 UpdateKind::Insert => {
                     if !self.sent.contains(&u.tuple) {
                         // First derivation: ship immediately (Alg. 3 L11–13).
+                        // The fresh ship resets any staleness marker — `sent`
+                        // mirrors the receiver again for this tuple.
+                        self.dirty.remove(&u.tuple);
+                        self.sent.merge_ins(&u.tuple, &u.prov);
+                        send_now.push(u);
+                    } else if self.dirty.remove(&u.tuple) {
+                        // The shipped annotation was restricted since the
+                        // last send, so the receiver's copy may have died
+                        // along another propagation path. Ship the arriving
+                        // derivation instead of buffering it so the receiver
+                        // can revive the tuple.
                         self.sent.merge_ins(&u.tuple, &u.prov);
                         send_now.push(u);
                     } else {
@@ -92,8 +110,18 @@ impl MinShipOp {
                 }
                 UpdateKind::Delete if !u.cause.is_empty() => {
                     // Restrict buffered and sent knowledge (Alg. 3 L20–25).
+                    // Only tuples that *survive* in `sent` need a staleness
+                    // marker: entries that died re-enter through the
+                    // first-derivation branch anyway.
                     let _ = self.pins.restrict_cause(&u.cause);
-                    let _ = self.sent.restrict_cause(&u.cause);
+                    for (t, outcome) in self.sent.restrict_cause(&u.cause) {
+                        if matches!(outcome, super::DeleteOutcome::Shrunk(_)) {
+                            self.dirty.insert(t);
+                        }
+                    }
+                    if self.sent.contains(&u.tuple) {
+                        self.dirty.insert(u.tuple.clone());
+                    }
                     let entry = self
                         .pdel
                         .entry(u.tuple.clone())
@@ -141,17 +169,27 @@ impl MinShipOp {
     /// Eager flush (BatchShipEager): ship all buffered insertions and
     /// deletions. Returns `true` if anything was sent.
     pub fn flush_eager(&mut self, ectx: &mut Ectx<'_>) -> bool {
-        let Some(rel) = self.rel_seen else { return false };
+        let Some(rel) = self.rel_seen else {
+            return false;
+        };
         let mut out: Vec<Update> = Vec::new();
         // Deletions first: they unblock receiver-side state.
         let pdel = std::mem::take(&mut self.pdel);
         let mut dels: Vec<(Tuple, (Prov, Vec<Var>))> = pdel.into_iter().collect();
         dels.sort_by(|a, b| a.0.cmp(&b.0));
         for (t, (pv, cause)) in dels {
-            out.push(Update::del_cause(rel, t, pv, Arc::from(cause.into_boxed_slice())));
+            out.push(Update::del_cause(
+                rel,
+                t,
+                pv,
+                Arc::from(cause.into_boxed_slice()),
+            ));
         }
-        let mut ins: Vec<(Tuple, Prov)> =
-            self.pins.iter().map(|(t, p)| (t.clone(), p.clone())).collect();
+        let mut ins: Vec<(Tuple, Prov)> = self
+            .pins
+            .iter()
+            .map(|(t, p)| (t.clone(), p.clone()))
+            .collect();
         ins.sort_by(|a, b| a.0.cmp(&b.0));
         self.pins = ProvTable::new(self.pins.mode(), false);
         for (t, pv) in ins {
@@ -172,7 +210,12 @@ impl MinShipOp {
         let mut dels: Vec<(Tuple, (Prov, Vec<Var>))> = pdel.into_iter().collect();
         dels.sort_by(|a, b| a.0.cmp(&b.0));
         for (t, (pv, cause)) in dels {
-            out.push(Update::del_cause(rel, t.clone(), pv, Arc::from(cause.into_boxed_slice())));
+            out.push(Update::del_cause(
+                rel,
+                t.clone(),
+                pv,
+                Arc::from(cause.into_boxed_slice()),
+            ));
             if let Some(alt) = self.pins.get(&t).cloned() {
                 self.sent.merge_ins(&t, &alt);
                 out.push(Update::ins(rel, t.clone(), alt.clone()));
@@ -203,7 +246,10 @@ impl MinShipOp {
         let affected = self.sent.restrict_cause(vars);
         let Some(rel) = self.rel_seen else { return };
         let mut out: Vec<Update> = Vec::new();
-        for (t, _) in affected {
+        for (t, outcome) in affected {
+            if matches!(outcome, super::DeleteOutcome::Shrunk(_)) {
+                self.dirty.insert(t.clone());
+            }
             if let Some(alt) = self.pins.get(&t).cloned() {
                 self.sent.merge_ins(&t, &alt);
                 out.push(Update::ins(rel, t.clone(), alt.clone()));

@@ -14,12 +14,13 @@ pub mod join;
 pub mod minship;
 pub mod store;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
 
 use netrec_bdd::{BddManager, Var};
 use netrec_prov::{Prov, ProvMode};
 use netrec_sim::{NetApi, Partitioner, PeerId};
-use netrec_types::{Tuple, Value};
+use netrec_types::{fx_hash_one, FxHashMap, Tuple, Value};
 
 use crate::plan::{Dest, Plan};
 use crate::strategy::Strategy;
@@ -71,38 +72,38 @@ pub struct Ectx<'a> {
 }
 
 impl<'a> Ectx<'a> {
-    /// Hand a batch to local destinations (no network traffic).
+    /// Hand a batch to local destinations (no network traffic). The batch is
+    /// shared across destinations behind one `Arc` — extra destinations cost
+    /// a reference-count bump, not a deep copy — and its metrics metadata is
+    /// computed once.
     pub fn emit_local(&mut self, dests: &[Dest], ups: Vec<Update>) {
         if ups.is_empty() || dests.is_empty() {
             return;
         }
-        for d in &dests[1..] {
-            let msg = Msg::Updates(ups.clone());
-            let meta = msg.meta();
+        let batch = Arc::new(ups);
+        let meta = Msg::Updates(Arc::clone(&batch)).meta();
+        for d in dests {
+            let msg = Msg::Updates(Arc::clone(&batch));
             self.net.send(self.me, Plan::port(d.op, d.input), msg, meta);
         }
-        let d = dests[0];
-        let msg = Msg::Updates(ups);
-        let meta = msg.meta();
-        self.net.send(self.me, Plan::port(d.op, d.input), msg, meta);
     }
 
     /// Route a batch by key column to the owning peers (one message per
-    /// destination peer — this is where bandwidth is spent).
+    /// destination peer — this is where bandwidth is spent). Buckets are
+    /// built in a `BTreeMap` so send order is deterministic by construction,
+    /// with no post-hoc key sort.
     pub fn emit_routed(&mut self, route_col: Option<usize>, dest: Dest, ups: Vec<Update>) {
         if ups.is_empty() {
             return;
         }
-        let mut by_peer: HashMap<PeerId, Vec<Update>> = HashMap::new();
+        let mut by_peer: BTreeMap<PeerId, Vec<Update>> = BTreeMap::new();
         for u in ups {
             let peer = self.peer_for(route_col, &u.tuple);
             by_peer.entry(peer).or_default().push(u);
         }
         let port = Plan::port(dest.op, dest.input);
-        let mut peers: Vec<PeerId> = by_peer.keys().copied().collect();
-        peers.sort(); // deterministic send order
-        for p in peers {
-            let msg = Msg::Updates(by_peer.remove(&p).expect("key"));
+        for (p, batch) in by_peer {
+            let msg = Msg::Updates(Arc::new(batch));
             let meta = msg.meta();
             self.net.send(p, port, msg, meta);
         }
@@ -114,17 +115,9 @@ impl<'a> Ectx<'a> {
             None => PeerId(0),
             Some(c) => match tuple.get(c) {
                 Value::Addr(a) => self.partitioner.place(*a),
-                other => {
-                    // Hash non-address keys (region ids, costs) stably.
-                    let mut buf = Vec::with_capacity(other.encoded_len());
-                    netrec_types::wire::put_value(&mut buf, other);
-                    let mut h = 0xcbf2_9ce4_8422_2325u64;
-                    for b in buf {
-                        h ^= u64::from(b);
-                        h = h.wrapping_mul(0x1_0000_0193);
-                    }
-                    PeerId((h % u64::from(self.peers)) as u32)
-                }
+                // Hash non-address keys (region ids, costs) stably, straight
+                // off the value — no wire-encoding buffer.
+                other => PeerId((fx_hash_one(other) % u64::from(self.peers)) as u32),
             },
         }
     }
@@ -134,7 +127,8 @@ impl<'a> Ectx<'a> {
         for p in 0..self.peers {
             let msg = Msg::Tombstone(vars.clone());
             let meta = netrec_sim::MsgMeta::control(msg.encoded_len());
-            self.net.send(PeerId(p), crate::peer::TOMBSTONE_PORT, msg, meta);
+            self.net
+                .send(PeerId(p), crate::peer::TOMBSTONE_PORT, msg, meta);
         }
     }
 }
@@ -162,22 +156,58 @@ pub enum DeleteOutcome {
 }
 
 /// The shared `tuple → provenance` table with optional variable index.
+///
+/// Keyed with Fx hashing: tuples carry a cached hash, so a probe costs one
+/// 64-bit mix instead of SipHash over the value vector. Resident-size
+/// accounting is maintained incrementally (`state_bytes` is O(1)); all map
+/// mutations therefore go through [`ProvTable::store`] / [`ProvTable::evict`].
 pub struct ProvTable {
-    map: HashMap<Tuple, Prov>,
-    counts: HashMap<Tuple, i64>,
-    var_index: Option<HashMap<Var, HashSet<Tuple>>>,
+    map: FxHashMap<Tuple, Prov>,
+    counts: FxHashMap<Tuple, i64>,
+    var_index: Option<FxHashMap<Var, BTreeSet<Tuple>>>,
     mode: ProvMode,
+    /// Incrementally-maintained total of per-entry costs (see `entry_cost`).
+    bytes: usize,
+}
+
+/// Per-entry bookkeeping overhead (hash slot, pointers) counted by
+/// [`ProvTable::state_bytes`].
+const ENTRY_OVERHEAD: usize = 48;
+
+fn entry_cost(t: &Tuple, p: &Prov) -> usize {
+    t.encoded_len() + p.encoded_len() + ENTRY_OVERHEAD
 }
 
 impl ProvTable {
     /// Empty table for `mode`; `indexed` enables the var → tuples index.
     pub fn new(mode: ProvMode, indexed: bool) -> ProvTable {
         ProvTable {
-            map: HashMap::new(),
-            counts: HashMap::new(),
-            var_index: if indexed { Some(HashMap::new()) } else { None },
+            map: FxHashMap::default(),
+            counts: FxHashMap::default(),
+            var_index: if indexed {
+                Some(FxHashMap::default())
+            } else {
+                None
+            },
             mode,
+            bytes: 0,
         }
+    }
+
+    /// Insert/overwrite an entry, keeping the byte counter in sync.
+    fn store(&mut self, t: Tuple, p: Prov) {
+        let t_len = t.encoded_len();
+        self.bytes += t_len + p.encoded_len() + ENTRY_OVERHEAD;
+        if let Some(old) = self.map.insert(t, p) {
+            self.bytes -= t_len + old.encoded_len() + ENTRY_OVERHEAD;
+        }
+    }
+
+    /// Remove an entry, keeping the byte counter in sync.
+    fn evict(&mut self, t: &Tuple) -> Option<Prov> {
+        let old = self.map.remove(t)?;
+        self.bytes -= entry_cost(t, &old);
+        Some(old)
     }
 
     /// Number of live tuples.
@@ -230,7 +260,7 @@ impl ProvTable {
                 if self.map.contains_key(t) {
                     MergeOutcome::Absorbed
                 } else {
-                    self.map.insert(t.clone(), Prov::None);
+                    self.store(t.clone(), Prov::None);
                     MergeOutcome::New(Prov::None)
                 }
             }
@@ -239,37 +269,36 @@ impl ProvTable {
                 let entry = self.counts.entry(t.clone()).or_insert(0);
                 let was_zero = *entry == 0;
                 *entry += c;
+                let now = *entry;
                 if was_zero {
-                    self.map.insert(t.clone(), Prov::Count(c));
+                    self.store(t.clone(), Prov::Count(c));
                     MergeOutcome::New(Prov::Count(c))
                 } else {
-                    self.map.insert(t.clone(), Prov::Count(*entry));
+                    self.store(t.clone(), Prov::Count(now));
                     MergeOutcome::Changed(Prov::Count(c))
                 }
             }
-            ProvMode::Absorption => {
-                match self.map.get(t) {
-                    None => {
-                        self.map.insert(t.clone(), prov.clone());
+            ProvMode::Absorption => match self.map.get(t) {
+                None => {
+                    self.store(t.clone(), prov.clone());
+                    self.index_insert(t, prov);
+                    MergeOutcome::New(prov.clone())
+                }
+                Some(old) => {
+                    let merged = old.or(prov);
+                    let delta = prov.bdd().diff(old.bdd());
+                    if delta.is_false() {
+                        MergeOutcome::Absorbed
+                    } else {
+                        self.store(t.clone(), merged);
                         self.index_insert(t, prov);
-                        MergeOutcome::New(prov.clone())
-                    }
-                    Some(old) => {
-                        let merged = old.or(prov);
-                        let delta = prov.bdd().diff(old.bdd());
-                        if delta.is_false() {
-                            MergeOutcome::Absorbed
-                        } else {
-                            self.map.insert(t.clone(), merged);
-                            self.index_insert(t, prov);
-                            MergeOutcome::Changed(Prov::Bdd(delta))
-                        }
+                        MergeOutcome::Changed(Prov::Bdd(delta))
                     }
                 }
-            }
+            },
             ProvMode::Relative => match self.map.get(t) {
                 None => {
-                    self.map.insert(t.clone(), prov.clone());
+                    self.store(t.clone(), prov.clone());
                     self.index_insert(t, prov);
                     MergeOutcome::New(prov.clone())
                 }
@@ -287,7 +316,7 @@ impl ProvTable {
                     }
                     if old.rel().would_change(prov.rel()) {
                         let merged = old.or(prov);
-                        self.map.insert(t.clone(), merged);
+                        self.store(t.clone(), merged);
                         self.index_insert(t, prov);
                         MergeOutcome::Changed(prov.clone())
                     } else {
@@ -305,25 +334,35 @@ impl ProvTable {
         if !matches!(self.mode, ProvMode::Absorption | ProvMode::Relative) {
             return Vec::new();
         }
-        let candidates: Vec<Tuple> = if let Some(index) = &mut self.var_index {
-            let mut set: HashSet<Tuple> = HashSet::new();
+        let dead_set: HashSet<Var> = cause.iter().copied().collect();
+        // The index stores candidates in `BTreeSet`s, so the union is already
+        // deterministically ordered — no post-hoc sort. The unindexed path
+        // pre-filters on annotation support, so unaffected entries cost a
+        // dependency check instead of a clone plus a full restrict.
+        let candidates: BTreeSet<Tuple> = if let Some(index) = &mut self.var_index {
+            let mut set: BTreeSet<Tuple> = BTreeSet::new();
             for v in cause {
                 if let Some(ts) = index.remove(v) {
                     set.extend(ts);
                 }
             }
-            let mut v: Vec<Tuple> = set.into_iter().collect();
-            v.sort();
-            v
+            set
         } else {
-            let mut v: Vec<Tuple> = self.map.keys().cloned().collect();
-            v.sort();
-            v
+            self.map
+                .iter()
+                .filter(|(_, p)| match p {
+                    Prov::Bdd(b) => cause.iter().any(|v| b.depends_on(*v)),
+                    Prov::Rel(r) => r.mentions_any(&dead_set),
+                    _ => false,
+                })
+                .map(|(t, _)| t.clone())
+                .collect()
         };
-        let dead_set: HashSet<Var> = cause.iter().copied().collect();
         let mut out = Vec::new();
         for t in candidates {
-            let Some(old) = self.map.get(&t) else { continue };
+            let Some(old) = self.map.get(&t) else {
+                continue;
+            };
             match (&self.mode, old) {
                 (ProvMode::Absorption, Prov::Bdd(b)) => {
                     let new = b.restrict_all_false(cause);
@@ -332,24 +371,24 @@ impl ProvTable {
                     }
                     let removed = Prov::Bdd(b.diff(&new));
                     if new.is_false() {
-                        let old = self.map.remove(&t).expect("present");
+                        let old = self.evict(&t).expect("present");
                         out.push((t, DeleteOutcome::Died(old)));
                     } else {
-                        self.map.insert(t.clone(), Prov::Bdd(new));
+                        self.store(t.clone(), Prov::Bdd(new));
                         out.push((t, DeleteOutcome::Shrunk(removed)));
                     }
                 }
                 (ProvMode::Relative, Prov::Rel(r)) => match r.kill_vars(&dead_set) {
                     None => {
-                        let old = self.map.remove(&t).expect("present");
+                        let old = self.evict(&t).expect("present");
                         out.push((t, DeleteOutcome::Died(old)));
                     }
                     Some(survivor) => {
                         if survivor.node_count() != r.node_count()
                             || survivor.encoded_len() != r.encoded_len()
                         {
-                            let removed = Prov::Rel(std::sync::Arc::new(survivor.clone()));
-                            self.map.insert(t.clone(), Prov::Rel(std::sync::Arc::new(survivor)));
+                            let removed = Prov::Rel(Arc::new(survivor.clone()));
+                            self.store(t.clone(), Prov::Rel(Arc::new(survivor)));
                             out.push((t, DeleteOutcome::Shrunk(removed)));
                         }
                     }
@@ -374,22 +413,22 @@ impl ProvTable {
                 }
                 let removed = Prov::Bdd(b.diff(&new));
                 if new.is_false() {
-                    self.map.remove(t).map(DeleteOutcome::Died)
+                    self.evict(t).map(DeleteOutcome::Died)
                 } else {
-                    self.map.insert(t.clone(), Prov::Bdd(new));
+                    self.store(t.clone(), Prov::Bdd(new));
                     Some(DeleteOutcome::Shrunk(removed))
                 }
             }
             (ProvMode::Relative, Prov::Rel(r)) => {
                 let dead: HashSet<Var> = cause.iter().copied().collect();
                 match r.kill_vars(&dead) {
-                    None => self.map.remove(t).map(DeleteOutcome::Died),
+                    None => self.evict(t).map(DeleteOutcome::Died),
                     Some(survivor) => {
                         if survivor.node_count() != r.node_count()
                             || survivor.encoded_len() != r.encoded_len()
                         {
-                            let shrunk = Prov::Rel(std::sync::Arc::new(survivor.clone()));
-                            self.map.insert(t.clone(), Prov::Rel(std::sync::Arc::new(survivor)));
+                            let shrunk = Prov::Rel(Arc::new(survivor.clone()));
+                            self.store(t.clone(), Prov::Rel(Arc::new(survivor)));
                             Some(DeleteOutcome::Shrunk(shrunk))
                         } else {
                             None
@@ -405,17 +444,17 @@ impl ProvTable {
     /// decrement) to one tuple.
     pub fn retract(&mut self, t: &Tuple, prov: &Prov) -> Option<DeleteOutcome> {
         match self.mode {
-            ProvMode::Set => self.map.remove(t).map(DeleteOutcome::Died),
+            ProvMode::Set => self.evict(t).map(DeleteOutcome::Died),
             ProvMode::Counting => {
                 let c = prov.count();
                 let entry = self.counts.get_mut(t)?;
                 *entry -= c;
                 if *entry <= 0 {
                     self.counts.remove(t);
-                    self.map.remove(t).map(DeleteOutcome::Died)
+                    self.evict(t).map(DeleteOutcome::Died)
                 } else {
                     let now = *entry;
-                    self.map.insert(t.clone(), Prov::Count(now));
+                    self.store(t.clone(), Prov::Count(now));
                     Some(DeleteOutcome::Shrunk(Prov::Count(c)))
                 }
             }
@@ -426,9 +465,9 @@ impl ProvTable {
                     return None;
                 }
                 if new.is_false() {
-                    self.map.remove(t).map(DeleteOutcome::Died)
+                    self.evict(t).map(DeleteOutcome::Died)
                 } else {
-                    self.map.insert(t.clone(), Prov::Bdd(new));
+                    self.store(t.clone(), Prov::Bdd(new));
                     Some(DeleteOutcome::Shrunk(prov.clone()))
                 }
             }
@@ -436,19 +475,16 @@ impl ProvTable {
                 // Relative annotations cannot subtract a sub-graph soundly;
                 // retraction removes the tuple outright (aggregate outputs
                 // are single-writer, so this is exact).
-                self.map.remove(t).map(DeleteOutcome::Died)
+                self.evict(t).map(DeleteOutcome::Died)
             }
         }
     }
 
     /// Approximate resident bytes: tuples + annotations + per-entry
-    /// bookkeeping (hash slots, pointers).
+    /// bookkeeping (hash slots, pointers). O(1): the total is maintained on
+    /// every mutation instead of scanned per metrics sample.
     pub fn state_bytes(&self) -> usize {
-        const ENTRY_OVERHEAD: usize = 48;
-        self.map
-            .iter()
-            .map(|(t, p)| t.encoded_len() + p.encoded_len() + ENTRY_OVERHEAD)
-            .sum()
+        self.bytes
     }
 
     /// The mode this table runs in.
@@ -469,22 +505,40 @@ mod tests {
     #[test]
     fn set_mode_dedups() {
         let mut pt = ProvTable::new(ProvMode::Set, false);
-        assert!(matches!(pt.merge_ins(&t(1), &Prov::None), MergeOutcome::New(_)));
-        assert!(matches!(pt.merge_ins(&t(1), &Prov::None), MergeOutcome::Absorbed));
-        assert!(matches!(pt.retract(&t(1), &Prov::None), Some(DeleteOutcome::Died(_))));
+        assert!(matches!(
+            pt.merge_ins(&t(1), &Prov::None),
+            MergeOutcome::New(_)
+        ));
+        assert!(matches!(
+            pt.merge_ins(&t(1), &Prov::None),
+            MergeOutcome::Absorbed
+        ));
+        assert!(matches!(
+            pt.retract(&t(1), &Prov::None),
+            Some(DeleteOutcome::Died(_))
+        ));
         assert!(pt.retract(&t(1), &Prov::None).is_none());
     }
 
     #[test]
     fn counting_mode_counts() {
         let mut pt = ProvTable::new(ProvMode::Counting, false);
-        assert!(matches!(pt.merge_ins(&t(1), &Prov::Count(2)), MergeOutcome::New(_)));
-        assert!(matches!(pt.merge_ins(&t(1), &Prov::Count(3)), MergeOutcome::Changed(_)));
+        assert!(matches!(
+            pt.merge_ins(&t(1), &Prov::Count(2)),
+            MergeOutcome::New(_)
+        ));
+        assert!(matches!(
+            pt.merge_ins(&t(1), &Prov::Count(3)),
+            MergeOutcome::Changed(_)
+        ));
         assert!(matches!(
             pt.retract(&t(1), &Prov::Count(4)),
             Some(DeleteOutcome::Shrunk(_))
         ));
-        assert!(matches!(pt.retract(&t(1), &Prov::Count(1)), Some(DeleteOutcome::Died(_))));
+        assert!(matches!(
+            pt.retract(&t(1), &Prov::Count(1)),
+            Some(DeleteOutcome::Died(_))
+        ));
     }
 
     #[test]
@@ -540,9 +594,15 @@ mod tests {
         let a = Prov::Bdd(mgr.var(1));
         let b = Prov::Bdd(mgr.var(2));
         pt.merge_ins(&t(1), &a.or(&b));
-        assert!(matches!(pt.retract(&t(1), &a), Some(DeleteOutcome::Shrunk(_))));
+        assert!(matches!(
+            pt.retract(&t(1), &a),
+            Some(DeleteOutcome::Shrunk(_))
+        ));
         assert!(pt.contains(&t(1)));
-        assert!(matches!(pt.retract(&t(1), &b), Some(DeleteOutcome::Died(_))));
+        assert!(matches!(
+            pt.retract(&t(1), &b),
+            Some(DeleteOutcome::Died(_))
+        ));
         assert!(!pt.contains(&t(1)));
     }
 
@@ -571,5 +631,50 @@ mod tests {
         let empty = pt.state_bytes();
         pt.merge_ins(&t(1), &Prov::Bdd(mgr.var(1)));
         assert!(pt.state_bytes() > empty);
+    }
+
+    /// The O(1) byte counter must stay equal to a full-table rescan through
+    /// every mutation path (insert, overwrite-merge, shrink, death, retract).
+    #[test]
+    fn state_bytes_counter_matches_scan() {
+        fn scan(pt: &ProvTable) -> usize {
+            pt.iter().map(|(t, p)| entry_cost(t, p)).sum()
+        }
+        let mgr = BddManager::new();
+
+        let mut pt = ProvTable::new(ProvMode::Absorption, true);
+        pt.merge_ins(&t(1), &Prov::Bdd(mgr.var(1).or(&mgr.var(2))));
+        pt.merge_ins(&t(1), &Prov::Bdd(mgr.var(3)));
+        pt.merge_ins(&t(2), &Prov::Bdd(mgr.var(1)));
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        pt.restrict_cause(&[1]);
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        pt.restrict_cause_tuple(&t(1), &[2, 3]);
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        pt.retract(&t(1), &Prov::Bdd(mgr.var(2)));
+        assert_eq!(pt.state_bytes(), scan(&pt));
+
+        let mut pt = ProvTable::new(ProvMode::Counting, false);
+        pt.merge_ins(&t(1), &Prov::Count(2));
+        pt.merge_ins(&t(1), &Prov::Count(300)); // varint growth on overwrite
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        pt.retract(&t(1), &Prov::Count(1));
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        pt.retract(&t(1), &Prov::Count(301));
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        assert_eq!(pt.state_bytes(), 0);
+
+        let mut pt = ProvTable::new(ProvMode::Relative, true);
+        let a = Prov::base(ProvMode::Relative, 1, &mgr);
+        let b = Prov::base(ProvMode::Relative, 2, &mgr);
+        let rel = netrec_types::RelId(0);
+        pt.merge_ins(&t(9), &Prov::rel_derive(0, rel, t(9), &[&a]));
+        pt.merge_ins(&t(9), &Prov::rel_derive(1, rel, t(9), &[&b]));
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        pt.restrict_cause(&[1]);
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        pt.restrict_cause(&[2]);
+        assert_eq!(pt.state_bytes(), scan(&pt));
+        assert_eq!(pt.state_bytes(), 0);
     }
 }

@@ -107,7 +107,10 @@ impl StoreOp {
                         u.tuple.clone(),
                         &[&u.prov],
                     );
-                    Update { prov: rerooted, ..u }
+                    Update {
+                        prov: rerooted,
+                        ..u
+                    }
                 } else {
                     u
                 }

@@ -2,13 +2,12 @@
 //! horizontal partition, dispatches messages/timers, and enforces the
 //! cross-channel deletion hygiene (dead-variable sanitisation).
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use netrec_bdd::{BddManager, Var};
 use netrec_prov::{Prov, VarAllocator};
 use netrec_sim::{NetApi, Partitioner, PeerId, PeerNode, Port};
-use netrec_types::UpdateKind;
+use netrec_types::{FxHashSet, UpdateKind};
 
 use crate::ops::{
     AggSelOp, AggregateOp, Ectx, ExchangeOp, IngressOp, JoinOp, MapOp, MinShipOp, OpState, StoreOp,
@@ -36,7 +35,7 @@ pub struct EnginePeer {
     /// Every variable this peer has learned is dead — incoming insertions
     /// are restricted against this set so late-arriving derivations cannot
     /// resurrect deleted base tuples (cross-channel races).
-    dead_vars: HashSet<Var>,
+    dead_vars: FxHashSet<Var>,
 }
 
 impl EnginePeer {
@@ -56,7 +55,12 @@ impl EnginePeer {
                 OpSpec::Ingress { rel, dests } => {
                     OpState::Ingress(IngressOp::new(*rel, dests.clone()))
                 }
-                OpSpec::Map { exprs, preds, out_rel, dests } => OpState::Map(MapOp::new(
+                OpSpec::Map {
+                    exprs,
+                    preds,
+                    out_rel,
+                    dests,
+                } => OpState::Map(MapOp::new(
                     exprs.clone(),
                     preds.clone(),
                     *out_rel,
@@ -65,22 +69,33 @@ impl EnginePeer {
                 OpSpec::Exchange { route_col, dest } => {
                     OpState::Exchange(ExchangeOp::new(*route_col, *dest))
                 }
-                OpSpec::Join { build_key, probe_key, preds, emit, out_rel, rule_id, dests } => {
-                    OpState::Join(JoinOp::new(
-                        build_key.clone(),
-                        probe_key.clone(),
-                        preds.clone(),
-                        emit.clone(),
-                        *out_rel,
-                        *rule_id,
-                        dests.clone(),
-                        strategy.mode,
-                    ))
-                }
+                OpSpec::Join {
+                    build_key,
+                    probe_key,
+                    preds,
+                    emit,
+                    out_rel,
+                    rule_id,
+                    dests,
+                } => OpState::Join(JoinOp::new(
+                    build_key.clone(),
+                    probe_key.clone(),
+                    preds.clone(),
+                    emit.clone(),
+                    *out_rel,
+                    *rule_id,
+                    dests.clone(),
+                    strategy.mode,
+                )),
                 OpSpec::MinShip { route_col, dest } => {
                     OpState::MinShip(MinShipOp::new(*route_col, *dest, strategy.mode))
                 }
-                OpSpec::Store { rel, is_view, aggsel, dests } => OpState::Store(StoreOp::new(
+                OpSpec::Store {
+                    rel,
+                    is_view,
+                    aggsel,
+                    dests,
+                } => OpState::Store(StoreOp::new(
                     *rel,
                     *is_view,
                     aggsel.as_ref(),
@@ -91,16 +106,20 @@ impl EnginePeer {
                 OpSpec::AggSel { spec, dests } => {
                     OpState::AggSel(AggSelOp::new(spec.clone(), dests.clone(), strategy.mode))
                 }
-                OpSpec::Aggregate { group_cols, agg, agg_col, out_rel, dests } => {
-                    OpState::Aggregate(AggregateOp::new(
-                        group_cols.clone(),
-                        *agg,
-                        *agg_col,
-                        *out_rel,
-                        dests.clone(),
-                        strategy.mode,
-                    ))
-                }
+                OpSpec::Aggregate {
+                    group_cols,
+                    agg,
+                    agg_col,
+                    out_rel,
+                    dests,
+                } => OpState::Aggregate(AggregateOp::new(
+                    group_cols.clone(),
+                    *agg,
+                    *agg_col,
+                    *out_rel,
+                    dests.clone(),
+                    strategy.mode,
+                )),
             })
             .collect();
         EnginePeer {
@@ -112,7 +131,7 @@ impl EnginePeer {
             mgr,
             alloc: VarAllocator::new(me.0),
             ops,
-            dead_vars: HashSet::new(),
+            dead_vars: FxHashSet::default(),
         }
     }
 
@@ -158,8 +177,11 @@ impl EnginePeer {
             if u.kind == UpdateKind::Insert && !self.dead_vars.is_empty() {
                 match &u.prov {
                     Prov::Bdd(b) => {
-                        let hit: Vec<Var> =
-                            b.support().into_iter().filter(|v| self.dead_vars.contains(v)).collect();
+                        let hit: Vec<Var> = b
+                            .support()
+                            .into_iter()
+                            .filter(|v| self.dead_vars.contains(v))
+                            .collect();
                         if !hit.is_empty() {
                             let restricted = b.restrict_all_false(&hit);
                             if restricted.is_false() {
@@ -168,13 +190,12 @@ impl EnginePeer {
                             u.prov = Prov::Bdd(restricted);
                         }
                     }
-                    Prov::Rel(r)
-                        if r.mentions_any(&self.dead_vars) => {
-                            match r.kill_vars(&self.dead_vars) {
-                                None => continue,
-                                Some(alive) => u.prov = Prov::Rel(Arc::new(alive)),
-                            }
+                    Prov::Rel(r) if r.mentions_any(&self.dead_vars) => {
+                        match r.kill_vars(&self.dead_vars) {
+                            None => continue,
+                            Some(alive) => u.prov = Prov::Rel(Arc::new(alive)),
                         }
+                    }
                     _ => {}
                 }
             }
@@ -255,6 +276,11 @@ impl PeerNode<Msg> for EnginePeer {
         match msg {
             Msg::Updates(ups) => {
                 self.record_causes(&ups);
+                // Last reference (single-destination emission, the common
+                // case): take the batch back without copying. Otherwise the
+                // batch is still shared with sibling destinations — clone
+                // (tuples/annotations are Arc-backed, so this is shallow).
+                let ups = Arc::try_unwrap(ups).unwrap_or_else(|shared| (*shared).clone());
                 let ups = self.sanitize(ups);
                 if !ups.is_empty() {
                     self.dispatch(op.0 as usize, input, ups, net);
@@ -289,7 +315,8 @@ impl PeerNode<Msg> for EnginePeer {
                 let OpState::Ingress(o) = &mut self.ops[op.0 as usize] else {
                     panic!("Msg::Base sent to non-ingress op {op:?}");
                 };
-                if let Some((ttl_id, delay)) = o.on_base(kind, tuple, ttl, &mut self.alloc, &mut ectx)
+                if let Some((ttl_id, delay)) =
+                    o.on_base(kind, tuple, ttl, &mut self.alloc, &mut ectx)
                 {
                     let id = ((op.0 as u64) << 32) | u64::from(ttl_id);
                     net.set_timer(delay, id);
@@ -336,4 +363,3 @@ impl PeerNode<Msg> for EnginePeer {
 }
 
 // Re-export for runner use.
-

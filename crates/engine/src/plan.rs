@@ -143,7 +143,9 @@ impl OpSpec {
             | OpSpec::Store { dests, .. }
             | OpSpec::AggSel { dests, .. }
             | OpSpec::Aggregate { dests, .. } => dests,
-            OpSpec::Exchange { dest, .. } | OpSpec::MinShip { dest, .. } => std::slice::from_ref(dest),
+            OpSpec::Exchange { dest, .. } | OpSpec::MinShip { dest, .. } => {
+                std::slice::from_ref(dest)
+            }
         }
     }
 
@@ -232,10 +234,16 @@ impl Plan {
         for (i, op) in self.ops.iter().enumerate() {
             for d in op.dests() {
                 let Some(target) = self.ops.get(d.op.0 as usize) else {
-                    return Err(PlanError::BadDest { from: i as u16, to: d.op.0 });
+                    return Err(PlanError::BadDest {
+                        from: i as u16,
+                        to: d.op.0,
+                    });
                 };
                 if d.input >= target.inputs() {
-                    return Err(PlanError::BadInput { op: d.op.0, input: d.input });
+                    return Err(PlanError::BadInput {
+                        op: d.op.0,
+                        input: d.input,
+                    });
                 }
             }
         }
@@ -255,7 +263,11 @@ impl Plan {
 
     fn reaches(&self, from: OpId, target: OpId) -> bool {
         let mut seen = vec![false; self.ops.len()];
-        let mut stack: Vec<OpId> = self.ops[from.0 as usize].dests().iter().map(|d| d.op).collect();
+        let mut stack: Vec<OpId> = self.ops[from.0 as usize]
+            .dests()
+            .iter()
+            .map(|d| d.op)
+            .collect();
         while let Some(o) = stack.pop() {
             if o == target {
                 return true;
@@ -316,7 +328,9 @@ impl PlanBuilder {
         let name = format!("__{prefix}{}", self.ops.len());
         let cols: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
         let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-        self.catalog.add(Schema::new(name, &col_refs, RelKind::Idb)).expect("unique synthetic")
+        self.catalog
+            .add(Schema::new(name, &col_refs, RelKind::Idb))
+            .expect("unique synthetic")
     }
 
     fn push(&mut self, op: OpSpec) -> OpId {
@@ -327,7 +341,10 @@ impl PlanBuilder {
 
     /// Add the ingress for a base relation.
     pub fn ingress(&mut self, rel: RelId) -> OpId {
-        let id = self.push(OpSpec::Ingress { rel, dests: Vec::new() });
+        let id = self.push(OpSpec::Ingress {
+            rel,
+            dests: Vec::new(),
+        });
         let prev = self.ingress_of.insert(rel, id);
         assert!(prev.is_none(), "duplicate ingress for relation");
         id
@@ -336,7 +353,12 @@ impl PlanBuilder {
     /// Add a Map (projection + filter).
     pub fn map(&mut self, exprs: Vec<Expr>, preds: Vec<Pred>) -> OpId {
         let out_rel = self.synthetic("map", exprs.len());
-        self.push(OpSpec::Map { exprs, preds, out_rel, dests: Vec::new() })
+        self.push(OpSpec::Map {
+            exprs,
+            preds,
+            out_rel,
+            dests: Vec::new(),
+        })
     }
 
     /// Add an Exchange routed by `route_col` (or to peer 0 when `None`).
@@ -374,7 +396,12 @@ impl PlanBuilder {
 
     /// Add a store for `rel`; `is_view` marks it for result reporting.
     pub fn store(&mut self, rel: RelId, is_view: bool, aggsel: Option<AggSelSpec>) -> OpId {
-        let id = self.push(OpSpec::Store { rel, is_view, aggsel, dests: Vec::new() });
+        let id = self.push(OpSpec::Store {
+            rel,
+            is_view,
+            aggsel,
+            dests: Vec::new(),
+        });
         if is_view {
             self.views.push((rel, id));
         }
@@ -383,13 +410,22 @@ impl PlanBuilder {
 
     /// Add a standalone aggregate-selection stage.
     pub fn aggsel(&mut self, spec: AggSelSpec) -> OpId {
-        self.push(OpSpec::AggSel { spec, dests: Vec::new() })
+        self.push(OpSpec::AggSel {
+            spec,
+            dests: Vec::new(),
+        })
     }
 
     /// Add an incremental group-by aggregate.
     pub fn aggregate(&mut self, group_cols: Vec<usize>, agg: AggFn, agg_col: usize) -> OpId {
         let out_rel = self.synthetic("agg", group_cols.len() + 1);
-        self.push(OpSpec::Aggregate { group_cols, agg, agg_col, out_rel, dests: Vec::new() })
+        self.push(OpSpec::Aggregate {
+            group_cols,
+            agg,
+            agg_col,
+            out_rel,
+            dests: Vec::new(),
+        })
     }
 
     /// Wire `from`'s output into `(to, input)`.
@@ -434,8 +470,20 @@ mod tests {
             vec![],
             vec![Expr::col(0), Expr::col(4)], // link.src, reachable.dst (row = link ++ reach)
         );
-        let ex = b.exchange(Some(1), Dest { op: join, input: JOIN_BUILD });
-        let ship = b.minship(Some(0), Dest { op: store, input: 0 });
+        let ex = b.exchange(
+            Some(1),
+            Dest {
+                op: join,
+                input: JOIN_BUILD,
+            },
+        );
+        let ship = b.minship(
+            Some(0),
+            Dest {
+                op: store,
+                input: 0,
+            },
+        );
         b.connect(ing, base_map, 0);
         b.connect(base_map, store, 0);
         b.connect(ing, ex, 0);

@@ -133,8 +133,12 @@ impl Program {
         for _ in 0..rel_count_bound {
             let mut changed = false;
             for rule in &self.rules {
-                let body_max =
-                    rule.body.iter().map(|a| level.get(&a.rel).copied().unwrap_or(0)).max().unwrap_or(0);
+                let body_max = rule
+                    .body
+                    .iter()
+                    .map(|a| level.get(&a.rel).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
                 let cur = level.entry(rule.head).or_insert(0);
                 if *cur < body_max {
                     *cur = body_max;
@@ -179,15 +183,20 @@ fn eval_atoms(
         if !rule.preds.iter().all(|p| p.test(&row)) {
             return;
         }
-        if let Some(vals) =
-            rule.head_exprs.iter().map(|e| e.eval(&row)).collect::<Option<Vec<Value>>>()
+        if let Some(vals) = rule
+            .head_exprs
+            .iter()
+            .map(|e| e.eval(&row))
+            .collect::<Option<Vec<Value>>>()
         {
             out.push(Tuple::new(vals));
         }
         return;
     }
     let atom = &rule.body[depth];
-    let Some(tuples) = db.get(&atom.rel) else { return };
+    let Some(tuples) = db.get(&atom.rel) else {
+        return;
+    };
     'tuples: for t in tuples {
         if t.arity() != atom.terms.len() {
             continue;
@@ -231,7 +240,10 @@ fn eval_agg(agg: &AggClause, db: &Db) -> BTreeSet<Tuple> {
     if let Some(tuples) = db.get(&agg.source) {
         for t in tuples {
             let g = t.key(&agg.group_cols);
-            groups.entry(g).or_default().push(t.get(agg.agg_col).clone());
+            groups
+                .entry(g)
+                .or_default()
+                .push(t.get(agg.agg_col).clone());
         }
     }
     let mut out = BTreeSet::new();
@@ -268,7 +280,10 @@ mod tests {
                 Rule {
                     head: reach,
                     head_exprs: vec![Expr::col(0), Expr::col(1)],
-                    body: vec![Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1)] }],
+                    body: vec![Atom {
+                        rel: link,
+                        terms: vec![Term::Var(0), Term::Var(1)],
+                    }],
                     preds: vec![],
                     nvars: 2,
                 },
@@ -276,8 +291,14 @@ mod tests {
                     head: reach,
                     head_exprs: vec![Expr::col(0), Expr::col(2)],
                     body: vec![
-                        Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1)] },
-                        Atom { rel: reach, terms: vec![Term::Var(1), Term::Var(2)] },
+                        Atom {
+                            rel: link,
+                            terms: vec![Term::Var(0), Term::Var(1)],
+                        },
+                        Atom {
+                            rel: reach,
+                            terms: vec![Term::Var(1), Term::Var(2)],
+                        },
                     ],
                     preds: vec![],
                     nvars: 3,
@@ -297,7 +318,10 @@ mod tests {
         let links = [(0, 1), (1, 2), (2, 0), (2, 1)];
         edb.insert(
             link,
-            links.iter().map(|&(a, b)| Tuple::new(vec![addr(a), addr(b)])).collect(),
+            links
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![addr(a), addr(b)]))
+                .collect(),
         );
         let db = prog.evaluate(&edb);
         // Fully connected: all 9 pairs (Fig. 2 step 4).
@@ -306,7 +330,10 @@ mod tests {
         let links2 = [(0, 1), (1, 2), (2, 0)];
         edb.insert(
             link,
-            links2.iter().map(|&(a, b)| Tuple::new(vec![addr(a), addr(b)])).collect(),
+            links2
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![addr(a), addr(b)]))
+                .collect(),
         );
         let db2 = prog.evaluate(&edb);
         assert_eq!(db2[&reach].len(), 9, "A,B,C remain mutually reachable");
@@ -320,8 +347,15 @@ mod tests {
             rules: vec![Rule {
                 head: out,
                 head_exprs: vec![Expr::col(1)],
-                body: vec![Atom { rel: r, terms: vec![Term::Const(Value::Int(1)), Term::Var(1)] }],
-                preds: vec![Pred::Cmp(Expr::col(1), crate::expr::CmpOp::Gt, Expr::int(10))],
+                body: vec![Atom {
+                    rel: r,
+                    terms: vec![Term::Const(Value::Int(1)), Term::Var(1)],
+                }],
+                preds: vec![Pred::Cmp(
+                    Expr::col(1),
+                    crate::expr::CmpOp::Gt,
+                    Expr::int(10),
+                )],
                 nvars: 2,
             }],
             aggs: vec![],
@@ -351,8 +385,20 @@ mod tests {
         let prog = Program {
             rules: vec![],
             aggs: vec![
-                AggClause { head: sizes, source: member, group_cols: vec![0], agg: AggFn::Count, agg_col: 1 },
-                AggClause { head: biggest, source: sizes, group_cols: vec![], agg: AggFn::Max, agg_col: 1 },
+                AggClause {
+                    head: sizes,
+                    source: member,
+                    group_cols: vec![0],
+                    agg: AggFn::Count,
+                    agg_col: 1,
+                },
+                AggClause {
+                    head: biggest,
+                    source: sizes,
+                    group_cols: vec![],
+                    agg: AggFn::Max,
+                    agg_col: 1,
+                },
             ],
         };
         let mut edb: Db = HashMap::new();
@@ -369,7 +415,10 @@ mod tests {
         let db = prog.evaluate(&edb);
         assert!(db[&sizes].contains(&Tuple::new(vec![Value::Int(1), Value::Int(2)])));
         assert!(db[&sizes].contains(&Tuple::new(vec![Value::Int(2), Value::Int(1)])));
-        assert_eq!(db[&biggest].iter().next().unwrap(), &Tuple::new(vec![Value::Int(2)]));
+        assert_eq!(
+            db[&biggest].iter().next().unwrap(),
+            &Tuple::new(vec![Value::Int(2)])
+        );
     }
 
     #[test]
@@ -380,8 +429,20 @@ mod tests {
         let prog = Program {
             rules: vec![],
             aggs: vec![
-                AggClause { head: s, source: src, group_cols: vec![0], agg: AggFn::Sum, agg_col: 1 },
-                AggClause { head: m, source: src, group_cols: vec![0], agg: AggFn::Min, agg_col: 1 },
+                AggClause {
+                    head: s,
+                    source: src,
+                    group_cols: vec![0],
+                    agg: AggFn::Sum,
+                    agg_col: 1,
+                },
+                AggClause {
+                    head: m,
+                    source: src,
+                    group_cols: vec![0],
+                    agg: AggFn::Min,
+                    agg_col: 1,
+                },
             ],
         };
         let mut edb: Db = HashMap::new();
@@ -405,7 +466,13 @@ mod tests {
         let a = RelId(0);
         let prog = Program {
             rules: vec![],
-            aggs: vec![AggClause { head: a, source: a, group_cols: vec![], agg: AggFn::Count, agg_col: 0 }],
+            aggs: vec![AggClause {
+                head: a,
+                source: a,
+                group_cols: vec![],
+                agg: AggFn::Count,
+                agg_col: 0,
+            }],
         };
         prog.evaluate(&HashMap::new());
     }

@@ -49,7 +49,10 @@ impl RunnerConfig {
     /// Direct (modulo) placement — used by the worked examples where logical
     /// node X is physical peer X.
     pub fn direct(strategy: Strategy, peers: u32) -> RunnerConfig {
-        RunnerConfig { partitioner: Partitioner::Direct { peers }, ..RunnerConfig::new(strategy, peers) }
+        RunnerConfig {
+            partitioner: Partitioner::Direct { peers },
+            ..RunnerConfig::new(strategy, peers)
+        }
     }
 }
 
@@ -135,11 +138,22 @@ impl Runner {
         let peers = cfg.partitioner.peers();
         let nodes: Vec<EnginePeer> = (0..peers)
             .map(|p| {
-                EnginePeer::new(PeerId(p), peers, Arc::clone(&plan), cfg.strategy, cfg.partitioner)
+                EnginePeer::new(
+                    PeerId(p),
+                    peers,
+                    Arc::clone(&plan),
+                    cfg.strategy,
+                    cfg.partitioner,
+                )
             })
             .collect();
         let sim = Simulator::new(nodes, cfg.cluster.clone(), cfg.cost);
-        Runner { plan, cfg, sim, inject_seq: 0 }
+        Runner {
+            plan,
+            cfg,
+            sim,
+            inject_seq: 0,
+        }
     }
 
     /// The plan under execution.
@@ -180,7 +194,12 @@ impl Runner {
         };
         let at = self.sim.last_finish() + Duration::from_micros(1);
         self.inject_seq += 1;
-        self.sim.inject(at, peer, Plan::port(ingress, 0), Msg::Base { kind, tuple, ttl });
+        self.sim.inject(
+            at,
+            peer,
+            Plan::port(ingress, 0),
+            Msg::Base { kind, tuple, ttl },
+        );
     }
 
     /// Trigger DRed phase 2: every ingress on every peer re-emits its live
@@ -190,7 +209,8 @@ impl Runner {
         let ingresses: Vec<_> = self.plan.ingress_of.values().copied().collect();
         for p in 0..self.sim.peer_count() {
             for ing in &ingresses {
-                self.sim.inject(at, PeerId(p), Plan::port(*ing, 0), Msg::Rederive);
+                self.sim
+                    .inject(at, PeerId(p), Plan::port(*ing, 0), Msg::Rederive);
             }
         }
     }
@@ -220,7 +240,11 @@ impl Runner {
             msgs,
             tuples,
             prov_bytes,
-            prov_bytes_per_tuple: if tuples == 0 { 0.0 } else { prov_bytes as f64 / tuples as f64 },
+            prov_bytes_per_tuple: if tuples == 0 {
+                0.0
+            } else {
+                prov_bytes as f64 / tuples as f64
+            },
             state_bytes: self.state_bytes(),
             events: self.sim.events_processed() - e0,
             wall,

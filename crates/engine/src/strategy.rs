@@ -26,7 +26,10 @@ impl ShipPolicy {
     /// The paper's eager setting: flush once a second (time-driven only —
     /// the batch threshold is a backstop, not the flushing mechanism).
     pub fn eager_1s() -> ShipPolicy {
-        ShipPolicy::Eager { period: Duration::from_secs(1), batch: 1 << 20 }
+        ShipPolicy::Eager {
+            period: Duration::from_secs(1),
+            batch: 1 << 20,
+        }
     }
 }
 
@@ -72,17 +75,27 @@ impl Strategy {
 
     /// Absorption provenance with 1 s eager flushes ("Absorption Eager").
     pub fn absorption_eager() -> Strategy {
-        Strategy { ship: ShipPolicy::eager_1s(), ..Strategy::absorption_lazy() }
+        Strategy {
+            ship: ShipPolicy::eager_1s(),
+            ..Strategy::absorption_lazy()
+        }
     }
 
     /// Relative provenance, lazy shipping ("Relative Lazy").
     pub fn relative_lazy() -> Strategy {
-        Strategy { mode: ProvMode::Relative, ..Strategy::absorption_lazy() }
+        Strategy {
+            mode: ProvMode::Relative,
+            ..Strategy::absorption_lazy()
+        }
     }
 
     /// Relative provenance, eager shipping ("Relative Eager").
     pub fn relative_eager() -> Strategy {
-        Strategy { mode: ProvMode::Relative, ship: ShipPolicy::eager_1s(), ..Strategy::absorption_lazy() }
+        Strategy {
+            mode: ProvMode::Relative,
+            ship: ShipPolicy::eager_1s(),
+            ..Strategy::absorption_lazy()
+        }
     }
 
     /// Plain set semantics, immediate shipping (the substrate for DRed).
@@ -97,7 +110,10 @@ impl Strategy {
 
     /// Counting algorithm (non-recursive plans only).
     pub fn counting() -> Strategy {
-        Strategy { mode: ProvMode::Counting, ..Strategy::set() }
+        Strategy {
+            mode: ProvMode::Counting,
+            ..Strategy::set()
+        }
     }
 
     /// Human-readable label used by the bench harnesses.
@@ -125,7 +141,10 @@ mod tests {
     fn presets() {
         assert_eq!(Strategy::absorption_lazy().mode, ProvMode::Absorption);
         assert_eq!(Strategy::absorption_lazy().ship, ShipPolicy::Lazy);
-        assert!(matches!(Strategy::absorption_eager().ship, ShipPolicy::Eager { .. }));
+        assert!(matches!(
+            Strategy::absorption_eager().ship,
+            ShipPolicy::Eager { .. }
+        ));
         assert_eq!(Strategy::relative_lazy().mode, ProvMode::Relative);
         assert_eq!(Strategy::set().mode, ProvMode::Set);
         assert_eq!(Strategy::counting().mode, ProvMode::Counting);

@@ -31,17 +31,35 @@ pub struct Update {
 impl Update {
     /// An insertion.
     pub fn ins(rel: RelId, tuple: Tuple, prov: Prov) -> Update {
-        Update { rel, kind: UpdateKind::Insert, tuple, prov, cause: Arc::from(&[][..]) }
+        Update {
+            rel,
+            kind: UpdateKind::Insert,
+            tuple,
+            prov,
+            cause: Arc::from(&[][..]),
+        }
     }
 
     /// A cause-restrict deletion (base deletion or its cascade).
     pub fn del_cause(rel: RelId, tuple: Tuple, prov: Prov, cause: Arc<[Var]>) -> Update {
-        Update { rel, kind: UpdateKind::Delete, tuple, prov, cause }
+        Update {
+            rel,
+            kind: UpdateKind::Delete,
+            tuple,
+            prov,
+            cause,
+        }
     }
 
     /// A retraction (aggregate revision / set-semantics delete).
     pub fn del_retract(rel: RelId, tuple: Tuple, prov: Prov) -> Update {
-        Update { rel, kind: UpdateKind::Delete, tuple, prov, cause: Arc::from(&[][..]) }
+        Update {
+            rel,
+            kind: UpdateKind::Delete,
+            tuple,
+            prov,
+            cause: Arc::from(&[][..]),
+        }
     }
 
     /// Is this a deletion?
@@ -56,7 +74,11 @@ impl Update {
         n += self.tuple.encoded_len();
         n += self.prov.encoded_len();
         n += wire::varint_len(self.cause.len() as u64);
-        n += self.cause.iter().map(|v| wire::varint_len(u64::from(*v))).sum::<usize>();
+        n += self
+            .cause
+            .iter()
+            .map(|v| wire::varint_len(u64::from(*v)))
+            .sum::<usize>();
         n
     }
 
@@ -71,8 +93,11 @@ impl Update {
 #[derive(Clone, Debug)]
 pub enum Msg {
     /// A batch of updates (MinShip batches; everything else sends batches of
-    /// one).
-    Updates(Vec<Update>),
+    /// one). `Arc`-shared so fan-out to several destinations bumps a
+    /// reference count instead of deep-cloning the batch; the receiver takes
+    /// the `Vec` back out without copying when it holds the last reference
+    /// (see `EnginePeer::on_message`).
+    Updates(Arc<Vec<Update>>),
     /// Broadcast tombstone: these base variables were deleted
     /// ([`crate::strategy::DeleteProp::Broadcast`] mode). Every stateful
     /// operator on the receiving peer restricts its state.
@@ -99,7 +124,10 @@ impl Msg {
         match self {
             Msg::Updates(us) => 2 + us.iter().map(Update::encoded_len).sum::<usize>(),
             Msg::Tombstone(vars) => {
-                2 + vars.iter().map(|v| wire::varint_len(u64::from(*v))).sum::<usize>()
+                2 + vars
+                    .iter()
+                    .map(|v| wire::varint_len(u64::from(*v)))
+                    .sum::<usize>()
             }
             Msg::Rederive => 2,
             Msg::Base { tuple, .. } => 2 + tuple.encoded_len(),
@@ -159,12 +187,19 @@ mod tests {
         let annotated = Update::ins(
             RelId(0),
             t,
-            Prov::base(ProvMode::Absorption, 5, &mgr).and(&Prov::base(ProvMode::Absorption, 6, &mgr)),
+            Prov::base(ProvMode::Absorption, 5, &mgr).and(&Prov::base(
+                ProvMode::Absorption,
+                6,
+                &mgr,
+            )),
         );
         assert!(annotated.encoded_len() > plain.encoded_len());
         assert!(annotated.prov_len() > plain.prov_len());
-        let msg = Msg::Updates(vec![plain.clone(), annotated.clone()]);
-        assert_eq!(msg.encoded_len(), 2 + plain.encoded_len() + annotated.encoded_len());
+        let msg = Msg::Updates(Arc::new(vec![plain.clone(), annotated.clone()]));
+        assert_eq!(
+            msg.encoded_len(),
+            2 + plain.encoded_len() + annotated.encoded_len()
+        );
         assert_eq!(msg.tuple_count(), 2);
         assert_eq!(msg.meta().bytes, msg.encoded_len());
     }

@@ -26,8 +26,20 @@ fn reachable_plan() -> Plan {
     let base_map = b.map(vec![Expr::col(0), Expr::col(1)], vec![]);
     let store = b.store(reach, true, None);
     let join = b.join(vec![1], vec![0], vec![], vec![Expr::col(0), Expr::col(4)]);
-    let ex = b.exchange(Some(1), Dest { op: join, input: JOIN_BUILD });
-    let ship = b.minship(Some(0), Dest { op: store, input: 0 });
+    let ex = b.exchange(
+        Some(1),
+        Dest {
+            op: join,
+            input: JOIN_BUILD,
+        },
+    );
+    let ship = b.minship(
+        Some(0),
+        Dest {
+            op: store,
+            input: 0,
+        },
+    );
     b.connect(ing, base_map, 0);
     b.connect(base_map, store, 0);
     b.connect(ing, ex, 0);
@@ -54,33 +66,50 @@ fn minship_buffered(runner: &Runner, peers: u32) -> (usize, usize) {
 fn lazy_minship_buffers_alternative_derivations() {
     // Fully connected triangle with both directions: every reachable tuple
     // has many derivations; lazy MinShip must buffer the extras.
-    let mut runner =
-        Runner::new(reachable_plan(), RunnerConfig::direct(Strategy::absorption_lazy(), 3));
+    let mut runner = Runner::new(
+        reachable_plan(),
+        RunnerConfig::direct(Strategy::absorption_lazy(), 3),
+    );
     for (a, b) in [(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)] {
         runner.inject("link", link(a, b), UpdateKind::Insert, None);
     }
     assert!(runner.run_phase("load").converged());
     let (pins, sent) = minship_buffered(&runner, 3);
     assert!(sent > 0, "first derivations were shipped");
-    assert!(pins > 0, "alternative derivations must be buffered, not shipped");
+    assert!(
+        pins > 0,
+        "alternative derivations must be buffered, not shipped"
+    );
     // The buffered alternates surface when the shipped derivation dies.
     let before = runner.metrics().total_tuples();
     runner.inject("link", link(0, 1), UpdateKind::Delete, None);
     assert!(runner.run_phase("delete").converged());
-    assert!(runner.metrics().total_tuples() > before, "lazy flush released buffered state");
-    assert_eq!(runner.view("reachable").len(), 9, "triangle stays fully connected");
+    assert!(
+        runner.metrics().total_tuples() > before,
+        "lazy flush released buffered state"
+    );
+    assert_eq!(
+        runner.view("reachable").len(),
+        9,
+        "triangle stays fully connected"
+    );
 }
 
 #[test]
 fn eager_minship_drains_buffers_via_timer() {
-    let mut runner =
-        Runner::new(reachable_plan(), RunnerConfig::direct(Strategy::absorption_eager(), 3));
+    let mut runner = Runner::new(
+        reachable_plan(),
+        RunnerConfig::direct(Strategy::absorption_eager(), 3),
+    );
     for (a, b) in [(0, 1), (1, 0), (1, 2), (2, 1)] {
         runner.inject("link", link(a, b), UpdateKind::Insert, None);
     }
     assert!(runner.run_phase("load").converged());
     let (pins, _) = minship_buffered(&runner, 3);
-    assert_eq!(pins, 0, "eager mode flushes every buffered derivation eventually");
+    assert_eq!(
+        pins, 0,
+        "eager mode flushes every buffered derivation eventually"
+    );
 }
 
 /// A plan that runs AggSel standalone over a stream of (group, value) rows
@@ -90,7 +119,10 @@ fn aggsel_plan() -> Plan {
     let obs = b.edb("obs", &["node", "metric"], 0);
     let best = b.idb("best", &["node", "metric"], 0);
     let ing = b.ingress(obs);
-    let sel = b.aggsel(AggSelSpec { group_cols: vec![0], aggs: vec![(1, AggFn::Min)] });
+    let sel = b.aggsel(AggSelSpec {
+        group_cols: vec![0],
+        aggs: vec![(1, AggFn::Min)],
+    });
     let store = b.store(best, true, None);
     b.connect(ing, sel, 0);
     b.connect(sel, store, 0);
@@ -103,7 +135,10 @@ fn obs(node: u32, metric: i64) -> Tuple {
 
 #[test]
 fn aggsel_prunes_dominated_and_keeps_ties() {
-    let mut runner = Runner::new(aggsel_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 2));
+    let mut runner = Runner::new(
+        aggsel_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 2),
+    );
     runner.inject("obs", obs(1, 10), UpdateKind::Insert, None);
     runner.inject("obs", obs(1, 12), UpdateKind::Insert, None); // dominated
     runner.inject("obs", obs(1, 10), UpdateKind::Insert, None); // duplicate
@@ -111,13 +146,19 @@ fn aggsel_prunes_dominated_and_keeps_ties() {
     assert!(runner.run_phase("load").converged());
     let view = runner.view("best");
     assert!(view.contains(&obs(1, 10)));
-    assert!(!view.contains(&obs(1, 12)), "dominated tuple must be pruned: {view:?}");
+    assert!(
+        !view.contains(&obs(1, 12)),
+        "dominated tuple must be pruned: {view:?}"
+    );
     assert!(view.contains(&obs(2, 7)));
 }
 
 #[test]
 fn aggsel_improvement_retracts_old_best() {
-    let mut runner = Runner::new(aggsel_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 2));
+    let mut runner = Runner::new(
+        aggsel_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 2),
+    );
     runner.inject("obs", obs(1, 10), UpdateKind::Insert, None);
     assert!(runner.run_phase("first").converged());
     assert!(runner.view("best").contains(&obs(1, 10)));
@@ -126,12 +167,18 @@ fn aggsel_improvement_retracts_old_best() {
     assert!(runner.run_phase("improve").converged());
     let view = runner.view("best");
     assert!(view.contains(&obs(1, 4)));
-    assert!(!view.contains(&obs(1, 10)), "old best must be retracted: {view:?}");
+    assert!(
+        !view.contains(&obs(1, 10)),
+        "old best must be retracted: {view:?}"
+    );
 }
 
 #[test]
 fn aggsel_deletion_of_best_promotes_next() {
-    let mut runner = Runner::new(aggsel_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 2));
+    let mut runner = Runner::new(
+        aggsel_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 2),
+    );
     runner.inject("obs", obs(1, 4), UpdateKind::Insert, None);
     runner.inject("obs", obs(1, 10), UpdateKind::Insert, None); // pruned for now
     assert!(runner.run_phase("load").converged());
@@ -139,7 +186,10 @@ fn aggsel_deletion_of_best_promotes_next() {
     runner.inject("obs", obs(1, 4), UpdateKind::Delete, None);
     assert!(runner.run_phase("delete best").converged());
     let view = runner.view("best");
-    assert!(view.contains(&obs(1, 10)), "next-best must be re-emitted: {view:?}");
+    assert!(
+        view.contains(&obs(1, 10)),
+        "next-best must be re-emitted: {view:?}"
+    );
     assert!(!view.contains(&obs(1, 4)));
 }
 

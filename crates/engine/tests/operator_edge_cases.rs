@@ -26,8 +26,20 @@ fn reachable_plan() -> Plan {
     let base_map = b.map(vec![Expr::col(0), Expr::col(1)], vec![]);
     let store = b.store(reach, true, None);
     let join = b.join(vec![1], vec![0], vec![], vec![Expr::col(0), Expr::col(4)]);
-    let ex = b.exchange(Some(1), Dest { op: join, input: JOIN_BUILD });
-    let ship = b.minship(Some(0), Dest { op: store, input: 0 });
+    let ex = b.exchange(
+        Some(1),
+        Dest {
+            op: join,
+            input: JOIN_BUILD,
+        },
+    );
+    let ship = b.minship(
+        Some(0),
+        Dest {
+            op: store,
+            input: 0,
+        },
+    );
     b.connect(ing, base_map, 0);
     b.connect(base_map, store, 0);
     b.connect(ing, ex, 0);
@@ -38,7 +50,10 @@ fn reachable_plan() -> Plan {
 
 #[test]
 fn duplicate_insertions_are_set_semantics() {
-    let mut r = Runner::new(reachable_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 2));
+    let mut r = Runner::new(
+        reachable_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 2),
+    );
     for _ in 0..3 {
         r.inject("link", link(0, 1), UpdateKind::Insert, None);
     }
@@ -52,7 +67,10 @@ fn duplicate_insertions_are_set_semantics() {
 
 #[test]
 fn deleting_absent_tuples_is_a_noop() {
-    let mut r = Runner::new(reachable_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 2));
+    let mut r = Runner::new(
+        reachable_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 2),
+    );
     r.inject("link", link(0, 1), UpdateKind::Delete, None);
     r.inject("link", link(5, 6), UpdateKind::Delete, None);
     let rep = r.run_phase("noop");
@@ -68,7 +86,10 @@ fn deleting_absent_tuples_is_a_noop() {
 fn insert_delete_insert_same_tuple() {
     // The tuple must get a fresh provenance variable on re-insertion; the
     // view must end up containing it.
-    let mut r = Runner::new(reachable_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 2));
+    let mut r = Runner::new(
+        reachable_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 2),
+    );
     r.inject("link", link(0, 1), UpdateKind::Insert, None);
     r.inject("link", link(0, 1), UpdateKind::Delete, None);
     r.inject("link", link(0, 1), UpdateKind::Insert, None);
@@ -76,13 +97,19 @@ fn insert_delete_insert_same_tuple() {
     assert_eq!(r.view("reachable").len(), 1);
     r.inject("link", link(0, 1), UpdateKind::Delete, None);
     assert!(r.run_phase("final delete").converged());
-    assert!(r.view("reachable").is_empty(), "stale variable must not resurrect the tuple");
+    assert!(
+        r.view("reachable").is_empty(),
+        "stale variable must not resurrect the tuple"
+    );
 }
 
 #[test]
 fn single_peer_hosts_everything() {
     // Degenerate placement: one peer, zero remote traffic.
-    let mut r = Runner::new(reachable_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 1));
+    let mut r = Runner::new(
+        reachable_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 1),
+    );
     for (a, b) in [(0, 1), (1, 2), (2, 0)] {
         r.inject("link", link(a, b), UpdateKind::Insert, None);
     }
@@ -113,7 +140,10 @@ fn direct_and_hash_placement_agree() {
 
 #[test]
 fn empty_workload_converges_instantly() {
-    let mut r = Runner::new(reachable_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 3));
+    let mut r = Runner::new(
+        reachable_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 3),
+    );
     let rep = r.run_phase("empty");
     assert!(rep.converged());
     assert_eq!(rep.events, 0);
@@ -135,24 +165,53 @@ fn aggregate_with_empty_group_key() {
     let plan = b.build().unwrap();
     let mut r = Runner::new(plan, RunnerConfig::new(Strategy::absorption_lazy(), 3));
     for (k, v) in [(0u32, 5i64), (1, 9), (2, 3)] {
-        r.inject("vals", Tuple::new(vec![addr(k), Value::Int(v)]), UpdateKind::Insert, None);
+        r.inject(
+            "vals",
+            Tuple::new(vec![addr(k), Value::Int(v)]),
+            UpdateKind::Insert,
+            None,
+        );
     }
     assert!(r.run_phase("load").converged());
-    assert_eq!(r.view("top"), [Tuple::new(vec![Value::Int(9)])].into_iter().collect());
+    assert_eq!(
+        r.view("top"),
+        [Tuple::new(vec![Value::Int(9)])].into_iter().collect()
+    );
     // Delete the max: the aggregate revises downward.
-    r.inject("vals", Tuple::new(vec![addr(1), Value::Int(9)]), UpdateKind::Delete, None);
+    r.inject(
+        "vals",
+        Tuple::new(vec![addr(1), Value::Int(9)]),
+        UpdateKind::Delete,
+        None,
+    );
     assert!(r.run_phase("delete max").converged());
-    assert_eq!(r.view("top"), [Tuple::new(vec![Value::Int(5)])].into_iter().collect());
+    assert_eq!(
+        r.view("top"),
+        [Tuple::new(vec![Value::Int(5)])].into_iter().collect()
+    );
     // Delete everything: the group empties and the view follows.
-    r.inject("vals", Tuple::new(vec![addr(0), Value::Int(5)]), UpdateKind::Delete, None);
-    r.inject("vals", Tuple::new(vec![addr(2), Value::Int(3)]), UpdateKind::Delete, None);
+    r.inject(
+        "vals",
+        Tuple::new(vec![addr(0), Value::Int(5)]),
+        UpdateKind::Delete,
+        None,
+    );
+    r.inject(
+        "vals",
+        Tuple::new(vec![addr(2), Value::Int(3)]),
+        UpdateKind::Delete,
+        None,
+    );
     assert!(r.run_phase("drain").converged());
     assert!(r.view("top").is_empty());
 }
 
 #[test]
 fn self_loop_links_are_harmless() {
-    let mut r = Runner::new(reachable_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 2));
+    let mut r = Runner::new(
+        reachable_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 2),
+    );
     r.inject("link", link(3, 3), UpdateKind::Insert, None);
     r.inject("link", link(3, 4), UpdateKind::Insert, None);
     assert!(r.run_phase("load").converged());

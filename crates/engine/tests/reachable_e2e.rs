@@ -24,13 +24,25 @@ fn reachable_plan() -> Plan {
     // Recursive side: link shipped to owner(dst), joined with reachable
     // partition there, result MinShipped to owner(src).
     let join = b.join(
-        vec![1],              // link.dst
-        vec![0],              // reachable.src
+        vec![1], // link.dst
+        vec![0], // reachable.src
         vec![],
         vec![Expr::col(0), Expr::col(4)], // (link.src, reachable.dst)
     );
-    let ex = b.exchange(Some(1), Dest { op: join, input: JOIN_BUILD });
-    let ship = b.minship(Some(0), Dest { op: store, input: 0 });
+    let ex = b.exchange(
+        Some(1),
+        Dest {
+            op: join,
+            input: JOIN_BUILD,
+        },
+    );
+    let ship = b.minship(
+        Some(0),
+        Dest {
+            op: store,
+            input: 0,
+        },
+    );
     b.connect(ing, base_map, 0);
     b.connect(base_map, store, 0);
     b.connect(ing, ex, 0);
@@ -69,8 +81,14 @@ fn reachable_program(link: RelId, reach: RelId) -> Program {
                 head: reach,
                 head_exprs: vec![Expr::col(0), Expr::col(3)],
                 body: vec![
-                    Atom { rel: link, terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)] },
-                    Atom { rel: reach, terms: vec![Term::Var(1), Term::Var(3)] },
+                    Atom {
+                        rel: link,
+                        terms: vec![Term::Var(0), Term::Var(1), Term::Var(2)],
+                    },
+                    Atom {
+                        rel: reach,
+                        terms: vec![Term::Var(1), Term::Var(3)],
+                    },
                 ],
                 preds: vec![],
                 nvars: 4,
@@ -100,7 +118,11 @@ fn run_fig3(strategy: Strategy) -> Runner {
         runner.inject("link", link_tuple(a, b), UpdateKind::Insert, None);
     }
     let report = runner.run_phase("load");
-    assert!(report.converged(), "load should converge: {:?}", report.outcome);
+    assert!(
+        report.converged(),
+        "load should converge: {:?}",
+        report.outcome
+    );
     runner
 }
 
@@ -133,17 +155,25 @@ fn fig2_absorption_provenance_of_bb() {
     let p2 = runner.base_var("link", &link_tuple(1, 2)).unwrap();
     let p3 = runner.base_var("link", &link_tuple(2, 0)).unwrap();
     let p4 = runner.base_var("link", &link_tuple(2, 1)).unwrap();
-    let prov = runner.view_prov("reachable", &pair(1, 1)).expect("(B,B) in view");
+    let prov = runner
+        .view_prov("reachable", &pair(1, 1))
+        .expect("(B,B) in view");
     let got = prov.bdd();
     // Annotations live in their owning peer's manager: build the expected
     // function in the same manager before comparing.
     let mgr = got.manager();
-    let expect = mgr
-        .cube([p2, p4])
-        .or(&mgr.cube([p1, p2, p3]));
-    assert_eq!(got, &expect, "pv(B,B): got {}, want {}", got.to_sop(8), expect.to_sop(8));
+    let expect = mgr.cube([p2, p4]).or(&mgr.cube([p1, p2, p3]));
+    assert_eq!(
+        got,
+        &expect,
+        "pv(B,B): got {}, want {}",
+        got.to_sop(8),
+        expect.to_sop(8)
+    );
     // And pv(C,B) = p4 ∨ (p1 ∧ p3) — owned by peer C, hence its manager.
-    let prov_cb = runner.view_prov("reachable", &pair(2, 1)).expect("(C,B) in view");
+    let prov_cb = runner
+        .view_prov("reachable", &pair(2, 1))
+        .expect("(C,B) in view");
     let mgr_cb = prov_cb.bdd().manager();
     let expect_cb = mgr_cb.cube([p4]).or(&mgr_cb.cube([p1, p3]));
     assert_eq!(prov_cb.bdd(), &expect_cb);
@@ -154,12 +184,19 @@ fn fig2_delete_p4_keeps_all_tuples() {
     // The paper's headline example: deleting link(C,B) zeroes p4 but no
     // reachable tuple dies.
     for delete_prop in [DeleteProp::Dataflow, DeleteProp::Broadcast] {
-        let strategy = Strategy { delete_prop, ..Strategy::absorption_lazy() };
+        let strategy = Strategy {
+            delete_prop,
+            ..Strategy::absorption_lazy()
+        };
         let mut runner = run_fig3(strategy);
         runner.inject("link", link_tuple(2, 1), UpdateKind::Delete, None);
         let report = runner.run_phase("delete p4");
         assert!(report.converged());
-        assert_eq!(runner.view("reachable").len(), 9, "{delete_prop:?}: all pairs survive");
+        assert_eq!(
+            runner.view("reachable").len(),
+            9,
+            "{delete_prop:?}: all pairs survive"
+        );
         // p4 must be gone from every annotation.
         let prov_cb = runner.view_prov("reachable", &pair(2, 1)).unwrap();
         let p1 = runner.base_var("link", &link_tuple(0, 1)).unwrap();
@@ -175,9 +212,18 @@ fn cascading_deletions_match_oracle() {
     // deletion the maintained view must equal a from-scratch evaluation.
     for delete_prop in [DeleteProp::Dataflow, DeleteProp::Broadcast] {
         for strategy in [
-            Strategy { delete_prop, ..Strategy::absorption_lazy() },
-            Strategy { delete_prop, ..Strategy::absorption_eager() },
-            Strategy { delete_prop, ..Strategy::relative_lazy() },
+            Strategy {
+                delete_prop,
+                ..Strategy::absorption_lazy()
+            },
+            Strategy {
+                delete_prop,
+                ..Strategy::absorption_eager()
+            },
+            Strategy {
+                delete_prop,
+                ..Strategy::relative_lazy()
+            },
         ] {
             let mut runner = run_fig3(strategy);
             let mut live: Vec<(u32, u32)> = FIG3.to_vec();
@@ -207,13 +253,13 @@ fn dred_over_delete_and_rederive() {
     let mut runner = run_fig3(Strategy::set());
     let before = runner.view("reachable");
     assert_eq!(before.len(), 9);
-    let report = dred::dred_delete(
-        &mut runner,
-        &[("link".to_string(), link_tuple(2, 1))],
-    );
+    let report = dred::dred_delete(&mut runner, &[("link".to_string(), link_tuple(2, 1))]);
     assert!(report.converged());
     // After DRed completes the view is correct again.
-    assert_eq!(runner.view("reachable"), oracle_reachable(&[(0, 1), (1, 2), (2, 0)]));
+    assert_eq!(
+        runner.view("reachable"),
+        oracle_reachable(&[(0, 1), (1, 2), (2, 0)])
+    );
     // And DRed shipped roughly as much as recomputing from scratch (the
     // paper counts 16 tuples for this example).
     assert!(
@@ -247,7 +293,10 @@ fn dred_costs_more_than_absorption_on_deletion() {
 fn insertion_traffic_lazy_leq_eager() {
     let lazy = run_fig3(Strategy::absorption_lazy());
     let eager = run_fig3(Strategy::absorption_eager());
-    let (lt, et) = (lazy.metrics().total_tuples(), eager.metrics().total_tuples());
+    let (lt, et) = (
+        lazy.metrics().total_tuples(),
+        eager.metrics().total_tuples(),
+    );
     assert!(lt <= et, "lazy {lt} should not exceed eager {et}");
 }
 
@@ -262,17 +311,19 @@ fn random_graphs_match_oracle_after_churn() {
             .flat_map(|l| [(l.a.0, l.b.0), (l.b.0, l.a.0)])
             .collect();
         for strategy in [Strategy::absorption_lazy(), Strategy::relative_lazy()] {
-            let mut runner =
-                Runner::new(reachable_plan(), RunnerConfig::new(strategy, 4));
+            let mut runner = Runner::new(reachable_plan(), RunnerConfig::new(strategy, 4));
             for &(a, b) in &links {
                 runner.inject("link", link_tuple(a, b), UpdateKind::Insert, None);
             }
             assert!(runner.run_phase("load").converged());
-            assert_eq!(runner.view("reachable"), oracle_reachable(&links), "seed {seed} load");
+            assert_eq!(
+                runner.view("reachable"),
+                oracle_reachable(&links),
+                "seed {seed} load"
+            );
             // Delete a third of the links.
             let mut live = links.clone();
-            let to_delete: Vec<(u32, u32)> =
-                links.iter().copied().step_by(3).collect();
+            let to_delete: Vec<(u32, u32)> = links.iter().copied().step_by(3).collect();
             for (a, b) in to_delete {
                 runner.inject("link", link_tuple(a, b), UpdateKind::Delete, None);
                 live.retain(|&l| l != (a, b));

@@ -7,10 +7,8 @@
 //! is deleted and later re-inserted it receives a *new* variable: the old
 //! derivations died with the old variable.
 
-use std::collections::HashMap;
-
 use netrec_bdd::Var;
-use netrec_types::{RelId, Tuple};
+use netrec_types::{FxHashMap, RelId, Tuple};
 
 /// Bits reserved for the per-peer counter; supports 2^22 ≈ 4.2 M base
 /// insertions per peer and 1024 peers, far beyond the paper's workloads.
@@ -35,7 +33,11 @@ impl VarAllocator {
     pub fn alloc(&mut self) -> Var {
         let v = (self.peer << PEER_SHIFT) | self.next;
         self.next += 1;
-        assert!(self.next <= COUNTER_MASK, "variable space exhausted for peer {}", self.peer);
+        assert!(
+            self.next <= COUNTER_MASK,
+            "variable space exhausted for peer {}",
+            self.peer
+        );
         v
     }
 
@@ -57,7 +59,7 @@ impl VarAllocator {
 /// variable whose deletion must be propagated.
 #[derive(Clone, Debug, Default)]
 pub struct VarTable {
-    live: HashMap<(RelId, Tuple), Var>,
+    live: FxHashMap<(RelId, Tuple), Var>,
 }
 
 impl VarTable {
@@ -69,12 +71,7 @@ impl VarTable {
     /// Record a newly inserted base tuple. Returns `None` (and leaves the
     /// table unchanged) if the tuple is already live — set semantics: a
     /// duplicate base insertion is a no-op.
-    pub fn insert(
-        &mut self,
-        rel: RelId,
-        tuple: Tuple,
-        alloc: &mut VarAllocator,
-    ) -> Option<Var> {
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple, alloc: &mut VarAllocator) -> Option<Var> {
         use std::collections::hash_map::Entry;
         match self.live.entry((rel, tuple)) {
             Entry::Occupied(_) => None,
@@ -127,7 +124,10 @@ mod tests {
     fn allocator_is_peer_disjoint() {
         let mut a0 = VarAllocator::new(0);
         let mut a1 = VarAllocator::new(1);
-        let vs: Vec<Var> = (0..4).map(|_| a0.alloc()).chain((0..4).map(|_| a1.alloc())).collect();
+        let vs: Vec<Var> = (0..4)
+            .map(|_| a0.alloc())
+            .chain((0..4).map(|_| a1.alloc()))
+            .collect();
         let unique: std::collections::HashSet<_> = vs.iter().collect();
         assert_eq!(unique.len(), 8);
         assert!(vs[..4].iter().all(|&v| VarAllocator::owner_of(v) == 0));
@@ -141,7 +141,11 @@ mod tests {
         let mut table = VarTable::new();
         let rel = RelId(0);
         let v1 = table.insert(rel, t(1), &mut alloc).expect("fresh");
-        assert_eq!(table.insert(rel, t(1), &mut alloc), None, "duplicate is no-op");
+        assert_eq!(
+            table.insert(rel, t(1), &mut alloc),
+            None,
+            "duplicate is no-op"
+        );
         assert_eq!(table.get(rel, &t(1)), Some(v1));
         assert_eq!(table.len(), 1);
         assert_eq!(table.remove(rel, &t(1)), Some(v1));

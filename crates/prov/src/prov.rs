@@ -176,7 +176,10 @@ mod tests {
         assert!(matches!(Prov::base(ProvMode::Set, 0, &mgr), Prov::None));
         assert_eq!(Prov::base(ProvMode::Counting, 0, &mgr).count(), 1);
         assert_eq!(Prov::base(ProvMode::Absorption, 3, &mgr).bdd(), &mgr.var(3));
-        assert_eq!(Prov::base(ProvMode::Relative, 3, &mgr).rel().support(), vec![3]);
+        assert_eq!(
+            Prov::base(ProvMode::Relative, 3, &mgr).rel().support(),
+            vec![3]
+        );
     }
 
     #[test]
@@ -210,8 +213,11 @@ mod tests {
         // relative annotations are strictly larger than absorption for the
         // same derivation — the paper's Fig. 7a in miniature.
         let mgr = BddManager::new();
-        let abs = Prov::base(ProvMode::Absorption, 1, &mgr)
-            .and(&Prov::base(ProvMode::Absorption, 2, &mgr));
+        let abs = Prov::base(ProvMode::Absorption, 1, &mgr).and(&Prov::base(
+            ProvMode::Absorption,
+            2,
+            &mgr,
+        ));
         let a = Prov::base(ProvMode::Relative, 1, &mgr);
         let b = Prov::base(ProvMode::Relative, 2, &mgr);
         let rel = Prov::rel_derive(0, RelId(1), Tuple::new(vec![Value::Int(1)]), &[&a, &b]);

@@ -16,7 +16,10 @@
 //! time; the least-fixpoint derivability check is well-founded, so cyclic
 //! self-support never counts as derivable.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::hash::BuildHasher;
+
+use netrec_types::FxHashMap;
 
 use netrec_bdd::Var;
 use netrec_types::{wire, RelId, Tuple};
@@ -44,7 +47,7 @@ struct Node {
 #[derive(Clone, Debug)]
 pub struct RelProv {
     nodes: Vec<Node>,
-    index: HashMap<NodeKey, u32>,
+    index: FxHashMap<NodeKey, u32>,
     root: u32,
 }
 
@@ -52,16 +55,23 @@ impl RelProv {
     /// Annotation of a base tuple.
     pub fn base(var: Var) -> RelProv {
         let key = NodeKey::Base(var);
-        let mut index = HashMap::with_capacity(1);
+        let mut index = FxHashMap::default();
         index.insert(key.clone(), 0);
-        RelProv { nodes: vec![Node { key, derivs: Vec::new() }], index, root: 0 }
+        RelProv {
+            nodes: vec![Node {
+                key,
+                derivs: Vec::new(),
+            }],
+            index,
+            root: 0,
+        }
     }
 
     /// Annotation of a tuple derived in one rule firing from `antecedents`.
     pub fn derive(rule: u32, rel: RelId, tuple: Tuple, antecedents: &[&RelProv]) -> RelProv {
         let mut out = RelProv {
             nodes: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             root: 0,
         };
         let mut ant_roots = Vec::with_capacity(antecedents.len());
@@ -103,17 +113,18 @@ impl RelProv {
                 Some(&i) => {
                     let mine = &self.nodes[i as usize];
                     for d in &node.derivs {
-                        let remapped: Option<Vec<u32>> = d
-                            .1
-                            .iter()
-                            .map(|&a| {
-                                self.index.get(&other.nodes[a as usize].key).copied()
-                            })
-                            .collect();
+                        let remapped: Option<Vec<u32>> =
+                            d.1.iter()
+                                .map(|&a| self.index.get(&other.nodes[a as usize].key).copied())
+                                .collect();
                         match remapped {
                             None => return true,
                             Some(refs) => {
-                                if !mine.derivs.iter().any(|(r, ants)| *r == d.0 && *ants == refs) {
+                                if !mine
+                                    .derivs
+                                    .iter()
+                                    .any(|(r, ants)| *r == d.0 && *ants == refs)
+                                {
                                     return true;
                                 }
                             }
@@ -128,14 +139,18 @@ impl RelProv {
     /// Apply a batch of base deletions: derivations that can no longer be
     /// grounded in live base tuples are discarded. Returns `None` when the
     /// root itself is no longer derivable (the tuple leaves the view).
-    pub fn kill_vars(&self, dead: &HashSet<Var>) -> Option<RelProv> {
+    pub fn kill_vars<S: BuildHasher>(&self, dead: &HashSet<Var, S>) -> Option<RelProv> {
         let alive = self.derivable_set(dead);
         if !alive[self.root as usize] {
             return None;
         }
         // Rebuild keeping only derivable nodes and fully-alive derivations.
-        let mut out = RelProv { nodes: Vec::new(), index: HashMap::new(), root: 0 };
-        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut out = RelProv {
+            nodes: Vec::new(),
+            index: FxHashMap::default(),
+            root: 0,
+        };
+        let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
         for (i, node) in self.nodes.iter().enumerate() {
             if !alive[i] {
                 continue;
@@ -160,8 +175,10 @@ impl RelProv {
     }
 
     /// Does this annotation depend on any of the given variables?
-    pub fn mentions_any(&self, vars: &HashSet<Var>) -> bool {
-        self.nodes.iter().any(|n| matches!(&n.key, NodeKey::Base(v) if vars.contains(v)))
+    pub fn mentions_any<S: BuildHasher>(&self, vars: &HashSet<Var, S>) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(&n.key, NodeKey::Base(v) if vars.contains(v)))
     }
 
     /// All base variables appearing anywhere in the graph.
@@ -200,7 +217,10 @@ impl RelProv {
             for (rule, ants) in &node.derivs {
                 n += wire::varint_len(u64::from(*rule));
                 n += wire::varint_len(ants.len() as u64);
-                n += ants.iter().map(|a| wire::varint_len(u64::from(*a))).sum::<usize>();
+                n += ants
+                    .iter()
+                    .map(|a| wire::varint_len(u64::from(*a)))
+                    .sum::<usize>();
             }
         }
         n
@@ -214,7 +234,10 @@ impl RelProv {
         }
         let i = self.nodes.len() as u32;
         self.index.insert(key.clone(), i);
-        self.nodes.push(Node { key, derivs: Vec::new() });
+        self.nodes.push(Node {
+            key,
+            derivs: Vec::new(),
+        });
         i
     }
 
@@ -242,7 +265,7 @@ impl RelProv {
     }
 
     /// Least fixpoint of "derivable from live base tuples".
-    fn derivable_set(&self, dead: &HashSet<Var>) -> Vec<bool> {
+    fn derivable_set<S: BuildHasher>(&self, dead: &HashSet<Var, S>) -> Vec<bool> {
         let mut alive = vec![false; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             if let NodeKey::Base(v) = node.key {
@@ -257,7 +280,11 @@ impl RelProv {
                 if alive[i] || node.derivs.is_empty() {
                     continue;
                 }
-                if node.derivs.iter().any(|(_, ants)| ants.iter().all(|&a| alive[a as usize])) {
+                if node
+                    .derivs
+                    .iter()
+                    .any(|(_, ants)| ants.iter().all(|&a| alive[a as usize]))
+                {
                     alive[i] = true;
                     changed = true;
                 }

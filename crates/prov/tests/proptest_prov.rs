@@ -26,10 +26,7 @@ fn arb_dag() -> impl Strategy<Value = DerivationDag> {
         for d in 0..n_derived {
             let pool = n_base as usize + d;
             // 1..=2 alternative derivations, each with 1..=2 antecedents.
-            let deriv = proptest::collection::vec(
-                proptest::collection::vec(0..pool, 1..3),
-                1..3,
-            );
+            let deriv = proptest::collection::vec(proptest::collection::vec(0..pool, 1..3), 1..3);
             node_strategies.push(deriv);
         }
         node_strategies.prop_map(move |derived| DerivationDag { n_base, derived })
@@ -37,10 +34,7 @@ fn arb_dag() -> impl Strategy<Value = DerivationDag> {
 }
 
 /// Build both representations of node `idx`'s provenance.
-fn build(
-    dag: &DerivationDag,
-    mgr: &BddManager,
-) -> (Vec<Bdd>, Vec<RelProv>) {
+fn build(dag: &DerivationDag, mgr: &BddManager) -> (Vec<Bdd>, Vec<RelProv>) {
     let mut bdds: Vec<Bdd> = Vec::new();
     let mut rels: Vec<RelProv> = Vec::new();
     for v in 0..dag.n_base {
@@ -54,8 +48,7 @@ fn build(
         for (rule, ants) in alts.iter().enumerate() {
             let bdd_term = mgr.and_many(ants.iter().map(|&a| &bdds[a]));
             let ant_refs: Vec<&RelProv> = ants.iter().map(|&a| &rels[a]).collect();
-            let rel_term =
-                RelProv::derive(rule as u32, RelId(7), key_tuple.clone(), &ant_refs);
+            let rel_term = RelProv::derive(rule as u32, RelId(7), key_tuple.clone(), &ant_refs);
             bdd_acc = Some(match bdd_acc {
                 None => bdd_term,
                 Some(acc) => acc.or(&bdd_term),

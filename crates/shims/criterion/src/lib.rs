@@ -1,0 +1,294 @@
+//! Offline shim for `criterion`: same macro/type surface, simple measurement.
+//!
+//! Each benchmark warms up briefly, then runs a fixed number of timed samples
+//! and reports the median per-iteration time. No statistical machinery, no
+//! plotting — but the numbers are stable enough for regression tracking, and
+//! `bench-report` (crates/bench) consumes them programmatically via
+//! [`Criterion::with_observer`].
+//!
+//! Env knobs: `CRITERION_SAMPLES` (default 15), `CRITERION_WARMUP_MS`
+//! (default 300), `CRITERION_SAMPLE_MS` (target per-sample wall time, default
+//! 200).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (API compatibility; the shim treats all
+/// variants identically).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// One measured result, passed to observers.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+type Observer = Box<dyn FnMut(&Measurement)>;
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+    warmup: Duration,
+    sample_target: Duration,
+    observer: Option<Observer>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let env_usize = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Criterion {
+            samples: env_usize("CRITERION_SAMPLES", 15),
+            warmup: Duration::from_millis(env_usize("CRITERION_WARMUP_MS", 300) as u64),
+            sample_target: Duration::from_millis(env_usize("CRITERION_SAMPLE_MS", 200) as u64),
+            observer: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Register a callback receiving every finished [`Measurement`].
+    pub fn with_observer(mut self, f: impl FnMut(&Measurement) + 'static) -> Criterion {
+        self.observer = Some(Box::new(f));
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        let m = run_bench(id, self.samples, self.warmup, self.sample_target, f);
+        if let Some(obs) = &mut self.observer {
+            obs(&m);
+        }
+        self
+    }
+
+    /// Open a named group; member benchmarks are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    /// Criterion API compatibility (used by generated `main`).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one member benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, id);
+        let m = run_bench(
+            &full,
+            self.c.samples,
+            self.c.warmup,
+            self.c.sample_target,
+            f,
+        );
+        if let Some(obs) = &mut self.c.observer {
+            obs(&m);
+        }
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under measurement.
+pub struct Bencher {
+    /// Iterations to run per timed sample (calibrated before sampling).
+    iters: u64,
+    /// Collected per-sample durations for `iters` iterations each.
+    samples: Vec<Duration>,
+    mode: BenchMode,
+}
+
+enum BenchMode {
+    Calibrate,
+    Measure,
+}
+
+impl Bencher {
+    /// Measure a routine.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            BenchMode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            BenchMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(routine());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+
+    /// Measure a routine with untimed per-iteration setup.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            BenchMode::Calibrate => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.samples.push(start.elapsed());
+            }
+            BenchMode::Measure => {
+                let mut total = Duration::ZERO;
+                for _ in 0..self.iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed();
+                }
+                self.samples.push(total);
+            }
+        }
+    }
+}
+
+fn run_bench(
+    id: &str,
+    samples: usize,
+    warmup: Duration,
+    sample_target: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) -> Measurement {
+    // Calibration: run single iterations until the warmup budget is spent, to
+    // learn the per-iteration cost.
+    let mut cal = Bencher {
+        iters: 1,
+        samples: Vec::new(),
+        mode: BenchMode::Calibrate,
+    };
+    let start = Instant::now();
+    loop {
+        f(&mut cal);
+        if start.elapsed() >= warmup && !cal.samples.is_empty() {
+            break;
+        }
+    }
+    let per_iter = cal.samples.iter().sum::<Duration>() / cal.samples.len().max(1) as u32;
+    let iters = (sample_target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        iters,
+        samples: Vec::new(),
+        mode: BenchMode::Measure,
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let mut per_iter_ns: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    println!(
+        "{id:<50} time: {} ({} samples x {} iters)",
+        fmt_ns(median_ns),
+        samples,
+        iters
+    );
+    Measurement {
+        id: id.to_string(),
+        median_ns,
+        samples,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Define a benchmark group function (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        std::env::set_var("CRITERION_SAMPLES", "3");
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut c = Criterion::default()
+            .with_observer(move |m| seen2.borrow_mut().push((m.id.clone(), m.median_ns)));
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| 7u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].0, "spin");
+        assert_eq!(seen[1].0, "grp/inner");
+        assert!(seen.iter().all(|(_, ns)| *ns > 0.0));
+    }
+}

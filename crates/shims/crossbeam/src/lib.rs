@@ -1,0 +1,32 @@
+//! Offline shim for `crossbeam`: the `channel` module mapped onto
+//! `std::sync::mpsc` (unbounded MPSC is all the threaded runtime needs).
+
+pub mod channel {
+    //! Unbounded MPSC channels with crossbeam's names.
+
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn multi_producer_fan_in() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap())
+            .join()
+            .unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

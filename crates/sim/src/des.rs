@@ -14,9 +14,9 @@
 //!   convergence time is when the last event finished processing.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use netrec_types::{Duration, SimTime};
+use netrec_types::{Duration, FxHashMap, SimTime};
 
 use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{ClusterSpec, CostModel, PeerId, Port};
@@ -64,13 +64,16 @@ impl<M> NetApi<M> {
     }
 
     pub(crate) fn fresh(now: SimTime, me: PeerId) -> NetApi<M> {
-        NetApi { now, me, out: Vec::new(), timers: Vec::new() }
+        NetApi {
+            now,
+            me,
+            out: Vec::new(),
+            timers: Vec::new(),
+        }
     }
 
     #[allow(clippy::type_complexity)]
-    pub(crate) fn into_parts(
-        self,
-    ) -> (Vec<(PeerId, Port, M, MsgMeta)>, Vec<(Duration, u64)>) {
+    pub(crate) fn into_parts(self) -> (Vec<(PeerId, Port, M, MsgMeta)>, Vec<(Duration, u64)>) {
         (self.out, self.timers)
     }
 }
@@ -132,7 +135,10 @@ impl Default for RunBudget {
 impl RunBudget {
     /// Budget capped at `secs` of simulated time (the paper's 5-minute cap).
     pub fn sim_seconds(secs: u64) -> RunBudget {
-        RunBudget { max_time: SimTime(secs * 1_000_000), ..Default::default() }
+        RunBudget {
+            max_time: SimTime(secs * 1_000_000),
+            ..Default::default()
+        }
     }
 
     /// Additionally cap wall-clock time (builder style).
@@ -179,7 +185,7 @@ pub struct Simulator<M, N> {
     queue: BinaryHeap<Event<M>>,
     seq: u64,
     /// FIFO/bandwidth serialisation point per directed channel.
-    chan_clock: HashMap<(PeerId, PeerId), SimTime>,
+    chan_clock: FxHashMap<(PeerId, PeerId), SimTime>,
     busy_until: Vec<SimTime>,
     metrics: NetMetrics,
     events_processed: u64,
@@ -190,7 +196,11 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
     /// Build a simulator from peers (index = `PeerId`), a cluster model and a
     /// CPU cost model.
     pub fn new(peers: Vec<N>, spec: ClusterSpec, cost: CostModel) -> Simulator<M, N> {
-        assert_eq!(peers.len() as u32, spec.peers(), "peer count mismatch with cluster spec");
+        assert_eq!(
+            peers.len() as u32,
+            spec.peers(),
+            "peer count mismatch with cluster spec"
+        );
         let n = peers.len();
         Simulator {
             peers,
@@ -198,7 +208,7 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             cost,
             queue: BinaryHeap::new(),
             seq: 0,
-            chan_clock: HashMap::new(),
+            chan_clock: FxHashMap::default(),
             busy_until: vec![SimTime::ZERO; n],
             metrics: NetMetrics::new(n as u32),
             events_processed: 0,
@@ -215,7 +225,11 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             at,
             seq,
             to,
-            kind: EventKind::Deliver { port, msg, meta: MsgMeta::default() },
+            kind: EventKind::Deliver {
+                port,
+                msg,
+                meta: MsgMeta::default(),
+            },
         });
     }
 
@@ -233,10 +247,7 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
         let wall_start = std::time::Instant::now();
         while let Some(ev) = self.queue.pop() {
             let wall_blown = wall_start.elapsed() > budget.max_wall;
-            if self.events_processed >= budget.max_events
-                || ev.at > budget.max_time
-                || wall_blown
-            {
+            if self.events_processed >= budget.max_events || ev.at > budget.max_time || wall_blown {
                 let at = self.last_finish.max(ev.at);
                 let pending = self.queue.len() + 1;
                 return RunOutcome::BudgetExceeded { at, pending };
@@ -251,8 +262,12 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             let finish = start + span;
             self.busy_until[peer.0 as usize] = finish;
             self.last_finish = self.last_finish.max(finish);
-            let mut api =
-                NetApi { now: finish, me: peer, out: Vec::new(), timers: Vec::new() };
+            let mut api = NetApi {
+                now: finish,
+                me: peer,
+                out: Vec::new(),
+                timers: Vec::new(),
+            };
             match ev.kind {
                 EventKind::Deliver { port, msg, .. } => {
                     self.peers[peer.0 as usize].on_message(port, msg, &mut api);
@@ -268,10 +283,17 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             for (delay, id) in timers {
                 let at = finish + delay;
                 let seq = self.next_seq();
-                self.push(Event { at, seq, to: peer, kind: EventKind::Timer { id } });
+                self.push(Event {
+                    at,
+                    seq,
+                    to: peer,
+                    kind: EventKind::Timer { id },
+                });
             }
         }
-        RunOutcome::Converged { at: self.last_finish }
+        RunOutcome::Converged {
+            at: self.last_finish,
+        }
     }
 
     fn route(&mut self, now: SimTime, from: PeerId, to: PeerId, port: Port, msg: M, meta: MsgMeta) {
@@ -287,7 +309,12 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             arrive
         };
         let seq = self.next_seq();
-        self.push(Event { at, seq, to, kind: EventKind::Deliver { port, msg, meta } });
+        self.push(Event {
+            at,
+            seq,
+            to,
+            kind: EventKind::Deliver { port, msg, meta },
+        });
     }
 
     /// Traffic metrics accumulated so far.
@@ -342,7 +369,16 @@ mod tests {
             self.received.push((port, msg, net.now()));
             if msg > 0 {
                 if let Some(to) = self.forward_to {
-                    net.send(to, Port(0), msg - 1, MsgMeta { bytes: 64, prov_bytes: 8, tuples: 1 });
+                    net.send(
+                        to,
+                        Port(0),
+                        msg - 1,
+                        MsgMeta {
+                            bytes: 64,
+                            prov_bytes: 8,
+                            tuples: 1,
+                        },
+                    );
                 }
             }
         }
@@ -353,8 +389,14 @@ mod tests {
 
     fn two_relays() -> Simulator<u64, Relay> {
         let peers = vec![
-            Relay { received: vec![], forward_to: Some(PeerId(1)) },
-            Relay { received: vec![], forward_to: Some(PeerId(0)) },
+            Relay {
+                received: vec![],
+                forward_to: Some(PeerId(1)),
+            },
+            Relay {
+                received: vec![],
+                forward_to: Some(PeerId(0)),
+            },
         ];
         Simulator::new(peers, ClusterSpec::single(2), CostModel::default())
     }
@@ -387,8 +429,24 @@ mod tests {
         struct Sender;
         impl PeerNode<u64> for Sender {
             fn on_message(&mut self, _p: Port, _m: u64, net: &mut NetApi<u64>) {
-                net.send(PeerId(1), Port(0), 1, MsgMeta { bytes: 1_000_000, ..Default::default() });
-                net.send(PeerId(1), Port(0), 2, MsgMeta { bytes: 1, ..Default::default() });
+                net.send(
+                    PeerId(1),
+                    Port(0),
+                    1,
+                    MsgMeta {
+                        bytes: 1_000_000,
+                        ..Default::default()
+                    },
+                );
+                net.send(
+                    PeerId(1),
+                    Port(0),
+                    2,
+                    MsgMeta {
+                        bytes: 1,
+                        ..Default::default()
+                    },
+                );
             }
         }
         enum Node {
@@ -428,7 +486,11 @@ mod tests {
                 self.0.push((id, net.now()));
             }
         }
-        let mut sim = Simulator::new(vec![T(vec![])], ClusterSpec::single(1), CostModel::default());
+        let mut sim = Simulator::new(
+            vec![T(vec![])],
+            ClusterSpec::single(1),
+            CostModel::default(),
+        );
         sim.inject(SimTime::ZERO, PeerId(0), Port(0), 0);
         sim.run(RunBudget::default());
         let fired = &sim.peer(PeerId(0)).0;
@@ -448,7 +510,10 @@ mod tests {
         }
         let mut sim = Simulator::new(vec![Loop], ClusterSpec::single(1), CostModel::default());
         sim.inject(SimTime::ZERO, PeerId(0), Port(0), 0);
-        let out = sim.run(RunBudget { max_events: 100, ..Default::default() });
+        let out = sim.run(RunBudget {
+            max_events: 100,
+            ..Default::default()
+        });
         assert!(matches!(out, RunOutcome::BudgetExceeded { pending, .. } if pending >= 1));
         assert_eq!(sim.events_processed(), 100);
     }
@@ -474,8 +539,10 @@ mod tests {
                 self.0.push(net.now());
             }
         }
-        let cost =
-            CostModel { per_message: Duration::from_millis(1), per_tuple: Duration::ZERO };
+        let cost = CostModel {
+            per_message: Duration::from_millis(1),
+            per_tuple: Duration::ZERO,
+        };
         let mut sim = Simulator::new(vec![T(vec![])], ClusterSpec::single(1), cost);
         sim.inject(SimTime::ZERO, PeerId(0), Port(0), 1);
         sim.inject(SimTime::ZERO, PeerId(0), Port(0), 2);

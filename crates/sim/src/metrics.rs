@@ -17,7 +17,11 @@ pub struct MsgMeta {
 impl MsgMeta {
     /// Metadata for a tuple-free control message of `bytes`.
     pub fn control(bytes: usize) -> MsgMeta {
-        MsgMeta { bytes, prov_bytes: 0, tuples: 0 }
+        MsgMeta {
+            bytes,
+            prov_bytes: 0,
+            tuples: 0,
+        }
     }
 }
 
@@ -48,7 +52,9 @@ pub struct NetMetrics {
 impl NetMetrics {
     /// Zeroed metrics for `peers` peers.
     pub fn new(peers: u32) -> NetMetrics {
-        NetMetrics { per_peer: vec![PeerMetrics::default(); peers as usize] }
+        NetMetrics {
+            per_peer: vec![PeerMetrics::default(); peers as usize],
+        }
     }
 
     /// Record one remote send.
@@ -110,8 +116,24 @@ mod tests {
     #[test]
     fn aggregation() {
         let mut m = NetMetrics::new(3);
-        m.record_send(PeerId(0), PeerId(1), MsgMeta { bytes: 100, prov_bytes: 40, tuples: 2 });
-        m.record_send(PeerId(1), PeerId(2), MsgMeta { bytes: 50, prov_bytes: 10, tuples: 1 });
+        m.record_send(
+            PeerId(0),
+            PeerId(1),
+            MsgMeta {
+                bytes: 100,
+                prov_bytes: 40,
+                tuples: 2,
+            },
+        );
+        m.record_send(
+            PeerId(1),
+            PeerId(2),
+            MsgMeta {
+                bytes: 50,
+                prov_bytes: 10,
+                tuples: 1,
+            },
+        );
         assert_eq!(m.total_bytes(), 150);
         assert_eq!(m.total_msgs(), 2);
         assert_eq!(m.total_tuples(), 3);

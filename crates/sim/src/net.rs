@@ -95,7 +95,10 @@ impl ClusterSpec {
     pub fn two_clusters(first: u32, second: u32) -> ClusterSpec {
         let mut cluster_of = vec![0u8; first as usize];
         cluster_of.extend(std::iter::repeat_n(1u8, second as usize));
-        ClusterSpec { cluster_of, ..ClusterSpec::single(first + second) }
+        ClusterSpec {
+            cluster_of,
+            ..ClusterSpec::single(first + second)
+        }
     }
 
     /// Number of peers.
@@ -139,7 +142,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { per_message: Duration::from_micros(20), per_tuple: Duration::from_micros(5) }
+        CostModel {
+            per_message: Duration::from_micros(20),
+            per_tuple: Duration::from_micros(5),
+        }
     }
 }
 
@@ -156,7 +162,10 @@ mod tests {
 
     #[test]
     fn partitioners_are_deterministic_and_in_range() {
-        for p in [Partitioner::Direct { peers: 12 }, Partitioner::Hash { peers: 12 }] {
+        for p in [
+            Partitioner::Direct { peers: 12 },
+            Partitioner::Hash { peers: 12 },
+        ] {
             for i in 0..500u32 {
                 let peer = p.place(NetAddr(i));
                 assert!(peer.0 < 12);

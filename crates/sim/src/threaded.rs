@@ -39,10 +39,7 @@ pub struct ThreadedOutcome<N> {
 }
 
 /// Run `peers` to quiescence, starting from `injections` delivered at start.
-pub fn run_threaded<M, N>(
-    peers: Vec<N>,
-    injections: Vec<(PeerId, Port, M)>,
-) -> ThreadedOutcome<N>
+pub fn run_threaded<M, N>(peers: Vec<N>, injections: Vec<(PeerId, Port, M)>) -> ThreadedOutcome<N>
 where
     M: Send + 'static,
     N: PeerNode<M> + Send + 'static,
@@ -137,7 +134,11 @@ where
             agg.bytes_recv += pm.bytes_recv;
         }
     }
-    ThreadedOutcome { peers: out_peers, metrics, wall: start.elapsed() }
+    ThreadedOutcome {
+        peers: out_peers,
+        metrics,
+        wall: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +156,16 @@ mod tests {
             self.seen += 1;
             if msg > 0 {
                 if let Some(to) = self.forward_to {
-                    net.send(to, Port(0), msg - 1, MsgMeta { bytes: 10, prov_bytes: 2, tuples: 1 });
+                    net.send(
+                        to,
+                        Port(0),
+                        msg - 1,
+                        MsgMeta {
+                            bytes: 10,
+                            prov_bytes: 2,
+                            tuples: 1,
+                        },
+                    );
                 }
             }
         }
@@ -164,8 +174,14 @@ mod tests {
     #[test]
     fn threaded_ping_pong_terminates() {
         let peers = vec![
-            Counter { forward_to: Some(PeerId(1)), seen: 0 },
-            Counter { forward_to: Some(PeerId(0)), seen: 0 },
+            Counter {
+                forward_to: Some(PeerId(1)),
+                seen: 0,
+            },
+            Counter {
+                forward_to: Some(PeerId(0)),
+                seen: 0,
+            },
         ];
         let out = run_threaded(peers, vec![(PeerId(0), Port(0), 10)]);
         assert_eq!(out.metrics.total_msgs(), 10);
@@ -194,7 +210,10 @@ mod tests {
     #[test]
     fn empty_injection_returns_immediately() {
         let out = run_threaded::<u64, Counter>(
-            vec![Counter { forward_to: None, seen: 0 }],
+            vec![Counter {
+                forward_to: None,
+                seen: 0,
+            }],
             vec![],
         );
         assert_eq!(out.metrics.total_msgs(), 0);

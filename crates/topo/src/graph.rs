@@ -145,7 +145,9 @@ impl Topology {
     }
 
     fn link_exists(&self, a: NetAddr, b: NetAddr) -> bool {
-        self.links.iter().any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+        self.links
+            .iter()
+            .any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
     }
 
     /// Add an undirected link unless it already exists or is a self-loop;
@@ -174,7 +176,11 @@ pub fn random_graph(n: usize, m: usize, seed: u64) -> Topology {
     // Random spanning tree: attach each node to a random earlier node.
     for i in 1..n {
         let j = rng.random_range(0..i);
-        topo.add_link(NetAddr(i as u32), NetAddr(j as u32), Duration::from_millis(2));
+        topo.add_link(
+            NetAddr(i as u32),
+            NetAddr(j as u32),
+            Duration::from_millis(2),
+        );
     }
     let mut attempts = 0;
     while topo.links.len() < m && attempts < m * 20 {

@@ -108,7 +108,13 @@ impl SensorGrid {
                 seed_sensors.push(sensors[idx]);
             }
         }
-        SensorGrid { params, sensors, positions, near, seeds: seed_sensors }
+        SensorGrid {
+            params,
+            sensors,
+            positions,
+            near,
+            seeds: seed_sensors,
+        }
     }
 
     /// Number of sensors.

@@ -73,13 +73,18 @@ pub fn transit_stub(params: TransitStubParams, seed: u64) -> Topology {
     let mut stubs: Vec<Vec<NetAddr>> = Vec::new();
 
     for _ in 0..params.domains {
-        let transits: Vec<NetAddr> =
-            (0..params.transits_per_domain).map(|_| alloc(NodeClass::Transit, &mut topo)).collect();
+        let transits: Vec<NetAddr> = (0..params.transits_per_domain)
+            .map(|_| alloc(NodeClass::Transit, &mut topo))
+            .collect();
         // Transit routers in a domain: ring (connected) + one random chord
         // for domains of ≥ 4 routers, approximating GT-ITM's dense backbone.
         for i in 0..transits.len() {
             if transits.len() > 1 {
-                topo.add_link(transits[i], transits[(i + 1) % transits.len()], TRANSIT_TRANSIT);
+                topo.add_link(
+                    transits[i],
+                    transits[(i + 1) % transits.len()],
+                    TRANSIT_TRANSIT,
+                );
             }
         }
         if transits.len() >= 4 {
@@ -92,8 +97,9 @@ pub fn transit_stub(params: TransitStubParams, seed: u64) -> Topology {
         }
         for &t in &transits {
             for _ in 0..params.stubs_per_transit {
-                let members: Vec<NetAddr> =
-                    (0..params.nodes_per_stub).map(|_| alloc(NodeClass::Stub, &mut topo)).collect();
+                let members: Vec<NetAddr> = (0..params.nodes_per_stub)
+                    .map(|_| alloc(NodeClass::Stub, &mut topo))
+                    .collect();
                 // Stub internal structure: path (connected), densified below.
                 for w in members.windows(2) {
                     topo.add_link(w[0], w[1], INTRA_STUB);
@@ -145,7 +151,9 @@ pub fn transit_stub_for_links(link_tuples: usize, density: Density, seed: u64) -
     let nodes = (link_tuples / density.degree()).max(8);
     // Keep the paper's stub shape; scale the transit tier.
     let per_transit = 3 * 8; // stubs_per_transit × nodes_per_stub
-    let transits = ((nodes as f64) / (per_transit as f64 + 1.0)).round().max(1.0) as usize;
+    let transits = ((nodes as f64) / (per_transit as f64 + 1.0))
+        .round()
+        .max(1.0) as usize;
     let params = TransitStubParams {
         domains: 1,
         transits_per_domain: transits,
@@ -174,10 +182,17 @@ mod tests {
 
     #[test]
     fn sparse_halves_degree() {
-        let p = TransitStubParams { density: Density::Sparse, ..Default::default() };
+        let p = TransitStubParams {
+            density: Density::Sparse,
+            ..Default::default()
+        };
         let t = transit_stub(p, 1);
         assert!(t.is_connected());
-        assert!(t.avg_degree() < 3.0, "sparse degree ≈ 2, got {}", t.avg_degree());
+        assert!(
+            t.avg_degree() < 3.0,
+            "sparse degree ≈ 2, got {}",
+            t.avg_degree()
+        );
     }
 
     #[test]
@@ -193,15 +208,22 @@ mod tests {
     #[test]
     fn transit_class_assigned() {
         let t = transit_stub(TransitStubParams::default(), 1);
-        let transits = t.classes.iter().filter(|c| **c == NodeClass::Transit).count();
+        let transits = t
+            .classes
+            .iter()
+            .filter(|c| **c == NodeClass::Transit)
+            .count();
         assert_eq!(transits, 4);
     }
 
     #[test]
     fn scaling_hits_link_targets() {
-        for (target, density) in
-            [(100, Density::Dense), (200, Density::Dense), (400, Density::Dense), (800, Density::Dense)]
-        {
+        for (target, density) in [
+            (100, Density::Dense),
+            (200, Density::Dense),
+            (400, Density::Dense),
+            (800, Density::Dense),
+        ] {
             let t = transit_stub_for_links(target, density, 5);
             assert!(t.is_connected(), "target {target}");
             let got = t.link_tuple_count();
@@ -224,7 +246,10 @@ mod tests {
 
     #[test]
     fn multiple_domains_connected() {
-        let p = TransitStubParams { domains: 3, ..Default::default() };
+        let p = TransitStubParams {
+            domains: 3,
+            ..Default::default()
+        };
         let t = transit_stub(p, 4);
         assert_eq!(t.node_count(), 300);
         assert!(t.is_connected());

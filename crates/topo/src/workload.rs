@@ -30,17 +30,31 @@ pub struct BaseOp {
 impl BaseOp {
     /// Insertion without TTL.
     pub fn insert(rel: impl Into<String>, tuple: Tuple) -> BaseOp {
-        BaseOp { rel: rel.into(), tuple, kind: UpdateKind::Insert, ttl: None }
+        BaseOp {
+            rel: rel.into(),
+            tuple,
+            kind: UpdateKind::Insert,
+            ttl: None,
+        }
     }
 
     /// Deletion.
     pub fn delete(rel: impl Into<String>, tuple: Tuple) -> BaseOp {
-        BaseOp { rel: rel.into(), tuple, kind: UpdateKind::Delete, ttl: None }
+        BaseOp {
+            rel: rel.into(),
+            tuple,
+            kind: UpdateKind::Delete,
+            ttl: None,
+        }
     }
 
     /// Attach a TTL (builder style, insertions only).
     pub fn with_ttl(mut self, ttl: Duration) -> BaseOp {
-        debug_assert_eq!(self.kind, UpdateKind::Insert, "TTL only applies to insertions");
+        debug_assert_eq!(
+            self.kind,
+            UpdateKind::Insert,
+            "TTL only applies to insertions"
+        );
         self.ttl = Some(ttl);
         self
     }
@@ -82,12 +96,18 @@ impl Workload {
 
     /// Count of insertions.
     pub fn insert_count(&self) -> usize {
-        self.ops.iter().filter(|o| o.kind == UpdateKind::Insert).count()
+        self.ops
+            .iter()
+            .filter(|o| o.kind == UpdateKind::Insert)
+            .count()
     }
 
     /// Count of deletions.
     pub fn delete_count(&self) -> usize {
-        self.ops.iter().filter(|o| o.kind == UpdateKind::Delete).count()
+        self.ops
+            .iter()
+            .filter(|o| o.kind == UpdateKind::Delete)
+            .count()
     }
 }
 
@@ -99,7 +119,11 @@ pub fn link_tuples(topo: &Topology) -> Vec<Tuple> {
     let mut out = Vec::with_capacity(topo.links.len() * 2);
     for l in &topo.links {
         let cost = Value::Int(l.latency.as_millis_f64() as i64);
-        out.push(Tuple::new(vec![Value::Addr(l.a), Value::Addr(l.b), cost.clone()]));
+        out.push(Tuple::new(vec![
+            Value::Addr(l.a),
+            Value::Addr(l.b),
+            cost.clone(),
+        ]));
         out.push(Tuple::new(vec![Value::Addr(l.b), Value::Addr(l.a), cost]));
     }
     out
@@ -114,7 +138,11 @@ impl Workload {
         tuples.shuffle(&mut rng);
         let take = ((tuples.len() as f64) * ratio).round() as usize;
         Workload {
-            ops: tuples.into_iter().take(take).map(|t| BaseOp::insert("link", t)).collect(),
+            ops: tuples
+                .into_iter()
+                .take(take)
+                .map(|t| BaseOp::insert("link", t))
+                .collect(),
         }
     }
 
@@ -126,7 +154,11 @@ impl Workload {
         tuples.shuffle(&mut rng);
         let take = ((tuples.len() as f64) * ratio).round() as usize;
         Workload {
-            ops: tuples.into_iter().take(take).map(|t| BaseOp::delete("link", t)).collect(),
+            ops: tuples
+                .into_iter()
+                .take(take)
+                .map(|t| BaseOp::delete("link", t))
+                .collect(),
         }
     }
 }
@@ -184,8 +216,12 @@ impl SensorGrid {
     /// are triggered. Also we trigger half of the sensors in the network").
     pub fn trigger_ops(&self, ratio: f64, seed: u64) -> Workload {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut rest: Vec<NetAddr> =
-            self.sensors.iter().copied().filter(|s| !self.seeds.contains(s)).collect();
+        let mut rest: Vec<NetAddr> = self
+            .sensors
+            .iter()
+            .copied()
+            .filter(|s| !self.seeds.contains(s))
+            .collect();
         rest.shuffle(&mut rng);
         let take = ((rest.len() as f64) * ratio).round() as usize;
         let mut ops: Vec<BaseOp> = self
@@ -273,14 +309,20 @@ mod tests {
         let w = Workload::delete_links(&topo, 0.2, 7);
         assert!(w.ops.iter().all(|o| o.kind == UpdateKind::Delete));
         assert_eq!(w.delete_count(), w.len());
-        assert_eq!(w.len(), (topo.link_tuple_count() as f64 * 0.2).round() as usize);
+        assert_eq!(
+            w.len(),
+            (topo.link_tuple_count() as f64 * 0.2).round() as usize
+        );
     }
 
     #[test]
     fn then_concatenates() {
         let topo = random_graph(6, 8, 1);
         let w = Workload::insert_links(&topo, 1.0, 1).then(Workload::delete_links(&topo, 0.5, 1));
-        assert_eq!(w.len(), topo.link_tuple_count() + topo.link_tuple_count() / 2);
+        assert_eq!(
+            w.len(),
+            topo.link_tuple_count() + topo.link_tuple_count() / 2
+        );
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Fast, deterministic hashing for hot-path state tables.
+//!
+//! Every stateful operator keys maps by [`Tuple`](crate::Tuple) or small
+//! integers, probed once or more per streamed update — SipHash (std's
+//! default) costs more than the table lookup itself there. This module
+//! provides an FxHash-style multiply-rotate hasher (the rustc hasher) plus
+//! map/set aliases, used across the engine, provenance and simulator crates.
+//!
+//! Fx is *not* DoS-resistant; these tables are keyed by internal state, never
+//! by untrusted remote input, and determinism (no per-process random seed) is
+//! a feature: it keeps simulated runs bit-reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-style multiply-rotate hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with Fx hashing — drop-in for hot-path state tables.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with Fx hashing.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash one value with a fresh [`FxHasher`] (used for cached tuple hashes and
+/// single-column routing keys).
+#[inline]
+pub fn fx_hash_one<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spread() {
+        assert_eq!(fx_hash_one(&42u64), fx_hash_one(&42u64));
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+        // Sequential keys spread across the full word.
+        let hs: Vec<u64> = (0..64u64).map(|v| fx_hash_one(&v)).collect();
+        let high_bits: HashSet<u64> = hs.iter().map(|h| h >> 56).collect();
+        assert!(high_bits.len() > 16, "poor spread: {high_bits:?}");
+    }
+
+    #[test]
+    fn maps_work_with_composite_keys() {
+        let mut m: FxHashMap<(u32, String), u32> = FxHashMap::default();
+        m.insert((1, "a".into()), 10);
+        m.insert((2, "b".into()), 20);
+        assert_eq!(m.get(&(1, "a".to_string())), Some(&10));
+        let mut s: FxHashSet<Vec<u8>> = FxHashSet::default();
+        s.insert(vec![1, 2, 3]);
+        assert!(s.contains(&vec![1, 2, 3]));
+    }
+}

@@ -20,12 +20,14 @@
 //! * [`SimTime`] — simulated wall-clock time used by the discrete-event
 //!   runtime and by soft-state TTL expiry.
 
+pub mod fxhash;
 mod schema;
 mod time;
 mod tuple;
 mod value;
 pub mod wire;
 
+pub use fxhash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use schema::{Catalog, RelId, RelKind, Schema, SchemaError};
 pub use time::{Duration, SimTime};
 pub use tuple::{tup, Tuple};

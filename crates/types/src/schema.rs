@@ -72,14 +72,22 @@ pub enum SchemaError {
     /// A relation with this name already exists.
     Duplicate(String),
     /// Partition column index out of range.
-    BadPartitionCol { relation: String, col: usize, arity: usize },
+    BadPartitionCol {
+        relation: String,
+        col: usize,
+        arity: usize,
+    },
 }
 
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchemaError::Duplicate(name) => write!(f, "duplicate relation `{name}`"),
-            SchemaError::BadPartitionCol { relation, col, arity } => write!(
+            SchemaError::BadPartitionCol {
+                relation,
+                col,
+                arity,
+            } => write!(
                 f,
                 "relation `{relation}`: partition column {col} out of range for arity {arity}"
             ),
@@ -159,8 +167,12 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut cat = Catalog::new();
-        let link = cat.add(Schema::new("link", &["src", "dst", "cost"], RelKind::Edb)).unwrap();
-        let reach = cat.add(Schema::new("reachable", &["src", "dst"], RelKind::Idb)).unwrap();
+        let link = cat
+            .add(Schema::new("link", &["src", "dst", "cost"], RelKind::Edb))
+            .unwrap();
+        let reach = cat
+            .add(Schema::new("reachable", &["src", "dst"], RelKind::Idb))
+            .unwrap();
         assert_ne!(link, reach);
         assert_eq!(cat.id("link"), Some(link));
         assert_eq!(cat.id("nope"), None);
@@ -187,7 +199,14 @@ mod tests {
         let err = cat
             .add(Schema::new("r", &["a", "b"], RelKind::Edb).partitioned_on(5))
             .unwrap_err();
-        assert!(matches!(err, SchemaError::BadPartitionCol { col: 5, arity: 2, .. }));
+        assert!(matches!(
+            err,
+            SchemaError::BadPartitionCol {
+                col: 5,
+                arity: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

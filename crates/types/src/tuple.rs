@@ -1,60 +1,82 @@
-//! Immutable, cheaply-cloneable tuples.
+//! Immutable, cheaply-cloneable tuples with a cached hash.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use crate::fxhash::fx_hash_one;
 use crate::value::{NetAddr, Value};
 
-/// A relational tuple. Internally `Arc<[Value]>`: cloning a tuple — which the
-/// operators do for every hash-table entry and every shipped message — is a
-/// reference-count bump.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Tuple(Arc<[Value]>);
+/// A relational tuple. Internally `Arc<[Value]>` plus a 64-bit hash computed
+/// once at construction: cloning a tuple — which the operators do for every
+/// hash-table entry and every shipped message — is a reference-count bump,
+/// and every map probe against the tuple re-uses the cached hash instead of
+/// re-hashing the value vector.
+#[derive(Clone)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+    /// Fx hash of the value vector, fixed at construction. Equal value
+    /// vectors always carry equal cached hashes (the hash is a pure function
+    /// of the values), so `Eq`/`Hash` consistency holds.
+    hash: u64,
+}
 
 impl Tuple {
+    fn from_arc(values: Arc<[Value]>) -> Tuple {
+        let hash = fx_hash_one(&values[..]);
+        Tuple { values, hash }
+    }
+
     /// Build a tuple from values.
     pub fn new(values: impl Into<Vec<Value>>) -> Tuple {
-        Tuple(values.into().into())
+        Tuple::from_arc(values.into().into())
     }
 
     /// Empty tuple (used by zero-column aggregates such as Query 3's
     /// `largestRegion`).
     pub fn empty() -> Tuple {
-        Tuple(Vec::new().into())
+        Tuple::from_arc(Vec::new().into())
+    }
+
+    /// The cached 64-bit hash of the value vector. Map probes, routing and
+    /// partitioning all reuse this instead of re-hashing the values.
+    #[inline]
+    pub fn cached_hash(&self) -> u64 {
+        self.hash
     }
 
     /// Number of columns.
     pub fn arity(&self) -> usize {
-        self.0.len()
+        self.values.len()
     }
 
     /// Column accessor; panics on out-of-range like slice indexing.
     pub fn get(&self, col: usize) -> &Value {
-        &self.0[col]
+        &self.values[col]
     }
 
     /// Checked column accessor.
     pub fn try_get(&self, col: usize) -> Option<&Value> {
-        self.0.get(col)
+        self.values.get(col)
     }
 
     /// All values as a slice.
     pub fn values(&self) -> &[Value] {
-        &self.0
+        &self.values
     }
 
     /// The address in column `col`, panicking with context when the column is
     /// not an address — partition columns are validated at plan build time,
     /// so this is an internal invariant.
     pub fn addr_at(&self, col: usize) -> NetAddr {
-        self.0[col]
+        self.values[col]
             .as_addr()
             .unwrap_or_else(|| panic!("column {col} of {self:?} is not an address"))
     }
 
     /// Project onto the given columns, producing a new tuple.
     pub fn project(&self, cols: &[usize]) -> Tuple {
-        Tuple(cols.iter().map(|&c| self.0[c].clone()).collect::<Vec<_>>().into())
+        Tuple::from_arc(cols.iter().map(|&c| self.values[c].clone()).collect())
     }
 
     /// Key extraction for joins/grouping: like [`Tuple::project`] but the
@@ -66,10 +88,10 @@ impl Tuple {
 
     /// Concatenate two tuples (join output before projection).
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
-        v.extend_from_slice(&self.0);
-        v.extend_from_slice(&other.0);
-        Tuple(v.into())
+        let mut v = Vec::with_capacity(self.values.len() + other.values.len());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::from_arc(v.into())
     }
 
     /// Byte size of this tuple in the wire encoding.
@@ -78,10 +100,44 @@ impl Tuple {
     }
 }
 
+impl PartialEq for Tuple {
+    #[inline]
+    fn eq(&self, other: &Tuple) -> bool {
+        // Cheap rejects/accepts first: hashes differ → values differ; same
+        // allocation → same values. Deep comparison only on a hash match of
+        // distinct allocations.
+        self.hash == other.hash
+            && (Arc::ptr_eq(&self.values, &other.values) || self.values == other.values)
+    }
+}
+
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Tuple) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Tuple) -> std::cmp::Ordering {
+        // Ordering is over values only (the hash is value-derived and must
+        // not influence the deterministic sort order of state snapshots).
+        self.values.cmp(&other.values)
+    }
+}
+
 impl fmt::Debug for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.values.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -99,7 +155,7 @@ impl fmt::Display for Tuple {
 
 impl FromIterator<Value> for Tuple {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
-        Tuple(iter.into_iter().collect::<Vec<_>>().into())
+        Tuple::from_arc(iter.into_iter().collect())
     }
 }
 
@@ -121,7 +177,11 @@ mod tests {
     use super::*;
 
     fn t() -> Tuple {
-        Tuple::new(vec![Value::Addr(NetAddr(1)), Value::Int(10), Value::str("x")])
+        Tuple::new(vec![
+            Value::Addr(NetAddr(1)),
+            Value::Int(10),
+            Value::str("x"),
+        ])
     }
 
     #[test]
@@ -142,7 +202,10 @@ mod tests {
     #[test]
     fn project_and_key() {
         let t = t();
-        assert_eq!(t.project(&[2, 0]), Tuple::new(vec![Value::str("x"), Value::Addr(NetAddr(1))]));
+        assert_eq!(
+            t.project(&[2, 0]),
+            Tuple::new(vec![Value::str("x"), Value::Addr(NetAddr(1))])
+        );
         assert_eq!(t.key(&[]), Tuple::empty());
     }
 
@@ -150,7 +213,10 @@ mod tests {
     fn concat_preserves_order() {
         let a = Tuple::new(vec![Value::Int(1)]);
         let b = Tuple::new(vec![Value::Int(2), Value::Int(3)]);
-        assert_eq!(a.concat(&b), Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+        assert_eq!(
+            a.concat(&b),
+            Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
     }
 
     #[test]
@@ -170,5 +236,30 @@ mod tests {
             Value::Int(10),
             Value::str("x")
         ])));
+    }
+
+    #[test]
+    fn cached_hash_is_value_derived() {
+        // Independently constructed equal tuples share the cached hash...
+        let a = t();
+        let b = Tuple::new(a.values().to_vec());
+        assert!(!std::ptr::eq(a.values().as_ptr(), b.values().as_ptr()));
+        assert_eq!(a.cached_hash(), b.cached_hash());
+        assert_eq!(a, b);
+        // ...and derived tuples recompute it consistently.
+        assert_eq!(a.project(&[0, 1, 2]).cached_hash(), a.cached_hash());
+        assert_ne!(a.project(&[0]).cached_hash(), a.cached_hash());
+    }
+
+    #[test]
+    fn ordering_ignores_hash() {
+        let mut v = [
+            Tuple::new(vec![Value::Int(3)]),
+            Tuple::new(vec![Value::Int(1)]),
+            Tuple::new(vec![Value::Int(2)]),
+        ];
+        v.sort();
+        let ints: Vec<i64> = v.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        assert_eq!(ints, vec![1, 2, 3]);
     }
 }

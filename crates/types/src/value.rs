@@ -183,7 +183,10 @@ mod tests {
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(Value::Addr(NetAddr(3)).as_addr(), Some(NetAddr(3)));
         assert_eq!(Value::str("x").as_str(), Some("x"));
-        assert_eq!(Value::list(vec![Value::Int(1)]).as_list(), Some(&[Value::Int(1)][..]));
+        assert_eq!(
+            Value::list(vec![Value::Int(1)]).as_list(),
+            Some(&[Value::Int(1)][..])
+        );
     }
 
     #[test]
@@ -191,7 +194,11 @@ mod tests {
         let p = Value::list(vec![Value::Addr(NetAddr(2)), Value::Addr(NetAddr(3))]);
         let p2 = p.list_prepend(Value::Addr(NetAddr(1))).unwrap();
         assert_eq!(
-            p2.as_list().unwrap().iter().filter_map(Value::as_addr).collect::<Vec<_>>(),
+            p2.as_list()
+                .unwrap()
+                .iter()
+                .filter_map(Value::as_addr)
+                .collect::<Vec<_>>(),
             vec![NetAddr(1), NetAddr(2), NetAddr(3)]
         );
         assert!(Value::Int(1).list_prepend(Value::Int(0)).is_none());
@@ -199,12 +206,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_consistent() {
-        let mut vs = [Value::str("b"),
+        let mut vs = [
+            Value::str("b"),
             Value::Int(2),
             Value::Bool(false),
             Value::Addr(NetAddr(1)),
             Value::Int(-5),
-            Value::str("a")];
+            Value::str("a"),
+        ];
         vs.sort();
         let ints: Vec<_> = vs.iter().filter_map(Value::as_int).collect();
         assert_eq!(ints, vec![-5, 2]);
@@ -213,7 +222,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", Value::Addr(NetAddr(4))), "n4");
-        assert_eq!(format!("{:?}", Value::list(vec![Value::Int(1), Value::Int(2)])), "[1,2]");
+        assert_eq!(
+            format!("{:?}", Value::list(vec![Value::Int(1), Value::Int(2)])),
+            "[1,2]"
+        );
         assert_eq!(format!("{}", Value::str("hi")), "hi");
     }
 }

@@ -179,8 +179,7 @@ pub fn value_encoded_len(v: &Value) -> usize {
         Value::Addr(a) => 1 + varint_len(u64::from(a.0)),
         Value::Str(s) => 1 + varint_len(s.len() as u64) + s.len(),
         Value::List(items) => {
-            1 + varint_len(items.len() as u64)
-                + items.iter().map(value_encoded_len).sum::<usize>()
+            1 + varint_len(items.len() as u64) + items.iter().map(value_encoded_len).sum::<usize>()
         }
     }
 }
@@ -238,7 +237,11 @@ mod tests {
             Value::str(""),
             Value::str("hello world"),
             Value::list(vec![]),
-            Value::list(vec![Value::Int(1), Value::str("x"), Value::list(vec![Value::Bool(true)])]),
+            Value::list(vec![
+                Value::Int(1),
+                Value::str("x"),
+                Value::list(vec![Value::Bool(true)]),
+            ]),
         ] {
             round_trip_value(&v);
         }
@@ -267,7 +270,14 @@ mod tests {
 
     #[test]
     fn varint_lengths() {
-        for (v, len) in [(0u64, 1), (127, 1), (128, 2), (16_383, 2), (16_384, 3), (u64::MAX, 10)] {
+        for (v, len) in [
+            (0u64, 1),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::MAX, 10),
+        ] {
             assert_eq!(varint_len(v), len, "varint_len({v})");
             let mut buf = Vec::new();
             put_varint(&mut buf, v);
@@ -287,10 +297,18 @@ mod tests {
     fn decode_errors() {
         assert_eq!(get_value(&mut &[][..]), Err(WireError::Truncated));
         assert_eq!(get_value(&mut &[9u8][..]), Err(WireError::BadTag(9)));
-        assert_eq!(get_value(&mut &[3u8, 5, b'a'][..]), Err(WireError::Truncated));
+        assert_eq!(
+            get_value(&mut &[3u8, 5, b'a'][..]),
+            Err(WireError::Truncated)
+        );
         assert_eq!(get_value(&mut &[3u8, 1, 0xff][..]), Err(WireError::BadUtf8));
         // 11-byte varint overflows.
-        let overlong = [1u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80];
-        assert_eq!(get_value(&mut &overlong[..]), Err(WireError::VarintOverflow));
+        let overlong = [
+            1u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+        ];
+        assert_eq!(
+            get_value(&mut &overlong[..]),
+            Err(WireError::VarintOverflow)
+        );
     }
 }

@@ -31,17 +31,30 @@ fn main() {
         ast.idb_relations()
     );
     let compiled = compile(&ast).expect("compile");
-    println!("compiled to a {}-operator distributed plan", compiled.plan().ops.len());
+    println!(
+        "compiled to a {}-operator distributed plan",
+        compiled.plan().ops.len()
+    );
     let oracle = compiled.oracle().clone();
     let catalog = compiled.plan().catalog.clone();
 
-    let mut runner =
-        Runner::new(compiled.into_plan(), RunnerConfig::new(Strategy::absorption_lazy(), 4));
-    let links = [(0u32, 1u32, 3i64), (1, 2, 4), (0, 2, 20), (2, 3, 1), (1, 3, 9)];
+    let mut runner = Runner::new(
+        compiled.into_plan(),
+        RunnerConfig::new(Strategy::absorption_lazy(), 4),
+    );
+    let links = [
+        (0u32, 1u32, 3i64),
+        (1, 2, 4),
+        (0, 2, 20),
+        (2, 3, 1),
+        (1, 3, 9),
+    ];
     let mut base = netrec::engine::reference::Db::new();
     for (a, b, c) in links {
         let t = Tuple::new(vec![addr(a), addr(b), Value::Int(c)]);
-        base.entry(catalog.id("link").unwrap()).or_default().insert(t.clone());
+        base.entry(catalog.id("link").unwrap())
+            .or_default()
+            .insert(t.clone());
         runner.inject("link", t, UpdateKind::Insert, None);
     }
     let rep = runner.run_phase("load");

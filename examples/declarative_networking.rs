@@ -55,7 +55,11 @@ fn main() {
         }
     }
     for view in ["minCost", "minHops", "cheapestPath", "fewestHops"] {
-        assert_eq!(sys.view(view), sys.oracle_view(view), "{view} matches oracle");
+        assert_eq!(
+            sys.view(view),
+            sys.oracle_view(view),
+            "{view} matches oracle"
+        );
     }
 
     // Fail the first link and watch the routing views repair themselves.

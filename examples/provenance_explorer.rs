@@ -46,7 +46,10 @@ fn show_view(runner: &Runner, vars: &[(String, u32)]) {
                 for (name, var) in vars {
                     sop = sop.replace(&format!("p{var}"), name);
                 }
-                println!("  reachable({},{})  pv = {}", NAMES[a as usize], NAMES[b as usize], sop);
+                println!(
+                    "  reachable({},{})  pv = {}",
+                    NAMES[a as usize], NAMES[b as usize], sop
+                );
             }
         }
     }
@@ -59,7 +62,10 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, &(a, b))| {
-            (format!("p{}", i + 1), runner.base_var("link", &link(a, b)).expect("live link"))
+            (
+                format!("p{}", i + 1),
+                runner.base_var("link", &link(a, b)).expect("live link"),
+            )
         })
         .collect();
 
@@ -91,5 +97,8 @@ fn main() {
         3, // absorption ships a handful — see above run
         before,
     );
-    println!("  final view size: {} (identical contents)", dred_runner.view("reachable").len());
+    println!(
+        "  final view size: {} (identical contents)",
+        dred_runner.view("reachable").len()
+    );
 }

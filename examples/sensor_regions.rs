@@ -51,6 +51,9 @@ fn main() {
         println!("  region {} → {} sensors", t.get(0), t.get(1));
     }
     assert_eq!(sys.view("regionSizes"), sys.oracle_view("regionSizes"));
-    assert_eq!(sys.view("largestRegions"), sys.oracle_view("largestRegions"));
+    assert_eq!(
+        sys.view("largestRegions"),
+        sys.oracle_view("largestRegions")
+    );
     println!("views match a from-scratch evaluation ✓");
 }

@@ -13,7 +13,11 @@ use netrec_types::{Duration, UpdateKind};
 fn main() {
     let topo = random_graph(12, 20, 9);
     let links = link_tuples(&topo);
-    println!("network: {} routers, {} link tuples", topo.node_count(), links.len());
+    println!(
+        "network: {} routers, {} link tuples",
+        topo.node_count(),
+        links.len()
+    );
 
     let mut sys = System::reachable(SystemConfig::new(Strategy::absorption_lazy(), 4));
     // Half the links are hard state; the other half lease out after 2
@@ -23,7 +27,12 @@ fn main() {
         sys.inject("link", t.clone(), UpdateKind::Insert, None);
     }
     for t in soft {
-        sys.inject("link", t.clone(), UpdateKind::Insert, Some(Duration::from_secs(2)));
+        sys.inject(
+            "link",
+            t.clone(),
+            UpdateKind::Insert,
+            Some(Duration::from_secs(2)),
+        );
     }
     let load = sys.run("load + expiry");
     println!(
@@ -51,5 +60,8 @@ fn main() {
     let refreshed = soft[0].clone();
     sys.inject("link", refreshed.clone(), UpdateKind::Insert, None);
     sys.run("refresh");
-    println!("\nrefreshed {refreshed:?}; view now has {} pairs", sys.view("reachable").len());
+    println!(
+        "\nrefreshed {refreshed:?}; view now has {} pairs",
+        sys.view("reachable").len()
+    );
 }

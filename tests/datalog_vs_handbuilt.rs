@@ -6,14 +6,17 @@
 use netrec::core::reachable;
 use netrec::datalog::{compile, parse_program};
 use netrec::engine::runner::{Runner, RunnerConfig};
-use netrec::Strategy;
 use netrec::topo::{link_tuples, random_graph};
+use netrec::Strategy;
 use netrec_types::{Tuple, UpdateKind};
 
 const REACHABLE_SRC: &str = "reachable(@X, Y) :- link(@X, Y, C).\n\
                              reachable(@X, Y) :- link(@X, Z, C), reachable(@Z, Y).";
 
-fn run_plan(plan: netrec::engine::Plan, ops: &[(Tuple, UpdateKind)]) -> std::collections::BTreeSet<Tuple> {
+fn run_plan(
+    plan: netrec::engine::Plan,
+    ops: &[(Tuple, UpdateKind)],
+) -> std::collections::BTreeSet<Tuple> {
     let mut runner = Runner::new(plan, RunnerConfig::new(Strategy::absorption_lazy(), 4));
     for (t, kind) in ops {
         runner.inject("link", t.clone(), *kind, None);
@@ -26,8 +29,10 @@ fn run_plan(plan: netrec::engine::Plan, ops: &[(Tuple, UpdateKind)]) -> std::col
 fn datalog_plan_equals_handbuilt_plan() {
     for seed in 0..3u64 {
         let topo = random_graph(9, 14, seed);
-        let mut ops: Vec<(Tuple, UpdateKind)> =
-            link_tuples(&topo).into_iter().map(|t| (t, UpdateKind::Insert)).collect();
+        let mut ops: Vec<(Tuple, UpdateKind)> = link_tuples(&topo)
+            .into_iter()
+            .map(|t| (t, UpdateKind::Insert))
+            .collect();
         // Delete every fourth link after the load.
         let dels: Vec<(Tuple, UpdateKind)> = link_tuples(&topo)
             .into_iter()
@@ -58,7 +63,9 @@ fn datalog_plan_bandwidth_is_comparable() {
     };
     let hand = load(reachable::plan());
     let generic = load(
-        compile(&parse_program(REACHABLE_SRC).unwrap()).unwrap().into_plan(),
+        compile(&parse_program(REACHABLE_SRC).unwrap())
+            .unwrap()
+            .into_plan(),
     );
     assert!(
         (generic as f64) < (hand as f64) * 4.0 + 10_000.0,

@@ -13,7 +13,10 @@ fn strategies() -> Vec<Strategy> {
     vec![
         Strategy::absorption_lazy(),
         Strategy::absorption_eager(),
-        Strategy { delete_prop: DeleteProp::Broadcast, ..Strategy::absorption_lazy() },
+        Strategy {
+            delete_prop: DeleteProp::Broadcast,
+            ..Strategy::absorption_lazy()
+        },
         Strategy::relative_lazy(),
     ]
 }

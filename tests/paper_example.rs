@@ -38,7 +38,8 @@ fn fig2_step4_provenance_table() {
     let p3 = runner.base_var("link", &link(2, 0)).unwrap();
     let p4 = runner.base_var("link", &link(2, 1)).unwrap();
     // (tuple, expected cubes) — each cube is a conjunction of links.
-    let table: Vec<((u32, u32), Vec<Vec<u32>>)> = vec![
+    type ProvRow = ((u32, u32), Vec<Vec<u32>>);
+    let table: Vec<ProvRow> = vec![
         ((0, 0), vec![vec![p1, p2, p3]]),
         ((0, 1), vec![vec![p1]]),
         ((0, 2), vec![vec![p1, p2]]),
@@ -83,7 +84,10 @@ fn fig2_deletion_of_p4_is_absorbed() {
     // alternative re-sends), far fewer than a DRed recomputation. The paper
     // counts two message transmissions under its counting convention; our
     // shrink-DEL propagation touches a few more tuples but stays O(affected).
-    assert!(traffic <= 16, "expected a handful of maintenance tuples, got {traffic}");
+    assert!(
+        traffic <= 16,
+        "expected a handful of maintenance tuples, got {traffic}"
+    );
 }
 
 #[test]

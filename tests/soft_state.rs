@@ -23,7 +23,12 @@ fn ttl_expiry_equals_explicit_deletion() {
     // Chain 0→1→2 where 1→2 expires after 1 simulated second.
     let mut with_ttl = sys();
     with_ttl.inject("link", link(0, 1), UpdateKind::Insert, None);
-    with_ttl.inject("link", link(1, 2), UpdateKind::Insert, Some(Duration::from_secs(1)));
+    with_ttl.inject(
+        "link",
+        link(1, 2),
+        UpdateKind::Insert,
+        Some(Duration::from_secs(1)),
+    );
     assert!(with_ttl.run("load+expire").converged());
 
     let mut with_delete = sys();
@@ -41,7 +46,12 @@ fn ttl_expiry_equals_explicit_deletion() {
 #[test]
 fn explicit_delete_before_expiry_does_not_double_fire() {
     let mut s = sys();
-    s.inject("link", link(0, 1), UpdateKind::Insert, Some(Duration::from_secs(5)));
+    s.inject(
+        "link",
+        link(0, 1),
+        UpdateKind::Insert,
+        Some(Duration::from_secs(5)),
+    );
     s.inject("link", link(0, 1), UpdateKind::Delete, None); // deleted immediately
     assert!(s.run("churn").converged());
     assert!(s.view("reachable").is_empty());
@@ -50,7 +60,12 @@ fn explicit_delete_before_expiry_does_not_double_fire() {
 #[test]
 fn reinsertion_after_expiry_gets_fresh_identity() {
     let mut s = sys();
-    s.inject("link", link(0, 1), UpdateKind::Insert, Some(Duration::from_secs(1)));
+    s.inject(
+        "link",
+        link(0, 1),
+        UpdateKind::Insert,
+        Some(Duration::from_secs(1)),
+    );
     assert!(s.run("expire").converged());
     assert!(s.view("reachable").is_empty(), "expired");
     // Re-insert without TTL: the tuple must come back and stay.
@@ -66,19 +81,37 @@ fn expiry_cascades_through_recursion() {
     let mut s = sys();
     s.inject("link", link(0, 1), UpdateKind::Insert, None);
     s.inject("link", link(1, 2), UpdateKind::Insert, None);
-    s.inject("link", link(2, 0), UpdateKind::Insert, Some(Duration::from_secs(2)));
+    s.inject(
+        "link",
+        link(2, 0),
+        UpdateKind::Insert,
+        Some(Duration::from_secs(2)),
+    );
     assert!(s.run("load+expire").converged());
     let view = s.view("reachable");
     // Remaining: 0→1, 0→2, 1→2 only.
     assert_eq!(view.len(), 3, "got {view:?}");
-    assert!(view.iter().all(|t| t.get(0) != t.get(1)), "no self-reachability left");
+    assert!(
+        view.iter().all(|t| t.get(0) != t.get(1)),
+        "no self-reachability left"
+    );
 }
 
 #[test]
 fn staggered_ttls_expire_in_order() {
     let mut s = sys();
-    s.inject("link", link(0, 1), UpdateKind::Insert, Some(Duration::from_secs(10)));
-    s.inject("link", link(1, 2), UpdateKind::Insert, Some(Duration::from_secs(1)));
+    s.inject(
+        "link",
+        link(0, 1),
+        UpdateKind::Insert,
+        Some(Duration::from_secs(10)),
+    );
+    s.inject(
+        "link",
+        link(1, 2),
+        UpdateKind::Insert,
+        Some(Duration::from_secs(1)),
+    );
     assert!(s.run("run to full expiry").converged());
     // Both eventually expire (quiescence only happens after all timers).
     assert!(s.view("reachable").is_empty());

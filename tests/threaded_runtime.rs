@@ -9,11 +9,11 @@ use std::sync::Arc;
 use netrec::core::reachable;
 use netrec::engine::ops::OpState;
 use netrec::engine::peer::EnginePeer;
+use netrec::engine::plan::Plan;
 use netrec::engine::runner::{Runner, RunnerConfig};
 use netrec::engine::update::Msg;
 use netrec::engine::Strategy;
 use netrec::sim::{threaded, Partitioner, PeerId};
-use netrec::engine::plan::Plan;
 use netrec_types::{NetAddr, Tuple, UpdateKind, Value};
 
 fn link(a: u32, b: u32) -> Tuple {
@@ -44,7 +44,11 @@ fn threaded_view(strategy: Strategy, peers: u32) -> (BTreeSet<Tuple>, u64) {
             (
                 peer,
                 Plan::port(ingress, 0),
-                Msg::Base { kind: UpdateKind::Insert, tuple: t, ttl: None },
+                Msg::Base {
+                    kind: UpdateKind::Insert,
+                    tuple: t,
+                    ttl: None,
+                },
             )
         })
         .collect();
@@ -81,7 +85,10 @@ fn threaded_matches_des_lazy() {
     // so require the same order of magnitude rather than exact equality.
     assert!(thr_bytes > 0 && des_bytes > 0);
     let ratio = thr_bytes as f64 / des_bytes as f64;
-    assert!((0.3..3.0).contains(&ratio), "des {des_bytes} vs threaded {thr_bytes}");
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "des {des_bytes} vs threaded {thr_bytes}"
+    );
 }
 
 #[test]
@@ -95,5 +102,8 @@ fn threaded_matches_des_set_mode() {
 fn threaded_runs_repeatedly_with_same_result() {
     let (a, _) = threaded_view(Strategy::absorption_lazy(), 3);
     let (b, _) = threaded_view(Strategy::absorption_lazy(), 3);
-    assert_eq!(a, b, "nondeterministic scheduling must not change the fixpoint");
+    assert_eq!(
+        a, b,
+        "nondeterministic scheduling must not change the fixpoint"
+    );
 }
