@@ -7,6 +7,13 @@
 //! convergence. The file sequence (`BENCH_1.json`, `BENCH_2.json`, ...)
 //! tracks the perf trajectory across PRs; CI and reviewers diff the numbers.
 //!
+//! Two substrates are tracked: the discrete-event simulator (entries as in
+//! `BENCH_1.json`) and the threaded runtime (same workloads re-executed on
+//! real OS threads, suffixed `/threaded`). Both report wall-clock ns per
+//! injected op; for the DES that is time spent *simulating*, for the
+//! threaded runtime it is time spent actually *executing* with real
+//! concurrency.
+//!
 //! Usage: `cargo run --release -p netrec-bench --bin bench-report [-- out.json]`
 //! Env: `BENCH_REPORT_SAMPLES` (default 5) — timed repetitions per entry
 //! (median reported).
@@ -14,7 +21,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use netrec_core::{RunBudget, System, SystemConfig};
+use netrec_core::{RunBudget, RuntimeKind, System, SystemConfig};
 use netrec_engine::Strategy;
 use netrec_topo::{transit_stub, TransitStubParams, Workload};
 use netrec_types::UpdateKind;
@@ -39,7 +46,7 @@ fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".to_string());
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
     let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -78,37 +85,51 @@ fn main() {
     let mut report: BTreeMap<String, f64> = BTreeMap::new();
 
     for (label, strategy) in &schemes {
-        // fig07-style: full insertion load to convergence.
-        let name = format!("fig07/reachable_ins/{label}");
-        let ns = measure(samples, load.ops.len(), || {
-            let mut sys =
-                System::reachable(SystemConfig::new(*strategy, peers).with_budget(budget()));
-            sys.apply(&load);
-            assert!(sys.run("load").converged(), "{name}: load did not converge");
-        });
-        println!("{name:<45} {:>12.0} ns/op", ns);
-        report.insert(name, ns);
-
-        // fig08-style: deletion maintenance on the loaded system (set mode
-        // excluded: plain set semantics cannot maintain deletions without the
-        // DRed driver, which fig08 measures separately).
-        if strategy.mode != netrec_prov::ProvMode::Set {
-            let name = format!("fig08/reachable_del/{label}");
-            let ns = measure(samples, dels.ops.len(), || {
-                let mut sys =
-                    System::reachable(SystemConfig::new(*strategy, peers).with_budget(budget()));
+        for runtime in [RuntimeKind::Des, RuntimeKind::threaded()] {
+            // DES entries keep their BENCH_1 names; other substrates get a
+            // `/<label>` suffix.
+            let suffix = match runtime {
+                RuntimeKind::Des => String::new(),
+                _ => format!("/{}", runtime.label()),
+            };
+            // fig07-style: full insertion load to convergence.
+            let name = format!("fig07/reachable_ins/{label}{suffix}");
+            let ns = measure(samples, load.ops.len(), || {
+                let mut sys = System::reachable(
+                    SystemConfig::new(*strategy, peers)
+                        .with_budget(budget())
+                        .with_runtime(runtime.clone()),
+                );
                 sys.apply(&load);
                 assert!(sys.run("load").converged(), "{name}: load did not converge");
-                for op in &dels.ops {
-                    sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
-                }
-                assert!(
-                    sys.run("delete").converged(),
-                    "{name}: delete did not converge"
-                );
             });
             println!("{name:<45} {:>12.0} ns/op", ns);
             report.insert(name, ns);
+
+            // fig08-style: deletion maintenance on the loaded system (set
+            // mode excluded: plain set semantics cannot maintain deletions
+            // without the DRed driver, which fig08 measures separately).
+            if strategy.mode != netrec_prov::ProvMode::Set {
+                let name = format!("fig08/reachable_del/{label}{suffix}");
+                let ns = measure(samples, dels.ops.len(), || {
+                    let mut sys = System::reachable(
+                        SystemConfig::new(*strategy, peers)
+                            .with_budget(budget())
+                            .with_runtime(runtime.clone()),
+                    );
+                    sys.apply(&load);
+                    assert!(sys.run("load").converged(), "{name}: load did not converge");
+                    for op in &dels.ops {
+                        sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+                    }
+                    assert!(
+                        sys.run("delete").converged(),
+                        "{name}: delete did not converge"
+                    );
+                });
+                println!("{name:<45} {:>12.0} ns/op", ns);
+                report.insert(name, ns);
+            }
         }
     }
 

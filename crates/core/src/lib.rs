@@ -42,4 +42,7 @@ pub use system::{System, SystemConfig};
 
 // Re-export the layers a downstream user needs without naming every crate.
 pub use netrec_engine::{dred, reference, RunReport, Runner, RunnerConfig, Strategy};
-pub use netrec_sim::{ClusterSpec, CostModel, Partitioner, RunBudget, RunOutcome};
+pub use netrec_sim::{
+    ClusterSpec, CostModel, Partitioner, RunBudget, RunOutcome, Runtime, RuntimeKind,
+    ThreadedConfig,
+};

@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use netrec_engine::reference::{Db, Program};
 use netrec_engine::runner::{RunReport, Runner, RunnerConfig};
 use netrec_engine::strategy::Strategy;
-use netrec_sim::{ClusterSpec, CostModel, Partitioner, RunBudget};
+use netrec_sim::{ClusterSpec, CostModel, Partitioner, RunBudget, RuntimeKind};
 use netrec_topo::Workload;
 use netrec_types::{Tuple, UpdateKind};
 
@@ -26,6 +26,9 @@ pub struct SystemConfig {
     pub cost: CostModel,
     /// Per-phase budget.
     pub budget: RunBudget,
+    /// Execution substrate: discrete-event simulation (default) or the
+    /// concurrent threaded runtime.
+    pub runtime: RuntimeKind,
 }
 
 impl SystemConfig {
@@ -39,6 +42,7 @@ impl SystemConfig {
             cluster: rc.cluster,
             cost: rc.cost,
             budget: rc.budget,
+            runtime: rc.runtime,
         }
     }
 
@@ -62,6 +66,12 @@ impl SystemConfig {
         self
     }
 
+    /// Select the execution substrate (e.g. [`RuntimeKind::threaded`]).
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> SystemConfig {
+        self.runtime = runtime;
+        self
+    }
+
     fn runner_config(&self) -> RunnerConfig {
         RunnerConfig {
             strategy: self.strategy,
@@ -69,6 +79,7 @@ impl SystemConfig {
             cluster: self.cluster.clone(),
             cost: self.cost,
             budget: self.budget,
+            runtime: self.runtime.clone(),
         }
     }
 }

@@ -76,6 +76,36 @@ fn datalog_reachable_round_trip() {
 }
 
 #[test]
+fn datalog_reachable_on_threaded_runtime() {
+    // The compiled plan is substrate-agnostic: the same program executed on
+    // the concurrent threaded runtime reaches the same fixpoint as on the
+    // deterministic discrete-event simulator.
+    let src = "reachable(@X, Y) :- link(@X, Y, C).\n\
+               reachable(@X, Y) :- link(@X, Z, C), reachable(@Z, Y).";
+    let links: Vec<Tuple> = [(0u32, 1u32), (1, 2), (2, 0), (2, 1), (3, 0)]
+        .iter()
+        .map(|&(a, b)| Tuple::new(vec![addr(a), addr(b), Value::Int(1)]))
+        .collect();
+    let run = |runtime: netrec_sim::RuntimeKind| {
+        let ast = parse_program(src).expect("parse");
+        let compiled = compile(&ast).expect("compile");
+        let mut runner = Runner::new(
+            compiled.into_plan(),
+            RunnerConfig::new(Strategy::absorption_lazy(), 3).with_runtime(runtime),
+        );
+        for t in &links {
+            runner.inject("link", t.clone(), UpdateKind::Insert, None);
+        }
+        assert!(runner.run_phase("load").converged());
+        runner.view("reachable")
+    };
+    let des = run(netrec_sim::RuntimeKind::Des);
+    let thr = run(netrec_sim::RuntimeKind::threaded());
+    assert!(!des.is_empty());
+    assert_eq!(des, thr, "datalog views must agree across runtimes");
+}
+
+#[test]
 fn datalog_same_generation() {
     // The classic "same generation" query from the Datalog literature
     // (mentioned in the paper's §2 as a tree query).

@@ -12,16 +12,22 @@
 //! phases; `tests/paper_example.rs` reproduces it.
 
 use netrec_prov::ProvMode;
+use netrec_sim::Runtime;
 use netrec_types::{Tuple, UpdateKind};
 
+use crate::peer::EnginePeer;
 use crate::runner::{RunReport, Runner};
+use crate::update::Msg;
 
 /// Run a batch of base deletions under the DRed protocol and report the
 /// combined cost of both phases.
 ///
 /// Panics if the runner is not in set mode — DRed is only defined over plain
 /// set-semantics execution.
-pub fn dred_delete(runner: &mut Runner, deletions: &[(String, Tuple)]) -> RunReport {
+pub fn dred_delete<R: Runtime<Msg, EnginePeer>>(
+    runner: &mut Runner<R>,
+    deletions: &[(String, Tuple)],
+) -> RunReport {
     assert_eq!(
         runner.config().strategy.mode,
         ProvMode::Set,
@@ -39,7 +45,10 @@ pub fn dred_delete(runner: &mut Runner, deletions: &[(String, Tuple)]) -> RunRep
 /// Run one deletion at a time (the paper measures deletions injected in
 /// isolation, converging between consecutive deletions) and merge the
 /// reports.
-pub fn dred_delete_sequential(runner: &mut Runner, deletions: &[(String, Tuple)]) -> RunReport {
+pub fn dred_delete_sequential<R: Runtime<Msg, EnginePeer>>(
+    runner: &mut Runner<R>,
+    deletions: &[(String, Tuple)],
+) -> RunReport {
     let mut combined: Option<RunReport> = None;
     for d in deletions {
         let r = dred_delete(runner, std::slice::from_ref(d));

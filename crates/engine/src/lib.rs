@@ -42,6 +42,6 @@ pub mod update;
 
 pub use expr::{AggFn, CmpOp, Expr, Pred};
 pub use plan::{OpId, OpSpec, Plan, PlanBuilder, PlanError};
-pub use runner::{RunReport, Runner, RunnerConfig};
+pub use runner::{EngineRuntime, RunReport, Runner, RunnerConfig};
 pub use strategy::{DeleteProp, ShipPolicy, Strategy};
 pub use update::{Msg, Update};

@@ -1,10 +1,20 @@
-//! Drives a plan over the simulated cluster and gathers the paper's four
+//! Drives a plan over an execution substrate and gathers the paper's four
 //! evaluation metrics per phase.
+//!
+//! The [`Runner`] is generic over the [`Runtime`] trait: the same driver
+//! code executes on the deterministic discrete-event [`Simulator`] or on the
+//! concurrent [`ThreadedRuntime`], selected by [`RunnerConfig::runtime`].
+//! The default instantiation is the [`EngineRuntime`] enum, which makes the
+//! choice at configuration time; code that wants a statically-known
+//! substrate can name `Runner<Simulator<Msg, EnginePeer>>` directly.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use netrec_sim::{ClusterSpec, CostModel, Partitioner, PeerId, RunBudget, RunOutcome, Simulator};
+use netrec_sim::{
+    ClusterSpec, CostModel, NetMetrics, Partitioner, PeerId, RunBudget, RunOutcome, Runtime,
+    RuntimeKind, Simulator, ThreadedRuntime,
+};
 use netrec_types::{Duration, SimTime, Tuple, UpdateKind};
 
 use crate::ops::OpState;
@@ -22,16 +32,22 @@ pub struct RunnerConfig {
     pub strategy: Strategy,
     /// Key placement across peers.
     pub partitioner: Partitioner,
-    /// Cluster latency/bandwidth model.
+    /// Cluster latency/bandwidth model (DES only; the threaded runtime does
+    /// not model links).
     pub cluster: ClusterSpec,
-    /// CPU cost model.
+    /// CPU cost model (DES only).
     pub cost: CostModel,
-    /// Per-phase budget (the paper cuts runs off at 5 minutes).
+    /// Run budget (the paper cuts runs off at 5 minutes): `max_wall` caps
+    /// each phase, `max_time`/`max_events` cap the session cumulatively.
     pub budget: RunBudget,
+    /// Execution substrate: discrete-event simulation (default) or the
+    /// threaded runtime.
+    pub runtime: RuntimeKind,
 }
 
 impl RunnerConfig {
-    /// `peers` hash-partitioned gigabit peers with the paper's 5-minute cap.
+    /// `peers` hash-partitioned gigabit peers with the paper's 5-minute cap,
+    /// on the discrete-event simulator.
     pub fn new(strategy: Strategy, peers: u32) -> RunnerConfig {
         RunnerConfig {
             strategy,
@@ -43,6 +59,7 @@ impl RunnerConfig {
                 max_time: SimTime(300 * 1_000_000),
                 max_wall: std::time::Duration::from_secs(60),
             },
+            runtime: RuntimeKind::Des,
         }
     }
 
@@ -54,6 +71,12 @@ impl RunnerConfig {
             ..RunnerConfig::new(strategy, peers)
         }
     }
+
+    /// Select the execution substrate (builder style).
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> RunnerConfig {
+        self.runtime = runtime;
+        self
+    }
 }
 
 /// Metrics for one run phase (load, deletion, re-derivation, ...), matching
@@ -64,7 +87,8 @@ pub struct RunReport {
     pub label: String,
     /// Converged or budget-exceeded.
     pub outcome: RunOutcome,
-    /// Simulated time from phase start to quiescence.
+    /// Simulated (DES) or elapsed (threaded) time from phase start to
+    /// quiescence.
     pub convergence: Duration,
     /// Bytes shipped between peers during the phase.
     pub bytes: u64,
@@ -80,7 +104,7 @@ pub struct RunReport {
     pub state_bytes: usize,
     /// Events processed.
     pub events: u64,
-    /// Wall-clock time spent simulating.
+    /// Wall-clock time spent in the substrate.
     pub wall: std::time::Duration,
 }
 
@@ -123,36 +147,125 @@ impl RunReport {
     }
 }
 
-/// The workload driver: owns the simulator and the plan.
-pub struct Runner {
-    plan: Arc<Plan>,
-    cfg: RunnerConfig,
-    sim: Simulator<Msg, EnginePeer>,
-    inject_seq: u64,
+/// Runtime-kind dispatch for [`Runner`]'s default instantiation: the
+/// substrate is chosen by [`RunnerConfig::runtime`] when the runner is
+/// built.
+pub enum EngineRuntime {
+    /// Deterministic discrete-event simulation.
+    Des(Simulator<Msg, EnginePeer>),
+    /// Concurrent threaded execution.
+    Threaded(ThreadedRuntime<Msg, EnginePeer>),
 }
 
-impl Runner {
-    /// Instantiate `plan` on the configured cluster.
-    pub fn new(plan: Plan, cfg: RunnerConfig) -> Runner {
+macro_rules! dispatch {
+    ($self:expr, $rt:ident => $body:expr) => {
+        match $self {
+            EngineRuntime::Des($rt) => $body,
+            EngineRuntime::Threaded($rt) => $body,
+        }
+    };
+}
+
+impl Runtime<Msg, EnginePeer> for EngineRuntime {
+    fn name(&self) -> &'static str {
+        dispatch!(self, rt => Runtime::name(rt))
+    }
+    fn inject(&mut self, to: PeerId, port: netrec_sim::Port, msg: Msg) {
+        dispatch!(self, rt => Runtime::inject(rt, to, port, msg))
+    }
+    fn run(&mut self, budget: RunBudget) -> RunOutcome {
+        dispatch!(self, rt => Runtime::run(rt, budget))
+    }
+    fn metrics_snapshot(&self) -> NetMetrics {
+        dispatch!(self, rt => Runtime::metrics_snapshot(rt))
+    }
+    fn events_processed(&self) -> u64 {
+        dispatch!(self, rt => Runtime::events_processed(rt))
+    }
+    fn frontier(&self) -> SimTime {
+        dispatch!(self, rt => Runtime::frontier(rt))
+    }
+    fn peer_count(&self) -> u32 {
+        dispatch!(self, rt => Runtime::peer_count(rt))
+    }
+    fn with_peer<T>(&self, p: PeerId, f: impl FnOnce(&EnginePeer) -> T) -> T {
+        dispatch!(self, rt => Runtime::with_peer(rt, p, f))
+    }
+    fn for_each_peer(&self, f: impl FnMut(PeerId, &EnginePeer)) {
+        dispatch!(self, rt => Runtime::for_each_peer(rt, f))
+    }
+}
+
+/// The workload driver: owns the substrate and the plan.
+pub struct Runner<R: Runtime<Msg, EnginePeer> = EngineRuntime> {
+    plan: Arc<Plan>,
+    cfg: RunnerConfig,
+    rt: R,
+    /// Metric/event baselines for the next phase, captured at the previous
+    /// quiescent boundary. On the threaded substrate workers start
+    /// processing injections as soon as they are pushed — before
+    /// `run_phase` is even called — so reading the baseline at phase start
+    /// would nondeterministically undercount the phase's traffic.
+    phase_metrics: NetMetrics,
+    phase_events: u64,
+}
+
+impl Runner<EngineRuntime> {
+    /// Instantiate `plan` on the substrate selected by `cfg.runtime`.
+    pub fn new(plan: Plan, cfg: RunnerConfig) -> Runner<EngineRuntime> {
         let plan = Arc::new(plan);
-        let peers = cfg.partitioner.peers();
-        let nodes: Vec<EnginePeer> = (0..peers)
-            .map(|p| {
-                EnginePeer::new(
-                    PeerId(p),
-                    peers,
-                    Arc::clone(&plan),
-                    cfg.strategy,
-                    cfg.partitioner,
-                )
-            })
-            .collect();
-        let sim = Simulator::new(nodes, cfg.cluster.clone(), cfg.cost);
+        let nodes = build_peers(&plan, &cfg);
+        let rt = match &cfg.runtime {
+            RuntimeKind::Des => {
+                EngineRuntime::Des(Simulator::new(nodes, cfg.cluster.clone(), cfg.cost))
+            }
+            RuntimeKind::Threaded(tc) => {
+                EngineRuntime::Threaded(ThreadedRuntime::new(nodes, tc.clone()))
+            }
+        };
+        Runner::from_parts(plan, cfg, rt)
+    }
+}
+
+/// Instantiate the plan's peers for `cfg` (shared by every substrate).
+fn build_peers(plan: &Arc<Plan>, cfg: &RunnerConfig) -> Vec<EnginePeer> {
+    let peers = cfg.partitioner.peers();
+    (0..peers)
+        .map(|p| {
+            EnginePeer::new(
+                PeerId(p),
+                peers,
+                Arc::clone(plan),
+                cfg.strategy,
+                cfg.partitioner,
+            )
+        })
+        .collect()
+}
+
+impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
+    /// Drive an explicitly-constructed substrate (tests that need direct
+    /// access to the concrete runtime type).
+    pub fn with_runtime(
+        plan: Plan,
+        cfg: RunnerConfig,
+        make: impl FnOnce(Vec<EnginePeer>) -> R,
+    ) -> Runner<R> {
+        let plan = Arc::new(plan);
+        let nodes = build_peers(&plan, &cfg);
+        let rt = make(nodes);
+        Runner::from_parts(plan, cfg, rt)
+    }
+
+    fn from_parts(plan: Arc<Plan>, cfg: RunnerConfig, rt: R) -> Runner<R> {
+        let phase_metrics = rt.metrics_snapshot();
+        let phase_events = rt.events_processed();
         Runner {
             plan,
             cfg,
-            sim,
-            inject_seq: 0,
+            rt,
+            phase_metrics,
+            phase_events,
         }
     }
 
@@ -166,9 +279,14 @@ impl Runner {
         &self.cfg
     }
 
+    /// The underlying substrate.
+    pub fn runtime(&self) -> &R {
+        &self.rt
+    }
+
     /// Queue one base-relation operation at its owning peer's ingress. The
-    /// operation enters after everything already simulated (injections during
-    /// a run are scheduled at the current frontier).
+    /// operation enters at the substrate's current frontier (after
+    /// everything already executed).
     pub fn inject(
         &mut self,
         rel_name: &str,
@@ -192,38 +310,33 @@ impl Runner {
             Some(addr) => self.cfg.partitioner.place(addr),
             None => PeerId(0),
         };
-        let at = self.sim.last_finish() + Duration::from_micros(1);
-        self.inject_seq += 1;
-        self.sim.inject(
-            at,
-            peer,
-            Plan::port(ingress, 0),
-            Msg::Base { kind, tuple, ttl },
-        );
+        self.rt
+            .inject(peer, Plan::port(ingress, 0), Msg::Base { kind, tuple, ttl });
     }
 
     /// Trigger DRed phase 2: every ingress on every peer re-emits its live
     /// base tuples.
     pub fn rederive_all(&mut self) {
-        let at = self.sim.last_finish() + Duration::from_micros(1);
         let ingresses: Vec<_> = self.plan.ingress_of.values().copied().collect();
-        for p in 0..self.sim.peer_count() {
+        for p in 0..self.rt.peer_count() {
             for ing in &ingresses {
-                self.sim
-                    .inject(at, PeerId(p), Plan::port(*ing, 0), Msg::Rederive);
+                self.rt
+                    .inject(PeerId(p), Plan::port(*ing, 0), Msg::Rederive);
             }
         }
     }
 
     /// Run to quiescence (or budget) and report the phase's metrics.
     pub fn run_phase(&mut self, label: impl Into<String>) -> RunReport {
-        let start_time = self.sim.last_finish();
-        let m0 = self.sim.metrics().clone();
-        let e0 = self.sim.events_processed();
+        let start_time = self.rt.frontier();
+        // Baselines come from the previous quiescent boundary, not from
+        // here: injections may already be executing (see `phase_metrics`).
+        let m0 = std::mem::take(&mut self.phase_metrics);
+        let e0 = self.phase_events;
         let wall0 = std::time::Instant::now();
-        let outcome = self.sim.run(self.cfg.budget);
+        let outcome = self.rt.run(self.cfg.budget);
         let wall = wall0.elapsed();
-        let m1 = self.sim.metrics();
+        let m1 = self.rt.metrics_snapshot();
         let bytes = m1.total_bytes() - m0.total_bytes();
         let msgs = m1.total_msgs() - m0.total_msgs();
         let tuples = m1.total_tuples() - m0.total_tuples();
@@ -232,6 +345,10 @@ impl Runner {
             RunOutcome::Converged { at } => at,
             RunOutcome::BudgetExceeded { at, .. } => at,
         };
+        let events_now = self.rt.events_processed();
+        // Next phase's baseline: this quiescent boundary.
+        self.phase_metrics = m1;
+        self.phase_events = events_now;
         RunReport {
             label: label.into(),
             outcome,
@@ -246,7 +363,7 @@ impl Runner {
                 prov_bytes as f64 / tuples as f64
             },
             state_bytes: self.state_bytes(),
-            events: self.sim.events_processed() - e0,
+            events: events_now - e0,
             wall,
         }
     }
@@ -259,7 +376,7 @@ impl Runner {
             .id(rel_name)
             .unwrap_or_else(|| panic!("unknown relation `{rel_name}`"));
         let mut out = BTreeSet::new();
-        for peer in self.sim.peers() {
+        self.rt.for_each_peer(|_, peer| {
             for op in peer.ops() {
                 if let OpState::Store(s) = op {
                     if s.rel() == rel {
@@ -267,63 +384,60 @@ impl Runner {
                     }
                 }
             }
-        }
+        });
         out
     }
 
     /// Annotation of one view tuple, searched across peers (tests and the
-    /// provenance explorer example).
+    /// provenance explorer example). Stops at the first peer that knows the
+    /// tuple.
     pub fn view_prov(&self, rel_name: &str, tuple: &Tuple) -> Option<netrec_prov::Prov> {
         let rel = self.plan.catalog.id(rel_name)?;
-        for peer in self.sim.peers() {
-            for op in peer.ops() {
-                if let OpState::Store(s) = op {
-                    if s.rel() == rel {
-                        if let Some(p) = s.prov_of(tuple) {
-                            return Some(p.clone());
-                        }
-                    }
-                }
-            }
-        }
-        None
+        (0..self.rt.peer_count()).find_map(|p| {
+            self.rt.with_peer(PeerId(p), |peer| {
+                peer.ops().iter().find_map(|op| match op {
+                    OpState::Store(s) if s.rel() == rel => s.prov_of(tuple).cloned(),
+                    _ => None,
+                })
+            })
+        })
     }
 
     /// Provenance variable assigned to a live base tuple (searched across
-    /// peers' ingress operators).
+    /// peers' ingress operators). Stops at the first peer that owns it.
     pub fn base_var(&self, rel_name: &str, tuple: &Tuple) -> Option<netrec_bdd::Var> {
         let rel = self.plan.catalog.id(rel_name)?;
-        for peer in self.sim.peers() {
-            for op in peer.ops() {
-                if let OpState::Ingress(i) = op {
-                    if i.rel() == rel {
-                        if let Some(v) = i.var_of(tuple) {
-                            return Some(v);
-                        }
-                    }
-                }
-            }
-        }
-        None
+        (0..self.rt.peer_count()).find_map(|p| {
+            self.rt.with_peer(PeerId(p), |peer| {
+                peer.ops().iter().find_map(|op| match op {
+                    OpState::Ingress(i) if i.rel() == rel => i.var_of(tuple),
+                    _ => None,
+                })
+            })
+        })
     }
 
     /// Total operator state bytes across all peers.
     pub fn state_bytes(&self) -> usize {
-        self.sim.peers().iter().map(EnginePeer::state_bytes).sum()
+        let mut total = 0;
+        self.rt.for_each_peer(|_, peer| total += peer.state_bytes());
+        total
     }
 
     /// Traffic metrics (cumulative over all phases).
-    pub fn metrics(&self) -> &netrec_sim::NetMetrics {
-        self.sim.metrics()
+    pub fn metrics(&self) -> NetMetrics {
+        self.rt.metrics_snapshot()
     }
 
-    /// Access a peer (tests / provenance explorer).
-    pub fn peer(&self, p: PeerId) -> &EnginePeer {
-        self.sim.peer(p)
+    /// Inspect one peer's operator state (tests / provenance explorer).
+    /// Takes a closure because the threaded substrate holds peers behind
+    /// per-peer locks.
+    pub fn with_peer<T>(&self, p: PeerId, f: impl FnOnce(&EnginePeer) -> T) -> T {
+        self.rt.with_peer(p, f)
     }
 
     /// Number of peers.
     pub fn peer_count(&self) -> u32 {
-        self.sim.peer_count()
+        self.rt.peer_count()
     }
 }

@@ -52,12 +52,14 @@ fn minship_buffered(runner: &Runner, peers: u32) -> (usize, usize) {
     let mut pins = 0;
     let mut sent = 0;
     for p in 0..peers {
-        for op in runner.peer(PeerId(p)).ops() {
-            if let OpState::MinShip(m) = op {
-                pins += m.pins_len();
-                sent += m.sent_len();
+        runner.with_peer(PeerId(p), |peer| {
+            for op in peer.ops() {
+                if let OpState::MinShip(m) = op {
+                    pins += m.pins_len();
+                    sent += m.sent_len();
+                }
             }
-        }
+        });
     }
     (pins, sent)
 }

@@ -20,6 +20,9 @@ use netrec_types::{Duration, FxHashMap, SimTime};
 
 use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{ClusterSpec, CostModel, PeerId, Port};
+use crate::runtime::Runtime;
+
+pub use crate::runtime::{RunBudget, RunOutcome};
 
 /// Logic hosted on one peer.
 pub trait PeerNode<M> {
@@ -105,74 +108,6 @@ impl<M> Ord for Event<M> {
     // Reversed: BinaryHeap is a max-heap, we want earliest-first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// Bounds on a run, so that configurations the paper reports as "did not
-/// complete within 5 minutes" terminate with an explicit verdict.
-#[derive(Clone, Copy, Debug)]
-pub struct RunBudget {
-    /// Maximum number of events to process.
-    pub max_events: u64,
-    /// Maximum simulated time.
-    pub max_time: SimTime,
-    /// Maximum *wall-clock* time — guards configurations whose state
-    /// genuinely explodes (relative provenance on dense graphs, no-AggSel
-    /// path enumeration). Checked every few thousand events.
-    pub max_wall: std::time::Duration,
-}
-
-impl Default for RunBudget {
-    fn default() -> Self {
-        RunBudget {
-            max_events: u64::MAX,
-            max_time: SimTime(u64::MAX),
-            max_wall: std::time::Duration::from_secs(3600),
-        }
-    }
-}
-
-impl RunBudget {
-    /// Budget capped at `secs` of simulated time (the paper's 5-minute cap).
-    pub fn sim_seconds(secs: u64) -> RunBudget {
-        RunBudget {
-            max_time: SimTime(secs * 1_000_000),
-            ..Default::default()
-        }
-    }
-
-    /// Additionally cap wall-clock time (builder style).
-    pub fn with_wall(mut self, wall: std::time::Duration) -> RunBudget {
-        self.max_wall = wall;
-        self
-    }
-}
-
-/// Result of [`Simulator::run`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RunOutcome {
-    /// All events drained: the distributed computation reached fixpoint.
-    Converged {
-        /// Completion time of the last processed event.
-        at: SimTime,
-    },
-    /// The budget was exhausted first (reported as `> budget` in the paper's
-    /// style).
-    BudgetExceeded {
-        /// Simulated time when the run was cut off.
-        at: SimTime,
-        /// Events still pending.
-        pending: usize,
-    },
-}
-
-impl RunOutcome {
-    /// Convergence time, if converged.
-    pub fn converged_at(self) -> Option<SimTime> {
-        match self {
-            RunOutcome::Converged { at } => Some(at),
-            RunOutcome::BudgetExceeded { .. } => None,
-        }
     }
 }
 
@@ -350,6 +285,49 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
     /// Number of peers.
     pub fn peer_count(&self) -> u32 {
         self.peers.len() as u32
+    }
+}
+
+impl<M, N: PeerNode<M>> Runtime<M, N> for Simulator<M, N> {
+    fn name(&self) -> &'static str {
+        "des"
+    }
+
+    /// Schedule the input just past the frontier, so injections between
+    /// phases enter after everything already simulated.
+    fn inject(&mut self, to: PeerId, port: Port, msg: M) {
+        let at = self.last_finish + Duration::from_micros(1);
+        Simulator::inject(self, at, to, port, msg);
+    }
+
+    fn run(&mut self, budget: RunBudget) -> RunOutcome {
+        Simulator::run(self, budget)
+    }
+
+    fn metrics_snapshot(&self) -> NetMetrics {
+        self.metrics.clone()
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn frontier(&self) -> SimTime {
+        self.last_finish
+    }
+
+    fn peer_count(&self) -> u32 {
+        self.peers.len() as u32
+    }
+
+    fn with_peer<T>(&self, p: PeerId, f: impl FnOnce(&N) -> T) -> T {
+        f(&self.peers[p.0 as usize])
+    }
+
+    fn for_each_peer(&self, mut f: impl FnMut(PeerId, &N)) {
+        for (i, n) in self.peers.iter().enumerate() {
+            f(PeerId(i as u32), n);
+        }
     }
 }
 

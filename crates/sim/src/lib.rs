@@ -18,17 +18,25 @@
 //!   standing in for FreePastry).
 //! * [`metrics`] — per-peer byte/message/tuple accounting; every number in
 //!   `EXPERIMENTS.md` flows from here.
-//! * [`threaded`] — a real concurrent runtime (one OS thread per peer,
-//!   crossbeam channels) running the same [`PeerNode`] logic, used to
-//!   demonstrate that the operator implementations are actually
-//!   thread-safe/distributable. Byte metrics match the DES exactly; timing is
+//! * [`runtime`] — the **runtime seam**: the [`Runtime`] trait both
+//!   substrates implement (inject → run-to-quiescence → snapshot, honoring
+//!   [`RunBudget`]), plus [`RuntimeKind`] for drivers that select a
+//!   substrate at configuration time.
+//! * [`threaded`] — a production-grade concurrent runtime (one worker thread
+//!   per peer over bounded channels, a single timer-service thread with a
+//!   min-heap, peer-panic propagation, multi-phase sessions) running the
+//!   same [`PeerNode`] logic, used to demonstrate that the operator
+//!   implementations are actually thread-safe/distributable. Timing is
 //!   wall-clock rather than modelled.
 
 pub mod des;
 pub mod metrics;
 pub mod net;
+pub mod runtime;
 pub mod threaded;
 
-pub use des::{NetApi, PeerNode, RunBudget, RunOutcome, Simulator};
+pub use des::{NetApi, PeerNode, Simulator};
 pub use metrics::{MsgMeta, NetMetrics, PeerMetrics};
 pub use net::{ClusterSpec, CostModel, Partitioner, PeerId, Port};
+pub use runtime::{RunBudget, RunOutcome, Runtime, RuntimeKind};
+pub use threaded::{run_threaded, ThreadedConfig, ThreadedOutcome, ThreadedRuntime};

@@ -42,8 +42,20 @@ pub struct PeerMetrics {
     pub bytes_recv: u64,
 }
 
+impl PeerMetrics {
+    /// Add another peer's counters into this one.
+    pub fn merge(&mut self, other: &PeerMetrics) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.prov_bytes_sent += other.prov_bytes_sent;
+        self.tuples_sent += other.tuples_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+    }
+}
+
 /// Whole-run traffic metrics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetMetrics {
     /// Counters per peer, indexed by `PeerId`.
     pub per_peer: Vec<PeerMetrics>,
@@ -67,6 +79,19 @@ impl NetMetrics {
         let r = &mut self.per_peer[to.0 as usize];
         r.msgs_recv += 1;
         r.bytes_recv += meta.bytes as u64;
+    }
+
+    /// Merge another metrics matrix into this one (peer-wise sum). Used by
+    /// the threaded runtime, where each peer thread accounts its own traffic
+    /// and the controller folds the shards into the run total.
+    pub fn merge(&mut self, other: &NetMetrics) {
+        if self.per_peer.len() < other.per_peer.len() {
+            self.per_peer
+                .resize(other.per_peer.len(), PeerMetrics::default());
+        }
+        for (mine, theirs) in self.per_peer.iter_mut().zip(&other.per_peer) {
+            mine.merge(theirs);
+        }
     }
 
     /// Total bytes shipped across the network.
@@ -151,6 +176,30 @@ mod tests {
         assert_eq!(m.total_bytes(), 0);
         assert_eq!(m.avg_bytes_per_peer(), 0.0);
         assert_eq!(m.prov_bytes_per_tuple(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_peer_wise() {
+        let meta = |bytes, prov_bytes, tuples| MsgMeta {
+            bytes,
+            prov_bytes,
+            tuples,
+        };
+        let mut a = NetMetrics::new(3);
+        a.record_send(PeerId(0), PeerId(1), meta(100, 40, 2));
+        let mut b = NetMetrics::new(3);
+        b.record_send(PeerId(0), PeerId(2), meta(50, 10, 1));
+        b.record_send(PeerId(2), PeerId(1), meta(25, 5, 1));
+        a.merge(&b);
+        let mut want = NetMetrics::new(3);
+        want.record_send(PeerId(0), PeerId(1), meta(100, 40, 2));
+        want.record_send(PeerId(0), PeerId(2), meta(50, 10, 1));
+        want.record_send(PeerId(2), PeerId(1), meta(25, 5, 1));
+        assert_eq!(a, want);
+        // Merging into an empty matrix grows it.
+        let mut empty = NetMetrics::new(0);
+        empty.merge(&want);
+        assert_eq!(empty, want);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! The runtime seam: one session contract over both execution substrates.
+//!
+//! A [`Runtime`] hosts a set of [`PeerNode`](crate::des::PeerNode)s and
+//! drives them through **phases**: the driver injects external inputs at the
+//! current frontier, calls [`Runtime::run`] to reach global quiescence (or
+//! exhaust the [`RunBudget`]), then snapshots metrics and inspects peer
+//! state. Repeating the cycle gives multi-phase workloads (load → churn →
+//! re-derive) the same shape on every substrate.
+//!
+//! Contract (see DESIGN.md "Runtimes" for the full ledger):
+//!
+//! * **Termination detection** — `run` returns `Converged` only when no
+//!   message, local hand-off, *or armed timer* remains anywhere in the
+//!   system. A phase can therefore never end with a timer in flight: soft-
+//!   state TTLs and MinShip flushes scheduled during a phase land inside it.
+//! * **Phase semantics** — `inject` enqueues at the frontier; state and
+//!   cumulative metrics persist across phases; `metrics_snapshot` taken at a
+//!   quiescent boundary is stable.
+//! * **Budget** — `run` honors `max_events`, `max_time` (simulated /
+//!   elapsed), and `max_wall`; exhaustion yields `BudgetExceeded` with the
+//!   number of still-pending events.
+//!
+//! Implementations: the deterministic discrete-event
+//! [`Simulator`](crate::des::Simulator) and the concurrent
+//! [`ThreadedRuntime`](crate::threaded::ThreadedRuntime).
+
+use netrec_types::SimTime;
+
+use crate::metrics::NetMetrics;
+use crate::net::{PeerId, Port};
+use crate::threaded::ThreadedConfig;
+
+/// Bounds on a run, so that configurations the paper reports as "did not
+/// complete within 5 minutes" terminate with an explicit verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct RunBudget {
+    /// Maximum number of events to process.
+    pub max_events: u64,
+    /// Maximum time on the substrate's clock, cumulative across the
+    /// session's phases: simulated time for the DES; for the threaded
+    /// runtime, wall-clock microseconds spent inside `run` (its clock, like
+    /// the DES sim clock, does not advance while the controller is idle
+    /// between phases).
+    pub max_time: SimTime,
+    /// Maximum *wall-clock* time per phase — guards configurations whose
+    /// state genuinely explodes (relative provenance on dense graphs,
+    /// no-AggSel path enumeration). Checked every few thousand events.
+    pub max_wall: std::time::Duration,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            max_events: u64::MAX,
+            max_time: SimTime(u64::MAX),
+            max_wall: std::time::Duration::from_secs(3600),
+        }
+    }
+}
+
+impl RunBudget {
+    /// Budget capped at `secs` of simulated time (the paper's 5-minute cap).
+    pub fn sim_seconds(secs: u64) -> RunBudget {
+        RunBudget {
+            max_time: SimTime(secs * 1_000_000),
+            ..Default::default()
+        }
+    }
+
+    /// Additionally cap wall-clock time (builder style).
+    pub fn with_wall(mut self, wall: std::time::Duration) -> RunBudget {
+        self.max_wall = wall;
+        self
+    }
+}
+
+/// Result of one [`Runtime::run`] phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All events drained: the distributed computation reached fixpoint.
+    Converged {
+        /// Completion time of the last processed event.
+        at: SimTime,
+    },
+    /// The budget was exhausted first (reported as `> budget` in the paper's
+    /// style).
+    BudgetExceeded {
+        /// Simulated time when the run was cut off.
+        at: SimTime,
+        /// Events still pending.
+        pending: usize,
+    },
+}
+
+impl RunOutcome {
+    /// Convergence time, if converged.
+    pub fn converged_at(self) -> Option<SimTime> {
+        match self {
+            RunOutcome::Converged { at } => Some(at),
+            RunOutcome::BudgetExceeded { .. } => None,
+        }
+    }
+}
+
+/// Which execution substrate a driver should instantiate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum RuntimeKind {
+    /// The deterministic discrete-event simulator (modelled latency,
+    /// bandwidth, and CPU occupancy; reproducible convergence times).
+    #[default]
+    Des,
+    /// The concurrent threaded runtime (real OS threads, bounded channels,
+    /// wall-clock timers) with its tuning knobs.
+    Threaded(ThreadedConfig),
+}
+
+impl RuntimeKind {
+    /// Threaded runtime with default tuning.
+    pub fn threaded() -> RuntimeKind {
+        RuntimeKind::Threaded(ThreadedConfig::default())
+    }
+
+    /// Short label for reports and bench entries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuntimeKind::Des => "des",
+            RuntimeKind::Threaded(_) => "threaded",
+        }
+    }
+}
+
+/// An execution substrate hosting peers of type `N` exchanging messages of
+/// type `M`. See the module docs for the session contract.
+pub trait Runtime<M, N> {
+    /// Substrate name for reports ("des" / "threaded").
+    fn name(&self) -> &'static str;
+
+    /// Deliver an external input (EDB stream element) at the current
+    /// frontier. Not counted as network traffic: it models data arriving at
+    /// its ingress peer from the local sub-network.
+    fn inject(&mut self, to: PeerId, port: Port, msg: M);
+
+    /// Run one phase: process events until global quiescence (no messages,
+    /// hand-offs, or armed timers anywhere) or budget exhaustion.
+    fn run(&mut self, budget: RunBudget) -> RunOutcome;
+
+    /// Snapshot of the cumulative traffic metrics. Stable when taken at a
+    /// quiescent phase boundary.
+    fn metrics_snapshot(&self) -> NetMetrics;
+
+    /// Total events (message deliveries + timer firings) processed so far.
+    fn events_processed(&self) -> u64;
+
+    /// The current time frontier: simulated time of the last completed event
+    /// (DES) or elapsed microseconds since the session started (threaded).
+    fn frontier(&self) -> SimTime;
+
+    /// Number of peers hosted.
+    fn peer_count(&self) -> u32;
+
+    /// Inspect one peer's logic. Call at a quiescent boundary for a stable
+    /// view.
+    fn with_peer<T>(&self, p: PeerId, f: impl FnOnce(&N) -> T) -> T;
+
+    /// Inspect every peer in `PeerId` order.
+    fn for_each_peer(&self, f: impl FnMut(PeerId, &N));
+}

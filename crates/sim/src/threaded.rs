@@ -1,149 +1,720 @@
-//! A real concurrent runtime for the same [`PeerNode`] logic.
+//! The concurrent runtime: real OS threads executing the same
+//! [`PeerNode`] logic the discrete-event simulator drives.
 //!
-//! One OS thread per peer, crossbeam channels between them, a global
-//! in-flight counter for distributed termination detection (a message or
-//! pending timer is "in flight" from the moment it is produced until its
-//! callback has run *and* its own outputs have been registered — so the
-//! counter reaching zero certifies global quiescence).
+//! A [`ThreadedRuntime`] is a long-lived *session* implementing
+//! [`Runtime`]: one worker thread per peer pulling from a **bounded** inbox,
+//! plus a single **timer-service** thread owning a min-heap of armed timers
+//! (no thread is ever spawned per timer). The controller injects inputs,
+//! runs phases to quiescence, snapshots metrics, and inspects peers between
+//! phases — the same session shape as the DES.
+//!
+//! Design notes:
+//!
+//! * **Termination detection** — a global in-flight counter covers every
+//!   produced-but-unprocessed event: a message from the moment it is sent
+//!   until its callback has run *and registered its own outputs*, and an
+//!   armed timer from arming until its firing's callback retires. The
+//!   counter reaching zero therefore certifies global quiescence *including
+//!   timers*: a phase can never end with a live timer in flight (the timer
+//!   fence the DES gets for free from its event queue).
+//! * **Backpressure without deadlock** — inboxes are bounded; a full inbox
+//!   makes senders spin on `try_send`. While spinning, a worker drains its
+//!   *own* inbox into a local backlog, so a cycle of peers blocked on each
+//!   other always has someone freeing space — progress is guaranteed without
+//!   unbounded channel growth.
+//! * **Peer-panic propagation** — worker callbacks run under
+//!   `catch_unwind`; the first panic is recorded, teardown begins, and the
+//!   controller re-panics from [`Runtime::run`] instead of hanging on a
+//!   quiescence signal that will never come.
+//! * **Metrics** — each worker accounts its own traffic in a per-peer
+//!   [`NetMetrics`] shard; snapshots fold the shards with
+//!   [`NetMetrics::merge`].
 //!
 //! The threaded runtime exists to demonstrate that the engine's operators
-//! really are distributable — byte/message metrics match the discrete-event
-//! runner exactly, because both count the same wire encodings. It does not
-//! model link latency; timers map simulated delay to real sleeps.
+//! really are distributable. It does not model link latency or bandwidth;
+//! timer delays map to wall-clock sleeps via a configurable dilation factor,
+//! and convergence "time" is elapsed wall-clock microseconds.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::thread::JoinHandle;
+use std::time::{Duration as WallDuration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, SyncSender, TrySendError};
 use netrec_types::SimTime;
+use parking_lot::Mutex;
 
 use crate::des::{NetApi, PeerNode};
-use crate::metrics::{MsgMeta, NetMetrics};
+use crate::metrics::NetMetrics;
 use crate::net::{PeerId, Port};
+use crate::runtime::{RunBudget, RunOutcome, Runtime};
+
+/// Tuning knobs for the threaded runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThreadedConfig {
+    /// Per-peer inbox capacity in messages; senders observe backpressure
+    /// once an inbox fills.
+    pub channel_capacity: usize,
+    /// Wall-clock microseconds slept per simulated microsecond of timer
+    /// delay. `1.0` maps simulated delays to real time; tests compress long
+    /// TTLs with smaller factors.
+    pub time_dilation: f64,
+    /// Controller poll tick while waiting for quiescence (a safety net — the
+    /// controller is also woken by an explicit signal).
+    pub poll: WallDuration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            channel_capacity: 256,
+            time_dilation: 1.0,
+            poll: WallDuration::from_millis(1),
+        }
+    }
+}
 
 enum ThreadMsg<M> {
-    Deliver(Port, M, MsgMeta),
+    Deliver(Port, M),
     Timer(u64),
     Shutdown,
 }
 
-/// Result of a threaded run.
+enum TimerCmd {
+    Arm { peer: u32, id: u64, at: Instant },
+    Shutdown,
+}
+
+/// Min-heap entry for the timer service (reversed ordering: earliest first).
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    peer: u32,
+    id: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// State shared between the controller, the workers, and the timer service.
+struct Shared {
+    /// Produced-but-unretired events (messages in channels or backlogs, plus
+    /// armed timers). Zero ⇒ global quiescence including timers.
+    in_flight: AtomicI64,
+    /// Total events processed (deliveries + timer firings).
+    events: AtomicU64,
+    /// Teardown flag: senders stop spinning and drop instead.
+    shutting_down: AtomicBool,
+    /// First peer panic observed, for propagation from `run`.
+    panicked: Mutex<Option<String>>,
+}
+
+impl Shared {
+    /// Retire one in-flight event; wake the controller on the last one.
+    fn retire_one(&self, ctl: &Sender<()>) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _ = ctl.send(());
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn dilate(delay: netrec_types::Duration, factor: f64) -> WallDuration {
+    WallDuration::from_secs_f64((delay.micros() as f64 * factor / 1_000_000.0).max(0.0))
+}
+
+/// One peer's worker: pulls from its inbox, runs the node callback under a
+/// per-peer lock (released before any send), registers outputs, and retires
+/// the processed event.
+struct Worker<M, N> {
+    me: PeerId,
+    node: Arc<Mutex<N>>,
+    rx: Receiver<ThreadMsg<M>>,
+    inboxes: Vec<SyncSender<ThreadMsg<M>>>,
+    timer_tx: Sender<TimerCmd>,
+    metrics: Arc<Mutex<NetMetrics>>,
+    shared: Arc<Shared>,
+    ctl_tx: Sender<()>,
+    /// Messages pulled off our own inbox while a downstream inbox was full.
+    backlog: VecDeque<ThreadMsg<M>>,
+    epoch: Instant,
+    time_dilation: f64,
+}
+
+impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
+    fn run(mut self) {
+        loop {
+            let msg = if let Some(m) = self.backlog.pop_front() {
+                m
+            } else {
+                match self.rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break, // controller gone
+                }
+            };
+            let keep_going = match msg {
+                ThreadMsg::Shutdown => false,
+                ThreadMsg::Deliver(port, m) => self.process(Some((port, m)), 0),
+                ThreadMsg::Timer(id) => self.process(None, id),
+            };
+            if !keep_going {
+                break;
+            }
+        }
+        // Dropping `rx` here disconnects the inbox: peers still sending to
+        // us observe `Disconnected` and drop instead of spinning forever.
+    }
+
+    /// Run one callback. `Some((port, m))` is a delivery, `None` a timer
+    /// with `timer_id`. Returns `false` when the worker must stop (panic).
+    fn process(&mut self, delivery: Option<(Port, M)>, timer_id: u64) -> bool {
+        let outputs = catch_unwind(AssertUnwindSafe(|| {
+            let now = SimTime(self.epoch.elapsed().as_micros() as u64);
+            let mut api = NetApi::fresh(now, self.me);
+            let mut node = self.node.lock();
+            match delivery {
+                Some((port, m)) => node.on_message(port, m, &mut api),
+                None => node.on_timer(timer_id, &mut api),
+            }
+            drop(node);
+            api.into_parts()
+        }));
+        match outputs {
+            Err(payload) => {
+                let msg = panic_message(payload);
+                {
+                    let mut first = self.shared.panicked.lock();
+                    if first.is_none() {
+                        *first = Some(format!("peer {} panicked: {msg}", self.me.0));
+                    }
+                }
+                self.shared.shutting_down.store(true, Ordering::SeqCst);
+                self.shared.retire_one(&self.ctl_tx);
+                let _ = self.ctl_tx.send(());
+                false
+            }
+            Ok((out, timers)) => {
+                self.shared.events.fetch_add(1, Ordering::SeqCst);
+                // Register every produced event *before* retiring this one,
+                // so the in-flight counter can never transiently hit zero.
+                let produced = (out.len() + timers.len()) as i64;
+                self.shared.in_flight.fetch_add(produced, Ordering::SeqCst);
+                if out.iter().any(|(to, ..)| *to != self.me) {
+                    // One shard lock per callback, not per message; the
+                    // shard is only ever contended by controller snapshots.
+                    let mut metrics = self.metrics.lock();
+                    for (to, _, _, meta) in &out {
+                        if *to != self.me {
+                            metrics.record_send(self.me, *to, *meta);
+                        }
+                    }
+                }
+                for (to, port, msg, _) in out {
+                    self.send(to, ThreadMsg::Deliver(port, msg));
+                }
+                for (delay, id) in timers {
+                    let at = Instant::now() + dilate(delay, self.time_dilation);
+                    let arm = TimerCmd::Arm {
+                        peer: self.me.0,
+                        id,
+                        at,
+                    };
+                    if self.timer_tx.send(arm).is_err() {
+                        // Timer service already shut down: un-register.
+                        self.shared.retire_one(&self.ctl_tx);
+                    }
+                }
+                self.shared.retire_one(&self.ctl_tx);
+                true
+            }
+        }
+    }
+
+    /// Backpressure-aware send: spin on a full inbox, draining our own inbox
+    /// into the backlog meanwhile so blocked cycles always make progress.
+    fn send(&mut self, to: PeerId, m: ThreadMsg<M>) {
+        let mut m = m;
+        loop {
+            match self.inboxes[to.0 as usize].try_send(m) {
+                Ok(()) => return,
+                Err(TrySendError::Full(back)) => {
+                    if self.shared.shutting_down.load(Ordering::SeqCst) {
+                        // Tearing down: the message will never be consumed.
+                        self.shared.retire_one(&self.ctl_tx);
+                        return;
+                    }
+                    m = back;
+                    let mut drained = false;
+                    while let Ok(incoming) = self.rx.try_recv() {
+                        self.backlog.push_back(incoming);
+                        drained = true;
+                    }
+                    if !drained {
+                        // Nothing of ours to drain: sleep instead of
+                        // busy-spinning against the worker that must free
+                        // the inbox (it may need this core).
+                        std::thread::sleep(WallDuration::from_micros(50));
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // Receiver exited (shutdown or panic): drop the message.
+                    self.shared.retire_one(&self.ctl_tx);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The single timer-service thread: a min-heap of armed timers, fired by
+/// re-injecting `Timer` messages into the owning peer's inbox. No thread is
+/// spawned per timer.
+fn timer_service<M: Send + 'static>(
+    rx: Receiver<TimerCmd>,
+    inboxes: Vec<SyncSender<ThreadMsg<M>>>,
+    shared: Arc<Shared>,
+    ctl_tx: Sender<()>,
+) {
+    /// Retry cadence for firings deferred on a full inbox.
+    const PENDING_RETRY: WallDuration = WallDuration::from_micros(200);
+    let mut heap: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    // Firings whose peer inbox was full, retried each iteration — one slow
+    // peer must not head-of-line block every other peer's timers.
+    let mut pending: Vec<VecDeque<u64>> = vec![VecDeque::new(); inboxes.len()];
+    let mut seq = 0u64;
+    loop {
+        // Retry deferred firings first (per-peer FIFO keeps firing order).
+        for (peer, q) in pending.iter_mut().enumerate() {
+            while let Some(&id) = q.front() {
+                match inboxes[peer].try_send(ThreadMsg::Timer(id)) {
+                    Ok(()) => {
+                        q.pop_front();
+                    }
+                    Err(TrySendError::Full(_)) => break,
+                    Err(TrySendError::Disconnected(_)) => {
+                        q.pop_front();
+                        shared.retire_one(&ctl_tx);
+                    }
+                }
+            }
+        }
+        // Fire everything due; a full inbox defers to `pending` instead of
+        // blocking here.
+        while heap.peek().is_some_and(|e| e.at <= Instant::now()) {
+            let e = heap.pop().expect("peeked");
+            let q = &mut pending[e.peer as usize];
+            if !q.is_empty() {
+                q.push_back(e.id); // behind earlier deferred firings
+                continue;
+            }
+            match inboxes[e.peer as usize].try_send(ThreadMsg::Timer(e.id)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => q.push_back(e.id),
+                Err(TrySendError::Disconnected(_)) => shared.retire_one(&ctl_tx),
+            }
+        }
+        // Sleep until the next deadline or command — shorter when a
+        // deferred firing is waiting for inbox space.
+        let next_due = heap
+            .peek()
+            .map(|e| e.at.saturating_duration_since(Instant::now()));
+        let has_pending = pending.iter().any(|q| !q.is_empty());
+        let cmd = if next_due.is_none() && !has_pending {
+            rx.recv().ok()
+        } else {
+            let mut wait = next_due.unwrap_or(WallDuration::from_secs(3600));
+            if has_pending {
+                wait = wait.min(PENDING_RETRY);
+            }
+            match rx.recv_timeout(wait) {
+                Ok(c) => Some(c),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => None,
+            }
+        };
+        match cmd {
+            Some(TimerCmd::Arm { peer, id, at }) => {
+                seq += 1;
+                heap.push(TimerEntry { at, seq, peer, id });
+            }
+            Some(TimerCmd::Shutdown) | None => break,
+        }
+    }
+    // Teardown fence: keep receiving until every sender (worker clones and
+    // the controller's) is gone — a one-shot sweep would race an Arm sent
+    // concurrently with it — then retire every armed-but-unfired timer, so
+    // the in-flight counter stays consistent even when a budget-exceeded
+    // session is torn down mid-phase. This cannot block indefinitely: the
+    // controller joins the workers (dropping their sender clones) before
+    // joining this thread.
+    while let Ok(cmd) = rx.recv() {
+        if matches!(cmd, TimerCmd::Arm { .. }) {
+            shared.retire_one(&ctl_tx);
+        }
+    }
+    for _ in heap.drain() {
+        shared.retire_one(&ctl_tx);
+    }
+    for q in pending {
+        for _ in q {
+            shared.retire_one(&ctl_tx);
+        }
+    }
+}
+
+/// A live threaded session over `N` peers. Create with
+/// [`ThreadedRuntime::new`], drive through the [`Runtime`] trait, and either
+/// let it drop (threads are joined) or call [`ThreadedRuntime::finish`] to
+/// take the peers back out.
+pub struct ThreadedRuntime<M, N> {
+    nodes: Vec<Arc<Mutex<N>>>,
+    metric_shards: Vec<Arc<Mutex<NetMetrics>>>,
+    inboxes: Vec<SyncSender<ThreadMsg<M>>>,
+    timer_tx: Option<Sender<TimerCmd>>,
+    ctl_tx: Sender<()>,
+    ctl_rx: Receiver<()>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    timer_thread: Option<JoinHandle<()>>,
+    epoch: Instant,
+    /// Wall-clock time spent inside `run` so far — the threaded analogue of
+    /// the DES sim clock, which only advances while events execute. Charged
+    /// against `RunBudget::max_time` cumulatively across phases.
+    active: WallDuration,
+    /// Outcome of the most recent `run` phase (carried into
+    /// [`ThreadedOutcome`] so one-shot drivers see budget truncation).
+    last_outcome: Option<RunOutcome>,
+    cfg: ThreadedConfig,
+}
+
+impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
+    /// Spawn one worker thread per peer plus the timer service.
+    pub fn new(peers: Vec<N>, cfg: ThreadedConfig) -> ThreadedRuntime<M, N> {
+        let n = peers.len();
+        let epoch = Instant::now();
+        let shared = Arc::new(Shared {
+            in_flight: AtomicI64::new(0),
+            events: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            panicked: Mutex::new(None),
+        });
+        let (ctl_tx, ctl_rx) = unbounded::<()>();
+        let (timer_tx, timer_rx) = unbounded::<TimerCmd>();
+
+        let mut inboxes = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<ThreadMsg<M>>(cfg.channel_capacity.max(1));
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let nodes: Vec<Arc<Mutex<N>>> =
+            peers.into_iter().map(|p| Arc::new(Mutex::new(p))).collect();
+        let metric_shards: Vec<Arc<Mutex<NetMetrics>>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(NetMetrics::new(n as u32))))
+            .collect();
+
+        let mut workers = Vec::with_capacity(n);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let worker = Worker {
+                me: PeerId(i as u32),
+                node: Arc::clone(&nodes[i]),
+                rx,
+                inboxes: inboxes.clone(),
+                timer_tx: timer_tx.clone(),
+                metrics: Arc::clone(&metric_shards[i]),
+                shared: Arc::clone(&shared),
+                ctl_tx: ctl_tx.clone(),
+                backlog: VecDeque::new(),
+                epoch,
+                time_dilation: cfg.time_dilation,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("netrec-peer-{i}"))
+                .spawn(move || worker.run())
+                .expect("spawn peer worker");
+            workers.push(handle);
+        }
+        let timer_thread = {
+            let inboxes = inboxes.clone();
+            let shared = Arc::clone(&shared);
+            let ctl = ctl_tx.clone();
+            std::thread::Builder::new()
+                .name("netrec-timers".to_string())
+                .spawn(move || timer_service(timer_rx, inboxes, shared, ctl))
+                .expect("spawn timer service")
+        };
+
+        ThreadedRuntime {
+            nodes,
+            metric_shards,
+            inboxes,
+            timer_tx: Some(timer_tx),
+            ctl_tx,
+            ctl_rx,
+            shared,
+            workers,
+            timer_thread: Some(timer_thread),
+            epoch,
+            active: WallDuration::ZERO,
+            last_outcome: None,
+            cfg,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Controller-side send: register, then spin until the inbox accepts
+    /// (workers always drain, so this terminates).
+    fn push(&self, to: PeerId, m: ThreadMsg<M>) {
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let mut m = m;
+        loop {
+            match self.inboxes[to.0 as usize].try_send(m) {
+                Ok(()) => return,
+                Err(TrySendError::Full(back)) => {
+                    m = back;
+                    std::thread::sleep(WallDuration::from_micros(50));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // Worker already gone (panic mid-teardown): drop; the
+                    // panic surfaces on the next `run`.
+                    self.shared.retire_one(&self.ctl_tx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tear the session down and return the peers with their final state,
+    /// the merged metrics, and the total wall-clock duration.
+    pub fn finish(mut self) -> ThreadedOutcome<N> {
+        // Stop the workers *before* snapshotting, so the returned metrics
+        // are consistent with the returned peer state even when the caller
+        // never drove the session to quiescence.
+        self.shutdown_threads();
+        let wall = self.epoch.elapsed();
+        let metrics = self.metrics_snapshot();
+        let outcome = self.last_outcome;
+        let nodes = std::mem::take(&mut self.nodes);
+        drop(self);
+        let peers = nodes
+            .into_iter()
+            .map(|arc| {
+                Arc::try_unwrap(arc)
+                    .ok()
+                    .expect("worker threads joined; no other peer references remain")
+                    .into_inner()
+            })
+            .collect();
+        ThreadedOutcome {
+            peers,
+            metrics,
+            wall,
+            outcome,
+        }
+    }
+}
+
+impl<M, N> ThreadedRuntime<M, N> {
+    /// Idempotent teardown: stop the timer service, deliver `Shutdown` to
+    /// every worker, and join all threads.
+    fn shutdown_threads(&mut self) {
+        if self.workers.is_empty() && self.timer_thread.is_none() {
+            return;
+        }
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(tx) = self.timer_tx.take() {
+            let _ = tx.send(TimerCmd::Shutdown);
+        }
+        for tx in &self.inboxes {
+            let mut m = ThreadMsg::Shutdown;
+            loop {
+                match tx.try_send(m) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(back)) => {
+                        m = back;
+                        std::thread::sleep(WallDuration::from_micros(100));
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.timer_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M, N> Drop for ThreadedRuntime<M, N> {
+    fn drop(&mut self) {
+        self.shutdown_threads();
+    }
+}
+
+impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for ThreadedRuntime<M, N> {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn inject(&mut self, to: PeerId, port: Port, msg: M) {
+        self.push(to, ThreadMsg::Deliver(port, msg));
+    }
+
+    fn run(&mut self, budget: RunBudget) -> RunOutcome {
+        let start = Instant::now();
+        let wall_deadline = start + budget.max_wall;
+        // `max_time` caps the session's *cumulative active* time — wall
+        // clock spent inside `run` phases — mirroring the DES sim clock,
+        // which also only advances while events execute. Controller idle
+        // time between phases does not count.
+        let time_deadline = if budget.max_time.0 == u64::MAX {
+            None
+        } else {
+            let total = WallDuration::from_micros(budget.max_time.0);
+            Some(start + total.saturating_sub(self.active))
+        };
+        let outcome = loop {
+            // Read the counter *before* the panic flag: a panicking worker
+            // records its panic before retiring its event, so a zero counter
+            // observed here with a clean flag really is a clean convergence.
+            let pending = self.shared.in_flight.load(Ordering::SeqCst);
+            if let Some(msg) = self.shared.panicked.lock().clone() {
+                self.shared.shutting_down.store(true, Ordering::SeqCst);
+                self.active += start.elapsed();
+                panic!("threaded runtime: {msg}");
+            }
+            // A torn-down session (earlier budget exhaustion) must fail
+            // fast — and must never claim convergence: teardown retires
+            // dropped events and armed timers, so a zero counter here can
+            // be the *result* of truncation, not of reaching a fixpoint.
+            if self.workers.is_empty() && self.timer_thread.is_none() {
+                break RunOutcome::BudgetExceeded {
+                    at: self.now(),
+                    pending: pending.max(0) as usize,
+                };
+            }
+            if pending <= 0 {
+                break RunOutcome::Converged { at: self.now() };
+            }
+            let now = Instant::now();
+            if self.shared.events.load(Ordering::SeqCst) >= budget.max_events
+                || now >= wall_deadline
+                || time_deadline.is_some_and(|d| now >= d)
+            {
+                let at = self.now();
+                // Freeze the session the way the DES freezes its event
+                // queue: stop the workers, so post-run snapshots are stable
+                // and a runaway workload stops burning CPU. A budget-
+                // exceeded session is only good for inspection; discard it.
+                self.shutdown_threads();
+                break RunOutcome::BudgetExceeded {
+                    at,
+                    pending: pending as usize,
+                };
+            }
+            let _ = self.ctl_rx.recv_timeout(self.cfg.poll);
+        };
+        self.active += start.elapsed();
+        self.last_outcome = Some(outcome);
+        outcome
+    }
+
+    fn metrics_snapshot(&self) -> NetMetrics {
+        let mut total = NetMetrics::new(self.nodes.len() as u32);
+        for shard in &self.metric_shards {
+            total.merge(&shard.lock());
+        }
+        total
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.shared.events.load(Ordering::SeqCst)
+    }
+
+    fn frontier(&self) -> SimTime {
+        self.now()
+    }
+
+    fn peer_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    fn with_peer<T>(&self, p: PeerId, f: impl FnOnce(&N) -> T) -> T {
+        f(&self.nodes[p.0 as usize].lock())
+    }
+
+    fn for_each_peer(&self, mut f: impl FnMut(PeerId, &N)) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            f(PeerId(i as u32), &node.lock());
+        }
+    }
+}
+
+/// Result of a one-shot threaded run ([`run_threaded`]).
 pub struct ThreadedOutcome<N> {
     /// The peers, with their final state, in `PeerId` order.
     pub peers: Vec<N>,
     /// Merged traffic metrics (remote sends only, like the DES).
     pub metrics: NetMetrics,
     /// Wall-clock duration of the run.
-    pub wall: std::time::Duration,
+    pub wall: WallDuration,
+    /// Outcome of the most recent `run` phase — check for
+    /// [`RunOutcome::BudgetExceeded`] before trusting `peers`/`metrics` as a
+    /// fixpoint. `None` if the session was finished without running.
+    pub outcome: Option<RunOutcome>,
 }
 
-/// Run `peers` to quiescence, starting from `injections` delivered at start.
+/// Convenience one-shot: run `peers` to quiescence from `injections` and
+/// tear the session down. Multi-phase workloads should use
+/// [`ThreadedRuntime`] directly.
 pub fn run_threaded<M, N>(peers: Vec<N>, injections: Vec<(PeerId, Port, M)>) -> ThreadedOutcome<N>
 where
     M: Send + 'static,
     N: PeerNode<M> + Send + 'static,
 {
-    let n = peers.len();
-    let start = Instant::now();
-    let in_flight = Arc::new(AtomicI64::new(0));
-    let (done_tx, done_rx) = unbounded::<()>();
-
-    let mut senders: Vec<Sender<ThreadMsg<M>>> = Vec::with_capacity(n);
-    let mut receivers = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded::<ThreadMsg<M>>();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-
-    // Register injections before any thread starts, so the counter cannot
-    // transiently reach zero.
-    in_flight.store(injections.len() as i64, Ordering::SeqCst);
+    let mut rt = ThreadedRuntime::new(peers, ThreadedConfig::default());
     for (to, port, msg) in injections {
-        senders[to.0 as usize]
-            .send(ThreadMsg::Deliver(port, msg, MsgMeta::default()))
-            .expect("injection send");
+        rt.inject(to, port, msg);
     }
-    if in_flight.load(Ordering::SeqCst) == 0 {
-        let _ = done_tx.send(());
-    }
-
-    let mut handles = Vec::with_capacity(n);
-    for (me_idx, (mut node, rx)) in peers.into_iter().zip(receivers).enumerate() {
-        let me = PeerId(me_idx as u32);
-        let senders = senders.clone();
-        let in_flight = Arc::clone(&in_flight);
-        let done_tx = done_tx.clone();
-        let epoch = start;
-        handles.push(std::thread::spawn(move || {
-            let mut local = NetMetrics::new(n as u32);
-            for incoming in rx.iter() {
-                let now = SimTime(epoch.elapsed().as_micros() as u64);
-                let mut api = NetApi::fresh(now, me);
-                match incoming {
-                    ThreadMsg::Deliver(port, msg, _meta) => node.on_message(port, msg, &mut api),
-                    ThreadMsg::Timer(id) => node.on_timer(id, &mut api),
-                    ThreadMsg::Shutdown => break,
-                }
-                let (out, timers) = api.into_parts();
-                // Register every produced event *before* retiring this one.
-                let produced = (out.len() + timers.len()) as i64;
-                in_flight.fetch_add(produced, Ordering::SeqCst);
-                for (to, port, msg, meta) in out {
-                    if to != me {
-                        local.record_send(me, to, meta);
-                    }
-                    senders[to.0 as usize]
-                        .send(ThreadMsg::Deliver(port, msg, meta))
-                        .expect("peer send");
-                }
-                for (delay, id) in timers {
-                    let tx = senders[me.0 as usize].clone();
-                    let sleep = std::time::Duration::from_micros(delay.micros());
-                    std::thread::spawn(move || {
-                        std::thread::sleep(sleep);
-                        let _ = tx.send(ThreadMsg::Timer(id));
-                    });
-                }
-                if in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
-                    let _ = done_tx.send(());
-                }
-            }
-            (node, local)
-        }));
-    }
-
-    // Wait for quiescence, then stop every thread.
-    done_rx.recv().expect("quiescence signal");
-    for tx in &senders {
-        let _ = tx.send(ThreadMsg::Shutdown);
-    }
-    let mut out_peers = Vec::with_capacity(n);
-    let mut metrics = NetMetrics::new(n as u32);
-    for h in handles {
-        let (node, local) = h.join().expect("peer thread");
-        out_peers.push(node);
-        for (i, pm) in local.per_peer.iter().enumerate() {
-            let agg = &mut metrics.per_peer[i];
-            agg.msgs_sent += pm.msgs_sent;
-            agg.bytes_sent += pm.bytes_sent;
-            agg.prov_bytes_sent += pm.prov_bytes_sent;
-            agg.tuples_sent += pm.tuples_sent;
-            agg.msgs_recv += pm.msgs_recv;
-            agg.bytes_recv += pm.bytes_recv;
-        }
-    }
-    ThreadedOutcome {
-        peers: out_peers,
-        metrics,
-        wall: start.elapsed(),
-    }
+    rt.run(RunBudget::default());
+    rt.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::MsgMeta;
     use netrec_types::Duration;
 
     struct Counter {
@@ -171,9 +742,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn threaded_ping_pong_terminates() {
-        let peers = vec![
+    fn ping_pong_pair() -> Vec<Counter> {
+        vec![
             Counter {
                 forward_to: Some(PeerId(1)),
                 seen: 0,
@@ -182,40 +752,232 @@ mod tests {
                 forward_to: Some(PeerId(0)),
                 seen: 0,
             },
-        ];
-        let out = run_threaded(peers, vec![(PeerId(0), Port(0), 10)]);
+        ]
+    }
+
+    #[test]
+    fn threaded_ping_pong_terminates() {
+        let out = run_threaded(ping_pong_pair(), vec![(PeerId(0), Port(0), 10)]);
+        assert!(matches!(out.outcome, Some(RunOutcome::Converged { .. })));
         assert_eq!(out.metrics.total_msgs(), 10);
         assert_eq!(out.metrics.total_bytes(), 100);
         assert_eq!(out.peers[0].seen + out.peers[1].seen, 11);
     }
 
     #[test]
-    fn threaded_timer_fires() {
+    fn threaded_timer_fires_inside_the_phase() {
         struct T {
             fired: bool,
         }
         impl PeerNode<u64> for T {
             fn on_message(&mut self, _p: Port, _m: u64, net: &mut NetApi<u64>) {
-                net.set_timer(Duration::from_millis(5), 7);
+                net.set_timer(Duration::from_millis(30), 7);
             }
             fn on_timer(&mut self, id: u64, _net: &mut NetApi<u64>) {
                 assert_eq!(id, 7);
                 self.fired = true;
             }
         }
-        let out = run_threaded(vec![T { fired: false }], vec![(PeerId(0), Port(0), 0)]);
-        assert!(out.peers[0].fired);
+        let mut rt = ThreadedRuntime::new(vec![T { fired: false }], ThreadedConfig::default());
+        rt.inject(PeerId(0), Port(0), 0u64);
+        let out = rt.run(RunBudget::default());
+        // The phase fence: quiescence must wait for the armed timer.
+        assert!(matches!(out, RunOutcome::Converged { .. }));
+        assert!(rt.with_peer(PeerId(0), |t| t.fired));
+        assert_eq!(rt.events_processed(), 2);
     }
 
     #[test]
-    fn empty_injection_returns_immediately() {
-        let out = run_threaded::<u64, Counter>(
+    fn empty_run_returns_immediately() {
+        let mut rt: ThreadedRuntime<u64, Counter> = ThreadedRuntime::new(
             vec![Counter {
                 forward_to: None,
                 seen: 0,
             }],
-            vec![],
+            ThreadedConfig::default(),
         );
-        assert_eq!(out.metrics.total_msgs(), 0);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        assert_eq!(rt.metrics_snapshot().total_msgs(), 0);
+    }
+
+    #[test]
+    fn multi_phase_state_and_metrics_accumulate() {
+        let mut rt = ThreadedRuntime::new(ping_pong_pair(), ThreadedConfig::default());
+        rt.inject(PeerId(0), Port(0), 4u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let m1 = rt.metrics_snapshot();
+        assert_eq!(m1.total_msgs(), 4);
+        // Second phase continues from the first phase's state.
+        rt.inject(PeerId(1), Port(0), 3u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let m2 = rt.metrics_snapshot();
+        assert_eq!(m2.total_msgs(), 7, "metrics are cumulative");
+        let out = rt.finish();
+        assert_eq!(out.peers[0].seen + out.peers[1].seen, 5 + 4);
+    }
+
+    #[test]
+    fn backpressure_fan_out_completes_on_tiny_channels() {
+        /// Sprays one big burst at peer 1, which echoes every message back.
+        struct Spray;
+        impl PeerNode<u64> for Spray {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                if m == u64::MAX {
+                    for i in 0..500 {
+                        net.send(PeerId(1), Port(0), i, MsgMeta::default());
+                    }
+                }
+            }
+        }
+        struct Echo(u64);
+        impl PeerNode<u64> for Echo {
+            fn on_message(&mut self, _p: Port, _m: u64, net: &mut NetApi<u64>) {
+                self.0 += 1;
+                net.send(PeerId(0), Port(1), 0, MsgMeta::default());
+            }
+        }
+        enum Node {
+            S(Spray),
+            E(Echo),
+        }
+        impl PeerNode<u64> for Node {
+            fn on_message(&mut self, p: Port, m: u64, net: &mut NetApi<u64>) {
+                match self {
+                    Node::S(s) => s.on_message(p, m, net),
+                    Node::E(e) => e.on_message(p, m, net),
+                }
+            }
+        }
+        let cfg = ThreadedConfig {
+            channel_capacity: 4,
+            ..ThreadedConfig::default()
+        };
+        let mut rt = ThreadedRuntime::new(vec![Node::S(Spray), Node::E(Echo(0))], cfg);
+        rt.inject(PeerId(0), Port(0), u64::MAX);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let echoed = rt.with_peer(PeerId(1), |n| match n {
+            Node::E(e) => e.0,
+            _ => unreachable!(),
+        });
+        assert_eq!(echoed, 500);
+    }
+
+    #[test]
+    fn budget_exceeded_reports_pending_and_tears_down() {
+        struct Loop;
+        impl PeerNode<u64> for Loop {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                net.send(net.me(), Port(0), m + 1, MsgMeta::default());
+            }
+        }
+        let mut rt = ThreadedRuntime::new(vec![Loop], ThreadedConfig::default());
+        rt.inject(PeerId(0), Port(0), 0u64);
+        let out = rt.run(RunBudget {
+            max_wall: WallDuration::from_millis(50),
+            ..RunBudget::default()
+        });
+        assert!(matches!(out, RunOutcome::BudgetExceeded { pending, .. } if pending >= 1));
+        // The session is frozen at budget exhaustion: snapshots are stable.
+        let e1 = rt.events_processed();
+        std::thread::sleep(WallDuration::from_millis(20));
+        assert_eq!(rt.events_processed(), e1, "workers stopped");
+        // A frozen session fails fast instead of polling out the next
+        // budget (default max_wall is an hour).
+        let t0 = Instant::now();
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::BudgetExceeded { .. }
+        ));
+        assert!(
+            t0.elapsed() < WallDuration::from_secs(5),
+            "dead session must fail fast"
+        );
+    }
+
+    #[test]
+    fn dead_session_never_reports_converged() {
+        // Teardown retires armed timers, so a torn-down session's in-flight
+        // counter can read zero — it must still not claim convergence.
+        struct T;
+        impl PeerNode<u64> for T {
+            fn on_message(&mut self, _p: Port, _m: u64, net: &mut NetApi<u64>) {
+                net.set_timer(Duration::from_secs(30), 1);
+            }
+        }
+        let mut rt = ThreadedRuntime::new(vec![T], ThreadedConfig::default());
+        rt.inject(PeerId(0), Port(0), 0u64);
+        let out = rt.run(RunBudget {
+            max_wall: WallDuration::from_millis(50),
+            ..RunBudget::default()
+        });
+        assert!(matches!(out, RunOutcome::BudgetExceeded { .. }));
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::BudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn peer_panic_propagates_to_the_controller() {
+        struct Bomb;
+        impl PeerNode<u64> for Bomb {
+            fn on_message(&mut self, _p: Port, m: u64, _net: &mut NetApi<u64>) {
+                if m == 13 {
+                    panic!("boom on 13");
+                }
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut rt = ThreadedRuntime::new(vec![Bomb], ThreadedConfig::default());
+            rt.inject(PeerId(0), Port(0), 13u64);
+            rt.run(RunBudget::default())
+        });
+        let err = result.expect_err("controller must re-panic");
+        let msg = panic_message(err);
+        assert!(msg.contains("boom on 13"), "got: {msg}");
+    }
+
+    #[test]
+    fn many_timers_one_service_thread() {
+        // 64 concurrent timers across 4 peers, all fired by the single
+        // timer-service thread (no spawn-per-timer; the assertion is the
+        // ordering-insensitive completion + count).
+        struct T {
+            fired: u64,
+        }
+        impl PeerNode<u64> for T {
+            fn on_message(&mut self, _p: Port, _m: u64, net: &mut NetApi<u64>) {
+                for i in 0..16 {
+                    net.set_timer(Duration::from_millis(1 + (i % 7)), i);
+                }
+            }
+            fn on_timer(&mut self, _id: u64, _net: &mut NetApi<u64>) {
+                self.fired += 1;
+            }
+        }
+        let peers: Vec<T> = (0..4).map(|_| T { fired: 0 }).collect();
+        let mut rt = ThreadedRuntime::new(peers, ThreadedConfig::default());
+        for p in 0..4 {
+            rt.inject(PeerId(p), Port(0), 0u64);
+        }
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let mut total = 0;
+        rt.for_each_peer(|_, t| total += t.fired);
+        assert_eq!(total, 64);
     }
 }

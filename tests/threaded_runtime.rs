@@ -1,19 +1,17 @@
 //! The threaded runtime executes the same `EnginePeer` logic on real OS
-//! threads with crossbeam channels. Views and shipped-byte totals must match
-//! the deterministic discrete-event runs — evidence the operators are
-//! genuinely distributable.
+//! threads — selected through the same `Runner`/`System` driver as the DES,
+//! via `RunnerConfig::runtime`. Views must match the deterministic
+//! discrete-event runs — evidence the operators are genuinely distributable.
+//! (The engine-level differential test in
+//! `crates/engine/tests/runtime_differential.rs` additionally proves exact
+//! metric equality on a confluent workload; this test uses a cyclic graph
+//! with many alternative derivations, where traffic is scheduling-dependent
+//! but the fixpoint is not.)
 
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
-use netrec::core::reachable;
-use netrec::engine::ops::OpState;
-use netrec::engine::peer::EnginePeer;
-use netrec::engine::plan::Plan;
-use netrec::engine::runner::{Runner, RunnerConfig};
-use netrec::engine::update::Msg;
+use netrec::core::{RuntimeKind, System, SystemConfig};
 use netrec::engine::Strategy;
-use netrec::sim::{threaded, Partitioner, PeerId};
 use netrec_types::{NetAddr, Tuple, UpdateKind, Value};
 
 fn link(a: u32, b: u32) -> Tuple {
@@ -24,62 +22,25 @@ fn link(a: u32, b: u32) -> Tuple {
     ])
 }
 
+/// A cyclic graph: every reachable pair has many derivations.
 fn links() -> Vec<(u32, u32)> {
     vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 1), (1, 0)]
 }
 
-fn threaded_view(strategy: Strategy, peers: u32) -> (BTreeSet<Tuple>, u64) {
-    let plan = Arc::new(reachable::plan());
-    let partitioner = Partitioner::Hash { peers };
-    let nodes: Vec<EnginePeer> = (0..peers)
-        .map(|p| EnginePeer::new(PeerId(p), peers, Arc::clone(&plan), strategy, partitioner))
-        .collect();
-    let link_rel = plan.catalog.id("link").unwrap();
-    let ingress = plan.ingress_of[&link_rel];
-    let injections: Vec<(PeerId, netrec::sim::Port, Msg)> = links()
-        .into_iter()
-        .map(|(a, b)| {
-            let t = link(a, b);
-            let peer = partitioner.place(t.addr_at(0));
-            (
-                peer,
-                Plan::port(ingress, 0),
-                Msg::Base {
-                    kind: UpdateKind::Insert,
-                    tuple: t,
-                    ttl: None,
-                },
-            )
-        })
-        .collect();
-    let outcome = threaded::run_threaded(nodes, injections);
-    let reach = plan.catalog.id("reachable").unwrap();
-    let mut view = BTreeSet::new();
-    for peer in &outcome.peers {
-        for op in peer.ops() {
-            if let OpState::Store(s) = op {
-                if s.rel() == reach {
-                    view.extend(s.contents());
-                }
-            }
-        }
-    }
-    (view, outcome.metrics.total_bytes())
-}
-
-fn des_view(strategy: Strategy, peers: u32) -> (BTreeSet<Tuple>, u64) {
-    let mut runner = Runner::new(reachable::plan(), RunnerConfig::new(strategy, peers));
+fn load_view(strategy: Strategy, peers: u32, runtime: RuntimeKind) -> (BTreeSet<Tuple>, u64) {
+    let mut sys = System::reachable(SystemConfig::new(strategy, peers).with_runtime(runtime));
     for (a, b) in links() {
-        runner.inject("link", link(a, b), UpdateKind::Insert, None);
+        sys.inject("link", link(a, b), UpdateKind::Insert, None);
     }
-    assert!(runner.run_phase("load").converged());
-    (runner.view("reachable"), runner.metrics().total_bytes())
+    assert!(sys.run("load").converged(), "load converges");
+    let bytes = sys.runner_ref().metrics().total_bytes();
+    (sys.view("reachable"), bytes)
 }
 
 #[test]
 fn threaded_matches_des_lazy() {
-    let (des, des_bytes) = des_view(Strategy::absorption_lazy(), 3);
-    let (thr, thr_bytes) = threaded_view(Strategy::absorption_lazy(), 3);
+    let (des, des_bytes) = load_view(Strategy::absorption_lazy(), 3, RuntimeKind::Des);
+    let (thr, thr_bytes) = load_view(Strategy::absorption_lazy(), 3, RuntimeKind::threaded());
     assert_eq!(des, thr, "views must agree across runtimes");
     // Byte totals depend on which derivation arrives first (scheduling),
     // so require the same order of magnitude rather than exact equality.
@@ -93,17 +54,42 @@ fn threaded_matches_des_lazy() {
 
 #[test]
 fn threaded_matches_des_set_mode() {
-    let (des, _) = des_view(Strategy::set(), 4);
-    let (thr, _) = threaded_view(Strategy::set(), 4);
+    let (des, _) = load_view(Strategy::set(), 4, RuntimeKind::Des);
+    let (thr, _) = load_view(Strategy::set(), 4, RuntimeKind::threaded());
     assert_eq!(des, thr);
 }
 
 #[test]
 fn threaded_runs_repeatedly_with_same_result() {
-    let (a, _) = threaded_view(Strategy::absorption_lazy(), 3);
-    let (b, _) = threaded_view(Strategy::absorption_lazy(), 3);
+    let (a, _) = load_view(Strategy::absorption_lazy(), 3, RuntimeKind::threaded());
+    let (b, _) = load_view(Strategy::absorption_lazy(), 3, RuntimeKind::threaded());
     assert_eq!(
         a, b,
         "nondeterministic scheduling must not change the fixpoint"
     );
+}
+
+#[test]
+fn threaded_deletion_churn_matches_oracle() {
+    // Multi-phase session on the threaded runtime: load the cyclic graph,
+    // then fail links one per phase and check against the from-scratch
+    // oracle after each phase — deletions exercise cause-restrict
+    // propagation under real concurrency.
+    let mut sys = System::reachable(
+        SystemConfig::new(Strategy::absorption_lazy(), 3).with_runtime(RuntimeKind::threaded()),
+    );
+    for (a, b) in links() {
+        sys.inject("link", link(a, b), UpdateKind::Insert, None);
+    }
+    assert!(sys.run("load").converged());
+    assert_eq!(sys.view("reachable"), sys.oracle_view("reachable"));
+    for (a, b) in [(2, 0), (1, 2)] {
+        sys.inject("link", link(a, b), UpdateKind::Delete, None);
+        assert!(sys.run("churn").converged());
+        assert_eq!(
+            sys.view("reachable"),
+            sys.oracle_view("reachable"),
+            "after deleting link {a}->{b}"
+        );
+    }
 }
