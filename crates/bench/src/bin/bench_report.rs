@@ -7,12 +7,14 @@
 //! convergence. The file sequence (`BENCH_1.json`, `BENCH_2.json`, ...)
 //! tracks the perf trajectory across PRs; CI and reviewers diff the numbers.
 //!
-//! Two substrates are tracked: the discrete-event simulator (entries as in
-//! `BENCH_1.json`) and the threaded runtime (same workloads re-executed on
-//! real OS threads, suffixed `/threaded`). Both report wall-clock ns per
-//! injected op; for the DES that is time spent *simulating*, for the
-//! threaded runtime it is time spent actually *executing* with real
-//! concurrency.
+//! Three substrates are tracked: the discrete-event simulator (entries as
+//! in `BENCH_1.json`), the threaded runtime (same workloads re-executed on
+//! real OS threads, suffixed `/threaded`), and the sharded runtime at 2 and
+//! 4 shards (suffixed `/sharded2`, `/sharded4`) — the scaling story of the
+//! composite runtime vs DES and single-shard threaded execution. All report
+//! wall-clock ns per injected op; for the DES that is time spent
+//! *simulating*, for the concurrent substrates it is time spent actually
+//! *executing*.
 //!
 //! Usage: `cargo run --release -p netrec-bench --bin bench-report [-- out.json]`
 //! Env: `BENCH_REPORT_SAMPLES` (default 5) — timed repetitions per entry
@@ -21,7 +23,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use netrec_core::{RunBudget, RuntimeKind, System, SystemConfig};
+use netrec_core::{RunBudget, RuntimeKind, ShardedConfig, System, SystemConfig};
 use netrec_engine::Strategy;
 use netrec_topo::{transit_stub, TransitStubParams, Workload};
 use netrec_types::UpdateKind;
@@ -46,7 +48,7 @@ fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
     let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -84,14 +86,23 @@ fn main() {
 
     let mut report: BTreeMap<String, f64> = BTreeMap::new();
 
+    let substrates: Vec<(String, RuntimeKind)> = vec![
+        (String::new(), RuntimeKind::Des),
+        ("/threaded".to_string(), RuntimeKind::threaded()),
+        (
+            "/sharded2".to_string(),
+            RuntimeKind::Sharded(ShardedConfig::with_shards(2)),
+        ),
+        (
+            "/sharded4".to_string(),
+            RuntimeKind::Sharded(ShardedConfig::with_shards(4)),
+        ),
+    ];
+
     for (label, strategy) in &schemes {
-        for runtime in [RuntimeKind::Des, RuntimeKind::threaded()] {
+        for (suffix, runtime) in &substrates {
             // DES entries keep their BENCH_1 names; other substrates get a
             // `/<label>` suffix.
-            let suffix = match runtime {
-                RuntimeKind::Des => String::new(),
-                _ => format!("/{}", runtime.label()),
-            };
             // fig07-style: full insertion load to convergence.
             let name = format!("fig07/reachable_ins/{label}{suffix}");
             let ns = measure(samples, load.ops.len(), || {

@@ -44,5 +44,5 @@ pub use system::{System, SystemConfig};
 pub use netrec_engine::{dred, reference, RunReport, Runner, RunnerConfig, Strategy};
 pub use netrec_sim::{
     ClusterSpec, CostModel, Partitioner, RunBudget, RunOutcome, Runtime, RuntimeKind,
-    ThreadedConfig,
+    ShardAssignment, ShardedConfig, ThreadedConfig,
 };

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use netrec_sim::{
     ClusterSpec, CostModel, NetMetrics, Partitioner, PeerId, RunBudget, RunOutcome, Runtime,
-    RuntimeKind, Simulator, ThreadedRuntime,
+    RuntimeKind, ShardedRuntime, Simulator, ThreadedRuntime,
 };
 use netrec_types::{Duration, SimTime, Tuple, UpdateKind};
 
@@ -155,6 +155,8 @@ pub enum EngineRuntime {
     Des(Simulator<Msg, EnginePeer>),
     /// Concurrent threaded execution.
     Threaded(ThreadedRuntime<Msg, EnginePeer>),
+    /// Peer-partitioned execution across several threaded shards.
+    Sharded(ShardedRuntime<Msg, EnginePeer>),
 }
 
 macro_rules! dispatch {
@@ -162,6 +164,7 @@ macro_rules! dispatch {
         match $self {
             EngineRuntime::Des($rt) => $body,
             EngineRuntime::Threaded($rt) => $body,
+            EngineRuntime::Sharded($rt) => $body,
         }
     };
 }
@@ -221,6 +224,9 @@ impl Runner<EngineRuntime> {
             }
             RuntimeKind::Threaded(tc) => {
                 EngineRuntime::Threaded(ThreadedRuntime::new(nodes, tc.clone()))
+            }
+            RuntimeKind::Sharded(sc) => {
+                EngineRuntime::Sharded(ShardedRuntime::new(nodes, sc.clone()))
             }
         };
         Runner::from_parts(plan, cfg, rt)

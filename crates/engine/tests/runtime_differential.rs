@@ -1,7 +1,11 @@
-//! DES-vs-threaded differential test: the same multi-phase reachability
-//! workload must produce **identical final store contents and identical
-//! msgs/bytes/tuples/prov_bytes metrics** on both substrates, in every
-//! maintenance strategy.
+//! Substrate differential test: the same multi-phase reachability workload
+//! must produce **identical final store contents and identical per-peer
+//! msgs/bytes/tuples/prov_bytes metrics** on every execution substrate —
+//! the deterministic DES reference, the threaded runtime, and the sharded
+//! runtime at 2 and 4 shards (hash and contiguous placement) — in every
+//! maintenance strategy. The comparison machinery lives in
+//! `netrec-testutil` (`assert_substrates_agree`), so future substrates get
+//! this gate by adding one `RuntimeKind` to the list.
 //!
 //! Thread scheduling is nondeterministic, so the workload is constructed to
 //! be *confluent in its traffic*, not just its fixpoint: links are injected
@@ -15,172 +19,78 @@
 //! Every derived tuple also has a unique derivation, making its provenance
 //! annotation — and its wire size — deterministic.
 //!
-//! This is the acceptance gate for the threaded runtime rewrite: multi-phase
-//! sessions, timer-fenced quiescence, and per-peer metric shards merged via
-//! `NetMetrics::merge` must all agree with the discrete-event reference.
-//! (Counting mode is excluded: it is defined for non-recursive plans only.)
+//! This is the acceptance gate for the sharded runtime: cross-shard routing
+//! through the bounded transport, global in-flight accounting, and
+//! shard-metrics folding via `NetMetrics::merge` must reproduce the DES
+//! numbers exactly. (Counting mode is excluded: it is defined for
+//! non-recursive plans only.)
 
 use std::collections::BTreeSet;
 
-use netrec_engine::expr::Expr;
-use netrec_engine::plan::{Dest, Plan, PlanBuilder, JOIN_BUILD, JOIN_PROBE};
-use netrec_engine::runner::{Runner, RunnerConfig};
+use netrec_engine::runner::RunnerConfig;
 use netrec_engine::strategy::Strategy;
-use netrec_sim::{NetMetrics, RuntimeKind};
-use netrec_types::{Duration, NetAddr, Tuple, UpdateKind, Value};
+use netrec_sim::{RuntimeKind, ShardAssignment, ShardedConfig};
+use netrec_testutil::fixtures::{link, reachable_plan};
+use netrec_testutil::{assert_substrates_agree, DiffPhase, DiffWorkload};
+use netrec_topo::BaseOp;
+use netrec_types::{Duration, NetAddr, Tuple, Value};
 
 const PEERS: u32 = 9;
 
-fn link(a: u32, b: u32) -> Tuple {
-    Tuple::new(vec![
-        Value::Addr(NetAddr(a)),
-        Value::Addr(NetAddr(b)),
-        Value::Int(1),
-    ])
-}
-
-/// The paper's Fig. 4 reachability plan (same shape as netrec-core's).
-fn reachable_plan() -> Plan {
-    let mut b = PlanBuilder::new();
-    let link = b.edb("link", &["src", "dst", "cost"], 0);
-    let reach = b.idb("reachable", &["src", "dst"], 0);
-    let ing = b.ingress(link);
-    let base_map = b.map(vec![Expr::col(0), Expr::col(1)], vec![]);
-    let store = b.store(reach, true, None);
-    let join = b.join(vec![1], vec![0], vec![], vec![Expr::col(0), Expr::col(4)]);
-    let ex = b.exchange(
-        Some(1),
-        Dest {
-            op: join,
-            input: JOIN_BUILD,
-        },
-    );
-    let ship = b.minship(
-        Some(0),
-        Dest {
-            op: store,
-            input: 0,
-        },
-    );
-    b.connect(ing, base_map, 0);
-    b.connect(base_map, store, 0);
-    b.connect(ing, ex, 0);
-    b.connect(join, ship, 0);
-    b.connect(store, join, JOIN_PROBE);
-    b.build().expect("reachable plan is well-formed")
-}
-
 /// Disjoint seed links, then one link per phase, growing three 2-chains and
 /// finally splicing them into the single chain 0→1→…→8.
-fn phases() -> Vec<(&'static str, Vec<(u32, u32)>)> {
-    vec![
+fn chain_workload(strategy: Strategy) -> DiffWorkload {
+    let phases: Vec<(&str, Vec<(u32, u32)>)> = vec![
         ("seed", vec![(0, 1), (3, 4), (6, 7)]),
         ("link-1-2", vec![(1, 2)]),
         ("link-4-5", vec![(4, 5)]),
         ("link-7-8", vec![(7, 8)]),
         ("link-2-3", vec![(2, 3)]),
         ("link-5-6", vec![(5, 6)]),
+    ];
+    let mut w = DiffWorkload::new(reachable_plan, RunnerConfig::direct(strategy, PEERS))
+        .views(["reachable"]);
+    for (label, links) in phases {
+        w = w.phase(DiffPhase::strict(
+            label,
+            links
+                .into_iter()
+                .map(|(a, b)| BaseOp::insert("link", link(a, b)))
+                .collect(),
+        ));
+    }
+    w
+}
+
+/// Every substrate in the matrix: DES reference, threaded, and sharded at
+/// 2 hash-assigned and 4 contiguous shards.
+fn substrates() -> Vec<RuntimeKind> {
+    vec![
+        RuntimeKind::Des,
+        RuntimeKind::threaded(),
+        RuntimeKind::sharded(2),
+        RuntimeKind::Sharded(
+            ShardedConfig::with_shards(4).with_assignment(ShardAssignment::Contiguous),
+        ),
     ]
 }
 
-struct PhaseObs {
-    label: &'static str,
-    converged: bool,
-    view: BTreeSet<Tuple>,
-    metrics: NetMetrics,
-    /// This phase's deltas as reported by `run_phase` — on the threaded
-    /// substrate these depend on the runner's quiescent-boundary baselines
-    /// (workers may process injections before `run_phase` is called).
-    phase_msgs: u64,
-    phase_bytes: u64,
-}
-
-fn run_workload(strategy: Strategy, runtime: RuntimeKind) -> Vec<PhaseObs> {
-    let mut runner = Runner::new(
-        reachable_plan(),
-        RunnerConfig::direct(strategy, PEERS).with_runtime(runtime),
-    );
-    phases()
-        .into_iter()
-        .map(|(label, links)| {
-            for (a, b) in links {
-                runner.inject("link", link(a, b), UpdateKind::Insert, None);
-            }
-            let rep = runner.run_phase(label);
-            PhaseObs {
-                label,
-                converged: rep.converged(),
-                view: runner.view("reachable"),
-                metrics: runner.metrics(),
-                phase_msgs: rep.msgs,
-                phase_bytes: rep.bytes,
-            }
-        })
-        .collect()
-}
-
 fn assert_identical(strategy: Strategy) {
-    let des = run_workload(strategy, RuntimeKind::Des);
-    let thr = run_workload(strategy, RuntimeKind::threaded());
-    let name = strategy.label();
-    for (d, t) in des.iter().zip(&thr) {
-        assert!(d.converged, "[{name}] DES phase {} converged", d.label);
-        assert!(t.converged, "[{name}] threaded phase {} converged", t.label);
-        assert_eq!(
-            d.view, t.view,
-            "[{name}] store contents diverge after phase {}",
-            d.label
-        );
-        assert_eq!(
-            d.metrics.total_msgs(),
-            t.metrics.total_msgs(),
-            "[{name}] msgs diverge after phase {}",
-            d.label
-        );
-        assert_eq!(
-            d.metrics.total_bytes(),
-            t.metrics.total_bytes(),
-            "[{name}] bytes diverge after phase {}",
-            d.label
-        );
-        assert_eq!(
-            d.metrics.total_tuples(),
-            t.metrics.total_tuples(),
-            "[{name}] tuples diverge after phase {}",
-            d.label
-        );
-        assert_eq!(
-            d.metrics.total_prov_bytes(),
-            t.metrics.total_prov_bytes(),
-            "[{name}] prov_bytes diverge after phase {}",
-            d.label
-        );
-        // Stronger than the totals: the full per-peer traffic matrix.
-        assert_eq!(
-            d.metrics, t.metrics,
-            "[{name}] per-peer metrics diverge after phase {}",
-            d.label
-        );
-        // Per-phase RunReport deltas must be exact too, not just the
-        // cumulative counters (guards the quiescent-boundary baselines).
-        assert_eq!(
-            (d.phase_msgs, d.phase_bytes),
-            (t.phase_msgs, t.phase_bytes),
-            "[{name}] per-phase report deltas diverge in phase {}",
-            d.label
-        );
-    }
-    // Sanity: the spliced chain reaches every (i, j) pair with i < j.
+    let w = chain_workload(strategy);
+    let obs = assert_substrates_agree(&w, &substrates());
+    // Sanity on the reference run: the spliced chain reaches every (i, j)
+    // pair with i < j, and the workload actually ships traffic.
     let want: BTreeSet<Tuple> = (0..PEERS)
         .flat_map(|i| {
             ((i + 1)..PEERS)
                 .map(move |j| Tuple::new(vec![Value::Addr(NetAddr(i)), Value::Addr(NetAddr(j))]))
         })
         .collect();
-    assert_eq!(des.last().unwrap().view, want, "[{name}] final fixpoint");
+    let last = obs.last().unwrap();
+    assert_eq!(last.views["reachable"], want, "final fixpoint");
     assert!(
-        des.last().unwrap().metrics.total_msgs() > 0,
-        "[{name}] workload must actually ship traffic"
+        last.metrics.total_msgs() > 0,
+        "workload must actually ship traffic"
     );
 }
 
@@ -211,34 +121,40 @@ fn differential_relative_eager() {
 
 /// Soft-state TTLs exercise the timer fence: a phase may not end while an
 /// expiry timer is armed, so the view observed at the phase boundary must
-/// already exclude everything derived from the expired link — on both
-/// substrates. (Deletion-cascade traffic is scheduling-dependent, so this
-/// test compares views, not byte counts.)
+/// already exclude everything derived from the expired link — on every
+/// substrate, including across shard boundaries. (Deletion-cascade traffic
+/// is scheduling-dependent, so this phase is relaxed: views, not bytes.)
 #[test]
 fn ttl_expiry_is_fenced_inside_the_phase() {
-    let run = |runtime: RuntimeKind| {
-        let mut runner = Runner::new(
-            reachable_plan(),
-            RunnerConfig::direct(Strategy::absorption_lazy(), 4).with_runtime(runtime),
-        );
-        runner.inject("link", link(0, 1), UpdateKind::Insert, None);
-        runner.inject("link", link(1, 2), UpdateKind::Insert, None);
-        runner.inject(
-            "link",
-            link(2, 3),
-            UpdateKind::Insert,
-            Some(Duration::from_millis(40)),
-        );
-        assert!(runner.run_phase("load+expiry").converged());
-        runner.view("reachable")
-    };
-    let des = run(RuntimeKind::Des);
-    let thr = run(RuntimeKind::threaded());
-    assert_eq!(des, thr, "views diverge after TTL expiry");
+    let w = DiffWorkload::new(
+        reachable_plan,
+        RunnerConfig::direct(Strategy::absorption_lazy(), 4),
+    )
+    .views(["reachable"])
+    .phase(DiffPhase::relaxed(
+        "load+expiry",
+        vec![
+            BaseOp::insert("link", link(0, 1)),
+            BaseOp::insert("link", link(1, 2)),
+            BaseOp::insert("link", link(2, 3)).with_ttl(Duration::from_millis(40)),
+        ],
+    ));
+    let obs = assert_substrates_agree(
+        &w,
+        &[
+            RuntimeKind::Des,
+            RuntimeKind::threaded(),
+            RuntimeKind::sharded(2),
+        ],
+    );
     // The TTL'd link and everything derived through it is gone.
     let want: BTreeSet<Tuple> = [(0u32, 1u32), (0, 2), (1, 2)]
         .into_iter()
         .map(|(a, b)| Tuple::new(vec![Value::Addr(NetAddr(a)), Value::Addr(NetAddr(b))]))
         .collect();
-    assert_eq!(des, want, "expired link must not survive the phase");
+    assert_eq!(
+        obs.last().unwrap().views["reachable"],
+        want,
+        "expired link must not survive the phase"
+    );
 }

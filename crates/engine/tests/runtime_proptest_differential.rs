@@ -1,0 +1,109 @@
+//! Property-based substrate differential: proptest-generated random
+//! topologies and update/delete scripts (from `netrec-topo`'s generators)
+//! run through the DES, the threaded runtime, and the sharded runtime at
+//! 1, 2, and 4 shards, in all 5 maintenance strategies — every substrate
+//! must reach the DES fixpoint.
+//!
+//! Random injection orders are *not* traffic-confluent (batch composition
+//! depends on arrival interleavings), so these phases are relaxed: the
+//! harness pins views, not byte counts — the exact-metrics gate lives in
+//! `runtime_differential.rs` on its purpose-built confluent workload.
+//! Set mode cannot maintain deletions without the DRed driver, so its
+//! script is insert-only; the provenance strategies get the full
+//! insert-then-delete churn.
+//!
+//! Case count: `NETREC_DIFF_CASES` (default 5 — the fixed-seed smoke run
+//! CI executes on every push; the release job raises it and perturbs the
+//! generator stream via `PROPTEST_SHIM_SEED` for a genuinely randomized
+//! pass).
+
+use netrec_engine::runner::RunnerConfig;
+use netrec_engine::strategy::Strategy;
+use netrec_sim::{RuntimeKind, ShardedConfig, ThreadedConfig};
+use netrec_testutil::fixtures::reachable_plan;
+use netrec_testutil::{assert_substrates_agree, DiffPhase, DiffWorkload};
+use netrec_topo::{random_graph, Workload};
+use proptest::prelude::*;
+
+fn cases_from_env() -> u32 {
+    std::env::var("NETREC_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+/// The substrate matrix: DES reference, threaded, sharded at 1/2/4 shards.
+/// The concurrent substrates compress timer delays 50× (`time_dilation`):
+/// eager-mode 1 s flush periods would otherwise map to real one-second
+/// sleeps per flush round, and the timer fence makes every phase wait them
+/// out. Dilation changes wall-clock pacing only, never the fixpoint.
+fn substrates() -> Vec<RuntimeKind> {
+    let threaded = ThreadedConfig {
+        time_dilation: 0.02,
+        ..ThreadedConfig::default()
+    };
+    let sharded = |shards: u32| {
+        RuntimeKind::Sharded(ShardedConfig {
+            shard: threaded.clone(),
+            ..ShardedConfig::with_shards(shards)
+        })
+    };
+    vec![
+        RuntimeKind::Des,
+        RuntimeKind::Threaded(threaded.clone()),
+        sharded(1),
+        sharded(2),
+        sharded(4),
+    ]
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::set(),
+        Strategy::absorption_lazy(),
+        Strategy::absorption_eager(),
+        Strategy::relative_lazy(),
+        Strategy::relative_eager(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases_from_env(), ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_substrates_reach_the_des_fixpoint(
+        nodes in 4u32..8,
+        extra in 0u32..5,
+        peers in 2u32..5,
+        topo_seed in any::<u64>(),
+        script_seed in any::<u64>(),
+        del_pick in 0usize..3,
+    ) {
+        // Small connected graphs keep relative-mode annotations far below
+        // RELATIVE_NODE_CAP while still exercising multi-hop recursion.
+        let topo = random_graph(nodes as usize, (nodes - 1 + extra) as usize, topo_seed);
+        let load = Workload::insert_links(&topo, 1.0, script_seed);
+        let del_ratio = [0.25, 0.5, 1.0][del_pick];
+        let dels = Workload::delete_links(&topo, del_ratio, script_seed ^ 0x5eed);
+        for strategy in strategies() {
+            let deletes_ok = strategy.mode != netrec_prov::ProvMode::Set;
+            let load_ops = load.ops.clone();
+            let del_ops = dels.ops.clone();
+            let mut w = DiffWorkload::new(
+                reachable_plan,
+                RunnerConfig::new(strategy, peers),
+            )
+            .views(["reachable"])
+            .phase(DiffPhase::relaxed("load", load_ops));
+            if deletes_ok {
+                w = w.phase(DiffPhase::relaxed("churn", del_ops));
+            }
+            let obs = assert_substrates_agree(&w, &substrates());
+            prop_assert!(
+                !obs[0].views["reachable"].is_empty(),
+                "load phase must derive something ({})",
+                strategy.label()
+            );
+        }
+    }
+}

@@ -28,15 +28,22 @@
 //!   same [`PeerNode`] logic, used to demonstrate that the operator
 //!   implementations are actually thread-safe/distributable. Timing is
 //!   wall-clock rather than modelled.
+//! * [`sharded`] — the composite runtime: the peer set partitioned across
+//!   several inner threaded shards (pluggable [`ShardAssignment`]), with a
+//!   bounded cross-shard transport whose in-flight accounting extends the
+//!   quiescence/timer-fence contract globally. The stepping stone to async
+//!   and real-network (TCP) substrates.
 
 pub mod des;
 pub mod metrics;
 pub mod net;
 pub mod runtime;
+pub mod sharded;
 pub mod threaded;
 
 pub use des::{NetApi, PeerNode, Simulator};
 pub use metrics::{MsgMeta, NetMetrics, PeerMetrics};
 pub use net::{ClusterSpec, CostModel, Partitioner, PeerId, Port};
 pub use runtime::{RunBudget, RunOutcome, Runtime, RuntimeKind};
+pub use sharded::{ShardAssignment, ShardedConfig, ShardedRuntime};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedOutcome, ThreadedRuntime};

@@ -208,4 +208,91 @@ mod tests {
         assert_eq!(c.bytes, 9);
         assert_eq!(c.tuples, 0);
     }
+
+    /// Deterministic pseudo-random metrics matrix for the merge-law tests.
+    fn arbitrary_metrics(peers: u32, seed: u64) -> NetMetrics {
+        let mut m = NetMetrics::new(peers);
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for _ in 0..16 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let from = ((s >> 33) % u64::from(peers)) as u32;
+            let to = ((s >> 17) % u64::from(peers)) as u32;
+            if from == to {
+                continue;
+            }
+            m.record_send(
+                PeerId(from),
+                PeerId(to),
+                MsgMeta {
+                    bytes: (s % 512) as usize,
+                    prov_bytes: (s % 64) as usize,
+                    tuples: (s % 7) as u32,
+                },
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        // Folding shard results must not depend on fold order — the sharded
+        // runtime's snapshot folds per-shard matrices left to right.
+        let (a, b, c) = (
+            arbitrary_metrics(5, 1),
+            arbitrary_metrics(5, 2),
+            arbitrary_metrics(5, 3),
+        );
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_identity_is_empty() {
+        let a = arbitrary_metrics(4, 9);
+        let mut with_left_identity = NetMetrics::new(0);
+        with_left_identity.merge(&a);
+        assert_eq!(with_left_identity, a);
+        let mut with_right_identity = a.clone();
+        with_right_identity.merge(&NetMetrics::new(4));
+        assert_eq!(with_right_identity, a);
+        // Sized-but-zero identity on the left too.
+        let mut sized = NetMetrics::new(4);
+        sized.merge(&a);
+        assert_eq!(sized, a);
+    }
+
+    #[test]
+    fn merge_never_double_counts_disjoint_shards() {
+        // Shards account disjoint sender sets (each peer's sends recorded by
+        // exactly one shard); folding them must reproduce the global matrix
+        // exactly — total sums AND per-peer rows.
+        let meta = MsgMeta {
+            bytes: 10,
+            prov_bytes: 3,
+            tuples: 1,
+        };
+        let sends = [(0u32, 2u32), (0, 3), (1, 0), (2, 1), (3, 0), (3, 2)];
+        let mut global = NetMetrics::new(4);
+        // Shard 0 hosts peers {0, 1}; shard 1 hosts {2, 3}.
+        let mut shard0 = NetMetrics::new(4);
+        let mut shard1 = NetMetrics::new(4);
+        for (from, to) in sends {
+            global.record_send(PeerId(from), PeerId(to), meta);
+            let shard = if from < 2 { &mut shard0 } else { &mut shard1 };
+            shard.record_send(PeerId(from), PeerId(to), meta);
+        }
+        let mut folded = NetMetrics::new(4);
+        folded.merge(&shard0);
+        folded.merge(&shard1);
+        assert_eq!(folded, global);
+        assert_eq!(folded.total_msgs(), sends.len() as u64);
+    }
 }

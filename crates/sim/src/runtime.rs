@@ -28,6 +28,7 @@ use netrec_types::SimTime;
 
 use crate::metrics::NetMetrics;
 use crate::net::{PeerId, Port};
+use crate::sharded::ShardedConfig;
 use crate::threaded::ThreadedConfig;
 
 /// Bounds on a run, so that configurations the paper reports as "did not
@@ -112,6 +113,10 @@ pub enum RuntimeKind {
     /// The concurrent threaded runtime (real OS threads, bounded channels,
     /// wall-clock timers) with its tuning knobs.
     Threaded(ThreadedConfig),
+    /// The sharded runtime: the peer set partitioned across several inner
+    /// threaded shards behind one composite runtime, cross-shard messages
+    /// routed over a bounded transport.
+    Sharded(ShardedConfig),
 }
 
 impl RuntimeKind {
@@ -120,11 +125,18 @@ impl RuntimeKind {
         RuntimeKind::Threaded(ThreadedConfig::default())
     }
 
+    /// Sharded runtime with `shards` hash-assigned shards and default
+    /// tuning.
+    pub fn sharded(shards: u32) -> RuntimeKind {
+        RuntimeKind::Sharded(ShardedConfig::with_shards(shards))
+    }
+
     /// Short label for reports and bench entries.
     pub fn label(&self) -> &'static str {
         match self {
             RuntimeKind::Des => "des",
             RuntimeKind::Threaded(_) => "threaded",
+            RuntimeKind::Sharded(_) => "sharded",
         }
     }
 }

@@ -1,0 +1,901 @@
+//! The sharded runtime: one composite [`Runtime`] over peer-partitioned
+//! [`ThreadedRuntime`] shards — the step from "one thread per peer" to
+//! "many peers per shard, many shards per box".
+//!
+//! A [`ShardedRuntime`] partitions the global peer set across N inner
+//! threaded shards via a pluggable [`ShardAssignment`] (hash, contiguous
+//! blocks, or an explicit map). Each peer is wrapped in a shard-local
+//! adapter that keeps the peer's *global* identity: same-shard messages
+//! travel through the shard's own bounded inboxes exactly as in the
+//! threaded runtime, while cross-shard messages enter a bounded **transport
+//! channel** (the crossbeam shim again) drained by the composite controller,
+//! which re-injects them into the destination shard.
+//!
+//! Contract notes (DESIGN.md "Runtimes" has the full ledger):
+//!
+//! * **Global termination detection** — quiescence is certified by the sum
+//!   of every shard's in-flight counter (messages, hand-offs, *armed
+//!   timers*) plus the transport's own in-flight counter, which covers a
+//!   cross-shard message from the moment its producing callback registers it
+//!   until the destination shard has accepted it. Hand-off order never lets
+//!   the sum transiently reach zero: a message is registered with its
+//!   destination *before* it is retired from the transport, and every
+//!   produced event is registered before its producing event retires (the
+//!   threaded runtime's own invariant). Shard counters are read first and
+//!   the transport counter last; a quiescent shard cannot self-activate
+//!   (only the controller injects into it), so an all-zero sweep certifies
+//!   global quiescence — including the timer fence: no phase ends with a
+//!   cross-shard message in transit or a timer armed anywhere.
+//! * **Deadlock freedom** — the controller never blocks: cross-shard
+//!   delivery uses a non-blocking inject, parking messages per destination
+//!   peer (FIFO per channel is preserved: a message never overtakes an
+//!   earlier parked one for the same destination) when an inbox is full. A
+//!   worker spinning on the full transport channel is always freed because
+//!   the controller keeps draining it.
+//! * **Budget / freeze** — [`RunBudget`] is honored at the composite level
+//!   (`max_events` over the event sum, `max_time` over cumulative active
+//!   wall time, `max_wall` per phase). Exhaustion freezes every shard; a
+//!   frozen session fails fast on later runs and never claims convergence.
+//!   A peer panic in any shard freezes all shards and re-panics from `run`.
+//! * **Metrics** — each shard accounts its peers' traffic in a shard-level
+//!   [`NetMetrics`] keyed by *global* peer ids; [`Runtime::metrics_snapshot`]
+//!   folds the shards with [`NetMetrics::merge`], and
+//!   [`ShardedRuntime::shard_metrics`] exposes the per-shard breakdown.
+//!
+//! The sharded runtime is the stepping stone to the async and TCP-transport
+//! runtimes: the transport layer is the seam where a socket goes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as WallDuration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, SyncSender, TrySendError};
+use netrec_types::SimTime;
+use parking_lot::Mutex;
+
+use crate::des::{NetApi, PeerNode};
+use crate::metrics::NetMetrics;
+use crate::net::{PeerId, Port};
+use crate::runtime::{RunBudget, RunOutcome, Runtime};
+use crate::threaded::{ThreadedConfig, ThreadedRuntime};
+
+/// Strategy for placing global peers onto shards.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardAssignment {
+    /// Multiplicative hash of the peer id (same mixing as
+    /// [`Partitioner::Hash`](crate::net::Partitioner)) — spreads sequential
+    /// peer ids evenly.
+    Hash,
+    /// Contiguous blocks: the first ⌈peers/shards⌉ peers on shard 0, the
+    /// next block on shard 1, … — preserves locality of `Direct`-partitioned
+    /// workloads.
+    Contiguous,
+    /// Explicit map `peer → shard`, indexed by peer id. Must cover every
+    /// peer with a shard index in range (validated at construction).
+    Explicit(Vec<u32>),
+}
+
+impl ShardAssignment {
+    /// The shard owning `peer` out of `peers` total, for `shards` shards.
+    /// Deterministic and total: every peer maps to exactly one shard in
+    /// `0..shards`.
+    pub fn shard_of(&self, peer: PeerId, peers: u32, shards: u32) -> u32 {
+        let shards = shards.max(1);
+        match self {
+            ShardAssignment::Hash => {
+                let h = (u64::from(peer.0).wrapping_add(0x9e37_79b9))
+                    .wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+                ((h >> 32) % u64::from(shards)) as u32
+            }
+            ShardAssignment::Contiguous => {
+                let chunk = peers.div_ceil(shards).max(1);
+                (peer.0 / chunk).min(shards - 1)
+            }
+            ShardAssignment::Explicit(map) => {
+                let s = *map
+                    .get(peer.0 as usize)
+                    .unwrap_or_else(|| panic!("explicit shard map misses peer {}", peer.0));
+                assert!(
+                    s < shards,
+                    "peer {} mapped to shard {s} >= {shards}",
+                    peer.0
+                );
+                s
+            }
+        }
+    }
+}
+
+/// Tuning knobs for the sharded runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedConfig {
+    /// Number of inner threaded shards.
+    pub shards: u32,
+    /// Peer → shard placement.
+    pub assignment: ShardAssignment,
+    /// Tuning for each inner threaded shard (inbox capacity, timer dilation,
+    /// worker poll).
+    pub shard: ThreadedConfig,
+    /// Capacity of the bounded cross-shard transport channel; senders
+    /// observe backpressure once it fills.
+    pub transport_capacity: usize,
+    /// Controller poll tick while waiting for global quiescence (a safety
+    /// net — a cross-shard message wakes the controller immediately).
+    pub poll: WallDuration,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 2,
+            assignment: ShardAssignment::Hash,
+            shard: ThreadedConfig::default(),
+            transport_capacity: 1024,
+            poll: WallDuration::from_millis(1),
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// `shards` hash-assigned shards with default tuning.
+    pub fn with_shards(shards: u32) -> ShardedConfig {
+        ShardedConfig {
+            shards,
+            ..ShardedConfig::default()
+        }
+    }
+
+    /// Select the peer → shard assignment (builder style).
+    pub fn with_assignment(mut self, assignment: ShardAssignment) -> ShardedConfig {
+        self.assignment = assignment;
+        self
+    }
+}
+
+/// A cross-shard message in transit: global destination plus payload.
+struct Envelope<M> {
+    to: PeerId,
+    port: Port,
+    msg: M,
+}
+
+/// Global peer → (shard, local index) placement, shared with the adapters.
+struct ShardMap {
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+}
+
+impl ShardMap {
+    fn locate(&self, p: PeerId) -> (usize, PeerId) {
+        (
+            self.shard_of[p.0 as usize] as usize,
+            PeerId(self.local_of[p.0 as usize]),
+        )
+    }
+}
+
+/// Transport bookkeeping shared by the controller and every adapter.
+struct TransportState {
+    /// Cross-shard messages produced but not yet accepted by their
+    /// destination shard (in the channel, or parked by the controller).
+    in_flight: AtomicI64,
+    /// Teardown flag: adapters stop spinning on a full channel and drop.
+    shutting_down: AtomicBool,
+}
+
+/// Shard-local wrapper keeping a peer's global identity: runs the inner
+/// node against a *global-id* [`NetApi`], then routes its outputs — local
+/// hand-offs and same-shard sends through the hosting shard, cross-shard
+/// sends into the transport — and re-arms its timers on the hosting shard's
+/// timer service.
+pub struct ShardPeer<M, N> {
+    inner: N,
+    /// Global peer id.
+    me: PeerId,
+    my_shard: u32,
+    map: Arc<ShardMap>,
+    state: Arc<TransportState>,
+    outbound: SyncSender<Envelope<M>>,
+    /// Shard-level traffic metrics keyed by global peer ids.
+    metrics: Arc<Mutex<NetMetrics>>,
+}
+
+impl<M: Send, N: PeerNode<M>> ShardPeer<M, N> {
+    /// Spin a cross-shard message into the bounded transport. The controller
+    /// always drains the channel (it never blocks), so this terminates
+    /// unless the session is tearing down — then the message is dropped and
+    /// un-registered, like the threaded runtime drops on teardown.
+    fn send_cross(&self, env: Envelope<M>) {
+        self.state.in_flight.fetch_add(1, Ordering::SeqCst);
+        let mut env = env;
+        loop {
+            match self.outbound.try_send(env) {
+                Ok(()) => return,
+                Err(TrySendError::Full(back)) => {
+                    if self.state.shutting_down.load(Ordering::SeqCst) {
+                        self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        return;
+                    }
+                    env = back;
+                    std::thread::sleep(WallDuration::from_micros(50));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Run one inner callback and route its outputs. `net` is the *hosting
+    /// shard's* API (local peer ids); the inner node only ever sees global
+    /// ids.
+    fn relay(&mut self, net: &mut NetApi<M>, f: impl FnOnce(&mut N, &mut NetApi<M>)) {
+        let mut api = NetApi::fresh(net.now(), self.me);
+        f(&mut self.inner, &mut api);
+        let (out, timers) = api.into_parts();
+        if out.iter().any(|(to, ..)| *to != self.me) {
+            // One metrics lock per callback, like the threaded workers.
+            let mut m = self.metrics.lock();
+            for (to, _, _, meta) in &out {
+                if *to != self.me {
+                    m.record_send(self.me, *to, *meta);
+                }
+            }
+        }
+        for (to, port, msg, meta) in out {
+            if to == self.me {
+                // Local operator hand-off: free, stays on this worker.
+                net.send(net.me(), port, msg, meta);
+            } else {
+                let (shard, local) = self.map.locate(to);
+                if shard == self.my_shard as usize {
+                    net.send(local, port, msg, meta);
+                } else {
+                    self.send_cross(Envelope { to, port, msg });
+                }
+            }
+        }
+        for (delay, id) in timers {
+            net.set_timer(delay, id);
+        }
+    }
+}
+
+impl<M: Send, N: PeerNode<M>> PeerNode<M> for ShardPeer<M, N> {
+    fn on_message(&mut self, port: Port, msg: M, net: &mut NetApi<M>) {
+        self.relay(net, |inner, api| inner.on_message(port, msg, api));
+    }
+
+    fn on_timer(&mut self, id: u64, net: &mut NetApi<M>) {
+        self.relay(net, |inner, api| inner.on_timer(id, api));
+    }
+}
+
+/// A message the controller could not deliver yet (destination inbox full).
+struct Parked<M> {
+    port: Port,
+    msg: M,
+}
+
+/// A live sharded session over `N` peers behind one [`Runtime`]. Create
+/// with [`ShardedRuntime::new`] and drive through the trait.
+pub struct ShardedRuntime<M, N> {
+    shards: Vec<ThreadedRuntime<M, ShardPeer<M, N>>>,
+    map: Arc<ShardMap>,
+    state: Arc<TransportState>,
+    transport_rx: Receiver<Envelope<M>>,
+    /// Undeliverable cross-shard messages, FIFO per destination peer so the
+    /// per-channel ordering guarantee survives backpressure.
+    parked: Vec<VecDeque<Parked<M>>>,
+    shard_metrics: Vec<Arc<Mutex<NetMetrics>>>,
+    epoch: Instant,
+    /// Wall-clock spent inside `run` phases (the composite's `max_time`
+    /// clock, mirroring the threaded runtime).
+    active: WallDuration,
+    frozen: bool,
+    cfg: ShardedConfig,
+    peers_total: u32,
+}
+
+impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
+    /// Partition `peers` (index = global `PeerId`) across
+    /// `cfg.shards` threaded shards and spawn them all.
+    pub fn new(peers: Vec<N>, cfg: ShardedConfig) -> ShardedRuntime<M, N> {
+        let n = peers.len();
+        let shards_n = cfg.shards.max(1);
+        if let ShardAssignment::Explicit(map) = &cfg.assignment {
+            assert_eq!(map.len(), n, "explicit shard map must cover every peer");
+        }
+        let mut shard_of = Vec::with_capacity(n);
+        let mut local_of = Vec::with_capacity(n);
+        let mut sizes = vec![0u32; shards_n as usize];
+        for p in 0..n {
+            let s = cfg
+                .assignment
+                .shard_of(PeerId(p as u32), n as u32, shards_n);
+            shard_of.push(s);
+            local_of.push(sizes[s as usize]);
+            sizes[s as usize] += 1;
+        }
+        let map = Arc::new(ShardMap { shard_of, local_of });
+        let state = Arc::new(TransportState {
+            in_flight: AtomicI64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let (transport_tx, transport_rx) = bounded::<Envelope<M>>(cfg.transport_capacity.max(1));
+        let shard_metrics: Vec<Arc<Mutex<NetMetrics>>> = (0..shards_n)
+            .map(|_| Arc::new(Mutex::new(NetMetrics::new(n as u32))))
+            .collect();
+
+        let mut buckets: Vec<Vec<ShardPeer<M, N>>> = (0..shards_n)
+            .map(|s| Vec::with_capacity(sizes[s as usize] as usize))
+            .collect();
+        for (p, inner) in peers.into_iter().enumerate() {
+            let s = map.shard_of[p] as usize;
+            buckets[s].push(ShardPeer {
+                inner,
+                me: PeerId(p as u32),
+                my_shard: s as u32,
+                map: Arc::clone(&map),
+                state: Arc::clone(&state),
+                outbound: transport_tx.clone(),
+                metrics: Arc::clone(&shard_metrics[s]),
+            });
+        }
+        let shards = buckets
+            .into_iter()
+            .map(|nodes| ThreadedRuntime::new(nodes, cfg.shard.clone()))
+            .collect();
+        // The adapters hold every transport sender the session needs; the
+        // controller only ever receives.
+        drop(transport_tx);
+        ShardedRuntime {
+            shards,
+            map,
+            state,
+            transport_rx,
+            parked: (0..n).map(|_| VecDeque::new()).collect(),
+            shard_metrics,
+            epoch: Instant::now(),
+            active: WallDuration::ZERO,
+            frozen: false,
+            cfg,
+            peers_total: n as u32,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shard hosting a global peer.
+    pub fn shard_of_peer(&self, p: PeerId) -> u32 {
+        self.map.shard_of[p.0 as usize]
+    }
+
+    /// Per-shard traffic breakdown (each matrix keyed by global peer ids;
+    /// folding them with [`NetMetrics::merge`] yields
+    /// [`Runtime::metrics_snapshot`]).
+    pub fn shard_metrics(&self) -> Vec<NetMetrics> {
+        self.shard_metrics
+            .iter()
+            .map(|m| m.lock().clone())
+            .collect()
+    }
+
+    /// Cross-shard messages currently in flight (in the transport channel or
+    /// parked at the controller). Zero at every converged phase boundary —
+    /// the cross-shard half of the timer fence.
+    pub fn cross_shard_in_flight(&self) -> i64 {
+        self.state.in_flight.load(Ordering::SeqCst).max(0)
+    }
+
+    /// Total produced-but-unprocessed events across shards and transport
+    /// (messages, hand-offs, armed timers). Zero at every converged phase
+    /// boundary.
+    pub fn pending_events(&self) -> i64 {
+        let mut pending: i64 = 0;
+        for s in &self.shards {
+            pending += s.pending_events().max(0);
+        }
+        pending + self.cross_shard_in_flight()
+    }
+
+    /// Deliver one transport-counted message to its shard, or park it. The
+    /// destination shard registers the event *before* the transport count
+    /// drops, so the global in-flight sum never transiently reaches zero.
+    fn deliver_or_park(&mut self, to: PeerId, port: Port, msg: M) {
+        let (shard, local) = self.map.locate(to);
+        let q = &mut self.parked[to.0 as usize];
+        if !q.is_empty() {
+            // FIFO per destination: never overtake an earlier parked message.
+            q.push_back(Parked { port, msg });
+            return;
+        }
+        match self.shards[shard].try_inject(local, port, msg) {
+            Ok(()) => {
+                self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(msg) => q.push_back(Parked { port, msg }),
+        }
+    }
+
+    /// Retry parked messages (per-destination FIFO preserved).
+    fn drain_parked(&mut self) {
+        for p in 0..self.parked.len() {
+            while let Some(head) = self.parked[p].pop_front() {
+                let (shard, local) = self.map.locate(PeerId(p as u32));
+                match self.shards[shard].try_inject(local, head.port, head.msg) {
+                    Ok(()) => {
+                        self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Err(msg) => {
+                        self.parked[p].push_front(Parked {
+                            port: head.port,
+                            msg,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain everything currently queued in the transport channel.
+    fn drain_transport(&mut self) {
+        while let Ok(env) = self.transport_rx.try_recv() {
+            self.deliver_or_park(env.to, env.port, env.msg);
+        }
+    }
+
+    fn events_sum(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_processed()).sum()
+    }
+}
+
+impl<M, N> ShardedRuntime<M, N> {
+    /// Freeze every shard (teardown of workers and timer services); the
+    /// session stays inspectable but can never converge again.
+    fn freeze_shards(&mut self) {
+        self.frozen = true;
+        // Unblock workers spinning on the transport *before* shard teardown
+        // tries to hand them `Shutdown` through possibly-full inboxes.
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        for s in &mut self.shards {
+            s.freeze();
+        }
+    }
+}
+
+impl<M, N> Drop for ShardedRuntime<M, N> {
+    fn drop(&mut self) {
+        self.freeze_shards();
+    }
+}
+
+impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for ShardedRuntime<M, N> {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn inject(&mut self, to: PeerId, port: Port, msg: M) {
+        self.state.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.deliver_or_park(to, port, msg);
+    }
+
+    fn run(&mut self, budget: RunBudget) -> RunOutcome {
+        let start = Instant::now();
+        let wall_deadline = start + budget.max_wall;
+        let time_deadline = if budget.max_time.0 == u64::MAX {
+            None
+        } else {
+            let total = WallDuration::from_micros(budget.max_time.0);
+            Some(start + total.saturating_sub(self.active))
+        };
+        let outcome = loop {
+            self.drain_transport();
+            self.drain_parked();
+            // Shard counters first, transport last: a quiescent shard cannot
+            // self-activate (only this controller injects into it), and a
+            // message leaving a shard raises the transport counter before
+            // its producing event retires — so an all-zero sweep in this
+            // order certifies global quiescence.
+            let mut pending: i64 = 0;
+            for s in &self.shards {
+                pending += s.pending_events().max(0);
+            }
+            pending += self.state.in_flight.load(Ordering::SeqCst).max(0);
+            // Panic check after the counter read: a panicking worker records
+            // its note before retiring its event, so zero-with-clean-notes
+            // really is a clean convergence.
+            if let Some(msg) = self.shards.iter().find_map(|s| s.panic_note()) {
+                self.freeze_shards();
+                self.active += start.elapsed();
+                panic!("sharded runtime: {msg}");
+            }
+            // A frozen session (earlier budget exhaustion) fails fast and
+            // never claims convergence: teardown retires dropped events, so
+            // a zero sum here can be the result of truncation.
+            if self.frozen {
+                break RunOutcome::BudgetExceeded {
+                    at: self.now(),
+                    pending: pending.max(0) as usize,
+                };
+            }
+            if pending <= 0 {
+                break RunOutcome::Converged { at: self.now() };
+            }
+            let now = Instant::now();
+            if self.events_sum() >= budget.max_events
+                || now >= wall_deadline
+                || time_deadline.is_some_and(|d| now >= d)
+            {
+                let at = self.now();
+                self.freeze_shards();
+                break RunOutcome::BudgetExceeded {
+                    at,
+                    pending: pending as usize,
+                };
+            }
+            // Sleep until a cross-shard message arrives or the poll tick
+            // elapses (shard-internal progress is re-checked each tick).
+            if let Ok(env) = self.transport_rx.recv_timeout(self.cfg.poll) {
+                self.deliver_or_park(env.to, env.port, env.msg);
+            }
+        };
+        self.active += start.elapsed();
+        outcome
+    }
+
+    fn metrics_snapshot(&self) -> NetMetrics {
+        let mut total = NetMetrics::new(self.peers_total);
+        for shard in &self.shard_metrics {
+            total.merge(&shard.lock());
+        }
+        total
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.events_sum()
+    }
+
+    fn frontier(&self) -> SimTime {
+        self.now()
+    }
+
+    fn peer_count(&self) -> u32 {
+        self.peers_total
+    }
+
+    fn with_peer<T>(&self, p: PeerId, f: impl FnOnce(&N) -> T) -> T {
+        let (shard, local) = self.map.locate(p);
+        self.shards[shard].with_peer(local, |sp| f(&sp.inner))
+    }
+
+    fn for_each_peer(&self, mut f: impl FnMut(PeerId, &N)) {
+        for p in 0..self.peers_total {
+            self.with_peer(PeerId(p), |n| f(PeerId(p), n));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MsgMeta;
+    use netrec_types::Duration;
+
+    struct Counter {
+        forward_to: Option<PeerId>,
+        seen: u64,
+    }
+
+    impl PeerNode<u64> for Counter {
+        fn on_message(&mut self, _port: Port, msg: u64, net: &mut NetApi<u64>) {
+            self.seen += 1;
+            if msg > 0 {
+                if let Some(to) = self.forward_to {
+                    net.send(
+                        to,
+                        Port(0),
+                        msg - 1,
+                        MsgMeta {
+                            bytes: 10,
+                            prov_bytes: 2,
+                            tuples: 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn ping_pong_pair() -> Vec<Counter> {
+        vec![
+            Counter {
+                forward_to: Some(PeerId(1)),
+                seen: 0,
+            },
+            Counter {
+                forward_to: Some(PeerId(0)),
+                seen: 0,
+            },
+        ]
+    }
+
+    fn split_pair() -> ShardedConfig {
+        // Peer 0 on shard 0, peer 1 on shard 1: every forward crosses.
+        ShardedConfig::with_shards(2).with_assignment(ShardAssignment::Explicit(vec![0, 1]))
+    }
+
+    #[test]
+    fn cross_shard_ping_pong_terminates_with_exact_metrics() {
+        let mut rt = ShardedRuntime::new(ping_pong_pair(), split_pair());
+        rt.inject(PeerId(0), Port(0), 10u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let m = rt.metrics_snapshot();
+        assert_eq!(m.total_msgs(), 10);
+        assert_eq!(m.total_bytes(), 100);
+        assert_eq!(m.per_peer[0].msgs_sent, 5);
+        assert_eq!(m.per_peer[1].msgs_sent, 5);
+        assert_eq!(rt.cross_shard_in_flight(), 0);
+        assert_eq!(rt.pending_events(), 0);
+        let mut seen = 0;
+        rt.for_each_peer(|_, c| seen += c.seen);
+        assert_eq!(seen, 11);
+    }
+
+    #[test]
+    fn sharded_matches_threaded_on_the_same_workload() {
+        let run_sharded = |cfg: ShardedConfig| {
+            let mut rt = ShardedRuntime::new(ping_pong_pair(), cfg);
+            rt.inject(PeerId(0), Port(0), 7u64);
+            assert!(matches!(
+                rt.run(RunBudget::default()),
+                RunOutcome::Converged { .. }
+            ));
+            rt.metrics_snapshot()
+        };
+        let mut thr = crate::threaded::ThreadedRuntime::new(
+            ping_pong_pair(),
+            crate::threaded::ThreadedConfig::default(),
+        );
+        Runtime::inject(&mut thr, PeerId(0), Port(0), 7u64);
+        assert!(matches!(
+            thr.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let want = thr.metrics_snapshot();
+        for cfg in [
+            ShardedConfig::with_shards(1),
+            split_pair(),
+            ShardedConfig::with_shards(2).with_assignment(ShardAssignment::Hash),
+            ShardedConfig::with_shards(4), // more shards than peers
+        ] {
+            assert_eq!(run_sharded(cfg), want);
+        }
+    }
+
+    #[test]
+    fn timer_arms_across_shard_boundary_inside_the_phase() {
+        struct T {
+            fired: bool,
+            poke: Option<PeerId>,
+        }
+        impl PeerNode<u64> for T {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                if m == 1 {
+                    // Forward across the shard boundary; the receiver arms.
+                    if let Some(to) = self.poke {
+                        net.send(to, Port(0), 2, MsgMeta::default());
+                    }
+                } else {
+                    net.set_timer(Duration::from_millis(30), 9);
+                }
+            }
+            fn on_timer(&mut self, id: u64, _net: &mut NetApi<u64>) {
+                assert_eq!(id, 9);
+                self.fired = true;
+            }
+        }
+        let peers = vec![
+            T {
+                fired: false,
+                poke: Some(PeerId(1)),
+            },
+            T {
+                fired: false,
+                poke: None,
+            },
+        ];
+        let mut rt = ShardedRuntime::new(peers, split_pair());
+        rt.inject(PeerId(0), Port(0), 1u64);
+        let out = rt.run(RunBudget::default());
+        // The global fence: convergence waits for the remote shard's timer.
+        assert!(matches!(out, RunOutcome::Converged { .. }));
+        assert!(rt.with_peer(PeerId(1), |t| t.fired));
+        assert_eq!(rt.cross_shard_in_flight(), 0);
+    }
+
+    #[test]
+    fn multi_phase_state_and_metrics_accumulate() {
+        let mut rt = ShardedRuntime::new(ping_pong_pair(), split_pair());
+        rt.inject(PeerId(0), Port(0), 4u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        assert_eq!(rt.metrics_snapshot().total_msgs(), 4);
+        rt.inject(PeerId(1), Port(0), 3u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        assert_eq!(rt.metrics_snapshot().total_msgs(), 7);
+        let breakdown = rt.shard_metrics();
+        assert_eq!(breakdown.len(), 2);
+        let folded: u64 = breakdown.iter().map(|m| m.total_msgs()).sum();
+        assert_eq!(folded, 7, "shard breakdown folds to the total");
+    }
+
+    #[test]
+    fn budget_exceeded_freezes_every_shard_and_fails_fast() {
+        struct Loop;
+        impl PeerNode<u64> for Loop {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                // Bounce between the two peers (cross-shard) forever.
+                let other = PeerId(1 - net.me().0);
+                net.send(other, Port(0), m, MsgMeta::default());
+            }
+        }
+        let mut rt = ShardedRuntime::new(vec![Loop, Loop], split_pair());
+        rt.inject(PeerId(0), Port(0), 0u64);
+        let out = rt.run(RunBudget {
+            max_wall: WallDuration::from_millis(50),
+            ..RunBudget::default()
+        });
+        assert!(matches!(out, RunOutcome::BudgetExceeded { .. }));
+        let e1 = rt.events_processed();
+        std::thread::sleep(WallDuration::from_millis(20));
+        assert_eq!(rt.events_processed(), e1, "workers stopped");
+        let t0 = Instant::now();
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::BudgetExceeded { .. }
+        ));
+        assert!(
+            t0.elapsed() < WallDuration::from_secs(5),
+            "dead session must fail fast"
+        );
+    }
+
+    #[test]
+    fn peer_panic_in_one_shard_propagates_from_the_composite() {
+        struct Bomb;
+        impl PeerNode<u64> for Bomb {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                if net.me() == PeerId(1) && m == 13 {
+                    panic!("boom on 13");
+                }
+                net.send(PeerId(1), Port(0), m, MsgMeta::default());
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut rt = ShardedRuntime::new(vec![Bomb, Bomb], split_pair());
+            rt.inject(PeerId(0), Port(0), 13u64);
+            rt.run(RunBudget::default())
+        });
+        let err = result.expect_err("composite must re-panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom on 13"), "got: {msg}");
+    }
+
+    #[test]
+    fn tiny_transport_capacity_still_completes() {
+        // 500 cross-shard messages through a 2-slot transport: the spinning
+        // sender is always freed because the controller keeps draining.
+        struct Spray;
+        struct Sink(u64);
+        enum Node {
+            S(Spray),
+            K(Sink),
+        }
+        impl PeerNode<u64> for Node {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                match self {
+                    Node::S(_) => {
+                        for i in 0..500 {
+                            net.send(PeerId(1), Port(0), i + m, MsgMeta::default());
+                        }
+                    }
+                    Node::K(k) => k.0 += 1,
+                }
+            }
+        }
+        let cfg = ShardedConfig {
+            transport_capacity: 2,
+            shard: ThreadedConfig {
+                channel_capacity: 4,
+                ..ThreadedConfig::default()
+            },
+            assignment: ShardAssignment::Explicit(vec![0, 1]),
+            ..ShardedConfig::with_shards(2)
+        };
+        let mut rt = ShardedRuntime::new(vec![Node::S(Spray), Node::K(Sink(0))], cfg);
+        rt.inject(PeerId(0), Port(0), 0u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let got = rt.with_peer(PeerId(1), |n| match n {
+            Node::K(k) => k.0,
+            _ => unreachable!(),
+        });
+        assert_eq!(got, 500);
+    }
+
+    #[test]
+    fn assignments_cover_every_peer_deterministically() {
+        for assignment in [ShardAssignment::Hash, ShardAssignment::Contiguous] {
+            for shards in [1u32, 2, 3, 8] {
+                let mut counts = vec![0u32; shards as usize];
+                for p in 0..64u32 {
+                    let s = assignment.shard_of(PeerId(p), 64, shards);
+                    assert!(s < shards, "{assignment:?} out of range");
+                    assert_eq!(
+                        s,
+                        assignment.shard_of(PeerId(p), 64, shards),
+                        "{assignment:?} must be deterministic"
+                    );
+                    counts[s as usize] += 1;
+                }
+                assert_eq!(counts.iter().sum::<u32>(), 64, "total coverage");
+                if shards > 1 {
+                    assert!(
+                        counts.iter().filter(|&&c| c > 0).count() > 1,
+                        "{assignment:?} with {shards} shards must actually spread: {counts:?}"
+                    );
+                }
+            }
+        }
+        // Contiguous is block-ordered.
+        assert_eq!(ShardAssignment::Contiguous.shard_of(PeerId(0), 9, 2), 0);
+        assert_eq!(ShardAssignment::Contiguous.shard_of(PeerId(8), 9, 2), 1);
+        // Explicit maps verbatim.
+        let ex = ShardAssignment::Explicit(vec![1, 0, 1]);
+        assert_eq!(ex.shard_of(PeerId(0), 3, 2), 1);
+        assert_eq!(ex.shard_of(PeerId(1), 3, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit shard map must cover every peer")]
+    fn short_explicit_map_is_rejected() {
+        let cfg = ShardedConfig::with_shards(2).with_assignment(ShardAssignment::Explicit(vec![0]));
+        let _rt: ShardedRuntime<u64, Counter> = ShardedRuntime::new(ping_pong_pair(), cfg);
+    }
+
+    #[test]
+    fn empty_run_and_empty_shards_converge_immediately() {
+        // 4 shards over 2 peers: two shards are empty.
+        let cfg =
+            ShardedConfig::with_shards(4).with_assignment(ShardAssignment::Explicit(vec![0, 3]));
+        let mut rt = ShardedRuntime::new(ping_pong_pair(), cfg);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        assert_eq!(rt.metrics_snapshot().total_msgs(), 0);
+        assert_eq!(rt.shard_count(), 4);
+        assert_eq!(rt.shard_of_peer(PeerId(1)), 3);
+    }
+}

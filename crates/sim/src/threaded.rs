@@ -513,6 +513,28 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
         }
     }
 
+    /// Non-blocking inject for composite runtimes (the sharded router must
+    /// never block on one shard's full inbox while other shards depend on it
+    /// to keep draining the cross-shard transport). Registers the event,
+    /// tries the inbox once, and on backpressure un-registers and hands the
+    /// message back to the caller. A message dropped on a disconnected inbox
+    /// (frozen shard) reports `Ok` like [`ThreadedRuntime::push`] does.
+    pub(crate) fn try_inject(&mut self, to: PeerId, port: Port, msg: M) -> Result<(), M> {
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        match self.inboxes[to.0 as usize].try_send(ThreadMsg::Deliver(port, msg)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(ThreadMsg::Deliver(_, msg))) => {
+                self.shared.retire_one(&self.ctl_tx);
+                Err(msg)
+            }
+            Err(TrySendError::Full(_)) => unreachable!("try_inject only sends Deliver"),
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.retire_one(&self.ctl_tx);
+                Ok(())
+            }
+        }
+    }
+
     /// Tear the session down and return the peers with their final state,
     /// the merged metrics, and the total wall-clock duration.
     pub fn finish(mut self) -> ThreadedOutcome<N> {
@@ -544,6 +566,27 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
 }
 
 impl<M, N> ThreadedRuntime<M, N> {
+    /// Produced-but-unretired events (messages, hand-offs, armed timers).
+    /// Zero means this shard is locally quiescent; a composite runtime sums
+    /// this across shards (plus its transport) for *global* quiescence.
+    pub(crate) fn pending_events(&self) -> i64 {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// First worker panic recorded in this session, if any. A composite
+    /// controller polls this instead of calling [`Runtime::run`] (which
+    /// re-panics) so it can tear down every shard before propagating.
+    pub(crate) fn panic_note(&self) -> Option<String> {
+        self.shared.panicked.lock().clone()
+    }
+
+    /// Stop the workers and timer service, freezing the session for
+    /// inspection — the composite-budget analogue of the teardown `run`
+    /// performs on its own budget exhaustion.
+    pub(crate) fn freeze(&mut self) {
+        self.shutdown_threads();
+    }
+
     /// Idempotent teardown: stop the timer service, deliver `Shutdown` to
     /// every worker, and join all threads.
     fn shutdown_threads(&mut self) {

@@ -1,0 +1,293 @@
+//! # netrec-testutil — the substrate differential harness
+//!
+//! The engine's correctness claim is that its operators are *distributable*:
+//! any execution substrate implementing the [`Runtime`] session contract
+//! must compute the same fixpoints — and, on traffic-confluent workloads,
+//! ship byte-identical traffic — as the deterministic discrete-event
+//! reference. This crate turns the PR 2 one-off DES-vs-threaded test into a
+//! reusable harness, so every present and future substrate (threaded,
+//! sharded, async, TCP) gets the differential proof for free:
+//!
+//! ```ignore
+//! let w = DiffWorkload::new(reachable_plan, RunnerConfig::direct(strategy, 9))
+//!     .views(["reachable"])
+//!     .phase(DiffPhase::strict("seed", links))
+//!     .phase(DiffPhase::strict("link-1-2", more_links));
+//! assert_substrates_agree(&w, &[RuntimeKind::Des, RuntimeKind::threaded(),
+//!                               RuntimeKind::sharded(2)]);
+//! ```
+//!
+//! The first [`RuntimeKind`] in the list is the reference (conventionally
+//! the DES); every other substrate is held to it phase by phase:
+//!
+//! * **always** — the phase converges, and the cross-peer union of every
+//!   registered view relation is identical;
+//! * **with [`DiffPhase::strict`]** — additionally, the *per-peer*
+//!   msgs/bytes/tuples/prov_bytes matrices are identical, and so are the
+//!   per-phase `RunReport` deltas (guarding the quiescent-boundary
+//!   baselines). Strict phases require a workload whose traffic is
+//!   confluent — batch composition independent of event scheduling (see
+//!   `crates/engine/tests/runtime_differential.rs` for the construction);
+//!   deletion cascades and TTL expiry are generally *not* traffic-confluent,
+//!   so churn phases use [`DiffPhase::relaxed`] and still pin the fixpoint.
+//!
+//! For substrate-specific invariants (e.g. the sharded runtime's
+//! cross-shard fence), run the workload by hand with
+//! [`run_workload_on`]-style drivers and inspect the concrete runtime via
+//! `Runner::with_runtime` / `Runner::runtime`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netrec_engine::plan::Plan;
+use netrec_engine::runner::{Runner, RunnerConfig};
+use netrec_sim::{NetMetrics, RuntimeKind};
+use netrec_topo::BaseOp;
+use netrec_types::Tuple;
+
+pub mod fixtures {
+    //! Shared plan fixtures for substrate differential tests.
+
+    use netrec_engine::expr::Expr;
+    use netrec_engine::plan::{Dest, Plan, PlanBuilder, JOIN_BUILD, JOIN_PROBE};
+    use netrec_types::{NetAddr, Tuple, Value};
+
+    /// A directed `link(src, dst, cost)` tuple with unit cost.
+    pub fn link(a: u32, b: u32) -> Tuple {
+        Tuple::new(vec![
+            Value::Addr(NetAddr(a)),
+            Value::Addr(NetAddr(b)),
+            Value::Int(1),
+        ])
+    }
+
+    /// The paper's Fig. 4 reachability plan (same shape as netrec-core's):
+    /// `reachable(s,d) :- link(s,d,_)` ∪ `reachable(s,d) :- link(s,x,_),
+    /// reachable(x,d)`, with an exchange on the join key and MinShip in
+    /// front of the store.
+    pub fn reachable_plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let link = b.edb("link", &["src", "dst", "cost"], 0);
+        let reach = b.idb("reachable", &["src", "dst"], 0);
+        let ing = b.ingress(link);
+        let base_map = b.map(vec![Expr::col(0), Expr::col(1)], vec![]);
+        let store = b.store(reach, true, None);
+        let join = b.join(vec![1], vec![0], vec![], vec![Expr::col(0), Expr::col(4)]);
+        let ex = b.exchange(
+            Some(1),
+            Dest {
+                op: join,
+                input: JOIN_BUILD,
+            },
+        );
+        let ship = b.minship(
+            Some(0),
+            Dest {
+                op: store,
+                input: 0,
+            },
+        );
+        b.connect(ing, base_map, 0);
+        b.connect(base_map, store, 0);
+        b.connect(ing, ex, 0);
+        b.connect(join, ship, 0);
+        b.connect(store, join, JOIN_PROBE);
+        b.build().expect("reachable plan is well-formed")
+    }
+}
+
+/// One phase of a differential workload: inject `ops`, run to quiescence,
+/// compare at the boundary.
+#[derive(Clone, Debug)]
+pub struct DiffPhase {
+    /// Phase label (shows up in every assertion message).
+    pub label: String,
+    /// Base-relation operations injected at the phase start.
+    pub ops: Vec<BaseOp>,
+    /// Whether per-peer traffic matrices must match exactly at this phase
+    /// boundary (requires traffic confluence); views are always compared.
+    pub strict_traffic: bool,
+}
+
+impl DiffPhase {
+    /// A phase whose traffic is confluent: views *and* exact per-peer
+    /// metrics are compared.
+    pub fn strict(label: impl Into<String>, ops: Vec<BaseOp>) -> DiffPhase {
+        DiffPhase {
+            label: label.into(),
+            ops,
+            strict_traffic: true,
+        }
+    }
+
+    /// A phase whose traffic is scheduling-dependent (deletion cascades,
+    /// TTL expiry): only the fixpoint views are compared.
+    pub fn relaxed(label: impl Into<String>, ops: Vec<BaseOp>) -> DiffPhase {
+        DiffPhase {
+            label: label.into(),
+            ops,
+            strict_traffic: false,
+        }
+    }
+}
+
+/// A multi-phase workload every substrate must agree on.
+pub struct DiffWorkload {
+    /// Builds a fresh plan for each run (runners consume their plan).
+    plan: Box<dyn Fn() -> Plan>,
+    /// Base configuration; the harness swaps `runtime` per substrate.
+    config: RunnerConfig,
+    /// View relations whose cross-peer contents are compared.
+    views: Vec<String>,
+    /// The phases, in order.
+    phases: Vec<DiffPhase>,
+}
+
+impl DiffWorkload {
+    /// A workload over `plan` with `config`'s strategy/partitioning (the
+    /// `runtime` field is overridden per substrate).
+    pub fn new(plan: impl Fn() -> Plan + 'static, config: RunnerConfig) -> DiffWorkload {
+        DiffWorkload {
+            plan: Box::new(plan),
+            config,
+            views: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Register view relations to compare (builder style).
+    pub fn views<S: Into<String>>(mut self, views: impl IntoIterator<Item = S>) -> DiffWorkload {
+        self.views.extend(views.into_iter().map(Into::into));
+        self
+    }
+
+    /// Append a phase (builder style).
+    pub fn phase(mut self, phase: DiffPhase) -> DiffWorkload {
+        self.phases.push(phase);
+        self
+    }
+
+    /// The phases.
+    pub fn phases_ref(&self) -> &[DiffPhase] {
+        &self.phases
+    }
+}
+
+/// What the harness observed at one quiescent phase boundary.
+pub struct PhaseObs {
+    /// Phase label.
+    pub label: String,
+    /// Whether the phase reached quiescence within budget.
+    pub converged: bool,
+    /// Cross-peer union of every registered view, keyed by relation name.
+    pub views: BTreeMap<String, BTreeSet<Tuple>>,
+    /// Cumulative traffic metrics at the boundary.
+    pub metrics: NetMetrics,
+    /// This phase's message delta as reported by `run_phase`.
+    pub phase_msgs: u64,
+    /// This phase's byte delta as reported by `run_phase`.
+    pub phase_bytes: u64,
+}
+
+/// Run the workload on one substrate, observing every phase boundary.
+pub fn run_workload_on(w: &DiffWorkload, kind: &RuntimeKind) -> Vec<PhaseObs> {
+    let cfg = RunnerConfig {
+        runtime: kind.clone(),
+        ..w.config.clone()
+    };
+    let mut runner = Runner::new((w.plan)(), cfg);
+    w.phases
+        .iter()
+        .map(|phase| {
+            for op in &phase.ops {
+                runner.inject(&op.rel, op.tuple.clone(), op.kind, op.ttl);
+            }
+            let rep = runner.run_phase(phase.label.clone());
+            PhaseObs {
+                label: phase.label.clone(),
+                converged: rep.converged(),
+                views: w
+                    .views
+                    .iter()
+                    .map(|v| (v.clone(), runner.view(v)))
+                    .collect(),
+                metrics: runner.metrics(),
+                phase_msgs: rep.msgs,
+                phase_bytes: rep.bytes,
+            }
+        })
+        .collect()
+}
+
+/// Assert that every substrate in `kinds` agrees with the first one
+/// (the reference) on `w`, phase by phase: converged outcomes and identical
+/// views everywhere; identical per-peer traffic matrices and per-phase
+/// report deltas at [`DiffPhase::strict`] boundaries.
+///
+/// Returns the reference observations so callers can add workload-specific
+/// assertions (final fixpoint shape, non-trivial traffic, ...).
+pub fn assert_substrates_agree(w: &DiffWorkload, kinds: &[RuntimeKind]) -> Vec<PhaseObs> {
+    assert!(!kinds.is_empty(), "need at least a reference substrate");
+    let reference = run_workload_on(w, &kinds[0]);
+    let ref_name = kinds[0].label();
+    for obs in &reference {
+        assert!(
+            obs.converged,
+            "[{ref_name}] reference phase {} did not converge",
+            obs.label
+        );
+    }
+    for kind in &kinds[1..] {
+        let name = kind.label();
+        let got = run_workload_on(w, kind);
+        assert_eq!(got.len(), reference.len());
+        for ((want, have), spec) in reference.iter().zip(&got).zip(&w.phases) {
+            let phase = &want.label;
+            assert!(
+                have.converged,
+                "[{ref_name} vs {name}] phase {phase} did not converge on {name}"
+            );
+            assert_eq!(
+                want.views, have.views,
+                "[{ref_name} vs {name}] view contents diverge after phase {phase}"
+            );
+            // Index-aligned with the observations, so duplicate phase
+            // labels cannot leak one phase's strictness onto another.
+            if !spec.strict_traffic {
+                continue;
+            }
+            assert_eq!(
+                want.metrics.total_msgs(),
+                have.metrics.total_msgs(),
+                "[{ref_name} vs {name}] msgs diverge after phase {phase}"
+            );
+            assert_eq!(
+                want.metrics.total_bytes(),
+                have.metrics.total_bytes(),
+                "[{ref_name} vs {name}] bytes diverge after phase {phase}"
+            );
+            assert_eq!(
+                want.metrics.total_tuples(),
+                have.metrics.total_tuples(),
+                "[{ref_name} vs {name}] tuples diverge after phase {phase}"
+            );
+            assert_eq!(
+                want.metrics.total_prov_bytes(),
+                have.metrics.total_prov_bytes(),
+                "[{ref_name} vs {name}] prov_bytes diverge after phase {phase}"
+            );
+            // Stronger than the totals: the full per-peer traffic matrix.
+            assert_eq!(
+                want.metrics, have.metrics,
+                "[{ref_name} vs {name}] per-peer metrics diverge after phase {phase}"
+            );
+            // Per-phase RunReport deltas must be exact too, not just the
+            // cumulative counters (guards the quiescent-boundary baselines).
+            assert_eq!(
+                (want.phase_msgs, want.phase_bytes),
+                (have.phase_msgs, have.phase_bytes),
+                "[{ref_name} vs {name}] per-phase report deltas diverge in phase {phase}"
+            );
+        }
+    }
+    reference
+}

@@ -1,6 +1,6 @@
-//! The threaded runtime executes the same `EnginePeer` logic on real OS
-//! threads — selected through the same `Runner`/`System` driver as the DES,
-//! via `RunnerConfig::runtime`. Views must match the deterministic
+//! The threaded and sharded runtimes execute the same `EnginePeer` logic on
+//! real OS threads — selected through the same `Runner`/`System` driver as
+//! the DES, via `RunnerConfig::runtime`. Views must match the deterministic
 //! discrete-event runs — evidence the operators are genuinely distributable.
 //! (The engine-level differential test in
 //! `crates/engine/tests/runtime_differential.rs` additionally proves exact
@@ -57,6 +57,16 @@ fn threaded_matches_des_set_mode() {
     let (des, _) = load_view(Strategy::set(), 4, RuntimeKind::Des);
     let (thr, _) = load_view(Strategy::set(), 4, RuntimeKind::threaded());
     assert_eq!(des, thr);
+}
+
+#[test]
+fn sharded_matches_des_through_the_facade() {
+    // Substrate selection via `SystemConfig::with_runtime`, like any user
+    // would: two shards over four peers must reach the DES fixpoint.
+    let (des, _) = load_view(Strategy::absorption_lazy(), 4, RuntimeKind::Des);
+    let (sh, sh_bytes) = load_view(Strategy::absorption_lazy(), 4, RuntimeKind::sharded(2));
+    assert_eq!(des, sh, "views must agree across runtimes");
+    assert!(sh_bytes > 0, "cross-peer traffic must be accounted");
 }
 
 #[test]
