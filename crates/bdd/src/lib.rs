@@ -17,6 +17,9 @@
 //!   metric;
 //! * mark-and-sweep garbage collection driven by live external handles.
 //!
+//! DESIGN.md: "System inventory" for the crate's role; "Deletion
+//! propagation" for how `restrict` implements base-tuple deletion.
+//!
 //! Handles ([`Bdd`]) are cheap to clone, reference-counted, and keep their
 //! nodes alive across garbage collections. All operations go through a
 //! [`BddManager`]; combining handles from different managers panics (each

@@ -7,14 +7,19 @@
 //! convergence. The file sequence (`BENCH_1.json`, `BENCH_2.json`, ...)
 //! tracks the perf trajectory across PRs; CI and reviewers diff the numbers.
 //!
-//! Three substrates are tracked: the discrete-event simulator (entries as
-//! in `BENCH_1.json`), the threaded runtime (same workloads re-executed on
-//! real OS threads, suffixed `/threaded`), and the sharded runtime at 2 and
-//! 4 shards (suffixed `/sharded2`, `/sharded4`) — the scaling story of the
-//! composite runtime vs DES and single-shard threaded execution. All report
-//! wall-clock ns per injected op; for the DES that is time spent
-//! *simulating*, for the concurrent substrates it is time spent actually
-//! *executing*.
+//! Four substrate families are tracked: the discrete-event simulator
+//! (entries as in `BENCH_1.json`), the threaded runtime (same workloads
+//! re-executed on real OS threads, suffixed `/threaded`), the sharded
+//! runtime at 2 and 4 shards (suffixed `/sharded2`, `/sharded4`), and the
+//! async task-per-peer runtime (suffixed `/async`). All report wall-clock
+//! ns per injected op; for the DES that is time spent *simulating*, for the
+//! concurrent substrates it is time spent actually *executing*.
+//!
+//! A dedicated `scale1000/` section hosts the paper-scale peer counts only
+//! the async runtime reaches on commodity limits: 1000 peers as cooperative
+//! tasks on one core (entry `.../async1000`, with the DES at the same peer
+//! count as the modelled reference — a thread-per-peer runtime would need
+//! 1000 OS threads for the same workload).
 //!
 //! Usage: `cargo run --release -p netrec-bench --bin bench-report [-- out.json]`
 //! Env: `BENCH_REPORT_SAMPLES` (default 5) — timed repetitions per entry
@@ -25,8 +30,8 @@ use std::time::Instant;
 
 use netrec_core::{RunBudget, RuntimeKind, ShardedConfig, System, SystemConfig};
 use netrec_engine::Strategy;
-use netrec_topo::{transit_stub, TransitStubParams, Workload};
-use netrec_types::UpdateKind;
+use netrec_topo::{transit_stub, BaseOp, TransitStubParams, Workload};
+use netrec_types::{NetAddr, Tuple, UpdateKind, Value};
 
 fn budget() -> RunBudget {
     RunBudget::sim_seconds(300).with_wall(std::time::Duration::from_secs(60))
@@ -48,7 +53,7 @@ fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
     let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -89,6 +94,7 @@ fn main() {
     let substrates: Vec<(String, RuntimeKind)> = vec![
         (String::new(), RuntimeKind::Des),
         ("/threaded".to_string(), RuntimeKind::threaded()),
+        ("/async".to_string(), RuntimeKind::asynchronous()),
         (
             "/sharded2".to_string(),
             RuntimeKind::Sharded(ShardedConfig::with_shards(2)),
@@ -142,6 +148,53 @@ fn main() {
                 report.insert(name, ns);
             }
         }
+    }
+
+    // --- The 1000-peer scale point -------------------------------------
+    //
+    // 1000 peers hosted as cooperative tasks on ONE executor thread — the
+    // scale at which a thread-per-peer substrate would burn 1000 OS
+    // threads. The workload is 360 disjoint 3-node chains (1080 routers,
+    // 720 directed links): hash partitioning activates essentially every
+    // peer, while the per-component closure stays constant, so the numbers
+    // measure runtime hosting overhead rather than view size. The DES runs
+    // the same 1000-peer workload as the modelled reference.
+    let scale_peers = 1000;
+    let chains = 360;
+    let link = |a: u32, b: u32| {
+        BaseOp::insert(
+            "link",
+            Tuple::new(vec![
+                Value::Addr(NetAddr(a)),
+                Value::Addr(NetAddr(b)),
+                Value::Int(1),
+            ]),
+        )
+    };
+    let mut scale_ops: Vec<BaseOp> = Vec::with_capacity(2 * chains as usize);
+    for c in 0..chains {
+        scale_ops.push(link(3 * c, 3 * c + 1));
+        scale_ops.push(link(3 * c + 1, 3 * c + 2));
+    }
+    for (suffix, runtime) in [
+        ("des1000", RuntimeKind::Des),
+        ("async1000", RuntimeKind::asynchronous()),
+    ] {
+        let name = format!("scale1000/reachable_ins/absorption_lazy/{suffix}");
+        let ns = measure(samples, scale_ops.len(), || {
+            let mut sys = System::reachable(
+                SystemConfig::new(Strategy::absorption_lazy(), scale_peers)
+                    .with_budget(budget())
+                    .with_runtime(runtime.clone()),
+            );
+            for op in &scale_ops {
+                sys.inject(&op.rel, op.tuple.clone(), op.kind, op.ttl);
+            }
+            assert!(sys.run("load").converged(), "{name}: load did not converge");
+            assert_eq!(sys.view("reachable").len(), 3 * chains as usize);
+        });
+        println!("{name:<45} {:>12.0} ns/op", ns);
+        report.insert(name, ns);
     }
 
     let mut json = String::from("{\n");

@@ -11,6 +11,9 @@
 //! paper's parameters; set `NETREC_SCALE=full` for the paper-sized runs
 //! (100-node / 400-link-tuple topologies, 12 peers). Budget-exceeded runs
 //! print as `>N` — the paper's "did not complete within 5 minutes" entries.
+//!
+//! DESIGN.md: "Performance notes" interprets the numbers these harnesses
+//! (and the `bench-report` bin's `BENCH_<N>.json` tracker) produce.
 
 use std::fmt::Write as _;
 use std::fs;

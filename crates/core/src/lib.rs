@@ -33,6 +33,12 @@
 //! let view = sys.view("reachable");
 //! assert!(!view.is_empty());
 //! ```
+//!
+//! [`SystemConfig::with_runtime`](system::SystemConfig::with_runtime)
+//! selects the execution substrate ([`RuntimeKind`]): the deterministic DES
+//! (default), one thread per peer, one async task per peer, or a sharded
+//! composite. DESIGN.md: "System inventory" for the crate's facade role,
+//! "Runtimes" for the substrate contract.
 
 pub mod queries;
 pub mod system;
@@ -43,6 +49,6 @@ pub use system::{System, SystemConfig};
 // Re-export the layers a downstream user needs without naming every crate.
 pub use netrec_engine::{dred, reference, RunReport, Runner, RunnerConfig, Strategy};
 pub use netrec_sim::{
-    ClusterSpec, CostModel, Partitioner, RunBudget, RunOutcome, Runtime, RuntimeKind,
-    ShardAssignment, ShardedConfig, ThreadedConfig,
+    AsyncConfig, ClusterSpec, CostModel, Partitioner, RunBudget, RunOutcome, Runtime, RuntimeKind,
+    ShardAssignment, ShardKind, ShardedConfig, ThreadedConfig,
 };

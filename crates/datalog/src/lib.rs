@@ -26,6 +26,9 @@
 //! let compiled = netrec_datalog::compile(&program).unwrap();
 //! assert!(compiled.plan().is_recursive());
 //! ```
+//!
+//! DESIGN.md: "System inventory" for the crate's place in the stack — the
+//! planner lowers onto the operators of "Deletion propagation".
 
 mod ast;
 mod compile;

@@ -25,10 +25,15 @@
 //!
 //! The [`plan`] module wires operators into a per-peer dataflow (the paper's
 //! Fig. 4); [`runner`] drives workloads through a simulated cluster and
-//! gathers the four evaluation metrics; [`reference`] is an independent
+//! gathers the four evaluation metrics; [`reference`](mod@reference) is an
+//! independent
 //! centralized Datalog evaluator used as the correctness oracle; and
 //! [`dred`] layers the DRed over-delete/re-derive protocol on top of
 //! set-semantics execution as the paper's main baseline.
+//!
+//! DESIGN.md: "Deletion propagation" covers the operators' cause-set
+//! protocol; "Runtimes" covers the substrates [`runner`] drives;
+//! "Performance notes" covers the hot-path engineering.
 
 pub mod dred;
 pub mod expr;

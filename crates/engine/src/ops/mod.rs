@@ -160,7 +160,7 @@ pub enum DeleteOutcome {
 /// Keyed with Fx hashing: tuples carry a cached hash, so a probe costs one
 /// 64-bit mix instead of SipHash over the value vector. Resident-size
 /// accounting is maintained incrementally (`state_bytes` is O(1)); all map
-/// mutations therefore go through [`ProvTable::store`] / [`ProvTable::evict`].
+/// mutations therefore go through `ProvTable::store` / `ProvTable::evict`.
 pub struct ProvTable {
     map: FxHashMap<Tuple, Prov>,
     counts: FxHashMap<Tuple, i64>,

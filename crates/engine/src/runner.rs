@@ -12,8 +12,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use netrec_sim::{
-    ClusterSpec, CostModel, NetMetrics, Partitioner, PeerId, RunBudget, RunOutcome, Runtime,
-    RuntimeKind, ShardedRuntime, Simulator, ThreadedRuntime,
+    AsyncRuntime, ClusterSpec, CostModel, NetMetrics, Partitioner, PeerId, RunBudget, RunOutcome,
+    Runtime, RuntimeKind, ShardedRuntime, Simulator, ThreadedRuntime,
 };
 use netrec_types::{Duration, SimTime, Tuple, UpdateKind};
 
@@ -155,7 +155,9 @@ pub enum EngineRuntime {
     Des(Simulator<Msg, EnginePeer>),
     /// Concurrent threaded execution.
     Threaded(ThreadedRuntime<Msg, EnginePeer>),
-    /// Peer-partitioned execution across several threaded shards.
+    /// Cooperative task-per-peer execution on one executor thread.
+    Async(AsyncRuntime<Msg, EnginePeer>),
+    /// Peer-partitioned execution across several threaded or async shards.
     Sharded(ShardedRuntime<Msg, EnginePeer>),
 }
 
@@ -164,6 +166,7 @@ macro_rules! dispatch {
         match $self {
             EngineRuntime::Des($rt) => $body,
             EngineRuntime::Threaded($rt) => $body,
+            EngineRuntime::Async($rt) => $body,
             EngineRuntime::Sharded($rt) => $body,
         }
     };
@@ -225,6 +228,7 @@ impl Runner<EngineRuntime> {
             RuntimeKind::Threaded(tc) => {
                 EngineRuntime::Threaded(ThreadedRuntime::new(nodes, tc.clone()))
             }
+            RuntimeKind::Async(ac) => EngineRuntime::Async(AsyncRuntime::new(nodes, ac.clone())),
             RuntimeKind::Sharded(sc) => {
                 EngineRuntime::Sharded(ShardedRuntime::new(nodes, sc.clone()))
             }

@@ -1,11 +1,12 @@
 //! Substrate differential test: the same multi-phase reachability workload
 //! must produce **identical final store contents and identical per-peer
 //! msgs/bytes/tuples/prov_bytes metrics** on every execution substrate —
-//! the deterministic DES reference, the threaded runtime, and the sharded
-//! runtime at 2 and 4 shards (hash and contiguous placement) — in every
-//! maintenance strategy. The comparison machinery lives in
-//! `netrec-testutil` (`assert_substrates_agree`), so future substrates get
-//! this gate by adding one `RuntimeKind` to the list.
+//! the deterministic DES reference, the threaded runtime, the async
+//! task-per-peer runtime, and the sharded runtime over threaded shards (2
+//! hash / 4 contiguous) and async shards — in every maintenance strategy.
+//! The comparison machinery lives in `netrec-testutil`
+//! (`assert_substrates_agree`), so future substrates get this gate by
+//! adding one `RuntimeKind` to the list.
 //!
 //! Thread scheduling is nondeterministic, so the workload is constructed to
 //! be *confluent in its traffic*, not just its fixpoint: links are injected
@@ -62,16 +63,19 @@ fn chain_workload(strategy: Strategy) -> DiffWorkload {
     w
 }
 
-/// Every substrate in the matrix: DES reference, threaded, and sharded at
-/// 2 hash-assigned and 4 contiguous shards.
+/// Every substrate in the matrix: DES reference, threaded, async
+/// (task-per-peer), sharded at 2 hash-assigned and 4 contiguous threaded
+/// shards, and sharded over 2 async shards.
 fn substrates() -> Vec<RuntimeKind> {
     vec![
         RuntimeKind::Des,
         RuntimeKind::threaded(),
+        RuntimeKind::asynchronous(),
         RuntimeKind::sharded(2),
         RuntimeKind::Sharded(
             ShardedConfig::with_shards(4).with_assignment(ShardAssignment::Contiguous),
         ),
+        RuntimeKind::sharded_async(2),
     ]
 }
 
@@ -144,7 +148,9 @@ fn ttl_expiry_is_fenced_inside_the_phase() {
         &[
             RuntimeKind::Des,
             RuntimeKind::threaded(),
+            RuntimeKind::asynchronous(),
             RuntimeKind::sharded(2),
+            RuntimeKind::sharded_async(2),
         ],
     );
     // The TTL'd link and everything derived through it is gone.

@@ -1,8 +1,9 @@
 //! Property-based substrate differential: proptest-generated random
 //! topologies and update/delete scripts (from `netrec-topo`'s generators)
-//! run through the DES, the threaded runtime, and the sharded runtime at
-//! 1, 2, and 4 shards, in all 5 maintenance strategies — every substrate
-//! must reach the DES fixpoint.
+//! run through the DES, the threaded runtime, the async task-per-peer
+//! runtime, and the sharded runtime at 1, 2, and 4 threaded shards plus 2
+//! async shards, in all 5 maintenance strategies — every substrate must
+//! reach the DES fixpoint.
 //!
 //! Random injection orders are *not* traffic-confluent (batch composition
 //! depends on arrival interleavings), so these phases are relaxed: the
@@ -19,7 +20,7 @@
 
 use netrec_engine::runner::RunnerConfig;
 use netrec_engine::strategy::Strategy;
-use netrec_sim::{RuntimeKind, ShardedConfig, ThreadedConfig};
+use netrec_sim::{AsyncConfig, RuntimeKind, ShardKind, ShardedConfig, ThreadedConfig};
 use netrec_testutil::fixtures::reachable_plan;
 use netrec_testutil::{assert_substrates_agree, DiffPhase, DiffWorkload};
 use netrec_topo::{random_graph, Workload};
@@ -32,7 +33,8 @@ fn cases_from_env() -> u32 {
         .unwrap_or(5)
 }
 
-/// The substrate matrix: DES reference, threaded, sharded at 1/2/4 shards.
+/// The substrate matrix: DES reference, threaded, async task-per-peer,
+/// sharded at 1/2/4 threaded shards, and sharded over 2 async shards.
 /// The concurrent substrates compress timer delays 50× (`time_dilation`):
 /// eager-mode 1 s flush periods would otherwise map to real one-second
 /// sleeps per flush round, and the timer fence makes every phase wait them
@@ -42,18 +44,27 @@ fn substrates() -> Vec<RuntimeKind> {
         time_dilation: 0.02,
         ..ThreadedConfig::default()
     };
+    let async_cfg = AsyncConfig {
+        time_dilation: 0.02,
+        ..AsyncConfig::default()
+    };
     let sharded = |shards: u32| {
         RuntimeKind::Sharded(ShardedConfig {
-            shard: threaded.clone(),
+            shard: ShardKind::Threaded(threaded.clone()),
             ..ShardedConfig::with_shards(shards)
         })
     };
     vec![
         RuntimeKind::Des,
         RuntimeKind::Threaded(threaded.clone()),
+        RuntimeKind::Async(async_cfg.clone()),
         sharded(1),
         sharded(2),
         sharded(4),
+        RuntimeKind::Sharded(ShardedConfig {
+            shard: ShardKind::Async(async_cfg),
+            ..ShardedConfig::with_shards(2)
+        }),
     ]
 }
 

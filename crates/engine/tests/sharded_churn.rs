@@ -1,7 +1,8 @@
-//! Churn/fault scenario for the sharded runtime: soft-state TTL expiry plus
-//! interleaved insert/delete phases whose cascades cross shard boundaries
-//! at every hop — the chain 0→1→…→5 is deliberately placed so consecutive
-//! peers always live on *different* shards.
+//! Churn/fault scenario for the sharded runtime — over threaded *and* async
+//! shards: soft-state TTL expiry plus interleaved insert/delete phases whose
+//! cascades cross shard boundaries at every hop — the chain 0→1→…→5 is
+//! deliberately placed so consecutive peers always live on *different*
+//! shards.
 //!
 //! After every phase the test asserts the **global timer fence** directly
 //! on the concrete runtime: a converged phase leaves zero pending events
@@ -16,7 +17,10 @@ use netrec_engine::peer::EnginePeer;
 use netrec_engine::runner::{Runner, RunnerConfig};
 use netrec_engine::strategy::Strategy;
 use netrec_engine::update::Msg;
-use netrec_sim::{RuntimeKind, ShardAssignment, ShardedConfig, ShardedRuntime, ThreadedConfig};
+use netrec_sim::{
+    AsyncConfig, RuntimeKind, ShardAssignment, ShardKind, ShardedConfig, ShardedRuntime,
+    ThreadedConfig,
+};
 use netrec_testutil::fixtures::{link, reachable_plan};
 use netrec_testutil::{run_workload_on, DiffPhase, DiffWorkload};
 use netrec_topo::BaseOp;
@@ -95,18 +99,34 @@ fn des_views(strategy: Strategy) -> Vec<BTreeSet<Tuple>> {
         .collect()
 }
 
-fn churn_on_sharded(strategy: Strategy, shards: u32) {
+/// Compress timer delays so eager 1 s flush periods and the TTLs don't
+/// pace the test in real time; the fence holds regardless.
+fn shard_kind(async_shards: bool) -> ShardKind {
+    if async_shards {
+        ShardKind::Async(AsyncConfig {
+            time_dilation: 0.05,
+            ..AsyncConfig::default()
+        })
+    } else {
+        ShardKind::Threaded(ThreadedConfig {
+            time_dilation: 0.05,
+            ..ThreadedConfig::default()
+        })
+    }
+}
+
+fn churn_on_sharded(strategy: Strategy, shards: u32, async_shards: bool) {
     let des = des_views(strategy);
     let cfg = ShardedConfig {
         shards,
         assignment: interleaved(shards),
-        // Compress timer delays so eager 1 s flush periods and the TTLs
-        // don't pace the test in real time; the fence holds regardless.
-        shard: ThreadedConfig {
-            time_dilation: 0.05,
-            ..ThreadedConfig::default()
-        },
+        shard: shard_kind(async_shards),
         ..ShardedConfig::default()
+    };
+    let tag = if async_shards {
+        "sharded-async"
+    } else {
+        "sharded"
     };
     let mut runner = Runner::with_runtime(
         reachable_plan(),
@@ -116,24 +136,24 @@ fn churn_on_sharded(strategy: Strategy, shards: u32) {
     for ((label, ops), want) in phases().into_iter().zip(des) {
         inject_all(&mut runner, &ops);
         let rep = runner.run_phase(label);
-        assert!(rep.converged(), "[sharded/{shards}] {label} converged");
+        assert!(rep.converged(), "[{tag}/{shards}] {label} converged");
         // The global fence, asserted on the concrete runtime: no phase ends
         // with a cross-shard message or an armed timer in flight anywhere.
         let rt: &ShardedRuntime<Msg, EnginePeer> = runner.runtime();
         assert_eq!(
             rt.cross_shard_in_flight(),
             0,
-            "[sharded/{shards}] {label}: cross-shard messages in flight at a phase boundary"
+            "[{tag}/{shards}] {label}: cross-shard messages in flight at a phase boundary"
         );
         assert_eq!(
             rt.pending_events(),
             0,
-            "[sharded/{shards}] {label}: events or armed timers survive the phase"
+            "[{tag}/{shards}] {label}: events or armed timers survive the phase"
         );
         assert_eq!(
             runner.view("reachable"),
             want,
-            "[sharded/{shards}] {label}: view diverges from DES"
+            "[{tag}/{shards}] {label}: view diverges from DES"
         );
     }
 }
@@ -155,25 +175,53 @@ fn des_reference_views_are_the_expected_closures() {
 
 #[test]
 fn churn_absorption_lazy_2_shards() {
-    churn_on_sharded(Strategy::absorption_lazy(), 2);
+    churn_on_sharded(Strategy::absorption_lazy(), 2, false);
 }
 
 #[test]
 fn churn_absorption_lazy_3_shards() {
-    churn_on_sharded(Strategy::absorption_lazy(), 3);
+    churn_on_sharded(Strategy::absorption_lazy(), 3, false);
 }
 
 #[test]
 fn churn_absorption_eager_3_shards() {
-    churn_on_sharded(Strategy::absorption_eager(), 3);
+    churn_on_sharded(Strategy::absorption_eager(), 3, false);
 }
 
 #[test]
 fn churn_relative_lazy_3_shards() {
-    churn_on_sharded(Strategy::relative_lazy(), 3);
+    churn_on_sharded(Strategy::relative_lazy(), 3, false);
 }
 
 #[test]
 fn churn_relative_eager_3_shards() {
-    churn_on_sharded(Strategy::relative_eager(), 3);
+    churn_on_sharded(Strategy::relative_eager(), 3, false);
+}
+
+// The same churn/fence scenario over async shards: cooperative peer tasks,
+// in-loop timer heap, identical global quiescence contract.
+
+#[test]
+fn churn_absorption_lazy_2_async_shards() {
+    churn_on_sharded(Strategy::absorption_lazy(), 2, true);
+}
+
+#[test]
+fn churn_absorption_lazy_3_async_shards() {
+    churn_on_sharded(Strategy::absorption_lazy(), 3, true);
+}
+
+#[test]
+fn churn_absorption_eager_3_async_shards() {
+    churn_on_sharded(Strategy::absorption_eager(), 3, true);
+}
+
+#[test]
+fn churn_relative_lazy_3_async_shards() {
+    churn_on_sharded(Strategy::relative_lazy(), 3, true);
+}
+
+#[test]
+fn churn_relative_eager_3_async_shards() {
+    churn_on_sharded(Strategy::relative_eager(), 3, true);
 }

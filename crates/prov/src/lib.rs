@@ -19,6 +19,10 @@
 //!   algorithm (Gupta–Mumick–Subrahmanian, SIGMOD'93), sound only for
 //!   non-recursive views; included as the related-work baseline.
 //!
+//! DESIGN.md: "Deletion propagation" describes how these annotations drive
+//! cause-set deletions; "Relative-provenance cap" documents the relative
+//! scheme's size guard.
+//!
 //! [`Prov`] is the tagged union the engine's operators carry on every update;
 //! [`VarAllocator`]/[`VarTable`] manage the base-tuple variable space, which
 //! is shared by the absorption *and* relative schemes (base tuples are

@@ -1,0 +1,656 @@
+//! Offline shim for `futures`: the minimal executor/task/channel surface the
+//! async runtime needs — a single-threaded cooperative [`executor::LocalPool`]
+//! with thread-safe wakers, the [`task::ArcWake`] adapter, and a bounded
+//! async-aware MPSC channel ([`channel::mpsc`]).
+//!
+//! Like every shim in `crates/shims`, this implements exactly the surface the
+//! workspace calls, under the real crate's module layout, so swapping to the
+//! real `futures` crate is a `Cargo.toml` change plus two documented
+//! deviations: [`executor::LocalPool::set_notify`] (a cross-thread wake hook
+//! the real `LocalPool` does not need because callers block on it) and
+//! inherent `next`/`try_recv` methods on the channel receiver (the real crate
+//! gets them from `StreamExt`).
+//!
+//! Scheduling semantics, relied on by `netrec-sim`'s async runtime and pinned
+//! by the tests below:
+//!
+//! * **FIFO ready queue** — tasks are polled in the order they were woken;
+//!   spawning enqueues a task for its first poll.
+//! * **Wake coalescing** — waking an already-queued task does not enqueue it
+//!   twice.
+//! * **Wake-during-poll ⇒ repoll** — a task's "queued" flag is cleared
+//!   *before* it is polled, so a wake that arrives while the task is being
+//!   polled (from itself or another thread) re-enqueues it; a ready signal
+//!   can never be lost between the flag read and the poll.
+//! * **Wake ⇒ notify ordering** — a waker first enqueues the task, then
+//!   invokes the notify hook; a host that drains its notify channel and then
+//!   finds [`executor::LocalPool::has_ready`] false may safely sleep.
+
+pub mod task {
+    //! Waker construction from reference-counted wake handlers.
+
+    use std::mem::ManuallyDrop;
+    use std::sync::Arc;
+    use std::task::{RawWaker, RawWakerVTable, Waker};
+
+    /// A type that can be woken through an `Arc`; [`waker`] adapts it to a
+    /// [`std::task::Waker`].
+    pub trait ArcWake: Send + Sync + 'static {
+        /// Wake without consuming the handle.
+        fn wake_by_ref(arc_self: &Arc<Self>);
+
+        /// Wake, consuming the handle.
+        fn wake(self: Arc<Self>) {
+            Self::wake_by_ref(&self);
+        }
+    }
+
+    /// A [`Waker`] that dispatches to `w`'s [`ArcWake`] implementation.
+    pub fn waker<W: ArcWake>(w: Arc<W>) -> Waker {
+        unsafe { Waker::from_raw(raw_waker(w)) }
+    }
+
+    fn raw_waker<W: ArcWake>(w: Arc<W>) -> RawWaker {
+        RawWaker::new(Arc::into_raw(w) as *const (), vtable::<W>())
+    }
+
+    fn vtable<W: ArcWake>() -> &'static RawWakerVTable {
+        &RawWakerVTable::new(
+            clone_raw::<W>,
+            wake_raw::<W>,
+            wake_by_ref_raw::<W>,
+            drop_raw::<W>,
+        )
+    }
+
+    unsafe fn clone_raw<W: ArcWake>(data: *const ()) -> RawWaker {
+        let arc = ManuallyDrop::new(Arc::from_raw(data as *const W));
+        raw_waker(Arc::clone(&arc))
+    }
+
+    unsafe fn wake_raw<W: ArcWake>(data: *const ()) {
+        ArcWake::wake(Arc::from_raw(data as *const W));
+    }
+
+    unsafe fn wake_by_ref_raw<W: ArcWake>(data: *const ()) {
+        let arc = ManuallyDrop::new(Arc::from_raw(data as *const W));
+        ArcWake::wake_by_ref(&arc);
+    }
+
+    unsafe fn drop_raw<W: ArcWake>(data: *const ()) {
+        drop(Arc::from_raw(data as *const W));
+    }
+}
+
+pub mod executor {
+    //! The single-threaded cooperative task pool.
+
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll};
+
+    use crate::task::{waker, ArcWake};
+
+    type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+    /// Ready-queue state shared with the (thread-safe) wakers.
+    struct ReadyState {
+        /// Task indices awaiting a poll, FIFO.
+        queue: VecDeque<usize>,
+        /// Per-task "already in `queue`" flags — wake coalescing.
+        queued: Vec<bool>,
+    }
+
+    struct PoolShared {
+        ready: Mutex<ReadyState>,
+        /// Invoked after a task is enqueued (cross-thread wake signal).
+        notify: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+    }
+
+    impl PoolShared {
+        fn enqueue(&self, index: usize) {
+            {
+                let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+                if index >= ready.queued.len() || ready.queued[index] {
+                    return; // unknown task (stale waker) or already queued
+                }
+                ready.queued[index] = true;
+                ready.queue.push_back(index);
+            }
+            // Enqueue strictly before notify, so "drain notify, then check
+            // has_ready" never misses a wake (see the module docs).
+            let notify = self.notify.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(f) = notify.as_ref() {
+                f();
+            }
+        }
+    }
+
+    struct TaskWaker {
+        shared: Arc<PoolShared>,
+        index: usize,
+    }
+
+    impl ArcWake for TaskWaker {
+        fn wake_by_ref(arc_self: &Arc<Self>) {
+            arc_self.shared.enqueue(arc_self.index);
+        }
+    }
+
+    /// A single-threaded pool of cooperative tasks. Tasks are `!Send`
+    /// futures polled only from the thread that owns the pool; their wakers
+    /// are thread-safe and may be invoked from anywhere.
+    pub struct LocalPool {
+        tasks: Vec<Option<LocalFuture>>,
+        shared: Arc<PoolShared>,
+        incoming: Rc<RefCell<Vec<LocalFuture>>>,
+    }
+
+    impl Default for LocalPool {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl LocalPool {
+        /// An empty pool.
+        pub fn new() -> LocalPool {
+            LocalPool {
+                tasks: Vec::new(),
+                shared: Arc::new(PoolShared {
+                    ready: Mutex::new(ReadyState {
+                        queue: VecDeque::new(),
+                        queued: Vec::new(),
+                    }),
+                    notify: Mutex::new(None),
+                }),
+                incoming: Rc::new(RefCell::new(Vec::new())),
+            }
+        }
+
+        /// Install the cross-thread wake hook: called (on the waking thread)
+        /// every time a task is enqueued, after it is enqueued. *Shim
+        /// deviation* — the host thread parks on its own signal channel
+        /// between polls and needs wakes forwarded there.
+        pub fn set_notify(&self, f: impl Fn() + Send + Sync + 'static) {
+            *self.shared.notify.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(f));
+        }
+
+        /// A handle for spawning tasks onto this pool.
+        pub fn spawner(&self) -> LocalSpawner {
+            LocalSpawner {
+                incoming: Rc::clone(&self.incoming),
+            }
+        }
+
+        /// Move spawned futures into task slots and queue their first poll.
+        fn drain_incoming(&mut self) {
+            let incoming: Vec<LocalFuture> = self.incoming.borrow_mut().drain(..).collect();
+            for fut in incoming {
+                let index = self.tasks.len();
+                self.tasks.push(Some(fut));
+                {
+                    let mut ready = self.shared.ready.lock().unwrap_or_else(|e| e.into_inner());
+                    ready.queued.push(false);
+                }
+                self.shared.enqueue(index);
+            }
+        }
+
+        /// Poll one ready task, if any. Returns `true` if a task was polled.
+        /// The task's queued flag is cleared *before* the poll, so a wake
+        /// arriving during the poll re-enqueues it (repoll semantics).
+        pub fn try_run_one(&mut self) -> bool {
+            self.drain_incoming();
+            let index = {
+                let mut ready = self.shared.ready.lock().unwrap_or_else(|e| e.into_inner());
+                match ready.queue.pop_front() {
+                    Some(i) => {
+                        ready.queued[i] = false;
+                        i
+                    }
+                    None => return false,
+                }
+            };
+            let Some(fut) = self.tasks[index].as_mut() else {
+                return true; // completed task woken by a stale waker
+            };
+            let w = waker(Arc::new(TaskWaker {
+                shared: Arc::clone(&self.shared),
+                index,
+            }));
+            let mut cx = Context::from_waker(&w);
+            if let Poll::Ready(()) = fut.as_mut().poll(&mut cx) {
+                self.tasks[index] = None;
+            }
+            true
+        }
+
+        /// Poll ready tasks until none is ready (tasks that keep re-waking
+        /// themselves keep the pool running — cooperative livelock is the
+        /// caller's contract to avoid, or bound with [`LocalPool::try_run_one`]).
+        pub fn run_until_stalled(&mut self) {
+            while self.try_run_one() {}
+        }
+
+        /// Whether any task is currently queued for a poll (or waiting to be
+        /// spawned).
+        pub fn has_ready(&self) -> bool {
+            !self.incoming.borrow().is_empty()
+                || !self
+                    .shared
+                    .ready
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .queue
+                    .is_empty()
+        }
+
+        /// Number of tasks that have not yet run to completion.
+        pub fn live_tasks(&self) -> usize {
+            self.incoming.borrow().len() + self.tasks.iter().filter(|t| t.is_some()).count()
+        }
+    }
+
+    /// Spawns `!Send` futures onto the owning [`LocalPool`]. Not `Send`:
+    /// spawning happens on the pool's thread.
+    #[derive(Clone)]
+    pub struct LocalSpawner {
+        incoming: Rc<RefCell<Vec<LocalFuture>>>,
+    }
+
+    impl LocalSpawner {
+        /// Spawn a task; it gets its first poll on the next
+        /// [`LocalPool::try_run_one`] / [`LocalPool::run_until_stalled`].
+        pub fn spawn_local(&self, fut: impl Future<Output = ()> + 'static) {
+            self.incoming.borrow_mut().push(Box::pin(fut));
+        }
+    }
+}
+
+pub mod channel {
+    //! Async-aware channels.
+
+    pub mod mpsc {
+        //! A bounded multi-producer single-consumer channel whose receiver
+        //! can be awaited: `try_send` from any thread wakes the task blocked
+        //! in [`Receiver::next`]. Senders never block — a full buffer returns
+        //! [`TrySendError::Full`] and the caller decides how to back off
+        //! (the async runtime drains its own inbox and yields).
+
+        use std::collections::VecDeque;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll, Waker};
+
+        struct Inner<T> {
+            queue: VecDeque<T>,
+            cap: usize,
+            recv_waker: Option<Waker>,
+            senders: usize,
+            recv_alive: bool,
+        }
+
+        impl<T> Inner<T> {
+            fn wake_receiver(&mut self) -> Option<Waker> {
+                self.recv_waker.take()
+            }
+        }
+
+        /// Error returned by [`Sender::try_send`], carrying the message back.
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// The buffer holds `cap` messages.
+            Full(T),
+            /// The receiver was dropped; the message can never be delivered.
+            Disconnected(T),
+        }
+
+        /// Error returned by [`Receiver::try_recv`].
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// No message buffered right now.
+            Empty,
+            /// Buffer empty and every sender dropped.
+            Disconnected,
+        }
+
+        /// The sending half; clonable, usable from any thread.
+        pub struct Sender<T>(Arc<Mutex<Inner<T>>>);
+
+        /// The receiving half.
+        pub struct Receiver<T>(Arc<Mutex<Inner<T>>>);
+
+        /// A bounded channel with `cap` message slots (minimum 1).
+        pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+            let inner = Arc::new(Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap: cap.max(1),
+                recv_waker: None,
+                senders: 1,
+                recv_alive: true,
+            }));
+            (Sender(Arc::clone(&inner)), Receiver(inner))
+        }
+
+        impl<T> Sender<T> {
+            /// Enqueue without blocking; wakes the receiver on success.
+            pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+                let waker = {
+                    let mut inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+                    if !inner.recv_alive {
+                        return Err(TrySendError::Disconnected(t));
+                    }
+                    if inner.queue.len() >= inner.cap {
+                        return Err(TrySendError::Full(t));
+                    }
+                    inner.queue.push_back(t);
+                    inner.wake_receiver()
+                };
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                Ok(())
+            }
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                self.0.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+                Sender(Arc::clone(&self.0))
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let waker = {
+                    let mut inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+                    inner.senders -= 1;
+                    if inner.senders == 0 {
+                        // Last sender gone: a receiver parked on `next` must
+                        // observe the disconnect.
+                        inner.wake_receiver()
+                    } else {
+                        None
+                    }
+                };
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Dequeue without blocking. *Shim deviation*: inherent method
+            /// (the real crate spells this `try_next`).
+            pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+                let mut inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+                match inner.queue.pop_front() {
+                    Some(t) => Ok(t),
+                    None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                    None => Err(TryRecvError::Empty),
+                }
+            }
+
+            /// Await the next message; resolves to `None` once the buffer is
+            /// empty and every sender has been dropped. *Shim deviation*:
+            /// inherent method (the real crate gets it from `StreamExt` —
+            /// hence the `Iterator::next`-shadowing name, kept so call
+            /// sites survive a swap to the real crate).
+            #[allow(clippy::should_implement_trait)]
+            pub fn next(&mut self) -> Next<'_, T> {
+                Next { rx: self }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                self.0.lock().unwrap_or_else(|e| e.into_inner()).recv_alive = false;
+            }
+        }
+
+        /// Future returned by [`Receiver::next`].
+        pub struct Next<'a, T> {
+            rx: &'a mut Receiver<T>,
+        }
+
+        impl<T> Future for Next<'_, T> {
+            type Output = Option<T>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+                let this = self.get_mut();
+                let mut inner = this.rx.0.lock().unwrap_or_else(|e| e.into_inner());
+                match inner.queue.pop_front() {
+                    Some(t) => Poll::Ready(Some(t)),
+                    None if inner.senders == 0 => Poll::Ready(None),
+                    None => {
+                        inner.recv_waker = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    use super::channel::mpsc;
+    use super::executor::LocalPool;
+
+    /// A future that parks its waker in a shared slot and completes after
+    /// being woken `target` times (re-pending in between).
+    struct CountedWakes {
+        waker_slot: Arc<Mutex<Option<Waker>>>,
+        polls: Arc<AtomicUsize>,
+        target: usize,
+    }
+
+    impl Future for CountedWakes {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let n = self.polls.fetch_add(1, Ordering::SeqCst) + 1;
+            if n > self.target {
+                Poll::Ready(())
+            } else {
+                *self.waker_slot.lock().unwrap() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_polls_once_then_waits_for_wake() {
+        let mut pool = LocalPool::new();
+        let slot = Arc::new(Mutex::new(None));
+        let polls = Arc::new(AtomicUsize::new(0));
+        pool.spawner().spawn_local(CountedWakes {
+            waker_slot: Arc::clone(&slot),
+            polls: Arc::clone(&polls),
+            target: 1,
+        });
+        pool.run_until_stalled();
+        assert_eq!(polls.load(Ordering::SeqCst), 1, "first poll on spawn");
+        assert!(!pool.has_ready(), "pending task is not ready");
+        // Nothing happens without a wake.
+        pool.run_until_stalled();
+        assert_eq!(polls.load(Ordering::SeqCst), 1);
+        // Wake → exactly one repoll, which completes the task.
+        slot.lock().unwrap().take().unwrap().wake();
+        assert!(pool.has_ready(), "wake queues the task");
+        pool.run_until_stalled();
+        assert_eq!(polls.load(Ordering::SeqCst), 2);
+        assert_eq!(pool.live_tasks(), 0);
+    }
+
+    #[test]
+    fn wakes_coalesce_while_queued() {
+        let mut pool = LocalPool::new();
+        let slot = Arc::new(Mutex::new(None));
+        let polls = Arc::new(AtomicUsize::new(0));
+        pool.spawner().spawn_local(CountedWakes {
+            waker_slot: Arc::clone(&slot),
+            polls: Arc::clone(&polls),
+            target: 5,
+        });
+        pool.run_until_stalled();
+        assert_eq!(polls.load(Ordering::SeqCst), 1);
+        // Three wakes while the task sits in the queue → one repoll.
+        let w = slot.lock().unwrap().take().unwrap();
+        w.wake_by_ref();
+        w.wake_by_ref();
+        w.wake();
+        assert!(pool.try_run_one());
+        assert_eq!(polls.load(Ordering::SeqCst), 2, "coalesced to one poll");
+        assert!(!pool.has_ready(), "queue drained after the coalesced poll");
+    }
+
+    /// A future that wakes itself *during* its own poll, pending `spins`
+    /// times — the executor must repoll it each time (queued flag cleared
+    /// before the poll), then stop once it completes.
+    struct SelfWaking {
+        spins: usize,
+        polls: Arc<AtomicUsize>,
+    }
+
+    impl Future for SelfWaking {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            self.polls.fetch_add(1, Ordering::SeqCst);
+            if self.spins == 0 {
+                Poll::Ready(())
+            } else {
+                self.spins -= 1;
+                cx.waker().wake_by_ref(); // wake-during-poll
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn wake_during_poll_repolls() {
+        let mut pool = LocalPool::new();
+        let polls = Arc::new(AtomicUsize::new(0));
+        pool.spawner().spawn_local(SelfWaking {
+            spins: 3,
+            polls: Arc::clone(&polls),
+        });
+        pool.run_until_stalled();
+        assert_eq!(
+            polls.load(Ordering::SeqCst),
+            4,
+            "3 self-wakes + completing poll"
+        );
+        assert_eq!(pool.live_tasks(), 0);
+    }
+
+    #[test]
+    fn ready_queue_is_fifo_in_wake_order() {
+        let mut pool = LocalPool::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let slots: Vec<Arc<Mutex<Option<Waker>>>> =
+            (0..3).map(|_| Arc::new(Mutex::new(None))).collect();
+        for (i, slot) in slots.iter().enumerate() {
+            let order = Arc::clone(&order);
+            let slot = Arc::clone(slot);
+            let mut registered = false;
+            pool.spawner().spawn_local(std::future::poll_fn(move |cx| {
+                if registered {
+                    order.lock().unwrap().push(i);
+                    Poll::Ready(())
+                } else {
+                    registered = true;
+                    *slot.lock().unwrap() = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }));
+        }
+        pool.run_until_stalled();
+        // Wake in reverse spawn order; polls must follow wake order.
+        for slot in slots.iter().rev() {
+            slot.lock().unwrap().take().unwrap().wake();
+        }
+        pool.run_until_stalled();
+        assert_eq!(*order.lock().unwrap(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn cross_thread_wake_notifies_after_enqueue() {
+        let mut pool = LocalPool::new();
+        let notified = Arc::new(AtomicUsize::new(0));
+        {
+            let notified = Arc::clone(&notified);
+            pool.set_notify(move || {
+                notified.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let slot = Arc::new(Mutex::new(None));
+        let polls = Arc::new(AtomicUsize::new(0));
+        pool.spawner().spawn_local(CountedWakes {
+            waker_slot: Arc::clone(&slot),
+            polls: Arc::clone(&polls),
+            target: 1,
+        });
+        pool.run_until_stalled();
+        let before = notified.load(Ordering::SeqCst);
+        let w = slot.lock().unwrap().take().unwrap();
+        std::thread::spawn(move || w.wake()).join().unwrap();
+        assert_eq!(notified.load(Ordering::SeqCst), before + 1);
+        assert!(pool.has_ready(), "enqueue happens before notify");
+        pool.run_until_stalled();
+        assert_eq!(polls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn channel_send_wakes_parked_receiver() {
+        let (tx, mut rx) = mpsc::channel::<u32>(2);
+        let mut pool = LocalPool::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let got = Arc::clone(&got);
+            pool.spawner().spawn_local(async move {
+                while let Some(v) = rx.next().await {
+                    got.lock().unwrap().push(v);
+                }
+            });
+        }
+        pool.run_until_stalled(); // parks on an empty channel
+        tx.try_send(7).unwrap();
+        assert!(pool.has_ready(), "send wakes the parked receiver task");
+        pool.run_until_stalled();
+        assert_eq!(*got.lock().unwrap(), vec![7]);
+        // Capacity enforcement and message hand-back.
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(mpsc::TrySendError::Full(3)));
+        pool.run_until_stalled();
+        // Disconnect completes the receive loop.
+        drop(tx);
+        pool.run_until_stalled();
+        assert_eq!(*got.lock().unwrap(), vec![7, 1, 2]);
+        assert_eq!(pool.live_tasks(), 0, "receiver task ended on disconnect");
+    }
+
+    #[test]
+    fn channel_disconnects_both_ways() {
+        let (tx, rx) = mpsc::channel::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(mpsc::TrySendError::Disconnected(1)));
+        let (tx2, mut rx2) = mpsc::channel::<u32>(1);
+        tx2.try_send(9).unwrap();
+        drop(tx2);
+        assert_eq!(rx2.try_recv(), Ok(9), "buffered message survives drop");
+        assert_eq!(rx2.try_recv(), Err(mpsc::TryRecvError::Disconnected));
+    }
+}

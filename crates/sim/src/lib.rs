@@ -29,11 +29,19 @@
 //!   implementations are actually thread-safe/distributable. Timing is
 //!   wall-clock rather than modelled.
 //! * [`sharded`] — the composite runtime: the peer set partitioned across
-//!   several inner threaded shards (pluggable [`ShardAssignment`]), with a
-//!   bounded cross-shard transport whose in-flight accounting extends the
-//!   quiescence/timer-fence contract globally. The stepping stone to async
-//!   and real-network (TCP) substrates.
+//!   several inner shards (threaded or async, pluggable [`ShardAssignment`]
+//!   and [`ShardKind`]), with a bounded cross-shard transport whose
+//!   in-flight accounting extends the quiescence/timer-fence contract
+//!   globally. The stepping stone to a real-network (TCP) substrate.
+//! * [`async_rt`] — the task-per-peer cooperative runtime: every peer is an
+//!   async task on a single executor thread (the offline `futures` shim —
+//!   no tokio), so one core hosts thousands of peers under the same
+//!   bounded-inbox + in-flight-counter discipline.
+//!
+//! DESIGN.md: "Runtimes" is this crate's section — the session contract,
+//! the per-substrate ledger, and the recipe for adding a substrate.
 
+pub mod async_rt;
 pub mod des;
 pub mod metrics;
 pub mod net;
@@ -41,9 +49,10 @@ pub mod runtime;
 pub mod sharded;
 pub mod threaded;
 
+pub use async_rt::{AsyncConfig, AsyncRuntime};
 pub use des::{NetApi, PeerNode, Simulator};
 pub use metrics::{MsgMeta, NetMetrics, PeerMetrics};
 pub use net::{ClusterSpec, CostModel, Partitioner, PeerId, Port};
 pub use runtime::{RunBudget, RunOutcome, Runtime, RuntimeKind};
-pub use sharded::{ShardAssignment, ShardedConfig, ShardedRuntime};
+pub use sharded::{ShardAssignment, ShardKind, ShardedConfig, ShardedRuntime};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedOutcome, ThreadedRuntime};

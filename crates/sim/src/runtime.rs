@@ -1,38 +1,38 @@
-//! The runtime seam: one session contract over both execution substrates.
+//! The runtime seam: one session contract over every execution substrate.
 //!
 //! A [`Runtime`] hosts a set of [`PeerNode`](crate::des::PeerNode)s and
 //! drives them through **phases**: the driver injects external inputs at the
 //! current frontier, calls [`Runtime::run`] to reach global quiescence (or
 //! exhaust the [`RunBudget`]), then snapshots metrics and inspects peer
 //! state. Repeating the cycle gives multi-phase workloads (load → churn →
-//! re-derive) the same shape on every substrate.
-//!
-//! Contract (see DESIGN.md "Runtimes" for the full ledger):
-//!
-//! * **Termination detection** — `run` returns `Converged` only when no
-//!   message, local hand-off, *or armed timer* remains anywhere in the
-//!   system. A phase can therefore never end with a timer in flight: soft-
-//!   state TTLs and MinShip flushes scheduled during a phase land inside it.
-//! * **Phase semantics** — `inject` enqueues at the frontier; state and
-//!   cumulative metrics persist across phases; `metrics_snapshot` taken at a
-//!   quiescent boundary is stable.
-//! * **Budget** — `run` honors `max_events`, `max_time` (simulated /
-//!   elapsed), and `max_wall`; exhaustion yields `BudgetExceeded` with the
-//!   number of still-pending events.
+//! re-derive) the same shape on every substrate. The full contract is
+//! spelled out on [`Runtime`]; DESIGN.md "Runtimes" carries the
+//! per-substrate ledger.
 //!
 //! Implementations: the deterministic discrete-event
-//! [`Simulator`](crate::des::Simulator) and the concurrent
-//! [`ThreadedRuntime`](crate::threaded::ThreadedRuntime).
+//! [`Simulator`](crate::des::Simulator), the concurrent
+//! [`ThreadedRuntime`](crate::threaded::ThreadedRuntime) (one worker thread
+//! per peer), the cooperative [`AsyncRuntime`](crate::async_rt::AsyncRuntime)
+//! (one task per peer, thousands of peers per core), and the composite
+//! [`ShardedRuntime`](crate::sharded::ShardedRuntime) (peer-partitioned
+//! threaded or async shards behind one runtime).
 
 use netrec_types::SimTime;
 
+use crate::async_rt::AsyncConfig;
 use crate::metrics::NetMetrics;
 use crate::net::{PeerId, Port};
-use crate::sharded::ShardedConfig;
+use crate::sharded::{ShardKind, ShardedConfig};
 use crate::threaded::ThreadedConfig;
 
 /// Bounds on a run, so that configurations the paper reports as "did not
 /// complete within 5 minutes" terminate with an explicit verdict.
+///
+/// All three limits apply together; the first one crossed ends the phase
+/// with [`RunOutcome::BudgetExceeded`]. `max_events` and `max_time` cap the
+/// **session cumulatively** (they keep counting across phases), `max_wall`
+/// caps **each phase**. On the concurrent substrates, exhaustion also
+/// **freezes** the session — see [`Runtime::run`].
 #[derive(Clone, Copy, Debug)]
 pub struct RunBudget {
     /// Maximum number of events to process.
@@ -79,12 +79,18 @@ impl RunBudget {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunOutcome {
     /// All events drained: the distributed computation reached fixpoint.
+    /// This is a *global* claim — no message, local hand-off, or armed
+    /// timer remained anywhere when it was made (see [`Runtime::run`]).
     Converged {
         /// Completion time of the last processed event.
         at: SimTime,
     },
     /// The budget was exhausted first (reported as `> budget` in the paper's
-    /// style).
+    /// style). On the concurrent substrates the session is now **frozen**:
+    /// peer state and metrics stay inspectable and stable, but every later
+    /// [`Runtime::run`] returns `BudgetExceeded` immediately — a truncated
+    /// session must never claim convergence, even though teardown can drain
+    /// its pending-event counter to zero.
     BudgetExceeded {
         /// Simulated time when the run was cut off.
         at: SimTime,
@@ -113,9 +119,13 @@ pub enum RuntimeKind {
     /// The concurrent threaded runtime (real OS threads, bounded channels,
     /// wall-clock timers) with its tuning knobs.
     Threaded(ThreadedConfig),
+    /// The async runtime (one cooperative task per peer on a single
+    /// executor thread — thousands of peers per core) with its tuning
+    /// knobs.
+    Async(AsyncConfig),
     /// The sharded runtime: the peer set partitioned across several inner
-    /// threaded shards behind one composite runtime, cross-shard messages
-    /// routed over a bounded transport.
+    /// shards (threaded or async, per [`ShardKind`]) behind one composite
+    /// runtime, cross-shard messages routed over a bounded transport.
     Sharded(ShardedConfig),
 }
 
@@ -125,10 +135,24 @@ impl RuntimeKind {
         RuntimeKind::Threaded(ThreadedConfig::default())
     }
 
-    /// Sharded runtime with `shards` hash-assigned shards and default
-    /// tuning.
+    /// Async task-per-peer runtime with default tuning.
+    pub fn asynchronous() -> RuntimeKind {
+        RuntimeKind::Async(AsyncConfig::default())
+    }
+
+    /// Sharded runtime with `shards` hash-assigned threaded shards and
+    /// default tuning.
     pub fn sharded(shards: u32) -> RuntimeKind {
         RuntimeKind::Sharded(ShardedConfig::with_shards(shards))
+    }
+
+    /// Sharded runtime with `shards` hash-assigned **async** shards and
+    /// default tuning.
+    pub fn sharded_async(shards: u32) -> RuntimeKind {
+        RuntimeKind::Sharded(
+            ShardedConfig::with_shards(shards)
+                .with_shard_kind(ShardKind::Async(AsyncConfig::default())),
+        )
     }
 
     /// Short label for reports and bench entries.
@@ -136,28 +160,130 @@ impl RuntimeKind {
         match self {
             RuntimeKind::Des => "des",
             RuntimeKind::Threaded(_) => "threaded",
-            RuntimeKind::Sharded(_) => "sharded",
+            RuntimeKind::Async(_) => "async",
+            RuntimeKind::Sharded(cfg) => match cfg.shard {
+                ShardKind::Threaded(_) => "sharded",
+                ShardKind::Async(_) => "sharded-async",
+            },
         }
     }
 }
 
 /// An execution substrate hosting peers of type `N` exchanging messages of
-/// type `M`. See the module docs for the session contract.
+/// type `M`.
+///
+/// # The session contract
+///
+/// A `Runtime` is a long-lived **session** driven in **phases**; every
+/// substrate — deterministic simulation, threads, cooperative tasks,
+/// shards — must honor the same four clauses, which is what lets one
+/// generic driver (`netrec-engine`'s `Runner`) and one differential harness
+/// (`netrec_testutil::assert_substrates_agree`) cover them all:
+///
+/// 1. **Inject at the frontier.** [`Runtime::inject`] enqueues an external
+///    input after everything already executed. Concurrent substrates may
+///    begin processing it immediately — before [`Runtime::run`] is even
+///    called — so drivers must treat the *previous quiescent boundary*, not
+///    "now", as the phase baseline when diffing metrics.
+/// 2. **Run to quiescence, timers included.** [`Runtime::run`] returns
+///    [`RunOutcome::Converged`] only when **no message, local hand-off, or
+///    armed timer remains anywhere**. The timer clause is the *fence*: a
+///    phase can never end with a timer in flight, so soft-state TTLs and
+///    MinShip flushes scheduled during a phase land inside it, and a
+///    converged boundary is a true fixpoint of the distributed computation.
+///    Concurrent substrates implement this with an in-flight counter that
+///    registers every produced event (messages *and* armed timers)
+///    **before** its producing event retires, so the counter can never
+///    transiently read zero mid-computation.
+/// 3. **Snapshot at the boundary.** Peer state ([`Runtime::with_peer`] /
+///    [`Runtime::for_each_peer`]) and cumulative metrics
+///    ([`Runtime::metrics_snapshot`]) persist across phases and are stable
+///    when read at a converged boundary. Between phases nothing moves: the
+///    substrate's clock ([`Runtime::frontier`]) only advances while events
+///    execute.
+/// 4. **Budget exhaustion freezes.** When [`RunBudget`] is exceeded, `run`
+///    returns [`RunOutcome::BudgetExceeded`] and the session **freezes**:
+///    workers/tasks stop, armed timers are retired, snapshots stay stable,
+///    and every later `run` fails fast with `BudgetExceeded` — never
+///    `Converged`, because teardown itself drains the pending-event
+///    counter. A peer panic likewise freezes the session and re-panics
+///    from `run` on the controller thread instead of hanging it.
+///
+/// # Example
+///
+/// One token-passing session on the async (task-per-peer) substrate:
+/// inject → run-to-quiescence → snapshot, with a second phase continuing
+/// from the first phase's state and a timer held inside its phase by the
+/// fence.
+///
+/// ```
+/// use netrec_sim::{AsyncConfig, AsyncRuntime, MsgMeta, NetApi, PeerNode};
+/// use netrec_sim::{PeerId, Port, RunBudget, RunOutcome, Runtime};
+/// use netrec_types::Duration;
+///
+/// /// Forwards a decrementing token to the next peer; arms a short timer
+/// /// on every delivery and counts its firing.
+/// struct Relay { next: PeerId, fired: u32 }
+///
+/// impl PeerNode<u64> for Relay {
+///     fn on_message(&mut self, _p: Port, token: u64, net: &mut NetApi<u64>) {
+///         net.set_timer(Duration::from_millis(1), 7);
+///         if token > 0 {
+///             net.send(self.next, Port(0), token - 1, MsgMeta { bytes: 8, prov_bytes: 0, tuples: 1 });
+///         }
+///     }
+///     fn on_timer(&mut self, id: u64, _net: &mut NetApi<u64>) {
+///         assert_eq!(id, 7);
+///         self.fired += 1;
+///     }
+/// }
+///
+/// let peers = vec![
+///     Relay { next: PeerId(1), fired: 0 },
+///     Relay { next: PeerId(0), fired: 0 },
+/// ];
+/// let mut rt = AsyncRuntime::new(peers, AsyncConfig::default());
+///
+/// // Phase 1: inject at the frontier, run to global quiescence.
+/// rt.inject(PeerId(0), Port(0), 3);
+/// let outcome = rt.run(RunBudget::default());
+/// assert!(matches!(outcome, RunOutcome::Converged { .. }));
+///
+/// // The boundary is a fixpoint: 3 forwards happened, and the timer fence
+/// // means every armed timer already fired inside the phase.
+/// assert_eq!(rt.metrics_snapshot().total_msgs(), 3);
+/// let fired: u32 = {
+///     let mut total = 0;
+///     rt.for_each_peer(|_, relay| total += relay.fired);
+///     total
+/// };
+/// assert_eq!(fired, 4, "one firing per delivery, all inside the phase");
+///
+/// // Phase 2 continues from phase 1's state; metrics are cumulative.
+/// rt.inject(PeerId(1), Port(0), 1);
+/// assert!(matches!(rt.run(RunBudget::default()), RunOutcome::Converged { .. }));
+/// assert_eq!(rt.metrics_snapshot().total_msgs(), 4);
+/// assert_eq!(rt.events_processed(), 6 + 6, "deliveries + timer firings");
+/// ```
 pub trait Runtime<M, N> {
-    /// Substrate name for reports ("des" / "threaded").
+    /// Substrate name for reports ("des", "threaded", "async", "sharded",
+    /// "sharded-async").
     fn name(&self) -> &'static str;
 
     /// Deliver an external input (EDB stream element) at the current
     /// frontier. Not counted as network traffic: it models data arriving at
-    /// its ingress peer from the local sub-network.
+    /// its ingress peer from the local sub-network. Concurrent substrates
+    /// may start processing it before [`Runtime::run`] is called (contract
+    /// clause 1).
     fn inject(&mut self, to: PeerId, port: Port, msg: M);
 
     /// Run one phase: process events until global quiescence (no messages,
-    /// hand-offs, or armed timers anywhere) or budget exhaustion.
+    /// hand-offs, or armed timers anywhere — contract clause 2) or budget
+    /// exhaustion (which freezes the session — clause 4).
     fn run(&mut self, budget: RunBudget) -> RunOutcome;
 
     /// Snapshot of the cumulative traffic metrics. Stable when taken at a
-    /// quiescent phase boundary.
+    /// quiescent phase boundary (contract clause 3).
     fn metrics_snapshot(&self) -> NetMetrics;
 
     /// Total events (message deliveries + timer firings) processed so far.

@@ -1,15 +1,18 @@
 //! The sharded runtime: one composite [`Runtime`] over peer-partitioned
-//! [`ThreadedRuntime`] shards — the step from "one thread per peer" to
-//! "many peers per shard, many shards per box".
+//! inner shards — the step from "one thread per peer" to "many peers per
+//! shard, many shards per box".
 //!
 //! A [`ShardedRuntime`] partitions the global peer set across N inner
-//! threaded shards via a pluggable [`ShardAssignment`] (hash, contiguous
-//! blocks, or an explicit map). Each peer is wrapped in a shard-local
-//! adapter that keeps the peer's *global* identity: same-shard messages
-//! travel through the shard's own bounded inboxes exactly as in the
-//! threaded runtime, while cross-shard messages enter a bounded **transport
-//! channel** (the crossbeam shim again) drained by the composite controller,
-//! which re-injects them into the destination shard.
+//! shards via a pluggable [`ShardAssignment`] (hash, contiguous blocks, or
+//! an explicit map); each shard runs on a pluggable substrate
+//! ([`ShardKind`]): a [`ThreadedRuntime`] (one worker thread per peer) or
+//! an [`AsyncRuntime`] (one cooperative task per peer — thousands of peers
+//! per shard). Each peer is wrapped in a shard-local adapter that keeps the
+//! peer's *global* identity: same-shard messages travel through the shard's
+//! own bounded inboxes exactly as in the standalone runtimes, while
+//! cross-shard messages enter a bounded **transport channel** (the
+//! crossbeam shim again) drained by the composite controller, which
+//! re-injects them into the destination shard.
 //!
 //! Contract notes (DESIGN.md "Runtimes" has the full ledger):
 //!
@@ -42,8 +45,8 @@
 //!   folds the shards with [`NetMetrics::merge`], and
 //!   [`ShardedRuntime::shard_metrics`] exposes the per-shard breakdown.
 //!
-//! The sharded runtime is the stepping stone to the async and TCP-transport
-//! runtimes: the transport layer is the seam where a socket goes.
+//! The sharded runtime is the stepping stone to the TCP-transport runtime:
+//! the transport layer is the seam where a socket goes.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -54,6 +57,7 @@ use crossbeam::channel::{bounded, Receiver, SyncSender, TrySendError};
 use netrec_types::SimTime;
 use parking_lot::Mutex;
 
+use crate::async_rt::{AsyncConfig, AsyncRuntime};
 use crate::des::{NetApi, PeerNode};
 use crate::metrics::NetMetrics;
 use crate::net::{PeerId, Port};
@@ -107,16 +111,34 @@ impl ShardAssignment {
     }
 }
 
+/// Which substrate each inner shard runs on. The adapter/transport layer
+/// and the global quiescence contract are identical either way — only the
+/// scheduling of peers *within* a shard differs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardKind {
+    /// One OS worker thread per peer ([`ThreadedRuntime`]).
+    Threaded(ThreadedConfig),
+    /// One cooperative task per peer on a single executor thread
+    /// ([`AsyncRuntime`]) — thousands of peers per shard.
+    Async(AsyncConfig),
+}
+
+impl Default for ShardKind {
+    fn default() -> Self {
+        ShardKind::Threaded(ThreadedConfig::default())
+    }
+}
+
 /// Tuning knobs for the sharded runtime.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardedConfig {
-    /// Number of inner threaded shards.
+    /// Number of inner shards.
     pub shards: u32,
     /// Peer → shard placement.
     pub assignment: ShardAssignment,
-    /// Tuning for each inner threaded shard (inbox capacity, timer dilation,
-    /// worker poll).
-    pub shard: ThreadedConfig,
+    /// Substrate and tuning for each inner shard (inbox capacity, timer
+    /// dilation, poll).
+    pub shard: ShardKind,
     /// Capacity of the bounded cross-shard transport channel; senders
     /// observe backpressure once it fills.
     pub transport_capacity: usize,
@@ -130,7 +152,7 @@ impl Default for ShardedConfig {
         ShardedConfig {
             shards: 2,
             assignment: ShardAssignment::Hash,
-            shard: ThreadedConfig::default(),
+            shard: ShardKind::default(),
             transport_capacity: 1024,
             poll: WallDuration::from_millis(1),
         }
@@ -138,7 +160,7 @@ impl Default for ShardedConfig {
 }
 
 impl ShardedConfig {
-    /// `shards` hash-assigned shards with default tuning.
+    /// `shards` hash-assigned threaded shards with default tuning.
     pub fn with_shards(shards: u32) -> ShardedConfig {
         ShardedConfig {
             shards,
@@ -149,6 +171,12 @@ impl ShardedConfig {
     /// Select the peer → shard assignment (builder style).
     pub fn with_assignment(mut self, assignment: ShardAssignment) -> ShardedConfig {
         self.assignment = assignment;
+        self
+    }
+
+    /// Select the inner shard substrate (builder style).
+    pub fn with_shard_kind(mut self, shard: ShardKind) -> ShardedConfig {
+        self.shard = shard;
         self
     }
 }
@@ -279,10 +307,71 @@ struct Parked<M> {
     msg: M,
 }
 
+/// One inner shard: a threaded or async runtime hosting this shard's
+/// [`ShardPeer`]s. The composite controller drives both kinds through the
+/// same non-blocking-inject / counter / freeze surface.
+enum Shard<M, N> {
+    Threaded(ThreadedRuntime<M, ShardPeer<M, N>>),
+    Async(AsyncRuntime<M, ShardPeer<M, N>>),
+}
+
+impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Shard<M, N> {
+    fn new(nodes: Vec<ShardPeer<M, N>>, kind: &ShardKind) -> Shard<M, N> {
+        match kind {
+            ShardKind::Threaded(cfg) => Shard::Threaded(ThreadedRuntime::new(nodes, cfg.clone())),
+            ShardKind::Async(cfg) => Shard::Async(AsyncRuntime::new(nodes, cfg.clone())),
+        }
+    }
+
+    fn try_inject(&mut self, to: PeerId, port: Port, msg: M) -> Result<(), M> {
+        match self {
+            Shard::Threaded(rt) => rt.try_inject(to, port, msg),
+            Shard::Async(rt) => rt.try_inject(to, port, msg),
+        }
+    }
+
+    fn events_processed(&self) -> u64 {
+        match self {
+            Shard::Threaded(rt) => rt.events_processed(),
+            Shard::Async(rt) => rt.events_processed(),
+        }
+    }
+
+    fn with_peer<T>(&self, p: PeerId, f: impl FnOnce(&ShardPeer<M, N>) -> T) -> T {
+        match self {
+            Shard::Threaded(rt) => rt.with_peer(p, f),
+            Shard::Async(rt) => rt.with_peer(p, f),
+        }
+    }
+}
+
+impl<M, N> Shard<M, N> {
+    fn pending_events(&self) -> i64 {
+        match self {
+            Shard::Threaded(rt) => rt.pending_events(),
+            Shard::Async(rt) => rt.pending_events(),
+        }
+    }
+
+    fn panic_note(&self) -> Option<String> {
+        match self {
+            Shard::Threaded(rt) => rt.panic_note(),
+            Shard::Async(rt) => rt.panic_note(),
+        }
+    }
+
+    fn freeze(&mut self) {
+        match self {
+            Shard::Threaded(rt) => rt.freeze(),
+            Shard::Async(rt) => rt.freeze(),
+        }
+    }
+}
+
 /// A live sharded session over `N` peers behind one [`Runtime`]. Create
 /// with [`ShardedRuntime::new`] and drive through the trait.
 pub struct ShardedRuntime<M, N> {
-    shards: Vec<ThreadedRuntime<M, ShardPeer<M, N>>>,
+    shards: Vec<Shard<M, N>>,
     map: Arc<ShardMap>,
     state: Arc<TransportState>,
     transport_rx: Receiver<Envelope<M>>,
@@ -346,7 +435,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
         }
         let shards = buckets
             .into_iter()
-            .map(|nodes| ThreadedRuntime::new(nodes, cfg.shard.clone()))
+            .map(|nodes| Shard::new(nodes, &cfg.shard))
             .collect();
         // The adapters hold every transport sender the session needs; the
         // controller only ever receives.
@@ -482,7 +571,10 @@ impl<M, N> Drop for ShardedRuntime<M, N> {
 
 impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for ShardedRuntime<M, N> {
     fn name(&self) -> &'static str {
-        "sharded"
+        match self.cfg.shard {
+            ShardKind::Threaded(_) => "sharded",
+            ShardKind::Async(_) => "sharded-async",
+        }
     }
 
     fn inject(&mut self, to: PeerId, port: Port, msg: M) {
@@ -635,6 +727,10 @@ mod tests {
         ShardedConfig::with_shards(2).with_assignment(ShardAssignment::Explicit(vec![0, 1]))
     }
 
+    fn split_pair_async() -> ShardedConfig {
+        split_pair().with_shard_kind(ShardKind::Async(AsyncConfig::default()))
+    }
+
     #[test]
     fn cross_shard_ping_pong_terminates_with_exact_metrics() {
         let mut rt = ShardedRuntime::new(ping_pong_pair(), split_pair());
@@ -681,9 +777,96 @@ mod tests {
             split_pair(),
             ShardedConfig::with_shards(2).with_assignment(ShardAssignment::Hash),
             ShardedConfig::with_shards(4), // more shards than peers
+            // The same matrix on async shards: one cooperative task per
+            // peer instead of one OS thread.
+            ShardedConfig::with_shards(1).with_shard_kind(ShardKind::Async(AsyncConfig::default())),
+            split_pair_async(),
+            ShardedConfig::with_shards(4).with_shard_kind(ShardKind::Async(AsyncConfig::default())),
         ] {
             assert_eq!(run_sharded(cfg), want);
         }
+    }
+
+    #[test]
+    fn async_shards_cross_shard_ping_pong_with_exact_metrics() {
+        let mut rt = ShardedRuntime::new(ping_pong_pair(), split_pair_async());
+        rt.inject(PeerId(0), Port(0), 10u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        assert_eq!(Runtime::<u64, Counter>::name(&rt), "sharded-async");
+        let m = rt.metrics_snapshot();
+        assert_eq!(m.total_msgs(), 10);
+        assert_eq!(m.total_bytes(), 100);
+        assert_eq!(rt.cross_shard_in_flight(), 0);
+        assert_eq!(rt.pending_events(), 0);
+        let mut seen = 0;
+        rt.for_each_peer(|_, c| seen += c.seen);
+        assert_eq!(seen, 11);
+    }
+
+    #[test]
+    fn async_shard_timer_fence_holds_across_the_boundary() {
+        struct T {
+            fired: bool,
+            poke: Option<PeerId>,
+        }
+        impl PeerNode<u64> for T {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                if m == 1 {
+                    if let Some(to) = self.poke {
+                        net.send(to, Port(0), 2, MsgMeta::default());
+                    }
+                } else {
+                    net.set_timer(Duration::from_millis(30), 9);
+                }
+            }
+            fn on_timer(&mut self, id: u64, _net: &mut NetApi<u64>) {
+                assert_eq!(id, 9);
+                self.fired = true;
+            }
+        }
+        let peers = vec![
+            T {
+                fired: false,
+                poke: Some(PeerId(1)),
+            },
+            T {
+                fired: false,
+                poke: None,
+            },
+        ];
+        let mut rt = ShardedRuntime::new(peers, split_pair_async());
+        rt.inject(PeerId(0), Port(0), 1u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        assert!(rt.with_peer(PeerId(1), |t| t.fired));
+        assert_eq!(rt.cross_shard_in_flight(), 0);
+        assert_eq!(rt.pending_events(), 0);
+    }
+
+    #[test]
+    fn async_shard_peer_panic_propagates_from_the_composite() {
+        struct Bomb;
+        impl PeerNode<u64> for Bomb {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                if net.me() == PeerId(1) && m == 13 {
+                    panic!("boom on 13");
+                }
+                net.send(PeerId(1), Port(0), m, MsgMeta::default());
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut rt = ShardedRuntime::new(vec![Bomb, Bomb], split_pair_async());
+            rt.inject(PeerId(0), Port(0), 13u64);
+            rt.run(RunBudget::default())
+        });
+        let err = result.expect_err("composite must re-panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom on 13"), "got: {msg}");
     }
 
     #[test]
@@ -824,10 +1007,10 @@ mod tests {
         }
         let cfg = ShardedConfig {
             transport_capacity: 2,
-            shard: ThreadedConfig {
+            shard: ShardKind::Threaded(ThreadedConfig {
                 channel_capacity: 4,
                 ..ThreadedConfig::default()
-            },
+            }),
             assignment: ShardAssignment::Explicit(vec![0, 1]),
             ..ShardedConfig::with_shards(2)
         };

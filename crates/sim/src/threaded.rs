@@ -88,11 +88,12 @@ enum TimerCmd {
 }
 
 /// Min-heap entry for the timer service (reversed ordering: earliest first).
-struct TimerEntry {
-    at: Instant,
-    seq: u64,
-    peer: u32,
-    id: u64,
+/// Shared with the async runtime's in-loop timer heap.
+pub(crate) struct TimerEntry {
+    pub(crate) at: Instant,
+    pub(crate) seq: u64,
+    pub(crate) peer: u32,
+    pub(crate) id: u64,
 }
 
 impl PartialEq for TimerEntry {
@@ -113,28 +114,38 @@ impl Ord for TimerEntry {
 }
 
 /// State shared between the controller, the workers, and the timer service.
-struct Shared {
+/// The async runtime reuses the same bookkeeping for its executor thread.
+pub(crate) struct Shared {
     /// Produced-but-unretired events (messages in channels or backlogs, plus
     /// armed timers). Zero ⇒ global quiescence including timers.
-    in_flight: AtomicI64,
+    pub(crate) in_flight: AtomicI64,
     /// Total events processed (deliveries + timer firings).
-    events: AtomicU64,
+    pub(crate) events: AtomicU64,
     /// Teardown flag: senders stop spinning and drop instead.
-    shutting_down: AtomicBool,
+    pub(crate) shutting_down: AtomicBool,
     /// First peer panic observed, for propagation from `run`.
-    panicked: Mutex<Option<String>>,
+    pub(crate) panicked: Mutex<Option<String>>,
 }
 
 impl Shared {
+    pub(crate) fn new() -> Shared {
+        Shared {
+            in_flight: AtomicI64::new(0),
+            events: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            panicked: Mutex::new(None),
+        }
+    }
+
     /// Retire one in-flight event; wake the controller on the last one.
-    fn retire_one(&self, ctl: &Sender<()>) {
+    pub(crate) fn retire_one(&self, ctl: &Sender<()>) {
         if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _ = ctl.send(());
         }
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -144,7 +155,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn dilate(delay: netrec_types::Duration, factor: f64) -> WallDuration {
+pub(crate) fn dilate(delay: netrec_types::Duration, factor: f64) -> WallDuration {
     WallDuration::from_secs_f64((delay.micros() as f64 * factor / 1_000_000.0).max(0.0))
 }
 
@@ -417,12 +428,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
     pub fn new(peers: Vec<N>, cfg: ThreadedConfig) -> ThreadedRuntime<M, N> {
         let n = peers.len();
         let epoch = Instant::now();
-        let shared = Arc::new(Shared {
-            in_flight: AtomicI64::new(0),
-            events: AtomicU64::new(0),
-            shutting_down: AtomicBool::new(false),
-            panicked: Mutex::new(None),
-        });
+        let shared = Arc::new(Shared::new());
         let (ctl_tx, ctl_rx) = unbounded::<()>();
         let (timer_tx, timer_rx) = unbounded::<TimerCmd>();
 

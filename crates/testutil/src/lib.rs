@@ -1,7 +1,8 @@
 //! # netrec-testutil — the substrate differential harness
 //!
 //! The engine's correctness claim is that its operators are *distributable*:
-//! any execution substrate implementing the [`Runtime`] session contract
+//! any execution substrate implementing the [`Runtime`](netrec_sim::Runtime)
+//! session contract
 //! must compute the same fixpoints — and, on traffic-confluent workloads,
 //! ship byte-identical traffic — as the deterministic discrete-event
 //! reference. This crate turns the PR 2 one-off DES-vs-threaded test into a
@@ -35,6 +36,9 @@
 //! cross-shard fence), run the workload by hand with
 //! [`run_workload_on`]-style drivers and inspect the concrete runtime via
 //! `Runner::with_runtime` / `Runner::runtime`.
+//!
+//! DESIGN.md: "Runtimes", subsection "Adding a substrate — and getting the
+//! differential harness for free".
 
 use std::collections::{BTreeMap, BTreeSet};
 

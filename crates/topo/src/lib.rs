@@ -4,7 +4,7 @@
 //! GT-ITM's transit-stub model and (2) a simulated 100 m × 100 m sensor grid.
 //! This crate regenerates both, deterministically from a seed:
 //!
-//! * [`transit_stub`] — transit-stub topologies with the paper's default
+//! * [`transit_stub()`] — transit-stub topologies with the paper's default
 //!   shape (one transit domain of four transit routers, three stubs per
 //!   transit router, eight routers per stub ⇒ 100 nodes) and the paper's
 //!   latency classes (transit–transit 50 ms, transit–stub 10 ms, intra-stub
@@ -16,6 +16,9 @@
 //!   base relations (insertion ratios, deletion ratios, trigger/untrigger
 //!   sequences).
 //! * [`random_graph`] — Erdős–Rényi-style graphs for property tests.
+//!
+//! DESIGN.md: "Substitution ledger" records how these generators stand in
+//! for the paper's GT-ITM and sensor-field environments.
 
 mod graph;
 pub mod sensor;

@@ -19,6 +19,9 @@
 //!   rather than delegated to a general serialisation framework.
 //! * [`SimTime`] — simulated wall-clock time used by the discrete-event
 //!   runtime and by soft-state TTL expiry.
+//!
+//! DESIGN.md: "System inventory" places this crate at the bottom of the
+//! stack; "Performance notes" covers the hash-cached tuple representation.
 
 pub mod fxhash;
 mod schema;
