@@ -15,6 +15,12 @@
 //! ns per injected op; for the DES that is time spent *simulating*, for the
 //! concurrent substrates it is time spent actually *executing*.
 //!
+//! Each entry also reports the transport-batching ratio as
+//! `<name>#envelopes_per_op` — physical envelopes shipped per injected op
+//! (logical messages per op stay what they always were; see
+//! `netrec_sim::coalesce`). `_guardrail/...` string entries carry perf
+//! expectations reviewers should re-check when the numbers move.
+//!
 //! A dedicated `scale1000/` section hosts the paper-scale peer counts only
 //! the async runtime reaches on commodity limits: 1000 peers as cooperative
 //! tasks on one core (entry `.../async1000`, with the DES at the same peer
@@ -23,7 +29,8 @@
 //!
 //! Usage: `cargo run --release -p netrec-bench --bin bench-report [-- out.json]`
 //! Env: `BENCH_REPORT_SAMPLES` (default 5) — timed repetitions per entry
-//! (median reported).
+//! (median reported); `BENCH_REPORT_ONLY` — substring filter, only entries
+//! whose name contains it run (quick A/B loops on one entry family).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -53,11 +60,13 @@ fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
     let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
+    let only = std::env::var("BENCH_REPORT_ONLY").ok();
+    let wanted = |name: &str| only.as_deref().is_none_or(|f| name.contains(f));
     // Fail on an unwritable destination *before* spending minutes measuring.
     if let Err(e) = std::fs::write(&out_path, "{}\n") {
         eprintln!("bench-report: cannot write {out_path}: {e}");
@@ -108,26 +117,38 @@ fn main() {
     for (label, strategy) in &schemes {
         for (suffix, runtime) in &substrates {
             // DES entries keep their BENCH_1 names; other substrates get a
-            // `/<label>` suffix.
+            // `/<label>` suffix. Each fig entry carries its own `wanted`
+            // guard (no loop `continue`): a fig08-only filter must still
+            // reach the fig08 block of the same iteration.
             // fig07-style: full insertion load to convergence.
             let name = format!("fig07/reachable_ins/{label}{suffix}");
-            let ns = measure(samples, load.ops.len(), || {
-                let mut sys = System::reachable(
-                    SystemConfig::new(*strategy, peers)
-                        .with_budget(budget())
-                        .with_runtime(runtime.clone()),
+            if wanted(&name) {
+                let mut load_envelopes = 0u64;
+                let ns = measure(samples, load.ops.len(), || {
+                    let mut sys = System::reachable(
+                        SystemConfig::new(*strategy, peers)
+                            .with_budget(budget())
+                            .with_runtime(runtime.clone()),
+                    );
+                    sys.apply(&load);
+                    let rep = sys.run("load");
+                    assert!(rep.converged(), "{name}: load did not converge");
+                    load_envelopes = rep.envelopes;
+                });
+                println!("{name:<45} {:>12.0} ns/op", ns);
+                report.insert(
+                    format!("{name}#envelopes_per_op"),
+                    load_envelopes as f64 / load.ops.len() as f64,
                 );
-                sys.apply(&load);
-                assert!(sys.run("load").converged(), "{name}: load did not converge");
-            });
-            println!("{name:<45} {:>12.0} ns/op", ns);
-            report.insert(name, ns);
+                report.insert(name, ns);
+            }
 
             // fig08-style: deletion maintenance on the loaded system (set
             // mode excluded: plain set semantics cannot maintain deletions
             // without the DRed driver, which fig08 measures separately).
-            if strategy.mode != netrec_prov::ProvMode::Set {
-                let name = format!("fig08/reachable_del/{label}{suffix}");
+            let name = format!("fig08/reachable_del/{label}{suffix}");
+            if strategy.mode != netrec_prov::ProvMode::Set && wanted(&name) {
+                let mut del_envelopes = 0u64;
                 let ns = measure(samples, dels.ops.len(), || {
                     let mut sys = System::reachable(
                         SystemConfig::new(*strategy, peers)
@@ -139,12 +160,15 @@ fn main() {
                     for op in &dels.ops {
                         sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
                     }
-                    assert!(
-                        sys.run("delete").converged(),
-                        "{name}: delete did not converge"
-                    );
+                    let rep = sys.run("delete");
+                    assert!(rep.converged(), "{name}: delete did not converge");
+                    del_envelopes = rep.envelopes;
                 });
                 println!("{name:<45} {:>12.0} ns/op", ns);
+                report.insert(
+                    format!("{name}#envelopes_per_op"),
+                    del_envelopes as f64 / dels.ops.len() as f64,
+                );
                 report.insert(name, ns);
             }
         }
@@ -181,6 +205,9 @@ fn main() {
         ("async1000", RuntimeKind::asynchronous()),
     ] {
         let name = format!("scale1000/reachable_ins/absorption_lazy/{suffix}");
+        if !wanted(&name) {
+            continue;
+        }
         let ns = measure(samples, scale_ops.len(), || {
             let mut sys = System::reachable(
                 SystemConfig::new(Strategy::absorption_lazy(), scale_peers)
@@ -198,10 +225,21 @@ fn main() {
     }
 
     let mut json = String::from("{\n");
-    let entries: Vec<String> = report
-        .iter()
-        .map(|(k, v)| format!("  \"{k}\": {v:.1}"))
-        .collect();
+    // Guardrail note (string entry, sorts first): the BENCH_4 set-mode
+    // sharded cliff and what should hold now that transport coalescing
+    // batches the tiny per-update messages.
+    let mut entries: Vec<String> = vec![format!(
+        "  \"_guardrail/fig07/reachable_ins/set/sharded2\": \"{}\"",
+        "BENCH_4 cliff: 51.8us/op vs 18.6us threaded - every tiny set-mode \
+         Msg crossed the bounded transport as its own envelope, paying a \
+         controller park/re-wake per message. Envelope coalescing \
+         (netrec_sim::coalesce) batches each quantum's same-destination \
+         messages into one transport slot; watch #envelopes_per_op here and \
+         keep this entry within ~2.5x of fig07/reachable_ins/set/threaded - \
+         a drift back toward 50us/op means per-envelope controller wakes \
+         have crept back in"
+    )];
+    entries.extend(report.iter().map(|(k, v)| format!("  \"{k}\": {v:.1}")));
     json.push_str(&entries.join(",\n"));
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write bench report");

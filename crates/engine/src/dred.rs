@@ -65,6 +65,8 @@ pub fn dred_delete_sequential<R: Runtime<Msg, EnginePeer>>(
         convergence: netrec_types::Duration::ZERO,
         bytes: 0,
         msgs: 0,
+        envelopes: 0,
+        envelope_bytes: 0,
         tuples: 0,
         prov_bytes: 0,
         prov_bytes_per_tuple: 0.0,

@@ -12,6 +12,7 @@
 //! * **Immediate** policy: degenerate to a conventional Ship (every update
 //!   forwarded as-is) — the costliest configuration.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use netrec_bdd::Var;
@@ -167,18 +168,24 @@ impl MinShipOp {
     }
 
     /// Eager flush (BatchShipEager): ship all buffered insertions and
-    /// deletions. Returns `true` if anything was sent.
+    /// deletions, bucketed by destination peer as they are drained — the
+    /// buckets go straight to [`Ectx::emit_batches`] instead of a flat
+    /// stream [`Ectx::emit_routed`] would re-split. Returns `true` if
+    /// anything was sent.
     pub fn flush_eager(&mut self, ectx: &mut Ectx<'_>) -> bool {
         let Some(rel) = self.rel_seen else {
             return false;
         };
-        let mut out: Vec<Update> = Vec::new();
+        let mut by_peer: BTreeMap<netrec_sim::PeerId, Vec<Update>> = BTreeMap::new();
         // Deletions first: they unblock receiver-side state.
         let pdel = std::mem::take(&mut self.pdel);
         let mut dels: Vec<(Tuple, (Prov, Vec<Var>))> = pdel.into_iter().collect();
         dels.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut sent = false;
         for (t, (pv, cause)) in dels {
-            out.push(Update::del_cause(
+            let peer = ectx.peer_for(self.route_col, &t);
+            sent = true;
+            by_peer.entry(peer).or_default().push(Update::del_cause(
                 rel,
                 t,
                 pv,
@@ -194,10 +201,14 @@ impl MinShipOp {
         self.pins = ProvTable::new(self.pins.mode(), false);
         for (t, pv) in ins {
             self.sent.merge_ins(&t, &pv);
-            out.push(Update::ins(rel, t, pv));
+            let peer = ectx.peer_for(self.route_col, &t);
+            sent = true;
+            by_peer
+                .entry(peer)
+                .or_default()
+                .push(Update::ins(rel, t, pv));
         }
-        let sent = !out.is_empty();
-        ectx.emit_routed(self.route_col, self.dest, out);
+        ectx.emit_batches(self.dest, by_peer);
         sent
     }
 

@@ -101,8 +101,22 @@ impl<'a> Ectx<'a> {
             let peer = self.peer_for(route_col, &u.tuple);
             by_peer.entry(peer).or_default().push(u);
         }
+        self.emit_batches(dest, by_peer);
+    }
+
+    /// Ship batches already grouped by destination peer — one `Msg` per
+    /// entry, sent in ascending peer order. Operators that accumulate
+    /// per-destination output themselves (MinShip's eager flush) hand their
+    /// buckets straight to the runtime instead of flattening into one
+    /// stream that [`Ectx::emit_routed`] would immediately re-split; the
+    /// runtime's coalescer then merges these with whatever else the quantum
+    /// produced for the same peers.
+    pub fn emit_batches(&mut self, dest: Dest, by_peer: BTreeMap<PeerId, Vec<Update>>) {
         let port = Plan::port(dest.op, dest.input);
         for (p, batch) in by_peer {
+            if batch.is_empty() {
+                continue;
+            }
             let msg = Msg::Updates(Arc::new(batch));
             let meta = msg.meta();
             self.net.send(p, port, msg, meta);

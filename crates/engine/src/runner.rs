@@ -90,10 +90,16 @@ pub struct RunReport {
     /// Simulated (DES) or elapsed (threaded) time from phase start to
     /// quiescence.
     pub convergence: Duration,
-    /// Bytes shipped between peers during the phase.
+    /// Logical bytes shipped between peers during the phase.
     pub bytes: u64,
-    /// Messages shipped.
+    /// Logical messages shipped.
     pub msgs: u64,
+    /// Physical transport envelopes shipped (≤ `msgs`: the runtime
+    /// coalesces same-destination messages per quantum — see
+    /// `netrec_sim::coalesce`).
+    pub envelopes: u64,
+    /// Physical envelope bytes shipped (frame headers + payloads).
+    pub envelope_bytes: u64,
     /// Update tuples shipped.
     pub tuples: u64,
     /// Annotation bytes shipped.
@@ -133,6 +139,8 @@ impl RunReport {
             convergence: self.convergence + other.convergence,
             bytes: self.bytes + other.bytes,
             msgs: self.msgs + other.msgs,
+            envelopes: self.envelopes + other.envelopes,
+            envelope_bytes: self.envelope_bytes + other.envelope_bytes,
             tuples,
             prov_bytes,
             prov_bytes_per_tuple: if tuples == 0 {
@@ -349,6 +357,8 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         let m1 = self.rt.metrics_snapshot();
         let bytes = m1.total_bytes() - m0.total_bytes();
         let msgs = m1.total_msgs() - m0.total_msgs();
+        let envelopes = m1.total_envelopes() - m0.total_envelopes();
+        let envelope_bytes = m1.total_envelope_bytes() - m0.total_envelope_bytes();
         let tuples = m1.total_tuples() - m0.total_tuples();
         let prov_bytes = m1.total_prov_bytes() - m0.total_prov_bytes();
         let end_time = match outcome {
@@ -365,6 +375,8 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
             convergence: end_time - start_time,
             bytes,
             msgs,
+            envelopes,
+            envelope_bytes,
             tuples,
             prov_bytes,
             prov_bytes_per_tuple: if tuples == 0 {

@@ -21,18 +21,28 @@
 //! annotation — and its wire size — deterministic.
 //!
 //! This is the acceptance gate for the sharded runtime: cross-shard routing
-//! through the bounded transport, global in-flight accounting, and
-//! shard-metrics folding via `NetMetrics::merge` must reproduce the DES
+//! (direct path and controller relay alike), global in-flight accounting,
+//! and shard-metrics folding via `NetMetrics::merge` must reproduce the DES
 //! numbers exactly. (Counting mode is excluded: it is defined for
 //! non-recursive plans only.)
+//!
+//! It is also the gate for **transport batching** (`netrec_sim::coalesce`):
+//! the harness pins the physical envelope matrices
+//! (`envelopes`/`envelope_bytes`) byte-identical across substrates — the
+//! flush rule is modelled once — and `assert_identical` additionally runs
+//! the matrix with coalescing *off* (plus a coalescing-off DES via
+//! `run_workload_custom`), pinning the logical per-peer metrics
+//! byte-identical across the two modes. That cross-mode comparison is only
+//! sound on this confluent workload; the randomized proptest checks the
+//! weaker mode-independent-fixpoint property instead.
 
 use std::collections::BTreeSet;
 
 use netrec_engine::runner::RunnerConfig;
 use netrec_engine::strategy::Strategy;
-use netrec_sim::{RuntimeKind, ShardAssignment, ShardedConfig};
+use netrec_sim::{RuntimeKind, ShardAssignment, ShardedConfig, Simulator, ThreadedConfig};
 use netrec_testutil::fixtures::{link, reachable_plan};
-use netrec_testutil::{assert_substrates_agree, DiffPhase, DiffWorkload};
+use netrec_testutil::{assert_substrates_agree, run_workload_custom, DiffPhase, DiffWorkload};
 use netrec_topo::BaseOp;
 use netrec_types::{Duration, NetAddr, Tuple, Value};
 
@@ -79,6 +89,16 @@ fn substrates() -> Vec<RuntimeKind> {
     ]
 }
 
+/// A reduced coalescing-off matrix: the threaded runtime is the reference
+/// (the DES's off-mode is not expressible through [`RuntimeKind`] and is
+/// compared separately via [`run_workload_custom`]).
+fn substrates_coalescing_off() -> Vec<RuntimeKind> {
+    vec![
+        RuntimeKind::Threaded(ThreadedConfig::default().with_coalescing(false)),
+        RuntimeKind::Sharded(ShardedConfig::with_shards(2).with_coalescing(false)),
+    ]
+}
+
 fn assert_identical(strategy: Strategy) {
     let w = chain_workload(strategy);
     let obs = assert_substrates_agree(&w, &substrates());
@@ -96,6 +116,35 @@ fn assert_identical(strategy: Strategy) {
         last.metrics.total_msgs() > 0,
         "workload must actually ship traffic"
     );
+
+    // The coalescing on/off gate, sound here because the workload's traffic
+    // is confluent: with coalescing disabled everywhere, the *logical*
+    // per-peer metrics must be byte-identical to the coalescing-on
+    // reference — the coalescer merges envelopes, it never changes what the
+    // engine ships — and every message degenerates to its own envelope.
+    let cfg = w.config_ref().clone();
+    let des_off = run_workload_custom(&w, |peers| {
+        Simulator::new(peers, cfg.cluster.clone(), cfg.cost).with_coalescing(false)
+    });
+    let obs_off = assert_substrates_agree(&w, &substrates_coalescing_off());
+    for ((on, des), conc) in obs.iter().zip(&des_off).zip(&obs_off) {
+        let phase = &on.label;
+        assert!(des.converged, "[des-off] phase {phase} did not converge");
+        assert_eq!(on.views, des.views, "views diverge des-on/off in {phase}");
+        for (name, off) in [("des-off", des), ("threaded-off", conc)] {
+            assert_eq!(
+                on.metrics.logical(),
+                off.metrics.logical(),
+                "[{name}] logical per-peer metrics diverge from the \
+                 coalescing-on reference after phase {phase}"
+            );
+            assert_eq!(
+                off.metrics.total_envelopes(),
+                off.metrics.total_msgs(),
+                "[{name}] coalescing off: one envelope per message ({phase})"
+            );
+        }
+    }
 }
 
 #[test]

@@ -13,6 +13,18 @@
 //! script is insert-only; the provenance strategies get the full
 //! insert-then-delete churn.
 //!
+//! **Coalescing toggle dimension**: each case randomly runs the whole
+//! concurrent matrix with transport coalescing on or off — the fixpoint
+//! must be mode-independent. On top of that, every case runs the script on
+//! a second, coalescing-disabled DES and pins the fixpoint views across
+//! modes plus the transport invariants (envelopes ≤ logical messages when
+//! coalescing; exactly one envelope per message when not). Exact
+//! byte-identity of logical metrics across modes is *not* asserted here —
+//! coalescing changes event interleaving, and on non-confluent random
+//! scripts interleaving legitimately changes batch composition (observed:
+//! set-mode dedup timing) — that exact cross-mode gate lives in
+//! `runtime_differential.rs` on the confluent workload, where it is sound.
+//!
 //! Case count: `NETREC_DIFF_CASES` (default 5 — the fixed-seed smoke run
 //! CI executes on every push; the release job raises it and perturbs the
 //! generator stream via `PROPTEST_SHIM_SEED` for a genuinely randomized
@@ -22,7 +34,7 @@ use netrec_engine::runner::RunnerConfig;
 use netrec_engine::strategy::Strategy;
 use netrec_sim::{AsyncConfig, RuntimeKind, ShardKind, ShardedConfig, ThreadedConfig};
 use netrec_testutil::fixtures::reachable_plan;
-use netrec_testutil::{assert_substrates_agree, DiffPhase, DiffWorkload};
+use netrec_testutil::{assert_substrates_agree, run_workload_custom, DiffPhase, DiffWorkload};
 use netrec_topo::{random_graph, Workload};
 use proptest::prelude::*;
 
@@ -39,13 +51,18 @@ fn cases_from_env() -> u32 {
 /// eager-mode 1 s flush periods would otherwise map to real one-second
 /// sleeps per flush round, and the timer fence makes every phase wait them
 /// out. Dilation changes wall-clock pacing only, never the fixpoint.
-fn substrates() -> Vec<RuntimeKind> {
+/// `coalesce` switches transport coalescing on every concurrent substrate
+/// (the DES reference always coalesces; relaxed phases compare views, which
+/// must be mode-independent).
+fn substrates(coalesce: bool) -> Vec<RuntimeKind> {
     let threaded = ThreadedConfig {
         time_dilation: 0.02,
+        coalesce,
         ..ThreadedConfig::default()
     };
     let async_cfg = AsyncConfig {
         time_dilation: 0.02,
+        coalesce,
         ..AsyncConfig::default()
     };
     let sharded = |shards: u32| {
@@ -89,6 +106,7 @@ proptest! {
         topo_seed in any::<u64>(),
         script_seed in any::<u64>(),
         del_pick in 0usize..3,
+        coalesce in any::<bool>(),
     ) {
         // Small connected graphs keep relative-mode annotations far below
         // RELATIVE_NODE_CAP while still exercising multi-hop recursion.
@@ -109,12 +127,42 @@ proptest! {
             if deletes_ok {
                 w = w.phase(DiffPhase::relaxed("churn", del_ops));
             }
-            let obs = assert_substrates_agree(&w, &substrates());
+            let obs = assert_substrates_agree(&w, &substrates(coalesce));
             prop_assert!(
                 !obs[0].views["reachable"].is_empty(),
                 "load phase must derive something ({})",
                 strategy.label()
             );
+            // The coalescing on/off differential on the deterministic DES:
+            // same script, coalescing disabled. The fixpoint must be
+            // mode-independent, and the transport invariants must hold
+            // (exact logical byte-identity across modes is asserted on the
+            // confluent workload in runtime_differential.rs — see the
+            // module docs for why it cannot hold on random scripts).
+            let cfg = w.config_ref().clone();
+            let off = run_workload_custom(&w, |peers| {
+                netrec_sim::Simulator::new(peers, cfg.cluster.clone(), cfg.cost)
+                    .with_coalescing(false)
+            });
+            prop_assert_eq!(obs.len(), off.len());
+            for (on, off) in obs.iter().zip(&off) {
+                prop_assert!(off.converged, "coalescing-off DES must converge");
+                prop_assert_eq!(
+                    &on.views,
+                    &off.views,
+                    "views diverge between coalescing modes ({})",
+                    strategy.label()
+                );
+                prop_assert!(
+                    on.metrics.total_envelopes() <= on.metrics.total_msgs(),
+                    "coalescing on: envelopes bounded by logical msgs"
+                );
+                prop_assert_eq!(
+                    off.metrics.total_envelopes(),
+                    off.metrics.total_msgs(),
+                    "coalescing off: every message is its own envelope"
+                );
+            }
         }
     }
 }

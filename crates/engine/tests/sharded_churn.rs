@@ -173,6 +173,52 @@ fn des_reference_views_are_the_expected_closures() {
     assert_eq!(views[3], chain_closure(&[&[0, 1, 2], &[3, 4, 5]]));
 }
 
+/// CI smoke assertion: transport coalescing is *active* on the churn
+/// scenario — deletion cascades crossing shards at every hop produce
+/// quanta with several same-destination messages, so the physical envelope
+/// count must come in strictly below the logical message count (and the
+/// per-peer invariant envelopes ≤ msgs must hold everywhere).
+#[test]
+fn coalescing_is_active_on_the_churn_scenario() {
+    let cfg = ShardedConfig {
+        shards: 2,
+        assignment: interleaved(2),
+        shard: shard_kind(false),
+        ..ShardedConfig::default()
+    };
+    let mut runner = Runner::with_runtime(
+        reachable_plan(),
+        RunnerConfig::direct(Strategy::absorption_lazy(), PEERS)
+            .with_runtime(RuntimeKind::Sharded(cfg.clone())),
+        |peers| ShardedRuntime::new(peers, cfg),
+    );
+    for (label, ops) in phases() {
+        inject_all(&mut runner, &ops);
+        assert!(runner.run_phase(label).converged(), "{label} converged");
+    }
+    let m = runner.metrics();
+    assert!(m.total_msgs() > 0, "churn must ship traffic");
+    assert!(
+        m.total_envelopes() < m.total_msgs(),
+        "coalescing inactive: {} envelopes for {} logical messages",
+        m.total_envelopes(),
+        m.total_msgs()
+    );
+    for (p, peer) in m.per_peer.iter().enumerate() {
+        assert!(
+            peer.envelopes_sent <= peer.msgs_sent,
+            "peer {p}: envelopes {} > msgs {}",
+            peer.envelopes_sent,
+            peer.msgs_sent
+        );
+        assert_eq!(
+            peer.msgs_recv == 0,
+            peer.envelopes_recv == 0,
+            "peer {p}: traffic arrives in envelopes"
+        );
+    }
+}
+
 #[test]
 fn churn_absorption_lazy_2_shards() {
     churn_on_sharded(Strategy::absorption_lazy(), 2, false);

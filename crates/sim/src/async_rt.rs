@@ -64,17 +64,18 @@ use futures::executor::LocalPool;
 use netrec_types::SimTime;
 use parking_lot::Mutex;
 
+use crate::coalesce::{frames, FrameBody};
 use crate::des::{NetApi, PeerNode};
-use crate::metrics::NetMetrics;
+use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{PeerId, Port};
 use crate::runtime::{RunBudget, RunOutcome, Runtime};
-use crate::threaded::{dilate, panic_message, Shared, TimerEntry};
+use crate::substrate_common::{dilate, panic_message, Shared, TimerEntry};
 
 /// Tuning knobs for the async runtime.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AsyncConfig {
-    /// Per-peer inbox capacity in messages; a sender whose destination inbox
-    /// is full drains its own inbox and yields until space frees.
+    /// Per-peer inbox capacity in envelopes; a sender whose destination
+    /// inbox is full drains its own inbox and yields until space frees.
     pub channel_capacity: usize,
     /// Wall-clock microseconds slept per simulated microsecond of timer
     /// delay, as in [`ThreadedConfig`](crate::threaded::ThreadedConfig).
@@ -82,6 +83,9 @@ pub struct AsyncConfig {
     /// Controller poll tick while waiting for quiescence (a safety net — the
     /// controller is also woken by an explicit signal).
     pub poll: WallDuration,
+    /// Whether same-destination sends coalesce into one envelope per
+    /// quantum (on by default; the differential toggle turns it off).
+    pub coalesce: bool,
 }
 
 impl Default for AsyncConfig {
@@ -90,12 +94,24 @@ impl Default for AsyncConfig {
             channel_capacity: 256,
             time_dilation: 1.0,
             poll: WallDuration::from_millis(1),
+            coalesce: true,
         }
     }
 }
 
+impl AsyncConfig {
+    /// Enable or disable transport coalescing (builder style).
+    pub fn with_coalescing(mut self, on: bool) -> AsyncConfig {
+        self.coalesce = on;
+        self
+    }
+}
+
 enum AsyncMsg<M> {
-    Deliver(Port, M),
+    /// One physical envelope: the coalesced messages of one sender quantum
+    /// for this peer, processed as one unit (singletons inline,
+    /// allocation-free).
+    Deliver(FrameBody<M>),
     Timer(u64),
 }
 
@@ -158,6 +174,10 @@ struct TaskCtx<M, N> {
     ctl_tx: Sender<()>,
     epoch: Instant,
     time_dilation: f64,
+    coalesce: bool,
+    /// False for shard-hosted runtimes: their local-id metric table is
+    /// never snapshotted (the `ShardPeer` adapters account in global ids).
+    record_metrics: bool,
 }
 
 /// Backpressure-aware cooperative send: on a full inbox, drain our own
@@ -209,17 +229,24 @@ async fn peer_task<M: Send + 'static, N: PeerNode<M>>(mut ctx: TaskCtx<M, N>) {
             }
         };
         let (delivery, timer_id) = match msg {
-            AsyncMsg::Deliver(port, m) => (Some((port, m)), 0),
+            AsyncMsg::Deliver(msgs) => (Some(msgs), 0),
             AsyncMsg::Timer(id) => (None, id),
         };
+        // Logical event count: an envelope of N messages counts N.
+        let logical = delivery.as_ref().map_or(1, FrameBody::len) as u64;
         let outputs = catch_unwind(AssertUnwindSafe(|| {
             let now = SimTime(ctx.epoch.elapsed().as_micros() as u64);
             let mut api = NetApi::fresh(now, ctx.me);
             let mut node = ctx.node.lock();
             match delivery {
-                Some((port, m)) => node.on_message(port, m, &mut api),
+                Some(msgs) => {
+                    for (port, m, _) in msgs {
+                        node.on_message(port, m, &mut api);
+                    }
+                }
                 None => node.on_timer(timer_id, &mut api),
             }
+            node.on_quantum_end(&mut api);
             drop(node);
             api.into_parts()
         }));
@@ -238,21 +265,28 @@ async fn peer_task<M: Send + 'static, N: PeerNode<M>>(mut ctx: TaskCtx<M, N>) {
                 return;
             }
             Ok((out, timers)) => {
-                ctx.shared.events.fetch_add(1, Ordering::SeqCst);
+                ctx.shared.events.fetch_add(logical, Ordering::SeqCst);
                 // Register every produced event *before* retiring this one,
-                // so the in-flight counter can never transiently hit zero.
-                let produced = (out.len() + timers.len()) as i64;
-                ctx.shared.in_flight.fetch_add(produced, Ordering::SeqCst);
-                if out.iter().any(|(to, ..)| *to != ctx.me) {
-                    let mut metrics = ctx.metrics.lock();
-                    for (to, _, _, meta) in &out {
-                        if *to != ctx.me {
-                            metrics.record_send(ctx.me, *to, *meta);
-                        }
+                // so the in-flight counter can never transiently hit zero:
+                // armed timers in bulk, each envelope right before its send
+                // (this quantum's own count keeps the sum positive). An
+                // envelope counts once however many messages it carries.
+                ctx.shared
+                    .in_flight
+                    .fetch_add(timers.len() as i64, Ordering::SeqCst);
+                for frame in frames(out, ctx.coalesce) {
+                    ctx.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    if ctx.record_metrics && frame.to != ctx.me {
+                        frame.record_into(ctx.me, &mut ctx.metrics.lock());
                     }
-                }
-                for (to, port, m, _) in out {
-                    send_coop(&mut ctx, &mut backlog, to, AsyncMsg::Deliver(port, m)).await;
+                    let to = frame.to;
+                    send_coop(
+                        &mut ctx,
+                        &mut backlog,
+                        to,
+                        AsyncMsg::Deliver(frame.into_body()),
+                    )
+                    .await;
                 }
                 if !timers.is_empty() {
                     let now = Instant::now();
@@ -342,6 +376,7 @@ struct ExecutorArgs<M, N> {
     notify_rx: Receiver<()>,
     epoch: Instant,
     cfg: AsyncConfig,
+    record_metrics: bool,
 }
 
 /// The executor thread: spawn one task per peer, then alternate bounded
@@ -363,6 +398,7 @@ fn executor_loop<M: Send + 'static, N: PeerNode<M> + Send + 'static>(args: Execu
         notify_rx,
         epoch,
         cfg,
+        record_metrics,
     } = args;
     let inboxes = Rc::new(inboxes);
     let mut pool = LocalPool::new();
@@ -388,6 +424,8 @@ fn executor_loop<M: Send + 'static, N: PeerNode<M> + Send + 'static>(args: Execu
             ctl_tx: ctl_tx.clone(),
             epoch,
             time_dilation: cfg.time_dilation,
+            coalesce: cfg.coalesce,
+            record_metrics,
         }));
     }
     loop {
@@ -420,6 +458,14 @@ fn executor_loop<M: Send + 'static, N: PeerNode<M> + Send + 'static>(args: Execu
         // drained signal's task is already visible to `has_ready` and a
         // wake after the check leaves a fresh signal for `recv_timeout`.
         while notify_rx.try_recv().is_ok() {}
+        // Re-check the teardown flag *after* the drain: `freeze` stores the
+        // flag before sending its notify, so if the drain just consumed a
+        // shutdown notify, the flag is already visible here. Without this,
+        // a freeze racing the drain loses its wakeup and the controller's
+        // `join` stalls until the idle sleep (up to an hour) elapses.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
         if pool.has_ready() {
             continue;
         }
@@ -470,12 +516,56 @@ pub struct AsyncRuntime<M, N> {
     cfg: AsyncConfig,
 }
 
+/// A thread-safe handle for delivering envelopes straight into this
+/// runtime's inboxes from another shard's worker — the direct cross-shard
+/// path (see `ThreadedInjector`).
+pub(crate) struct AsyncInjector<M> {
+    shared: Arc<Shared>,
+    ctl_tx: Sender<()>,
+    inboxes: Vec<mpsc::Sender<AsyncMsg<M>>>,
+}
+
+impl<M: Send> AsyncInjector<M> {
+    /// Move an already-registered envelope into `to`'s inbox; `Err` hands
+    /// it back on backpressure, a disconnected inbox drops and retires.
+    pub(crate) fn try_inject(&self, to: PeerId, msgs: FrameBody<M>) -> Result<(), FrameBody<M>> {
+        match self.inboxes[to.0 as usize].try_send(AsyncMsg::Deliver(msgs)) {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Full(AsyncMsg::Deliver(msgs))) => Err(msgs),
+            Err(mpsc::TrySendError::Full(_)) => unreachable!("injector only sends Deliver"),
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.shared.retire_one(&self.ctl_tx);
+                Ok(())
+            }
+        }
+    }
+}
+
 impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
     /// Spawn the executor thread hosting one cooperative task per peer.
     pub fn new(peers: Vec<N>, cfg: AsyncConfig) -> AsyncRuntime<M, N> {
+        AsyncRuntime::build(peers, cfg, Arc::new(Shared::new()), true)
+    }
+
+    /// Like [`AsyncRuntime::new`] with an externally-owned [`Shared`] block
+    /// — one in-flight counter for a whole sharded composite, task-side
+    /// metrics recording disabled (see `ThreadedRuntime::new_with_shared`).
+    pub(crate) fn new_with_shared(
+        peers: Vec<N>,
+        cfg: AsyncConfig,
+        shared: Arc<Shared>,
+    ) -> AsyncRuntime<M, N> {
+        AsyncRuntime::build(peers, cfg, shared, false)
+    }
+
+    fn build(
+        peers: Vec<N>,
+        cfg: AsyncConfig,
+        shared: Arc<Shared>,
+        record_metrics: bool,
+    ) -> AsyncRuntime<M, N> {
         let n = peers.len();
         let epoch = Instant::now();
-        let shared = Arc::new(Shared::new());
         let (ctl_tx, ctl_rx) = unbounded::<()>();
         let (notify_tx, notify_rx) = unbounded::<()>();
         let mut inboxes = Vec::with_capacity(n);
@@ -498,6 +588,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
             notify_rx,
             epoch,
             cfg: cfg.clone(),
+            record_metrics,
         };
         let backstop_shared = Arc::clone(&shared);
         let backstop_ctl = ctl_tx.clone();
@@ -560,17 +651,18 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
         }
     }
 
-    /// Non-blocking inject for composite runtimes, mirroring
-    /// `ThreadedRuntime::try_inject`: register, try once, hand the message
-    /// back on backpressure.
-    pub(crate) fn try_inject(&mut self, to: PeerId, port: Port, msg: M) -> Result<(), M> {
-        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        match self.inboxes[to.0 as usize].try_send(AsyncMsg::Deliver(port, msg)) {
+    /// Non-blocking envelope hand-off for composite runtimes, mirroring
+    /// `ThreadedRuntime::try_inject` — **move semantics**: the envelope is
+    /// already registered by its producer; `Err` hands it back on
+    /// backpressure, a disconnected inbox drops it and retires its count.
+    pub(crate) fn try_inject(
+        &mut self,
+        to: PeerId,
+        msgs: FrameBody<M>,
+    ) -> Result<(), FrameBody<M>> {
+        match self.inboxes[to.0 as usize].try_send(AsyncMsg::Deliver(msgs)) {
             Ok(()) => Ok(()),
-            Err(mpsc::TrySendError::Full(AsyncMsg::Deliver(_, msg))) => {
-                self.shared.retire_one(&self.ctl_tx);
-                Err(msg)
-            }
+            Err(mpsc::TrySendError::Full(AsyncMsg::Deliver(msgs))) => Err(msgs),
             Err(mpsc::TrySendError::Full(_)) => unreachable!("try_inject only sends Deliver"),
             Err(mpsc::TrySendError::Disconnected(_)) => {
                 self.shared.retire_one(&self.ctl_tx);
@@ -578,18 +670,23 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
             }
         }
     }
+
+    /// A cross-thread delivery handle for the direct cross-shard path.
+    pub(crate) fn injector(&self) -> AsyncInjector<M> {
+        AsyncInjector {
+            shared: Arc::clone(&self.shared),
+            ctl_tx: self.ctl_tx.clone(),
+            inboxes: self.inboxes.clone(),
+        }
+    }
 }
 
 impl<M, N> AsyncRuntime<M, N> {
     /// Produced-but-unretired events (messages, backlogs, armed timers).
-    /// Zero means locally quiescent; composite runtimes sum this.
+    /// Zero means quiescent (fence assertions in tests).
+    #[cfg(test)]
     pub(crate) fn pending_events(&self) -> i64 {
         self.shared.in_flight.load(Ordering::SeqCst)
-    }
-
-    /// First peer panic recorded in this session, if any.
-    pub(crate) fn panic_note(&self) -> Option<String> {
-        self.shared.panicked.lock().clone()
     }
 
     /// Stop the executor thread, freezing the session for inspection.
@@ -615,7 +712,8 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Async
     }
 
     fn inject(&mut self, to: PeerId, port: Port, msg: M) {
-        self.push(to, AsyncMsg::Deliver(port, msg));
+        let body = FrameBody::One((port, msg, MsgMeta::default()));
+        self.push(to, AsyncMsg::Deliver(body));
     }
 
     fn run(&mut self, budget: RunBudget) -> RunOutcome {
@@ -750,6 +848,7 @@ mod tests {
         assert_eq!(cfg.channel_capacity, t.channel_capacity);
         assert_eq!(cfg.time_dilation, t.time_dilation);
         assert_eq!(cfg.poll, t.poll);
+        assert!(cfg.coalesce && t.coalesce, "coalescing defaults on");
     }
 
     #[test]
@@ -877,6 +976,59 @@ mod tests {
             _ => unreachable!(),
         });
         assert_eq!(echoed, 500);
+    }
+
+    /// The cooperative substrate ships a one-quantum burst as one envelope
+    /// through the bounded async inbox, splitting it back in FIFO order.
+    #[test]
+    fn spray_coalesces_into_one_envelope() {
+        struct Spray;
+        struct Sink(Vec<u64>);
+        enum Node {
+            S(Spray),
+            K(Sink),
+        }
+        impl PeerNode<u64> for Node {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                match self {
+                    Node::S(_) => {
+                        for i in 0..300 {
+                            net.send(
+                                PeerId(1),
+                                Port(0),
+                                i,
+                                MsgMeta {
+                                    bytes: 8,
+                                    prov_bytes: 0,
+                                    tuples: 1,
+                                },
+                            );
+                        }
+                    }
+                    Node::K(k) => k.0.push(m),
+                }
+            }
+        }
+        let cfg = AsyncConfig {
+            channel_capacity: 4,
+            ..AsyncConfig::default()
+        };
+        assert!(cfg.coalesce, "coalescing defaults on");
+        let mut rt = AsyncRuntime::new(vec![Node::S(Spray), Node::K(Sink(vec![]))], cfg);
+        rt.inject(PeerId(0), Port(0), 0u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let m = rt.metrics_snapshot();
+        assert_eq!(m.total_msgs(), 300);
+        assert_eq!(m.total_envelopes(), 1, "one inbox slot for the burst");
+        assert_eq!(rt.events_processed(), 301, "logical events: inject + 300");
+        let got = rt.with_peer(PeerId(1), |n| match n {
+            Node::K(k) => k.0.clone(),
+            _ => unreachable!(),
+        });
+        assert_eq!(got, (0..300).collect::<Vec<_>>(), "FIFO within the frame");
     }
 
     #[test]

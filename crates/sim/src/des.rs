@@ -18,6 +18,7 @@ use std::collections::BinaryHeap;
 
 use netrec_types::{Duration, FxHashMap, SimTime};
 
+use crate::coalesce::{frames, Frame, FrameBody};
 use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{ClusterSpec, CostModel, PeerId, Port};
 use crate::runtime::Runtime;
@@ -31,6 +32,15 @@ pub trait PeerNode<M> {
     /// A timer set via [`NetApi::set_timer`] fired.
     fn on_timer(&mut self, id: u64, net: &mut NetApi<M>) {
         let _ = (id, net);
+    }
+    /// The enclosing delivery quantum ended: every message of the delivered
+    /// envelope (or the timer firing) has been handled, and the runtime is
+    /// about to coalesce the quantum's outputs into per-destination frames
+    /// (see [`crate::coalesce` module](mod@crate::coalesce)). Adapters that route traffic out-of-band —
+    /// the sharded runtime's cross-shard transport — flush their
+    /// per-quantum buffers here. Default: no-op.
+    fn on_quantum_end(&mut self, net: &mut NetApi<M>) {
+        let _ = net;
     }
 }
 
@@ -82,8 +92,14 @@ impl<M> NetApi<M> {
 }
 
 enum EventKind<M> {
-    Deliver { port: Port, msg: M, meta: MsgMeta },
-    Timer { id: u64 },
+    /// One physical envelope: the coalesced messages of one sender quantum
+    /// for this destination, delivered (and processed) as one unit.
+    Deliver {
+        msgs: FrameBody<M>,
+    },
+    Timer {
+        id: u64,
+    },
 }
 
 struct Event<M> {
@@ -125,6 +141,9 @@ pub struct Simulator<M, N> {
     metrics: NetMetrics,
     events_processed: u64,
     last_finish: SimTime,
+    /// Whether same-destination sends coalesce into one envelope per
+    /// quantum (on by default; the differential toggle turns it off).
+    coalesce: bool,
 }
 
 impl<M, N: PeerNode<M>> Simulator<M, N> {
@@ -148,7 +167,21 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             metrics: NetMetrics::new(n as u32),
             events_processed: 0,
             last_finish: SimTime::ZERO,
+            coalesce: true,
         }
+    }
+
+    /// Enable or disable transport coalescing (builder style; on by
+    /// default). On traffic-confluent workloads the logical metrics are
+    /// byte-identical in both modes (pinned by the differential harness);
+    /// on non-confluent workloads only the fixpoint is mode-independent —
+    /// coalescing changes event interleaving, which can legitimately change
+    /// batch composition and therefore logical counts (see
+    /// `runtime_proptest_differential.rs`). The physical envelope structure
+    /// and the modelled per-envelope costs always change.
+    pub fn with_coalescing(mut self, on: bool) -> Simulator<M, N> {
+        self.coalesce = on;
+        self
     }
 
     /// Inject an external input (EDB stream element) at time `at`. Not
@@ -161,9 +194,7 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             seq,
             to,
             kind: EventKind::Deliver {
-                port,
-                msg,
-                meta: MsgMeta::default(),
+                msgs: FrameBody::One((port, msg, MsgMeta::default())),
             },
         });
     }
@@ -187,11 +218,22 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
                 let pending = self.queue.len() + 1;
                 return RunOutcome::BudgetExceeded { at, pending };
             }
-            self.events_processed += 1;
+            // Budget and event counts are *logical*: a coalesced envelope
+            // of N messages counts N, so `max_events` means the same thing
+            // with coalescing on or off.
+            self.events_processed += match &ev.kind {
+                EventKind::Deliver { msgs } => msgs.len() as u64,
+                EventKind::Timer { .. } => 1,
+            };
             let peer = ev.to;
             let start = ev.at.max(self.busy_until[peer.0 as usize]);
+            // CPU cost is *physical*: one per-message overhead per envelope
+            // plus per-tuple work — the modelled form of the win the
+            // concurrent substrates get from one channel send per envelope.
             let span = match &ev.kind {
-                EventKind::Deliver { meta, .. } => self.cost.cost(meta.tuples),
+                EventKind::Deliver { msgs } => self
+                    .cost
+                    .cost(msgs.as_slice().iter().map(|(_, _, m)| m.tuples).sum()),
                 EventKind::Timer { .. } => Duration::ZERO,
             };
             let finish = start + span;
@@ -203,17 +245,24 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
                 out: Vec::new(),
                 timers: Vec::new(),
             };
+            // One quantum: every message of the envelope in FIFO order (or
+            // the timer firing), then the quantum-end hook; the quantum's
+            // outputs coalesce together.
+            let node = &mut self.peers[peer.0 as usize];
             match ev.kind {
-                EventKind::Deliver { port, msg, .. } => {
-                    self.peers[peer.0 as usize].on_message(port, msg, &mut api);
+                EventKind::Deliver { msgs } => {
+                    for (port, msg, _) in msgs {
+                        node.on_message(port, msg, &mut api);
+                    }
                 }
                 EventKind::Timer { id } => {
-                    self.peers[peer.0 as usize].on_timer(id, &mut api);
+                    node.on_timer(id, &mut api);
                 }
             }
+            node.on_quantum_end(&mut api);
             let NetApi { out, timers, .. } = api;
-            for (to, port, msg, meta) in out {
-                self.route(finish, peer, to, port, msg, meta);
+            for frame in frames(out, self.coalesce) {
+                self.route(finish, peer, frame);
             }
             for (delay, id) in timers {
                 let at = finish + delay;
@@ -231,15 +280,18 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
         }
     }
 
-    fn route(&mut self, now: SimTime, from: PeerId, to: PeerId, port: Port, msg: M, meta: MsgMeta) {
+    fn route(&mut self, now: SimTime, from: PeerId, frame: Frame<M>) {
+        let to = frame.to;
         let at = if from == to {
             now // local operator hand-off
         } else {
-            self.metrics.record_send(from, to, meta);
+            // Logical metrics per message, one envelope record per frame.
+            let env = frame.record_into(from, &mut self.metrics);
             // FIFO + serialised bandwidth: the channel is busy until the
-            // previous message finished arriving.
+            // previous envelope finished arriving, and an envelope's
+            // transfer time is its physical (framed) size.
             let ready = (*self.chan_clock.entry((from, to)).or_insert(SimTime::ZERO)).max(now);
-            let arrive = ready + self.spec.delay(from, to, meta.bytes);
+            let arrive = ready + self.spec.delay(from, to, env.bytes);
             self.chan_clock.insert((from, to), arrive);
             arrive
         };
@@ -248,7 +300,9 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             at,
             seq,
             to,
-            kind: EventKind::Deliver { port, msg, meta },
+            kind: EventKind::Deliver {
+                msgs: frame.into_body(),
+            },
         });
     }
 
@@ -450,6 +504,83 @@ mod tests {
             Node::R(r) => assert_eq!(r.0, vec![1, 2]),
             _ => unreachable!(),
         }
+    }
+
+    /// One callback spraying the same destination must produce one physical
+    /// envelope carrying every logical message — and exactly one delivery
+    /// event at the receiver — while the logical counters stay per-message.
+    #[test]
+    fn same_destination_sends_coalesce_into_one_envelope() {
+        struct Sender;
+        struct Sink(Vec<u64>);
+        enum Node {
+            S(Sender),
+            R(Sink),
+        }
+        impl PeerNode<u64> for Node {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                match self {
+                    Node::S(_) => {
+                        for i in 0..5 {
+                            net.send(
+                                PeerId(1),
+                                Port(i as u16),
+                                i,
+                                MsgMeta {
+                                    bytes: 10,
+                                    prov_bytes: 2,
+                                    tuples: 1,
+                                },
+                            );
+                        }
+                        net.send(PeerId(2), Port(0), 99, MsgMeta::default());
+                        let _ = m;
+                    }
+                    Node::R(r) => r.0.push(m),
+                }
+            }
+        }
+        let run = |coalesce: bool| {
+            let mut sim = Simulator::new(
+                vec![
+                    Node::S(Sender),
+                    Node::R(Sink(vec![])),
+                    Node::R(Sink(vec![])),
+                ],
+                ClusterSpec::single(3),
+                CostModel::default(),
+            )
+            .with_coalescing(coalesce);
+            sim.inject(SimTime::ZERO, PeerId(0), Port(0), 0);
+            assert!(sim.run(RunBudget::default()).converged_at().is_some());
+            let m = sim.metrics().clone();
+            let got = match sim.peer(PeerId(1)) {
+                Node::R(r) => r.0.clone(),
+                _ => unreachable!(),
+            };
+            (m, got, sim.events_processed())
+        };
+        let (on, got_on, events_on) = run(true);
+        assert_eq!(on.total_msgs(), 6, "logical count is per message");
+        assert_eq!(on.total_bytes(), 5 * 10, "logical bytes per message");
+        assert_eq!(on.total_envelopes(), 2, "one envelope per destination");
+        assert!(
+            on.total_envelope_bytes() > on.total_bytes(),
+            "multi-message frame pays a header"
+        );
+        assert_eq!(got_on, vec![0, 1, 2, 3, 4], "split back in FIFO order");
+        // Injection + (sender quantum) 5 msgs in 1 envelope + 1 singleton:
+        // logical events count messages, so 1 + 5 + 1.
+        assert_eq!(events_on, 7);
+        let (off, got_off, _) = run(false);
+        assert_eq!(off.logical(), on.logical(), "coalescing-invariant");
+        assert_eq!(off.total_envelopes(), 6, "off: one envelope per message");
+        assert_eq!(
+            off.total_envelope_bytes(),
+            off.total_bytes(),
+            "singleton frames are byte-identical to their messages"
+        );
+        assert_eq!(got_off, got_on);
     }
 
     #[test]

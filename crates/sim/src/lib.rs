@@ -37,21 +37,29 @@
 //!   async task on a single executor thread (the offline `futures` shim —
 //!   no tokio), so one core hosts thousands of peers under the same
 //!   bounded-inbox + in-flight-counter discipline.
+//! * [`mod@coalesce`] — the transport batching layer all four substrates share:
+//!   same-destination messages from one scheduling quantum merge into one
+//!   physical [`Frame`] (one channel send, one in-flight count, one wake),
+//!   split back in FIFO order at the receiver; logical metrics stay
+//!   per-message while envelope counts expose the physical win.
 //!
 //! DESIGN.md: "Runtimes" is this crate's section — the session contract,
 //! the per-substrate ledger, and the recipe for adding a substrate.
 
 pub mod async_rt;
+pub mod coalesce;
 pub mod des;
 pub mod metrics;
 pub mod net;
 pub mod runtime;
 pub mod sharded;
+mod substrate_common;
 pub mod threaded;
 
 pub use async_rt::{AsyncConfig, AsyncRuntime};
+pub use coalesce::{coalesce, frames, Frame, FrameBody, Frames};
 pub use des::{NetApi, PeerNode, Simulator};
-pub use metrics::{MsgMeta, NetMetrics, PeerMetrics};
+pub use metrics::{EnvelopeMeta, MsgMeta, NetMetrics, PeerMetrics};
 pub use net::{ClusterSpec, CostModel, Partitioner, PeerId, Port};
 pub use runtime::{RunBudget, RunOutcome, Runtime, RuntimeKind};
 pub use sharded::{ShardAssignment, ShardKind, ShardedConfig, ShardedRuntime};

@@ -25,21 +25,45 @@ impl MsgMeta {
     }
 }
 
+/// Size metadata for one physical transport envelope: a frame of one or
+/// more same-destination logical messages coalesced by the runtime layer
+/// (see `crate::coalesce`). The paper's figures count *logical* messages
+/// ([`MsgMeta`] / `msgs_sent`); envelopes are what actually crosses a
+/// channel — one send, one in-flight count, one wake per envelope.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnvelopeMeta {
+    /// Physical frame bytes: wire frame header + Σ logical payload bytes
+    /// (zero header for a singleton frame — uncoalesced traffic is
+    /// byte-identical to the pre-frame encoding).
+    pub bytes: usize,
+    /// Logical messages carried.
+    pub msgs: u32,
+}
+
 /// Per-peer traffic counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PeerMetrics {
-    /// Messages sent to other peers (local loopback is not traffic).
+    /// Logical messages sent to other peers (local loopback is not
+    /// traffic). This is what the paper's figures count, independent of
+    /// transport coalescing.
     pub msgs_sent: u64,
-    /// Bytes sent to other peers.
+    /// Logical bytes sent to other peers (Σ per-message encodings).
     pub bytes_sent: u64,
     /// Annotation bytes within `bytes_sent`.
     pub prov_bytes_sent: u64,
     /// Update tuples shipped to other peers.
     pub tuples_sent: u64,
-    /// Messages received from other peers.
+    /// Logical messages received from other peers.
     pub msgs_recv: u64,
-    /// Bytes received from other peers.
+    /// Logical bytes received from other peers.
     pub bytes_recv: u64,
+    /// Physical transport envelopes sent (≤ `msgs_sent`: an envelope
+    /// carries one or more coalesced same-destination messages).
+    pub envelopes_sent: u64,
+    /// Physical envelope bytes sent (frame headers + payloads).
+    pub envelope_bytes_sent: u64,
+    /// Physical transport envelopes received.
+    pub envelopes_recv: u64,
 }
 
 impl PeerMetrics {
@@ -51,6 +75,21 @@ impl PeerMetrics {
         self.tuples_sent += other.tuples_sent;
         self.msgs_recv += other.msgs_recv;
         self.bytes_recv += other.bytes_recv;
+        self.envelopes_sent += other.envelopes_sent;
+        self.envelope_bytes_sent += other.envelope_bytes_sent;
+        self.envelopes_recv += other.envelopes_recv;
+    }
+
+    /// This peer's counters with the envelope (physical-transport) fields
+    /// zeroed — the projection the paper's figures and the cross-mode
+    /// differential assertions compare.
+    pub fn logical(&self) -> PeerMetrics {
+        PeerMetrics {
+            envelopes_sent: 0,
+            envelope_bytes_sent: 0,
+            envelopes_recv: 0,
+            ..*self
+        }
     }
 }
 
@@ -69,7 +108,7 @@ impl NetMetrics {
         }
     }
 
-    /// Record one remote send.
+    /// Record one remote **logical** send (one message within an envelope).
     pub fn record_send(&mut self, from: PeerId, to: PeerId, meta: MsgMeta) {
         let s = &mut self.per_peer[from.0 as usize];
         s.msgs_sent += 1;
@@ -79,6 +118,16 @@ impl NetMetrics {
         let r = &mut self.per_peer[to.0 as usize];
         r.msgs_recv += 1;
         r.bytes_recv += meta.bytes as u64;
+    }
+
+    /// Record one remote **physical** envelope (a coalesced frame of
+    /// `meta.msgs` logical messages whose [`record_send`](Self::record_send)
+    /// entries are accounted separately).
+    pub fn record_envelope(&mut self, from: PeerId, to: PeerId, meta: EnvelopeMeta) {
+        let s = &mut self.per_peer[from.0 as usize];
+        s.envelopes_sent += 1;
+        s.envelope_bytes_sent += meta.bytes as u64;
+        self.per_peer[to.0 as usize].envelopes_recv += 1;
     }
 
     /// Merge another metrics matrix into this one (peer-wise sum). Used by
@@ -112,6 +161,26 @@ impl NetMetrics {
     /// Total annotation bytes shipped.
     pub fn total_prov_bytes(&self) -> u64 {
         self.per_peer.iter().map(|p| p.prov_bytes_sent).sum()
+    }
+
+    /// Total physical envelopes shipped (≤ [`total_msgs`](Self::total_msgs)).
+    pub fn total_envelopes(&self) -> u64 {
+        self.per_peer.iter().map(|p| p.envelopes_sent).sum()
+    }
+
+    /// Total physical envelope bytes shipped (frame headers + payloads).
+    pub fn total_envelope_bytes(&self) -> u64 {
+        self.per_peer.iter().map(|p| p.envelope_bytes_sent).sum()
+    }
+
+    /// The logical projection: every counter the paper's figures use, with
+    /// the physical envelope counters zeroed. Byte-identical across
+    /// substrates *and* across coalescing modes on traffic-confluent
+    /// workloads.
+    pub fn logical(&self) -> NetMetrics {
+        NetMetrics {
+            per_peer: self.per_peer.iter().map(PeerMetrics::logical).collect(),
+        }
     }
 
     /// Mean communication per peer in bytes — the paper reports per-node
@@ -231,8 +300,61 @@ mod tests {
                     tuples: (s % 7) as u32,
                 },
             );
+            if s.is_multiple_of(3) {
+                m.record_envelope(
+                    PeerId(from),
+                    PeerId(to),
+                    EnvelopeMeta {
+                        bytes: (s % 600) as usize,
+                        msgs: 1 + (s % 4) as u32,
+                    },
+                );
+            }
         }
         m
+    }
+
+    #[test]
+    fn envelope_accounting_and_logical_projection() {
+        let mut m = NetMetrics::new(3);
+        // Two logical messages coalesced into one envelope with a 4-byte
+        // frame header, plus one uncoalesced singleton.
+        let meta = |bytes| MsgMeta {
+            bytes,
+            prov_bytes: 0,
+            tuples: 1,
+        };
+        m.record_send(PeerId(0), PeerId(1), meta(100));
+        m.record_send(PeerId(0), PeerId(1), meta(50));
+        m.record_envelope(
+            PeerId(0),
+            PeerId(1),
+            EnvelopeMeta {
+                bytes: 154,
+                msgs: 2,
+            },
+        );
+        m.record_send(PeerId(2), PeerId(1), meta(30));
+        m.record_envelope(PeerId(2), PeerId(1), EnvelopeMeta { bytes: 30, msgs: 1 });
+        assert_eq!(m.total_msgs(), 3);
+        assert_eq!(m.total_envelopes(), 2);
+        assert_eq!(m.total_bytes(), 180);
+        assert_eq!(m.total_envelope_bytes(), 184);
+        assert_eq!(m.per_peer[0].envelopes_sent, 1);
+        assert_eq!(m.per_peer[1].envelopes_recv, 2);
+        // The logical projection drops only the physical counters.
+        let logical = m.logical();
+        assert_eq!(logical.total_msgs(), 3);
+        assert_eq!(logical.total_bytes(), 180);
+        assert_eq!(logical.total_envelopes(), 0);
+        assert_eq!(logical.total_envelope_bytes(), 0);
+        // Coalescing changes envelopes, never the logical projection.
+        let mut uncoalesced = NetMetrics::new(3);
+        uncoalesced.record_send(PeerId(0), PeerId(1), meta(100));
+        uncoalesced.record_send(PeerId(0), PeerId(1), meta(50));
+        uncoalesced.record_send(PeerId(2), PeerId(1), meta(30));
+        assert_ne!(uncoalesced, m);
+        assert_eq!(uncoalesced.logical(), m.logical());
     }
 
     #[test]

@@ -194,7 +194,16 @@ impl RuntimeKind {
 ///    Concurrent substrates implement this with an in-flight counter that
 ///    registers every produced event (messages *and* armed timers)
 ///    **before** its producing event retires, so the counter can never
-///    transiently read zero mid-computation.
+///    transiently read zero mid-computation. The unit of transport is the
+///    **envelope** (see [`mod@crate::coalesce`]): same-destination messages
+///    from one scheduling quantum travel as one frame under **one**
+///    in-flight count, registered before the producing quantum retires and
+///    retired only after the receiving quantum has processed *every*
+///    carried message and registered its outputs — so coalescing never
+///    opens a window where the counter reads zero with work outstanding.
+///    Metrics count both layers: `msgs`/`bytes`/`tuples`/`prov_bytes` are
+///    logical (per message, coalescing-invariant), `envelopes`/
+///    `envelope_bytes` are physical.
 /// 3. **Snapshot at the boundary.** Peer state ([`Runtime::with_peer`] /
 ///    [`Runtime::for_each_peer`]) and cumulative metrics
 ///    ([`Runtime::metrics_snapshot`]) persist across phases and are stable
@@ -250,8 +259,12 @@ impl RuntimeKind {
 /// assert!(matches!(outcome, RunOutcome::Converged { .. }));
 ///
 /// // The boundary is a fixpoint: 3 forwards happened, and the timer fence
-/// // means every armed timer already fired inside the phase.
+/// // means every armed timer already fired inside the phase. Each forward
+/// // was one logical message in one physical envelope (a relay emits one
+/// // send per quantum, so nothing coalesced here — envelope counts can
+/// // only be *lower* than message counts, never higher).
 /// assert_eq!(rt.metrics_snapshot().total_msgs(), 3);
+/// assert_eq!(rt.metrics_snapshot().total_envelopes(), 3);
 /// let fired: u32 = {
 ///     let mut total = 0;
 ///     rt.for_each_peer(|_, relay| total += relay.fired);

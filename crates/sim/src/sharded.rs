@@ -8,38 +8,45 @@
 //! ([`ShardKind`]): a [`ThreadedRuntime`] (one worker thread per peer) or
 //! an [`AsyncRuntime`] (one cooperative task per peer — thousands of peers
 //! per shard). Each peer is wrapped in a shard-local adapter that keeps the
-//! peer's *global* identity: same-shard messages travel through the shard's
-//! own bounded inboxes exactly as in the standalone runtimes, while
-//! cross-shard messages enter a bounded **transport channel** (the
-//! crossbeam shim again) drained by the composite controller, which
-//! re-injects them into the destination shard.
+//! peer's *global* identity: same-shard traffic uses the shard's own
+//! bounded inboxes exactly as in the standalone runtimes, and cross-shard
+//! **envelopes** (coalesced per quantum, see [`mod@crate::coalesce`]) take one
+//! of two paths — the **direct path**, where the sending worker delivers
+//! straight into the destination shard's inbox (no controller hop), or the
+//! **relay fallback**, a bounded transport channel drained by the composite
+//! controller, used when the destination inbox is full or earlier envelopes
+//! for that destination are still in the relay (per-channel FIFO).
 //!
 //! Contract notes (DESIGN.md "Runtimes" has the full ledger):
 //!
-//! * **Global termination detection** — quiescence is certified by the sum
-//!   of every shard's in-flight counter (messages, hand-offs, *armed
-//!   timers*) plus the transport's own in-flight counter, which covers a
-//!   cross-shard message from the moment its producing callback registers it
-//!   until the destination shard has accepted it. Hand-off order never lets
-//!   the sum transiently reach zero: a message is registered with its
-//!   destination *before* it is retired from the transport, and every
-//!   produced event is registered before its producing event retires (the
-//!   threaded runtime's own invariant). Shard counters are read first and
-//!   the transport counter last; a quiescent shard cannot self-activate
-//!   (only the controller injects into it), so an all-zero sweep certifies
+//! * **Global termination detection** — every shard shares **one**
+//!   in-flight counter (one shared bookkeeping block): messages, hand-offs,
+//!   envelopes on either cross-shard path, and *armed timers* all register
+//!   on the same atomic before their producing event retires, so the
+//!   counter never transiently reads zero and a single load certifies
 //!   global quiescence — including the timer fence: no phase ends with a
-//!   cross-shard message in transit or a timer armed anywhere.
-//! * **Deadlock freedom** — the controller never blocks: cross-shard
-//!   delivery uses a non-blocking inject, parking messages per destination
-//!   peer (FIFO per channel is preserved: a message never overtakes an
-//!   earlier parked one for the same destination) when an inbox is full. A
-//!   worker spinning on the full transport channel is always freed because
-//!   the controller keeps draining it.
+//!   cross-shard envelope in transit or a timer armed anywhere. (A
+//!   per-shard-counter sweep would be unsound here: with workers injecting
+//!   directly into each other's shards, a sweep could read the destination
+//!   before the registration and the source after the retirement.)
+//! * **Per-channel FIFO across both paths** — direct deliveries from one
+//!   worker are ordered by construction; once a destination's full inbox
+//!   forces an envelope onto the relay, the sender pins that destination to
+//!   the relay (`transport_dests`) until the relay is drained
+//!   (`relay_in_flight == 0` ⇒ every relayed envelope already sits in its
+//!   destination inbox), so a direct send can never overtake a relayed one.
+//! * **Deadlock freedom** — the controller never blocks: relay delivery
+//!   uses a non-blocking inject, parking envelopes per destination peer
+//!   (FIFO preserved: an envelope never overtakes an earlier parked one for
+//!   the same destination) when an inbox is full. A worker spinning on the
+//!   full transport channel is always freed because the controller keeps
+//!   draining it.
 //! * **Budget / freeze** — [`RunBudget`] is honored at the composite level
-//!   (`max_events` over the event sum, `max_time` over cumulative active
-//!   wall time, `max_wall` per phase). Exhaustion freezes every shard; a
-//!   frozen session fails fast on later runs and never claims convergence.
-//!   A peer panic in any shard freezes all shards and re-panics from `run`.
+//!   (`max_events` over the shared event counter, `max_time` over
+//!   cumulative active wall time, `max_wall` per phase). Exhaustion freezes
+//!   every shard (one shared teardown flag); a frozen session fails fast on
+//!   later runs and never claims convergence. A peer panic in any shard
+//!   freezes all shards and re-panics from `run`.
 //! * **Metrics** — each shard accounts its peers' traffic in a shard-level
 //!   [`NetMetrics`] keyed by *global* peer ids; [`Runtime::metrics_snapshot`]
 //!   folds the shards with [`NetMetrics::merge`], and
@@ -49,20 +56,22 @@
 //! the transport layer is the seam where a socket goes.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration as WallDuration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, SyncSender, TrySendError};
-use netrec_types::SimTime;
+use netrec_types::{FxHashSet, SimTime};
 use parking_lot::Mutex;
 
-use crate::async_rt::{AsyncConfig, AsyncRuntime};
+use crate::async_rt::{AsyncConfig, AsyncInjector, AsyncRuntime};
+use crate::coalesce::{frames, FrameBody};
 use crate::des::{NetApi, PeerNode};
-use crate::metrics::NetMetrics;
+use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{PeerId, Port};
 use crate::runtime::{RunBudget, RunOutcome, Runtime};
-use crate::threaded::{ThreadedConfig, ThreadedRuntime};
+use crate::substrate_common::Shared;
+use crate::threaded::{ThreadedConfig, ThreadedInjector, ThreadedRuntime};
 
 /// Strategy for placing global peers onto shards.
 #[derive(Clone, Debug, PartialEq)]
@@ -129,6 +138,18 @@ impl Default for ShardKind {
     }
 }
 
+impl ShardKind {
+    /// Whether this shard kind coalesces same-destination sends. The
+    /// cross-shard transport follows the inner shard's setting, so one flag
+    /// governs the whole composite.
+    fn coalesce(&self) -> bool {
+        match self {
+            ShardKind::Threaded(cfg) => cfg.coalesce,
+            ShardKind::Async(cfg) => cfg.coalesce,
+        }
+    }
+}
+
 /// Tuning knobs for the sharded runtime.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardedConfig {
@@ -179,13 +200,26 @@ impl ShardedConfig {
         self.shard = shard;
         self
     }
+
+    /// Enable or disable transport coalescing (builder style): sets the
+    /// inner shard kind's flag, which also governs the cross-shard
+    /// transport.
+    pub fn with_coalescing(mut self, on: bool) -> ShardedConfig {
+        match &mut self.shard {
+            ShardKind::Threaded(cfg) => cfg.coalesce = on,
+            ShardKind::Async(cfg) => cfg.coalesce = on,
+        }
+        self
+    }
 }
 
-/// A cross-shard message in transit: global destination plus payload.
+/// A cross-shard envelope in transit: global destination plus the coalesced
+/// messages of one producing quantum bound for it (FIFO order preserved).
+/// One envelope = one transport slot, one in-flight count, one controller
+/// hand-off, however many logical messages it carries.
 struct Envelope<M> {
     to: PeerId,
-    port: Port,
-    msg: M,
+    msgs: FrameBody<M>,
 }
 
 /// Global peer → (shard, local index) placement, shared with the adapters.
@@ -204,12 +238,21 @@ impl ShardMap {
 }
 
 /// Transport bookkeeping shared by the controller and every adapter.
-struct TransportState {
-    /// Cross-shard messages produced but not yet accepted by their
-    /// destination shard (in the channel, or parked by the controller).
-    in_flight: AtomicI64,
-    /// Teardown flag: adapters stop spinning on a full channel and drop.
-    shutting_down: AtomicBool,
+/// Quiescence itself is certified by the composite-wide [`Shared`]
+/// in-flight counter (one atomic across every shard); this state carries
+/// the *diagnostic* cross-shard counter and the direct-path plumbing.
+struct TransportState<M> {
+    /// Cross-shard envelopes routed via the controller that it has not yet
+    /// accepted into their destination shard (in the channel, or parked).
+    /// Zero ⇒ the controller relay is drained — the fence assertion
+    /// [`ShardedRuntime::cross_shard_in_flight`] exposes, and the signal
+    /// that lets senders safely resume the direct path (see
+    /// `ShardPeer::route_cross`).
+    relay_in_flight: AtomicI64,
+    /// Per-shard direct-delivery handles, filled once the shards exist
+    /// (adapters are constructed first). Before initialisation every
+    /// cross-shard envelope takes the controller path.
+    injectors: OnceLock<Vec<ShardInjector<M>>>,
 }
 
 /// Shard-local wrapper keeping a peer's global identity: runs the inner
@@ -223,48 +266,117 @@ pub struct ShardPeer<M, N> {
     me: PeerId,
     my_shard: u32,
     map: Arc<ShardMap>,
-    state: Arc<TransportState>,
+    state: Arc<TransportState<M>>,
+    /// The composite-wide bookkeeping block every shard shares: one
+    /// in-flight counter covers same-shard traffic, direct cross-shard
+    /// deliveries, and controller-relayed envelopes alike.
+    global: Arc<Shared>,
     outbound: SyncSender<Envelope<M>>,
     /// Shard-level traffic metrics keyed by global peer ids.
     metrics: Arc<Mutex<NetMetrics>>,
+    /// Destination peers whose envelopes must keep using the controller
+    /// relay to preserve per-channel FIFO: once a destination's inbox
+    /// forced an envelope onto the transport, later envelopes may not
+    /// overtake it on the direct path until the relay is drained.
+    transport_dests: FxHashSet<PeerId>,
+    /// Whether the composite coalesces (mirrors the hosting shard's flag so
+    /// cross-shard envelopes and envelope accounting match the physical
+    /// frames the hosting runtime actually ships).
+    coalesce: bool,
+    /// Cross-shard sends buffered across the enclosing quantum's relay
+    /// calls, flushed as per-destination envelopes at quantum end.
+    cross_buf: Vec<(PeerId, Port, M, MsgMeta)>,
+    /// (global destination, meta) of every same-shard remote send this
+    /// quantum, for envelope accounting: the hosting runtime coalesces the
+    /// physical frames, but records them in *local* ids into tables the
+    /// composite never snapshots — so the adapter mirrors the grouping in
+    /// global ids here.
+    same_shard_meta: Vec<(PeerId, Port, (), MsgMeta)>,
 }
 
 impl<M: Send, N: PeerNode<M>> ShardPeer<M, N> {
-    /// Spin a cross-shard message into the bounded transport. The controller
-    /// always drains the channel (it never blocks), so this terminates
-    /// unless the session is tearing down — then the message is dropped and
-    /// un-registered, like the threaded runtime drops on teardown.
+    /// Spin a cross-shard envelope into the bounded transport (the
+    /// controller-relay fallback). The controller always drains the channel
+    /// (it never blocks), so this terminates unless the session is tearing
+    /// down — then the envelope is dropped and its global count retired,
+    /// like the threaded runtime drops on teardown.
     fn send_cross(&self, env: Envelope<M>) {
-        self.state.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.state.relay_in_flight.fetch_add(1, Ordering::SeqCst);
         let mut env = env;
         loop {
             match self.outbound.try_send(env) {
                 Ok(()) => return,
                 Err(TrySendError::Full(back)) => {
-                    if self.state.shutting_down.load(Ordering::SeqCst) {
-                        self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    if self.global.shutting_down.load(Ordering::SeqCst) {
+                        self.drop_cross();
                         return;
                     }
                     env = back;
                     std::thread::sleep(WallDuration::from_micros(50));
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    self.drop_cross();
                     return;
                 }
             }
         }
     }
 
+    /// Teardown drop of a transport-bound envelope: un-count it from both
+    /// the relay diagnostic and the global in-flight counter.
+    fn drop_cross(&self) {
+        self.state.relay_in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.global.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Route one cross-shard envelope, already registered in the global
+    /// in-flight counter. Fast path: deliver straight into the destination
+    /// shard's inbox from this worker thread — no controller hop. Fallback
+    /// (inbox full, relay still draining earlier envelopes for this
+    /// destination, or injectors not yet installed): the bounded transport,
+    /// drained by the composite controller. `transport_dests` keeps the
+    /// per-channel FIFO guarantee across the two paths: after a fallback,
+    /// the destination stays pinned to the relay until the relay is
+    /// globally drained (`relay_in_flight == 0` ⇒ every relayed envelope
+    /// already sits in its destination inbox, so a direct send can no
+    /// longer overtake one).
+    fn route_cross(&mut self, to: PeerId, body: FrameBody<M>) {
+        let (shard, local) = self.map.locate(to);
+        if !self.transport_dests.is_empty()
+            && self.state.relay_in_flight.load(Ordering::SeqCst) == 0
+        {
+            self.transport_dests.clear();
+        }
+        if !self.transport_dests.contains(&to) {
+            if let Some(injectors) = self.state.injectors.get() {
+                match injectors[shard].try_inject(local, body) {
+                    Ok(()) => return,
+                    Err(body) => {
+                        self.transport_dests.insert(to);
+                        self.send_cross(Envelope { to, msgs: body });
+                        return;
+                    }
+                }
+            }
+        }
+        self.send_cross(Envelope { to, msgs: body });
+    }
+
     /// Run one inner callback and route its outputs. `net` is the *hosting
     /// shard's* API (local peer ids); the inner node only ever sees global
-    /// ids.
+    /// ids. Same-shard sends flow into the hosting runtime's out-vector
+    /// (which coalesces them at quantum end); cross-shard sends buffer in
+    /// `cross_buf` until [`PeerNode::on_quantum_end`] flushes them as
+    /// per-destination envelopes — so both halves follow the same flush
+    /// rule and envelope accounting stays byte-identical to the DES.
     fn relay(&mut self, net: &mut NetApi<M>, f: impl FnOnce(&mut N, &mut NetApi<M>)) {
         let mut api = NetApi::fresh(net.now(), self.me);
         f(&mut self.inner, &mut api);
         let (out, timers) = api.into_parts();
         if out.iter().any(|(to, ..)| *to != self.me) {
             // One metrics lock per callback, like the threaded workers.
+            // Logical sends are recorded here; envelope records follow at
+            // quantum end, once the frame compositions are known.
             let mut m = self.metrics.lock();
             for (to, _, _, meta) in &out {
                 if *to != self.me {
@@ -279,9 +391,10 @@ impl<M: Send, N: PeerNode<M>> ShardPeer<M, N> {
             } else {
                 let (shard, local) = self.map.locate(to);
                 if shard == self.my_shard as usize {
+                    self.same_shard_meta.push((to, port, (), meta));
                     net.send(local, port, msg, meta);
                 } else {
-                    self.send_cross(Envelope { to, port, msg });
+                    self.cross_buf.push((to, port, msg, meta));
                 }
             }
         }
@@ -299,41 +412,99 @@ impl<M: Send, N: PeerNode<M>> PeerNode<M> for ShardPeer<M, N> {
     fn on_timer(&mut self, id: u64, net: &mut NetApi<M>) {
         self.relay(net, |inner, api| inner.on_timer(id, api));
     }
+
+    /// Quantum end: forward the hook to the wrapped node first (so an
+    /// inner peer's own quantum-end sends join this quantum's frames), then
+    /// flush the buffered cross-shard sends as one envelope per destination
+    /// (the same flush rule the hosting runtime applies to the same-shard
+    /// sends in `net`'s out-vector), and mirror the same-shard frame
+    /// grouping into the shard-level envelope metrics.
+    fn on_quantum_end(&mut self, net: &mut NetApi<M>) {
+        self.relay(net, |inner, api| inner.on_quantum_end(api));
+        if !self.same_shard_meta.is_empty() {
+            let groups = frames(std::mem::take(&mut self.same_shard_meta), self.coalesce);
+            let mut m = self.metrics.lock();
+            for g in groups {
+                m.record_envelope(self.me, g.to, g.envelope_meta());
+            }
+        }
+        if self.cross_buf.is_empty() {
+            return;
+        }
+        let flush = frames(std::mem::take(&mut self.cross_buf), self.coalesce);
+        {
+            // One metrics lock for the whole flush — and released before
+            // the send loop, which may spin on a full transport.
+            let mut m = self.metrics.lock();
+            for frame in flush.as_slice() {
+                m.record_envelope(self.me, frame.to, frame.envelope_meta());
+            }
+        }
+        for frame in flush {
+            // One global in-flight count per envelope, registered before
+            // this quantum (whose own count is still held) retires — the
+            // composite's single-counter register-before-retire invariant.
+            self.global.in_flight.fetch_add(1, Ordering::SeqCst);
+            let to = frame.to;
+            self.route_cross(to, frame.into_body());
+        }
+    }
 }
 
-/// A message the controller could not deliver yet (destination inbox full).
+/// An envelope the controller could not deliver yet (destination inbox
+/// full).
 struct Parked<M> {
-    port: Port,
-    msg: M,
+    msgs: FrameBody<M>,
 }
 
 /// One inner shard: a threaded or async runtime hosting this shard's
 /// [`ShardPeer`]s. The composite controller drives both kinds through the
-/// same non-blocking-inject / counter / freeze surface.
+/// same non-blocking-inject / freeze surface; in-flight/event/panic
+/// bookkeeping lives in the one [`Shared`] block every shard shares.
 enum Shard<M, N> {
     Threaded(ThreadedRuntime<M, ShardPeer<M, N>>),
     Async(AsyncRuntime<M, ShardPeer<M, N>>),
 }
 
+/// A shard's direct-delivery handle, held (behind the `OnceLock`) by every
+/// adapter for the controller-free cross-shard path.
+enum ShardInjector<M> {
+    Threaded(ThreadedInjector<M>),
+    Async(AsyncInjector<M>),
+}
+
+impl<M: Send> ShardInjector<M> {
+    fn try_inject(&self, to: PeerId, msgs: FrameBody<M>) -> Result<(), FrameBody<M>> {
+        match self {
+            ShardInjector::Threaded(i) => i.try_inject(to, msgs),
+            ShardInjector::Async(i) => i.try_inject(to, msgs),
+        }
+    }
+}
+
 impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Shard<M, N> {
-    fn new(nodes: Vec<ShardPeer<M, N>>, kind: &ShardKind) -> Shard<M, N> {
+    fn new(nodes: Vec<ShardPeer<M, N>>, kind: &ShardKind, shared: Arc<Shared>) -> Shard<M, N> {
         match kind {
-            ShardKind::Threaded(cfg) => Shard::Threaded(ThreadedRuntime::new(nodes, cfg.clone())),
-            ShardKind::Async(cfg) => Shard::Async(AsyncRuntime::new(nodes, cfg.clone())),
+            ShardKind::Threaded(cfg) => {
+                Shard::Threaded(ThreadedRuntime::new_with_shared(nodes, cfg.clone(), shared))
+            }
+            ShardKind::Async(cfg) => {
+                Shard::Async(AsyncRuntime::new_with_shared(nodes, cfg.clone(), shared))
+            }
         }
     }
 
-    fn try_inject(&mut self, to: PeerId, port: Port, msg: M) -> Result<(), M> {
+    fn injector(&self) -> ShardInjector<M> {
         match self {
-            Shard::Threaded(rt) => rt.try_inject(to, port, msg),
-            Shard::Async(rt) => rt.try_inject(to, port, msg),
+            Shard::Threaded(rt) => ShardInjector::Threaded(rt.injector()),
+            Shard::Async(rt) => ShardInjector::Async(rt.injector()),
         }
     }
 
-    fn events_processed(&self) -> u64 {
+    fn try_inject(&mut self, to: PeerId, msgs: FrameBody<M>) -> Result<(), FrameBody<M>> {
         match self {
-            Shard::Threaded(rt) => rt.events_processed(),
-            Shard::Async(rt) => rt.events_processed(),
+            Shard::Threaded(rt) => rt.try_inject(to, msgs),
+            Shard::Async(rt) => rt.try_inject(to, msgs),
         }
     }
 
@@ -346,20 +517,6 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Shard<M, N> {
 }
 
 impl<M, N> Shard<M, N> {
-    fn pending_events(&self) -> i64 {
-        match self {
-            Shard::Threaded(rt) => rt.pending_events(),
-            Shard::Async(rt) => rt.pending_events(),
-        }
-    }
-
-    fn panic_note(&self) -> Option<String> {
-        match self {
-            Shard::Threaded(rt) => rt.panic_note(),
-            Shard::Async(rt) => rt.panic_note(),
-        }
-    }
-
     fn freeze(&mut self) {
         match self {
             Shard::Threaded(rt) => rt.freeze(),
@@ -373,7 +530,11 @@ impl<M, N> Shard<M, N> {
 pub struct ShardedRuntime<M, N> {
     shards: Vec<Shard<M, N>>,
     map: Arc<ShardMap>,
-    state: Arc<TransportState>,
+    state: Arc<TransportState<M>>,
+    /// The one bookkeeping block every shard shares: a single in-flight
+    /// counter (quiescence = one atomic load), a single event counter, one
+    /// teardown flag, one panic slot.
+    shared: Arc<Shared>,
     transport_rx: Receiver<Envelope<M>>,
     /// Undeliverable cross-shard messages, FIFO per destination peer so the
     /// per-channel ordering guarantee survives backpressure.
@@ -410,9 +571,10 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
         }
         let map = Arc::new(ShardMap { shard_of, local_of });
         let state = Arc::new(TransportState {
-            in_flight: AtomicI64::new(0),
-            shutting_down: AtomicBool::new(false),
+            relay_in_flight: AtomicI64::new(0),
+            injectors: OnceLock::new(),
         });
+        let shared = Arc::new(Shared::new());
         let (transport_tx, transport_rx) = bounded::<Envelope<M>>(cfg.transport_capacity.max(1));
         let shard_metrics: Vec<Arc<Mutex<NetMetrics>>> = (0..shards_n)
             .map(|_| Arc::new(Mutex::new(NetMetrics::new(n as u32))))
@@ -421,6 +583,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
         let mut buckets: Vec<Vec<ShardPeer<M, N>>> = (0..shards_n)
             .map(|s| Vec::with_capacity(sizes[s as usize] as usize))
             .collect();
+        let coalesce = cfg.shard.coalesce();
         for (p, inner) in peers.into_iter().enumerate() {
             let s = map.shard_of[p] as usize;
             buckets[s].push(ShardPeer {
@@ -429,14 +592,25 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
                 my_shard: s as u32,
                 map: Arc::clone(&map),
                 state: Arc::clone(&state),
+                global: Arc::clone(&shared),
                 outbound: transport_tx.clone(),
                 metrics: Arc::clone(&shard_metrics[s]),
+                transport_dests: FxHashSet::default(),
+                coalesce,
+                cross_buf: Vec::new(),
+                same_shard_meta: Vec::new(),
             });
         }
-        let shards = buckets
+        let shards: Vec<Shard<M, N>> = buckets
             .into_iter()
-            .map(|nodes| Shard::new(nodes, &cfg.shard))
+            .map(|nodes| Shard::new(nodes, &cfg.shard, Arc::clone(&shared)))
             .collect();
+        // Install the direct-delivery handles now that the shards exist;
+        // adapters fall back to the controller relay until this point
+        // (nothing runs before `new` returns, so in practice never).
+        let _ = state
+            .injectors
+            .set(shards.iter().map(Shard::injector).collect());
         // The adapters hold every transport sender the session needs; the
         // controller only ever receives.
         drop(transport_tx);
@@ -444,6 +618,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
             shards,
             map,
             state,
+            shared,
             transport_rx,
             parked: (0..n).map(|_| VecDeque::new()).collect(),
             shard_metrics,
@@ -479,57 +654,53 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
             .collect()
     }
 
-    /// Cross-shard messages currently in flight (in the transport channel or
-    /// parked at the controller). Zero at every converged phase boundary —
-    /// the cross-shard half of the timer fence.
+    /// Cross-shard envelopes currently held by the controller relay (in the
+    /// transport channel or parked). Zero at every converged phase boundary
+    /// — the cross-shard half of the timer fence. Direct-path deliveries
+    /// never appear here: they go straight from the sending worker into the
+    /// destination inbox.
     pub fn cross_shard_in_flight(&self) -> i64 {
-        self.state.in_flight.load(Ordering::SeqCst).max(0)
+        self.state.relay_in_flight.load(Ordering::SeqCst).max(0)
     }
 
-    /// Total produced-but-unprocessed events across shards and transport
-    /// (messages, hand-offs, armed timers). Zero at every converged phase
-    /// boundary.
+    /// Total produced-but-unprocessed events anywhere in the composite
+    /// (messages, hand-offs, relayed envelopes, armed timers) — the one
+    /// shared in-flight counter. Zero at every converged phase boundary.
     pub fn pending_events(&self) -> i64 {
-        let mut pending: i64 = 0;
-        for s in &self.shards {
-            pending += s.pending_events().max(0);
-        }
-        pending + self.cross_shard_in_flight()
+        self.shared.in_flight.load(Ordering::SeqCst).max(0)
     }
 
-    /// Deliver one transport-counted message to its shard, or park it. The
-    /// destination shard registers the event *before* the transport count
-    /// drops, so the global in-flight sum never transiently reaches zero.
-    fn deliver_or_park(&mut self, to: PeerId, port: Port, msg: M) {
+    /// Deliver one relay-routed envelope to its shard, or park it. The
+    /// envelope keeps its (single, global) in-flight count throughout; only
+    /// the relay diagnostic is released on acceptance.
+    fn deliver_or_park(&mut self, to: PeerId, msgs: FrameBody<M>) {
         let (shard, local) = self.map.locate(to);
         let q = &mut self.parked[to.0 as usize];
         if !q.is_empty() {
-            // FIFO per destination: never overtake an earlier parked message.
-            q.push_back(Parked { port, msg });
+            // FIFO per destination: never overtake an earlier parked
+            // envelope.
+            q.push_back(Parked { msgs });
             return;
         }
-        match self.shards[shard].try_inject(local, port, msg) {
+        match self.shards[shard].try_inject(local, msgs) {
             Ok(()) => {
-                self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                self.state.relay_in_flight.fetch_sub(1, Ordering::SeqCst);
             }
-            Err(msg) => q.push_back(Parked { port, msg }),
+            Err(msgs) => q.push_back(Parked { msgs }),
         }
     }
 
-    /// Retry parked messages (per-destination FIFO preserved).
+    /// Retry parked envelopes (per-destination FIFO preserved).
     fn drain_parked(&mut self) {
         for p in 0..self.parked.len() {
             while let Some(head) = self.parked[p].pop_front() {
                 let (shard, local) = self.map.locate(PeerId(p as u32));
-                match self.shards[shard].try_inject(local, head.port, head.msg) {
+                match self.shards[shard].try_inject(local, head.msgs) {
                     Ok(()) => {
-                        self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        self.state.relay_in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
-                    Err(msg) => {
-                        self.parked[p].push_front(Parked {
-                            port: head.port,
-                            msg,
-                        });
+                    Err(msgs) => {
+                        self.parked[p].push_front(Parked { msgs });
                         break;
                     }
                 }
@@ -540,12 +711,8 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
     /// Drain everything currently queued in the transport channel.
     fn drain_transport(&mut self) {
         while let Ok(env) = self.transport_rx.try_recv() {
-            self.deliver_or_park(env.to, env.port, env.msg);
+            self.deliver_or_park(env.to, env.msgs);
         }
-    }
-
-    fn events_sum(&self) -> u64 {
-        self.shards.iter().map(|s| s.events_processed()).sum()
     }
 }
 
@@ -554,9 +721,10 @@ impl<M, N> ShardedRuntime<M, N> {
     /// session stays inspectable but can never converge again.
     fn freeze_shards(&mut self) {
         self.frozen = true;
-        // Unblock workers spinning on the transport *before* shard teardown
-        // tries to hand them `Shutdown` through possibly-full inboxes.
-        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // One shared teardown flag: unblocks workers spinning on the
+        // transport *before* shard teardown tries to hand them `Shutdown`
+        // through possibly-full inboxes.
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
         for s in &mut self.shards {
             s.freeze();
         }
@@ -578,8 +746,12 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Shard
     }
 
     fn inject(&mut self, to: PeerId, port: Port, msg: M) {
-        self.state.in_flight.fetch_add(1, Ordering::SeqCst);
-        self.deliver_or_park(to, port, msg);
+        // External injections register one global count and ride the relay
+        // path (per-destination parking preserves FIFO with anything the
+        // controller already holds for that peer).
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.state.relay_in_flight.fetch_add(1, Ordering::SeqCst);
+        self.deliver_or_park(to, FrameBody::One((port, msg, MsgMeta::default())));
     }
 
     fn run(&mut self, budget: RunBudget) -> RunOutcome {
@@ -594,20 +766,18 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Shard
         let outcome = loop {
             self.drain_transport();
             self.drain_parked();
-            // Shard counters first, transport last: a quiescent shard cannot
-            // self-activate (only this controller injects into it), and a
-            // message leaving a shard raises the transport counter before
-            // its producing event retires — so an all-zero sweep in this
-            // order certifies global quiescence.
-            let mut pending: i64 = 0;
-            for s in &self.shards {
-                pending += s.pending_events().max(0);
-            }
-            pending += self.state.in_flight.load(Ordering::SeqCst).max(0);
+            // One composite-wide counter covers every pending event —
+            // same-shard, direct cross-shard, relayed, armed timers —
+            // registered before its producer retires, so a single load
+            // certifies global quiescence (no multi-counter sweep order to
+            // reason about, even with workers injecting into each other's
+            // shards concurrently).
+            let pending = self.shared.in_flight.load(Ordering::SeqCst);
             // Panic check after the counter read: a panicking worker records
             // its note before retiring its event, so zero-with-clean-notes
             // really is a clean convergence.
-            if let Some(msg) = self.shards.iter().find_map(|s| s.panic_note()) {
+            let panic_note = self.shared.panicked.lock().clone();
+            if let Some(msg) = panic_note {
                 self.freeze_shards();
                 self.active += start.elapsed();
                 panic!("sharded runtime: {msg}");
@@ -625,7 +795,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Shard
                 break RunOutcome::Converged { at: self.now() };
             }
             let now = Instant::now();
-            if self.events_sum() >= budget.max_events
+            if self.shared.events.load(Ordering::SeqCst) >= budget.max_events
                 || now >= wall_deadline
                 || time_deadline.is_some_and(|d| now >= d)
             {
@@ -636,10 +806,10 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Shard
                     pending: pending as usize,
                 };
             }
-            // Sleep until a cross-shard message arrives or the poll tick
+            // Sleep until a cross-shard envelope arrives or the poll tick
             // elapses (shard-internal progress is re-checked each tick).
             if let Ok(env) = self.transport_rx.recv_timeout(self.cfg.poll) {
-                self.deliver_or_park(env.to, env.port, env.msg);
+                self.deliver_or_park(env.to, env.msgs);
             }
         };
         self.active += start.elapsed();
@@ -655,7 +825,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Shard
     }
 
     fn events_processed(&self) -> u64 {
-        self.events_sum()
+        self.shared.events.load(Ordering::SeqCst)
     }
 
     fn frontier(&self) -> SimTime {
@@ -1025,6 +1195,72 @@ mod tests {
             _ => unreachable!(),
         });
         assert_eq!(got, 500);
+    }
+
+    /// A one-quantum cross-shard burst travels the bounded transport as ONE
+    /// envelope (one transport slot, one in-flight count), split back in
+    /// FIFO order inside the destination shard — and the shard-level
+    /// metrics (global peer ids) account it as one envelope over N logical
+    /// messages, exactly like the standalone substrates.
+    #[test]
+    fn cross_shard_burst_coalesces_into_one_envelope() {
+        struct Spray;
+        struct Sink(Vec<u64>);
+        enum Node {
+            S(Spray),
+            K(Sink),
+        }
+        impl PeerNode<u64> for Node {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                match self {
+                    Node::S(_) => {
+                        for i in 0..200 {
+                            net.send(
+                                PeerId(1),
+                                Port(0),
+                                i,
+                                MsgMeta {
+                                    bytes: 8,
+                                    prov_bytes: 0,
+                                    tuples: 1,
+                                },
+                            );
+                        }
+                    }
+                    Node::K(k) => k.0.push(m),
+                }
+            }
+        }
+        let run = |cfg: ShardedConfig| {
+            let mut rt = ShardedRuntime::new(vec![Node::S(Spray), Node::K(Sink(vec![]))], cfg);
+            rt.inject(PeerId(0), Port(0), 0u64);
+            assert!(matches!(
+                rt.run(RunBudget::default()),
+                RunOutcome::Converged { .. }
+            ));
+            assert_eq!(rt.cross_shard_in_flight(), 0);
+            let m = rt.metrics_snapshot();
+            let got = rt.with_peer(PeerId(1), |n| match n {
+                Node::K(k) => k.0.clone(),
+                _ => unreachable!(),
+            });
+            (m, got)
+        };
+        // 2-slot transport: the burst still fits, because it is one envelope.
+        let cfg = ShardedConfig {
+            transport_capacity: 2,
+            ..split_pair()
+        };
+        let (on, got) = run(cfg);
+        assert_eq!(on.total_msgs(), 200, "logical count is per message");
+        assert_eq!(on.total_envelopes(), 1, "one transport envelope");
+        assert!(on.total_envelope_bytes() > on.total_bytes(), "frame header");
+        assert_eq!(got, (0..200).collect::<Vec<_>>(), "FIFO within the frame");
+        // Toggled off via the builder, every message pays its own envelope.
+        let (off, got_off) = run(split_pair().with_coalescing(false));
+        assert_eq!(off.logical(), on.logical());
+        assert_eq!(off.total_envelopes(), 200);
+        assert_eq!(got_off, got);
     }
 
     #[test]

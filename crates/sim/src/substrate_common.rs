@@ -1,0 +1,93 @@
+//! Plumbing shared by the concurrent substrates (threaded and async): the
+//! in-flight/event bookkeeping, the timer-heap entry, timer dilation, and
+//! panic-payload formatting. Both runtimes drive the same discipline —
+//! bounded inboxes, register-outputs-before-retire, timer fence — so the
+//! state they share lives here once instead of being re-imported from
+//! `threaded.rs`, and quantum-level machinery added for all substrates (the
+//! coalescer, see [`crate::coalesce`]) lands in one place, not four.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration as WallDuration, Instant};
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+/// State shared between a concurrent runtime's controller and its workers
+/// (threads or the async executor).
+pub(crate) struct Shared {
+    /// Produced-but-unretired events (envelopes in channels or backlogs,
+    /// plus armed timers). Zero ⇒ global quiescence including timers. An
+    /// envelope carrying N coalesced logical messages counts **once**: it is
+    /// registered when its producing quantum registers its outputs and
+    /// retired when the receiving quantum (all N callbacks) retires.
+    pub(crate) in_flight: AtomicI64,
+    /// Total events processed — **logical** message deliveries plus timer
+    /// firings, so the count is coalescing-invariant.
+    pub(crate) events: AtomicU64,
+    /// Teardown flag: senders stop spinning and drop instead.
+    pub(crate) shutting_down: AtomicBool,
+    /// First peer panic observed, for propagation from `run`.
+    pub(crate) panicked: Mutex<Option<String>>,
+}
+
+impl Shared {
+    pub(crate) fn new() -> Shared {
+        Shared {
+            in_flight: AtomicI64::new(0),
+            events: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            panicked: Mutex::new(None),
+        }
+    }
+
+    /// Retire one in-flight event; wake the controller on the last one.
+    pub(crate) fn retire_one(&self, ctl: &Sender<()>) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _ = ctl.send(());
+        }
+    }
+}
+
+/// Min-heap entry for the timer services (reversed ordering: earliest
+/// first). Used by the threaded runtime's timer thread and the async
+/// runtime's in-loop timer heap.
+pub(crate) struct TimerEntry {
+    pub(crate) at: Instant,
+    pub(crate) seq: u64,
+    pub(crate) peer: u32,
+    pub(crate) id: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Format a panic payload for propagation to the controller thread.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Map a simulated timer delay to a wall-clock sleep via the runtime's
+/// dilation factor.
+pub(crate) fn dilate(delay: netrec_types::Duration, factor: f64) -> WallDuration {
+    WallDuration::from_secs_f64((delay.micros() as f64 * factor / 1_000_000.0).max(0.0))
+}

@@ -37,7 +37,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration as WallDuration, Instant};
@@ -46,15 +46,17 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, SyncSender, TrySe
 use netrec_types::SimTime;
 use parking_lot::Mutex;
 
+use crate::coalesce::{frames, FrameBody};
 use crate::des::{NetApi, PeerNode};
-use crate::metrics::NetMetrics;
+use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{PeerId, Port};
 use crate::runtime::{RunBudget, RunOutcome, Runtime};
+use crate::substrate_common::{dilate, panic_message, Shared, TimerEntry};
 
 /// Tuning knobs for the threaded runtime.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ThreadedConfig {
-    /// Per-peer inbox capacity in messages; senders observe backpressure
+    /// Per-peer inbox capacity in envelopes; senders observe backpressure
     /// once an inbox fills.
     pub channel_capacity: usize,
     /// Wall-clock microseconds slept per simulated microsecond of timer
@@ -64,6 +66,9 @@ pub struct ThreadedConfig {
     /// Controller poll tick while waiting for quiescence (a safety net — the
     /// controller is also woken by an explicit signal).
     pub poll: WallDuration,
+    /// Whether same-destination sends coalesce into one envelope per
+    /// quantum (on by default; the differential toggle turns it off).
+    pub coalesce: bool,
 }
 
 impl Default for ThreadedConfig {
@@ -72,12 +77,25 @@ impl Default for ThreadedConfig {
             channel_capacity: 256,
             time_dilation: 1.0,
             poll: WallDuration::from_millis(1),
+            coalesce: true,
         }
     }
 }
 
+impl ThreadedConfig {
+    /// Enable or disable transport coalescing (builder style).
+    pub fn with_coalescing(mut self, on: bool) -> ThreadedConfig {
+        self.coalesce = on;
+        self
+    }
+}
+
 enum ThreadMsg<M> {
-    Deliver(Port, M),
+    /// One physical envelope: the coalesced messages of one sender quantum
+    /// for this peer, processed as one unit. (`MsgMeta` rides along unused
+    /// by the receiver so frames can be handed back / re-routed whole;
+    /// singleton envelopes are inline, allocation-free.)
+    Deliver(FrameBody<M>),
     Timer(u64),
     Shutdown,
 }
@@ -85,78 +103,6 @@ enum ThreadMsg<M> {
 enum TimerCmd {
     Arm { peer: u32, id: u64, at: Instant },
     Shutdown,
-}
-
-/// Min-heap entry for the timer service (reversed ordering: earliest first).
-/// Shared with the async runtime's in-loop timer heap.
-pub(crate) struct TimerEntry {
-    pub(crate) at: Instant,
-    pub(crate) seq: u64,
-    pub(crate) peer: u32,
-    pub(crate) id: u64,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// State shared between the controller, the workers, and the timer service.
-/// The async runtime reuses the same bookkeeping for its executor thread.
-pub(crate) struct Shared {
-    /// Produced-but-unretired events (messages in channels or backlogs, plus
-    /// armed timers). Zero ⇒ global quiescence including timers.
-    pub(crate) in_flight: AtomicI64,
-    /// Total events processed (deliveries + timer firings).
-    pub(crate) events: AtomicU64,
-    /// Teardown flag: senders stop spinning and drop instead.
-    pub(crate) shutting_down: AtomicBool,
-    /// First peer panic observed, for propagation from `run`.
-    pub(crate) panicked: Mutex<Option<String>>,
-}
-
-impl Shared {
-    pub(crate) fn new() -> Shared {
-        Shared {
-            in_flight: AtomicI64::new(0),
-            events: AtomicU64::new(0),
-            shutting_down: AtomicBool::new(false),
-            panicked: Mutex::new(None),
-        }
-    }
-
-    /// Retire one in-flight event; wake the controller on the last one.
-    pub(crate) fn retire_one(&self, ctl: &Sender<()>) {
-        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _ = ctl.send(());
-        }
-    }
-}
-
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-pub(crate) fn dilate(delay: netrec_types::Duration, factor: f64) -> WallDuration {
-    WallDuration::from_secs_f64((delay.micros() as f64 * factor / 1_000_000.0).max(0.0))
 }
 
 /// One peer's worker: pulls from its inbox, runs the node callback under a
@@ -175,6 +121,10 @@ struct Worker<M, N> {
     backlog: VecDeque<ThreadMsg<M>>,
     epoch: Instant,
     time_dilation: f64,
+    coalesce: bool,
+    /// False for shard-hosted runtimes: their local-id metric tables are
+    /// never snapshotted (the `ShardPeer` adapters account in global ids).
+    record_metrics: bool,
 }
 
 impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
@@ -190,7 +140,7 @@ impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
             };
             let keep_going = match msg {
                 ThreadMsg::Shutdown => false,
-                ThreadMsg::Deliver(port, m) => self.process(Some((port, m)), 0),
+                ThreadMsg::Deliver(msgs) => self.process(Some(msgs), 0),
                 ThreadMsg::Timer(id) => self.process(None, id),
             };
             if !keep_going {
@@ -201,17 +151,25 @@ impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
         // us observe `Disconnected` and drop instead of spinning forever.
     }
 
-    /// Run one callback. `Some((port, m))` is a delivery, `None` a timer
-    /// with `timer_id`. Returns `false` when the worker must stop (panic).
-    fn process(&mut self, delivery: Option<(Port, M)>, timer_id: u64) -> bool {
+    /// Run one quantum: every message of a delivered envelope
+    /// (`Some(msgs)`), or a timer firing (`None` with `timer_id`), then the
+    /// quantum-end hook. Returns `false` when the worker must stop (panic).
+    fn process(&mut self, delivery: Option<FrameBody<M>>, timer_id: u64) -> bool {
+        // Logical event count: an envelope of N messages counts N.
+        let logical = delivery.as_ref().map_or(1, FrameBody::len) as u64;
         let outputs = catch_unwind(AssertUnwindSafe(|| {
             let now = SimTime(self.epoch.elapsed().as_micros() as u64);
             let mut api = NetApi::fresh(now, self.me);
             let mut node = self.node.lock();
             match delivery {
-                Some((port, m)) => node.on_message(port, m, &mut api),
+                Some(msgs) => {
+                    for (port, m, _) in msgs {
+                        node.on_message(port, m, &mut api);
+                    }
+                }
                 None => node.on_timer(timer_id, &mut api),
             }
+            node.on_quantum_end(&mut api);
             drop(node);
             api.into_parts()
         }));
@@ -230,23 +188,25 @@ impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
                 false
             }
             Ok((out, timers)) => {
-                self.shared.events.fetch_add(1, Ordering::SeqCst);
+                self.shared.events.fetch_add(logical, Ordering::SeqCst);
                 // Register every produced event *before* retiring this one,
-                // so the in-flight counter can never transiently hit zero.
-                let produced = (out.len() + timers.len()) as i64;
-                self.shared.in_flight.fetch_add(produced, Ordering::SeqCst);
-                if out.iter().any(|(to, ..)| *to != self.me) {
-                    // One shard lock per callback, not per message; the
-                    // shard is only ever contended by controller snapshots.
-                    let mut metrics = self.metrics.lock();
-                    for (to, _, _, meta) in &out {
-                        if *to != self.me {
-                            metrics.record_send(self.me, *to, *meta);
-                        }
+                // so the in-flight counter can never transiently hit zero:
+                // armed timers in bulk here, each outgoing envelope right
+                // before its send (this quantum's own count keeps the sum
+                // positive throughout). An envelope counts once however
+                // many messages it carries.
+                self.shared
+                    .in_flight
+                    .fetch_add(timers.len() as i64, Ordering::SeqCst);
+                for frame in frames(out, self.coalesce) {
+                    self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    if self.record_metrics && frame.to != self.me {
+                        // One metrics lock per envelope; the shard is only
+                        // ever contended by controller snapshots.
+                        frame.record_into(self.me, &mut self.metrics.lock());
                     }
-                }
-                for (to, port, msg, _) in out {
-                    self.send(to, ThreadMsg::Deliver(port, msg));
+                    let to = frame.to;
+                    self.send(to, ThreadMsg::Deliver(frame.into_body()));
                 }
                 for (delay, id) in timers {
                     let at = Instant::now() + dilate(delay, self.time_dilation);
@@ -423,12 +383,66 @@ pub struct ThreadedRuntime<M, N> {
     cfg: ThreadedConfig,
 }
 
+/// A thread-safe handle for delivering envelopes straight into this
+/// runtime's inboxes from *another* shard's worker thread — the sharded
+/// runtime's direct cross-shard path, which skips the controller relay
+/// whenever the destination inbox has room.
+pub(crate) struct ThreadedInjector<M> {
+    shared: Arc<Shared>,
+    ctl_tx: Sender<()>,
+    inboxes: Vec<SyncSender<ThreadMsg<M>>>,
+}
+
+impl<M: Send> ThreadedInjector<M> {
+    /// Move an already-registered envelope into `to`'s inbox. `Err` hands
+    /// it back on backpressure (the caller falls back to the transport); a
+    /// disconnected inbox (frozen shard) drops the envelope and retires its
+    /// count, reporting `Ok`.
+    pub(crate) fn try_inject(&self, to: PeerId, msgs: FrameBody<M>) -> Result<(), FrameBody<M>> {
+        match self.inboxes[to.0 as usize].try_send(ThreadMsg::Deliver(msgs)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(ThreadMsg::Deliver(msgs))) => Err(msgs),
+            Err(TrySendError::Full(_)) => unreachable!("injector only sends Deliver"),
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.retire_one(&self.ctl_tx);
+                Ok(())
+            }
+        }
+    }
+}
+
 impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
     /// Spawn one worker thread per peer plus the timer service.
     pub fn new(peers: Vec<N>, cfg: ThreadedConfig) -> ThreadedRuntime<M, N> {
+        ThreadedRuntime::build(peers, cfg, Arc::new(Shared::new()), true)
+    }
+
+    /// Like [`ThreadedRuntime::new`], but sharing an externally-owned
+    /// [`Shared`] bookkeeping block. The sharded runtime passes **one**
+    /// block to every shard, so a single in-flight counter covers the whole
+    /// composite: register-before-retire on one atomic certifies global
+    /// quiescence with a single load, no matter which shard registers an
+    /// event produced in another (the direct cross-shard path). Shard-hosted
+    /// runtimes skip worker-side metrics recording (`record_metrics:
+    /// false`): their tables are keyed by shard-local ids and never
+    /// snapshotted — the `ShardPeer` adapters account traffic in global ids
+    /// instead.
+    pub(crate) fn new_with_shared(
+        peers: Vec<N>,
+        cfg: ThreadedConfig,
+        shared: Arc<Shared>,
+    ) -> ThreadedRuntime<M, N> {
+        ThreadedRuntime::build(peers, cfg, shared, false)
+    }
+
+    fn build(
+        peers: Vec<N>,
+        cfg: ThreadedConfig,
+        shared: Arc<Shared>,
+        record_metrics: bool,
+    ) -> ThreadedRuntime<M, N> {
         let n = peers.len();
         let epoch = Instant::now();
-        let shared = Arc::new(Shared::new());
         let (ctl_tx, ctl_rx) = unbounded::<()>();
         let (timer_tx, timer_rx) = unbounded::<TimerCmd>();
 
@@ -459,6 +473,8 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
                 backlog: VecDeque::new(),
                 epoch,
                 time_dilation: cfg.time_dilation,
+                coalesce: cfg.coalesce,
+                record_metrics,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("netrec-peer-{i}"))
@@ -519,25 +535,35 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
         }
     }
 
-    /// Non-blocking inject for composite runtimes (the sharded router must
-    /// never block on one shard's full inbox while other shards depend on it
-    /// to keep draining the cross-shard transport). Registers the event,
-    /// tries the inbox once, and on backpressure un-registers and hands the
-    /// message back to the caller. A message dropped on a disconnected inbox
-    /// (frozen shard) reports `Ok` like [`ThreadedRuntime::push`] does.
-    pub(crate) fn try_inject(&mut self, to: PeerId, port: Port, msg: M) -> Result<(), M> {
-        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        match self.inboxes[to.0 as usize].try_send(ThreadMsg::Deliver(port, msg)) {
+    /// Non-blocking envelope hand-off for composite runtimes (the sharded
+    /// router must never block on one shard's full inbox while other shards
+    /// depend on it to keep draining the cross-shard transport). **Move
+    /// semantics**: the envelope is already registered in the (shared)
+    /// in-flight counter by its producer, so delivery is just an inbox
+    /// insert; `Err` hands the envelope back on backpressure, and a
+    /// disconnected inbox (frozen shard) drops it, retiring its count.
+    pub(crate) fn try_inject(
+        &mut self,
+        to: PeerId,
+        msgs: FrameBody<M>,
+    ) -> Result<(), FrameBody<M>> {
+        match self.inboxes[to.0 as usize].try_send(ThreadMsg::Deliver(msgs)) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(ThreadMsg::Deliver(_, msg))) => {
-                self.shared.retire_one(&self.ctl_tx);
-                Err(msg)
-            }
+            Err(TrySendError::Full(ThreadMsg::Deliver(msgs))) => Err(msgs),
             Err(TrySendError::Full(_)) => unreachable!("try_inject only sends Deliver"),
             Err(TrySendError::Disconnected(_)) => {
                 self.shared.retire_one(&self.ctl_tx);
                 Ok(())
             }
+        }
+    }
+
+    /// A cross-thread delivery handle for the direct cross-shard path.
+    pub(crate) fn injector(&self) -> ThreadedInjector<M> {
+        ThreadedInjector {
+            shared: Arc::clone(&self.shared),
+            ctl_tx: self.ctl_tx.clone(),
+            inboxes: self.inboxes.clone(),
         }
     }
 
@@ -572,20 +598,6 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
 }
 
 impl<M, N> ThreadedRuntime<M, N> {
-    /// Produced-but-unretired events (messages, hand-offs, armed timers).
-    /// Zero means this shard is locally quiescent; a composite runtime sums
-    /// this across shards (plus its transport) for *global* quiescence.
-    pub(crate) fn pending_events(&self) -> i64 {
-        self.shared.in_flight.load(Ordering::SeqCst)
-    }
-
-    /// First worker panic recorded in this session, if any. A composite
-    /// controller polls this instead of calling [`Runtime::run`] (which
-    /// re-panics) so it can tear down every shard before propagating.
-    pub(crate) fn panic_note(&self) -> Option<String> {
-        self.shared.panicked.lock().clone()
-    }
-
     /// Stop the workers and timer service, freezing the session for
     /// inspection — the composite-budget analogue of the teardown `run`
     /// performs on its own budget exhaustion.
@@ -637,7 +649,8 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Threa
     }
 
     fn inject(&mut self, to: PeerId, port: Port, msg: M) {
-        self.push(to, ThreadMsg::Deliver(port, msg));
+        let body = FrameBody::One((port, msg, MsgMeta::default()));
+        self.push(to, ThreadMsg::Deliver(body));
     }
 
     fn run(&mut self, budget: RunBudget) -> RunOutcome {
@@ -921,6 +934,68 @@ mod tests {
             _ => unreachable!(),
         });
         assert_eq!(echoed, 500);
+    }
+
+    /// A 500-message spray from one callback crosses the bounded channel as
+    /// ONE envelope: logical metrics stay per-message, the physical count
+    /// collapses, and the receiver still sees every message in order.
+    #[test]
+    fn spray_coalesces_into_one_envelope() {
+        struct Spray;
+        struct Sink(Vec<u64>);
+        enum Node {
+            S(Spray),
+            K(Sink),
+        }
+        impl PeerNode<u64> for Node {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                match self {
+                    Node::S(_) => {
+                        for i in 0..500 {
+                            net.send(
+                                PeerId(1),
+                                Port(0),
+                                i,
+                                MsgMeta {
+                                    bytes: 8,
+                                    prov_bytes: 0,
+                                    tuples: 1,
+                                },
+                            );
+                        }
+                    }
+                    Node::K(k) => k.0.push(m),
+                }
+            }
+        }
+        let run = |coalesce: bool| {
+            let cfg = ThreadedConfig {
+                channel_capacity: 4,
+                ..ThreadedConfig::default()
+            }
+            .with_coalescing(coalesce);
+            let mut rt = ThreadedRuntime::new(vec![Node::S(Spray), Node::K(Sink(vec![]))], cfg);
+            rt.inject(PeerId(0), Port(0), 0u64);
+            assert!(matches!(
+                rt.run(RunBudget::default()),
+                RunOutcome::Converged { .. }
+            ));
+            let m = rt.metrics_snapshot();
+            let got = rt.with_peer(PeerId(1), |n| match n {
+                Node::K(k) => k.0.clone(),
+                _ => unreachable!(),
+            });
+            (m, got)
+        };
+        let (on, got) = run(true);
+        assert_eq!(on.total_msgs(), 500);
+        assert_eq!(on.total_bytes(), 500 * 8);
+        assert_eq!(on.total_envelopes(), 1, "one channel send for the burst");
+        assert_eq!(got, (0..500).collect::<Vec<_>>(), "FIFO within the frame");
+        let (off, got_off) = run(false);
+        assert_eq!(off.logical(), on.logical());
+        assert_eq!(off.total_envelopes(), 500);
+        assert_eq!(got_off, got);
     }
 
     #[test]

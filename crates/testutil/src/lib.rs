@@ -1,7 +1,7 @@
 //! # netrec-testutil — the substrate differential harness
 //!
 //! The engine's correctness claim is that its operators are *distributable*:
-//! any execution substrate implementing the [`Runtime`](netrec_sim::Runtime)
+//! any execution substrate implementing the [`Runtime`](trait@netrec_sim::Runtime)
 //! session contract
 //! must compute the same fixpoints — and, on traffic-confluent workloads,
 //! ship byte-identical traffic — as the deterministic discrete-event
@@ -24,7 +24,10 @@
 //! * **always** — the phase converges, and the cross-peer union of every
 //!   registered view relation is identical;
 //! * **with [`DiffPhase::strict`]** — additionally, the *per-peer*
-//!   msgs/bytes/tuples/prov_bytes matrices are identical, and so are the
+//!   msgs/bytes/tuples/prov_bytes matrices are identical — and so are the
+//!   physical **envelope** matrices (`envelopes`/`envelope_bytes`): the
+//!   transport coalescer's flush rule is modelled once, so even the framed
+//!   batching must reproduce exactly across substrates — and so are the
 //!   per-phase `RunReport` deltas (guarding the quiescent-boundary
 //!   baselines). Strict phases require a workload whose traffic is
 //!   confluent — batch composition independent of event scheduling (see
@@ -42,9 +45,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use netrec_engine::peer::EnginePeer;
 use netrec_engine::plan::Plan;
 use netrec_engine::runner::{Runner, RunnerConfig};
-use netrec_sim::{NetMetrics, RuntimeKind};
+use netrec_engine::update::Msg;
+use netrec_sim::{NetMetrics, Runtime, RuntimeKind};
 use netrec_topo::BaseOp;
 use netrec_types::Tuple;
 
@@ -174,6 +179,13 @@ impl DiffWorkload {
     pub fn phases_ref(&self) -> &[DiffPhase] {
         &self.phases
     }
+
+    /// The base runner configuration (the harness swaps `runtime` per
+    /// substrate; custom-runtime drivers need the cluster/cost/strategy
+    /// fields to build their substrate by hand).
+    pub fn config_ref(&self) -> &RunnerConfig {
+        &self.config
+    }
 }
 
 /// What the harness observed at one quiescent phase boundary.
@@ -198,7 +210,25 @@ pub fn run_workload_on(w: &DiffWorkload, kind: &RuntimeKind) -> Vec<PhaseObs> {
         runtime: kind.clone(),
         ..w.config.clone()
     };
-    let mut runner = Runner::new((w.plan)(), cfg);
+    drive_phases(w, Runner::new((w.plan)(), cfg))
+}
+
+/// Run the workload on an explicitly-constructed substrate — for
+/// configurations [`RuntimeKind`] cannot express, e.g. a DES with transport
+/// coalescing disabled (the proptest differential's toggle dimension). The
+/// closure receives the instantiated peers, as in `Runner::with_runtime`.
+pub fn run_workload_custom<R: Runtime<Msg, EnginePeer>>(
+    w: &DiffWorkload,
+    make: impl FnOnce(Vec<EnginePeer>) -> R,
+) -> Vec<PhaseObs> {
+    let runner = Runner::with_runtime((w.plan)(), w.config.clone(), make);
+    drive_phases(w, runner)
+}
+
+fn drive_phases<R: Runtime<Msg, EnginePeer>>(
+    w: &DiffWorkload,
+    mut runner: Runner<R>,
+) -> Vec<PhaseObs> {
     w.phases
         .iter()
         .map(|phase| {
@@ -250,6 +280,14 @@ pub fn assert_substrates_agree(w: &DiffWorkload, kinds: &[RuntimeKind]) -> Vec<P
                 have.converged,
                 "[{ref_name} vs {name}] phase {phase} did not converge on {name}"
             );
+            // Transport invariant on every substrate and every phase: an
+            // envelope carries at least one logical message.
+            assert!(
+                have.metrics.total_envelopes() <= have.metrics.total_msgs(),
+                "[{name}] envelopes ({}) exceed logical msgs ({}) after phase {phase}",
+                have.metrics.total_envelopes(),
+                have.metrics.total_msgs()
+            );
             assert_eq!(
                 want.views, have.views,
                 "[{ref_name} vs {name}] view contents diverge after phase {phase}"
@@ -279,7 +317,22 @@ pub fn assert_substrates_agree(w: &DiffWorkload, kinds: &[RuntimeKind]) -> Vec<P
                 have.metrics.total_prov_bytes(),
                 "[{ref_name} vs {name}] prov_bytes diverge after phase {phase}"
             );
-            // Stronger than the totals: the full per-peer traffic matrix.
+            // The physical layer is pinned too: the coalescer's flush rule
+            // is a pure function of peer logic, so envelope counts and
+            // framed bytes must match the reference exactly, not just the
+            // logical counters.
+            assert_eq!(
+                want.metrics.total_envelopes(),
+                have.metrics.total_envelopes(),
+                "[{ref_name} vs {name}] envelope counts diverge after phase {phase}"
+            );
+            assert_eq!(
+                want.metrics.total_envelope_bytes(),
+                have.metrics.total_envelope_bytes(),
+                "[{ref_name} vs {name}] envelope bytes diverge after phase {phase}"
+            );
+            // Stronger than the totals: the full per-peer traffic matrix
+            // (logical and envelope counters alike).
             assert_eq!(
                 want.metrics, have.metrics,
                 "[{ref_name} vs {name}] per-peer metrics diverge after phase {phase}"

@@ -210,6 +210,103 @@ pub fn tuple_encoded_len(t: &Tuple) -> usize {
     varint_len(t.arity() as u64) + t.values().iter().map(value_encoded_len).sum::<usize>()
 }
 
+// --- Transport frames -----------------------------------------------------
+//
+// The runtime layer coalesces same-destination messages into one *frame*
+// per scheduling quantum (see `netrec-sim::coalesce`). A frame of opaque
+// payloads is encoded as:
+//
+// ```text
+// frame   := payload                                  (exactly 1 payload)
+//          | FRAME_TAG varint(count)
+//            count × (varint(len) payload)            (0 or ≥ 2 payloads)
+// ```
+//
+// A singleton frame *is* the bare payload — uncoalesced traffic costs not a
+// single extra byte over the pre-frame encoding, which is what keeps the
+// byte metrics of non-batching workloads unchanged. Multi-payload frames
+// pay one header: the tag, the count, and a length prefix per payload
+// (opaque payloads are not self-delimiting). Decoding is slice-based: the
+// transport hands the decoder one whole frame, as a length-delimited socket
+// read would.
+
+/// First byte of a multi-payload frame. A singleton payload that happens
+/// to begin with this byte is *escaped* by [`put_frame`] into the explicit
+/// tagged form (count 1), so encode/decode stay exactly invertible for
+/// arbitrary payloads; the engine's `Msg` encodings start with a value tag
+/// (0–4) or a small framing varint and never hit the escape, which is why
+/// [`frame_header_len`]'s zero-byte singleton accounting is exact for
+/// them.
+pub const FRAME_TAG: u8 = 0xF7;
+
+/// Header bytes [`put_frame`] prepends for `payload_lens`: zero for a
+/// singleton (degenerate — the frame is the payload; assumes the payload
+/// does not begin with [`FRAME_TAG`], see its docs), otherwise the tag,
+/// the count varint, and one length varint per payload.
+pub fn frame_header_len(payload_lens: &[usize]) -> usize {
+    if payload_lens.len() == 1 {
+        return 0;
+    }
+    1 + varint_len(payload_lens.len() as u64)
+        + payload_lens
+            .iter()
+            .map(|&l| varint_len(l as u64))
+            .sum::<usize>()
+}
+
+/// Total encoded size of a frame over payloads of the given lengths:
+/// header + Σ payload lengths.
+pub fn frame_encoded_len(payload_lens: &[usize]) -> usize {
+    frame_header_len(payload_lens) + payload_lens.iter().sum::<usize>()
+}
+
+/// Encode a frame of opaque payloads (see the frame grammar above). A
+/// singleton payload beginning with [`FRAME_TAG`] takes the explicit
+/// tagged form instead of the degenerate one, so decoding is never
+/// ambiguous.
+pub fn put_frame(buf: &mut impl BufMut, payloads: &[&[u8]]) {
+    if let [single] = payloads {
+        if single.first() != Some(&FRAME_TAG) {
+            buf.put_slice(single);
+            return;
+        }
+    }
+    buf.put_u8(FRAME_TAG);
+    put_varint(buf, payloads.len() as u64);
+    for p in payloads {
+        put_varint(buf, p.len() as u64);
+        buf.put_slice(p);
+    }
+}
+
+/// Decode one frame from a complete frame buffer, returning the payloads in
+/// their original order. A buffer not starting with [`FRAME_TAG`] is a
+/// singleton frame: the whole buffer is the one payload.
+pub fn get_frame(frame: &[u8]) -> Result<Vec<Vec<u8>>, WireError> {
+    if frame.first() != Some(&FRAME_TAG) {
+        return Ok(vec![frame.to_vec()]);
+    }
+    let mut buf = &frame[1..];
+    let count = get_varint(&mut buf)? as usize;
+    if count > buf.len() {
+        // Each payload costs ≥ 1 header byte; bound before allocating.
+        return Err(WireError::Truncated);
+    }
+    let mut payloads = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = get_varint(&mut buf)? as usize;
+        if buf.len() < len {
+            return Err(WireError::Truncated);
+        }
+        payloads.push(buf[..len].to_vec());
+        buf = &buf[len..];
+    }
+    if !buf.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    Ok(payloads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +388,119 @@ mod tests {
         for i in [-1_000_000i64, -1, 0, 1, 42, i64::MIN, i64::MAX] {
             assert_eq!(unzigzag(zigzag(i)), i);
         }
+    }
+
+    /// Encode each tuple as a payload, frame them, and return
+    /// (frame bytes, per-payload encoded lengths).
+    fn tuple_frame(tuples: &[Tuple]) -> (Vec<u8>, Vec<usize>) {
+        let payloads: Vec<Vec<u8>> = tuples
+            .iter()
+            .map(|t| {
+                let mut b = Vec::new();
+                put_tuple(&mut b, t);
+                b
+            })
+            .collect();
+        let lens: Vec<usize> = payloads.iter().map(Vec::len).collect();
+        let mut frame = Vec::new();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        put_frame(&mut frame, &refs);
+        (frame, lens)
+    }
+
+    #[test]
+    fn coalesced_frame_len_is_header_plus_payloads() {
+        let tuples: Vec<Tuple> = (0..5)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Addr(NetAddr(i)),
+                    Value::Int(i64::from(i) * 1000),
+                    Value::str("payload"),
+                ])
+            })
+            .collect();
+        let (frame, lens) = tuple_frame(&tuples);
+        assert_eq!(
+            frame.len(),
+            frame_header_len(&lens) + lens.iter().sum::<usize>(),
+            "frame = header + Σ payloads"
+        );
+        assert_eq!(frame.len(), frame_encoded_len(&lens));
+        // The header really is tag + count varint + one length varint each.
+        assert_eq!(
+            frame_header_len(&lens),
+            1 + varint_len(5) + lens.iter().map(|&l| varint_len(l as u64)).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn frame_round_trip_preserves_split_order() {
+        let tuples: Vec<Tuple> = (0..4)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::str("x".repeat(i as usize).as_str()),
+                ])
+            })
+            .collect();
+        let (frame, _) = tuple_frame(&tuples);
+        let payloads = get_frame(&frame).unwrap();
+        assert_eq!(payloads.len(), 4);
+        for (payload, want) in payloads.iter().zip(&tuples) {
+            assert_eq!(&get_tuple(&mut &payload[..]).unwrap(), want, "FIFO order");
+        }
+    }
+
+    #[test]
+    fn singleton_frame_degenerates_to_the_bare_encoding() {
+        // One payload: the frame *is* today's encoding — zero header bytes,
+        // so uncoalesced traffic costs nothing extra.
+        let t = Tuple::new(vec![Value::Addr(NetAddr(7)), Value::Int(-3)]);
+        let (frame, lens) = tuple_frame(std::slice::from_ref(&t));
+        let mut bare = Vec::new();
+        put_tuple(&mut bare, &t);
+        assert_eq!(frame, bare, "singleton frame is the bare payload");
+        assert_eq!(frame_header_len(&lens), 0);
+        assert_eq!(frame_encoded_len(&lens), bare.len());
+        let payloads = get_frame(&frame).unwrap();
+        assert_eq!(payloads, vec![bare]);
+    }
+
+    #[test]
+    fn tag_prefixed_singleton_escapes_to_the_explicit_form() {
+        // A payload that happens to start with FRAME_TAG cannot use the
+        // degenerate encoding (the decoder would misread it as a frame
+        // header); it round-trips through the explicit tagged form instead.
+        let payload: &[u8] = &[FRAME_TAG, 0x01, 0x00];
+        let mut frame = Vec::new();
+        put_frame(&mut frame, &[payload]);
+        assert_ne!(frame, payload, "must not emit the ambiguous bare form");
+        assert_eq!(get_frame(&frame).unwrap(), vec![payload.to_vec()]);
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let mut frame = Vec::new();
+        put_frame(&mut frame, &[]);
+        assert_eq!(frame, vec![FRAME_TAG, 0]);
+        assert_eq!(frame.len(), frame_encoded_len(&[]));
+        assert_eq!(get_frame(&frame).unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn frame_decode_errors() {
+        // Count promises more payloads than the buffer can hold.
+        assert_eq!(get_frame(&[FRAME_TAG, 9, 1, 0]), Err(WireError::Truncated));
+        // Payload length overruns the buffer.
+        assert_eq!(
+            get_frame(&[FRAME_TAG, 2, 5, 1, 2]),
+            Err(WireError::Truncated)
+        );
+        // Trailing bytes after the last payload.
+        assert_eq!(
+            get_frame(&[FRAME_TAG, 2, 1, 7, 1, 8, 99]),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]
