@@ -21,6 +21,13 @@
 //! `netrec_sim::coalesce`). `_guardrail/...` string entries carry perf
 //! expectations reviewers should re-check when the numbers move.
 //!
+//! A `read_serving/` section tracks the lock-free serving layer
+//! (`netrec-serve`): ns per point lookup through an epoch-published
+//! `ViewReader` vs the clone-a-whole-view-per-lookup baseline
+//! (`System::view`), plus a service-shaped scenario — four reader threads
+//! hammering `connected()` while delete/re-insert churn publishes
+//! boundaries — reported as `#reads_per_sec` and `#p99_lookup_ns`.
+//!
 //! A dedicated `scale1000/` section hosts the paper-scale peer counts only
 //! the async runtime reaches on commodity limits: 1000 peers as cooperative
 //! tasks on one core (entry `.../async1000`, with the DES at the same peer
@@ -36,7 +43,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use netrec_core::{RunBudget, RuntimeKind, ShardedConfig, System, SystemConfig};
-use netrec_engine::Strategy;
+use netrec_engine::{ServeSpec, Strategy};
 use netrec_topo::{transit_stub, BaseOp, TransitStubParams, Workload};
 use netrec_types::{NetAddr, Tuple, UpdateKind, Value};
 
@@ -60,7 +67,7 @@ fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -224,6 +231,150 @@ fn main() {
         report.insert(name, ns);
     }
 
+    // --- Serving-layer read path ---------------------------------------
+    //
+    // Same reduced fig07 topology, absorption-lazy on the threaded runtime
+    // (real OS threads — the concurrent scenario needs true reader/writer
+    // parallelism). The lookup set is every (src, dst) pair over the
+    // topology's addresses: a mix of hits and misses, so both membership
+    // outcomes stay on the measured path.
+    let serving_names = [
+        "read_serving/reachable/view_clone_lookup",
+        "read_serving/reachable/serve_point_lookup",
+        "read_serving/reachable/churn4",
+    ];
+    if serving_names.iter().any(|n| wanted(n)) {
+        let mut addrs: Vec<NetAddr> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for op in &load.ops {
+            for col in [0usize, 1] {
+                if let Value::Addr(a) = op.tuple.get(col) {
+                    if seen.insert(a.0) {
+                        addrs.push(*a);
+                    }
+                }
+            }
+        }
+        let lookups: Vec<(NetAddr, NetAddr)> = addrs
+            .iter()
+            .flat_map(|&u| addrs.iter().map(move |&v| (u, v)))
+            .collect();
+        let member = |u: NetAddr, v: NetAddr| Tuple::new(vec![Value::Addr(u), Value::Addr(v)]);
+
+        let mut sys = System::reachable(
+            SystemConfig::new(Strategy::absorption_lazy(), peers)
+                .with_budget(budget())
+                .with_runtime(RuntimeKind::threaded()),
+        );
+        sys.apply(&load);
+        assert!(sys.run("load").converged(), "read_serving: load converged");
+
+        // Baseline: the pre-serving read path — materialize the whole view,
+        // then one membership test, per lookup.
+        let name = serving_names[0];
+        let mut baseline_ns = f64::NAN;
+        if wanted(name) {
+            let rounds = 20;
+            baseline_ns = measure(samples, rounds * lookups.len(), || {
+                let mut hits = 0usize;
+                for _ in 0..rounds {
+                    for &(u, v) in &lookups {
+                        let view = sys.view("reachable");
+                        hits += usize::from(view.contains(&member(u, v)));
+                    }
+                }
+                std::hint::black_box(hits);
+            });
+            println!("{name:<45} {:>12.0} ns/op", baseline_ns);
+            report.insert(name.to_string(), baseline_ns);
+        }
+
+        // Attach the lock-free serving layer; every converged `run` from
+        // here on publishes one epoch.
+        let reader = sys.serve(&ServeSpec::views(&[]).with_connectivity("reachable"));
+
+        let name = serving_names[1];
+        if wanted(name) {
+            let mut r = reader.clone();
+            let rounds = 2000;
+            let ns = measure(samples, rounds * lookups.len(), || {
+                let mut hits = 0usize;
+                for _ in 0..rounds {
+                    for &(u, v) in &lookups {
+                        hits += usize::from(r.enter().connected(u, v));
+                    }
+                }
+                std::hint::black_box(hits);
+            });
+            println!("{name:<45} {:>12.0} ns/op", ns);
+            report.insert(name.to_string(), ns);
+            if baseline_ns.is_finite() {
+                let speedup = baseline_ns / ns;
+                report.insert(format!("{name}#speedup_vs_view_clone"), speedup);
+                assert!(
+                    speedup >= 10.0,
+                    "serving acceptance: point lookups must be >= 10x the \
+                     view-clone baseline, got {speedup:.1}x"
+                );
+            }
+        }
+
+        // Service-shaped scenario: four reader threads hammer `connected`
+        // through private handle clones while the driver runs delete/
+        // re-insert churn, publishing a boundary per converged phase.
+        // Latency is sampled every 64th read; p99 over all samples.
+        let name = serving_names[2];
+        if wanted(name) {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            use std::sync::Arc;
+            let stop = Arc::new(AtomicBool::new(false));
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let mut r = reader.clone();
+                    let lookups = lookups.clone();
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut reads = 0u64;
+                        let mut lat_ns: Vec<u64> = Vec::new();
+                        while !stop.load(Ordering::Relaxed) {
+                            let (u, v) = lookups[reads as usize % lookups.len()];
+                            let t = Instant::now();
+                            std::hint::black_box(r.enter().connected(u, v));
+                            if reads.is_multiple_of(64) {
+                                lat_ns.push(t.elapsed().as_nanos() as u64);
+                            }
+                            reads += 1;
+                        }
+                        (reads, lat_ns)
+                    })
+                })
+                .collect();
+
+            let start = Instant::now();
+            for (i, op) in dels.ops.iter().take(8).enumerate() {
+                sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+                assert!(sys.run(&format!("churn-del-{i}")).converged());
+                sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Insert, None);
+                assert!(sys.run(&format!("churn-ins-{i}")).converged());
+            }
+            let wall = start.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            let mut total_reads = 0u64;
+            let mut lat: Vec<u64> = Vec::new();
+            for h in readers {
+                let (reads, l) = h.join().expect("reader thread");
+                total_reads += reads;
+                lat.extend(l);
+            }
+            lat.sort_unstable();
+            let p99 = lat[((lat.len() as f64 * 0.99) as usize).min(lat.len() - 1)];
+            let reads_per_sec = total_reads as f64 / wall.as_secs_f64();
+            println!("{name:<45} {reads_per_sec:>12.0} reads/s  p99 {p99} ns");
+            report.insert(format!("{name}#reads_per_sec"), reads_per_sec);
+            report.insert(format!("{name}#p99_lookup_ns"), p99 as f64);
+        }
+    }
+
     let mut json = String::from("{\n");
     // Guardrail note (string entry, sorts first): the BENCH_4 set-mode
     // sharded cliff and what should hold now that transport coalescing
@@ -239,6 +390,14 @@ fn main() {
          a drift back toward 50us/op means per-envelope controller wakes \
          have crept back in"
     )];
+    entries.push(format!(
+        "  \"_guardrail/read_serving/reachable/serve_point_lookup\": \"{}\"",
+        "serving acceptance: epoch-published point lookups must stay >= 10x \
+         the view-clone-per-lookup baseline (the binary asserts the ratio; \
+         see #speedup_vs_view_clone). Also watch churn4#p99_lookup_ns - a \
+         p99 drifting toward the baseline ns/op means readers are paying \
+         per-read copies or contending with the publish handshake again"
+    ));
     entries.extend(report.iter().map(|(k, v)| format!("  \"{k}\": {v:.1}")));
     json.push_str(&entries.join(",\n"));
     json.push_str("\n}\n");

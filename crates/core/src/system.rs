@@ -159,9 +159,21 @@ impl System {
         self.runner.run_phase(label)
     }
 
-    /// Current contents of a view across all peers.
+    /// Current contents of a view across all peers. O(view) per call — a
+    /// read-heavy service should attach [`System::serve`] and use the
+    /// returned reader's point lookups instead.
     pub fn view(&self, rel: &str) -> BTreeSet<Tuple> {
         self.runner.view(rel)
+    }
+
+    /// Attach the lock-free serving layer (see `Runner::serve`): the named
+    /// relations are materialized behind an epoch-published left-right map
+    /// and every converged [`System::run`] boundary publishes their
+    /// membership deltas as one epoch. Clone the returned reader per serving
+    /// thread; lookups (`connected`, `region_of`, `view_contains`) take no
+    /// lock and never observe a mid-cascade view.
+    pub fn serve(&mut self, spec: &netrec_engine::ServeSpec) -> netrec_engine::ViewReader {
+        self.runner.serve(spec)
     }
 
     /// From-scratch oracle evaluation of a view over the current base state.

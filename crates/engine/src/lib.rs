@@ -46,6 +46,7 @@ pub mod strategy;
 pub mod update;
 
 pub use expr::{AggFn, CmpOp, Expr, Pred};
+pub use netrec_serve::{ServeSpec, ViewReader, ViewStore};
 pub use plan::{OpId, OpSpec, Plan, PlanBuilder, PlanError};
 pub use runner::{EngineRuntime, RunReport, Runner, RunnerConfig};
 pub use strategy::{DeleteProp, ShipPolicy, Strategy};

@@ -32,6 +32,14 @@ pub struct StoreOp {
     table: ProvTable,
     aggsel: Option<AggSelState>,
     dests: Vec<Dest>,
+    /// When set, membership changes (a tuple entering or leaving the view —
+    /// `MergeOutcome::New` / `DeleteOutcome::Died`, never `Changed`/`Shrunk`
+    /// annotation-only churn) are appended to `delta_log` for the serving
+    /// layer. Off by default so un-served runs pay nothing.
+    record_deltas: bool,
+    /// Pending membership deltas (`true` = entered, `false` = left), in
+    /// event order, drained by the runner at each quiescent boundary.
+    delta_log: Vec<(Tuple, bool)>,
 }
 
 impl StoreOp {
@@ -50,7 +58,21 @@ impl StoreOp {
             table: ProvTable::new(mode, support_index),
             aggsel: aggsel.map(|s| AggSelState::new(s.clone(), mode)),
             dests,
+            record_deltas: false,
+            delta_log: Vec::new(),
         }
+    }
+
+    /// Start recording membership deltas for the serving layer. Call at a
+    /// quiescent boundary; deltas accumulate until [`StoreOp::drain_deltas`].
+    pub fn enable_deltas(&mut self) {
+        self.record_deltas = true;
+    }
+
+    /// Take all membership deltas recorded since the last drain (`true` =
+    /// tuple entered the view, `false` = left), in event order.
+    pub fn drain_deltas(&mut self) -> Vec<(Tuple, bool)> {
+        std::mem::take(&mut self.delta_log)
     }
 
     /// The relation this store materialises.
@@ -119,7 +141,13 @@ impl StoreOp {
             };
             match u.kind {
                 UpdateKind::Insert => match self.table.merge_ins(&u.tuple, &u.prov) {
-                    MergeOutcome::New(delta) | MergeOutcome::Changed(delta) => {
+                    MergeOutcome::New(delta) => {
+                        if self.record_deltas {
+                            self.delta_log.push((u.tuple.clone(), true));
+                        }
+                        out.push(Update::ins(self.rel, u.tuple, delta));
+                    }
+                    MergeOutcome::Changed(delta) => {
                         out.push(Update::ins(self.rel, u.tuple, delta));
                     }
                     MergeOutcome::Absorbed => {}
@@ -127,7 +155,13 @@ impl StoreOp {
                 UpdateKind::Delete if !u.cause.is_empty() => {
                     for (t, outcome) in self.table.restrict_cause(&u.cause) {
                         let removed = match outcome {
-                            DeleteOutcome::Died(p) | DeleteOutcome::Shrunk(p) => p,
+                            DeleteOutcome::Died(p) => {
+                                if self.record_deltas {
+                                    self.delta_log.push((t.clone(), false));
+                                }
+                                p
+                            }
+                            DeleteOutcome::Shrunk(p) => p,
                         };
                         out.push(Update::del_cause(self.rel, t, removed, u.cause.clone()));
                     }
@@ -135,7 +169,13 @@ impl StoreOp {
                 UpdateKind::Delete => {
                     if let Some(outcome) = self.table.retract(&u.tuple, &u.prov) {
                         let removed = match outcome {
-                            DeleteOutcome::Died(p) | DeleteOutcome::Shrunk(p) => p,
+                            DeleteOutcome::Died(p) => {
+                                if self.record_deltas {
+                                    self.delta_log.push((u.tuple.clone(), false));
+                                }
+                                p
+                            }
+                            DeleteOutcome::Shrunk(p) => p,
                         };
                         out.push(Update::del_retract(self.rel, u.tuple, removed));
                     }
@@ -146,9 +186,17 @@ impl StoreOp {
     }
 
     /// Broadcast-mode tombstone: restrict the whole partition locally; no
-    /// forwarding (all peers restrict independently).
+    /// forwarding (all peers restrict independently). Deaths still feed the
+    /// serving delta log — a tombstone-killed tuple leaves the published
+    /// view exactly like a cause-deleted one.
     pub fn on_tombstone(&mut self, vars: &[netrec_bdd::Var]) {
-        let _ = self.table.restrict_cause(vars);
+        for (t, outcome) in self.table.restrict_cause(vars) {
+            if self.record_deltas {
+                if let DeleteOutcome::Died(_) = outcome {
+                    self.delta_log.push((t, false));
+                }
+            }
+        }
         if let Some(sel) = &mut self.aggsel {
             sel.on_tombstone(vars);
         }

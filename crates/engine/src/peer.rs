@@ -7,7 +7,7 @@ use std::sync::Arc;
 use netrec_bdd::{BddManager, Var};
 use netrec_prov::{Prov, VarAllocator};
 use netrec_sim::{NetApi, Partitioner, PeerId, PeerNode, Port};
-use netrec_types::{FxHashSet, UpdateKind};
+use netrec_types::{FxHashSet, Tuple, UpdateKind};
 
 use crate::ops::{
     AggSelOp, AggregateOp, Ectx, ExchangeOp, IngressOp, JoinOp, MapOp, MinShipOp, OpState, StoreOp,
@@ -138,6 +138,34 @@ impl EnginePeer {
     /// This peer's operator states (post-run inspection).
     pub fn ops(&self) -> &[OpState] {
         &self.ops
+    }
+
+    /// Turn on serving-delta recording in every **view** store on this peer.
+    /// Called by the runner (at a quiescent boundary) when a serving handle
+    /// is attached; un-served runs never record.
+    pub fn enable_view_deltas(&mut self) {
+        for op in &mut self.ops {
+            if let OpState::Store(o) = op {
+                if o.is_view() {
+                    o.enable_deltas();
+                }
+            }
+        }
+    }
+
+    /// Drain the membership deltas every view store on this peer recorded
+    /// since the last drain: `(relation, tuple, entered)` in event order.
+    pub fn drain_view_deltas(&mut self) -> Vec<(netrec_types::RelId, Tuple, bool)> {
+        let mut out = Vec::new();
+        for op in &mut self.ops {
+            if let OpState::Store(o) = op {
+                if o.is_view() {
+                    let rel = o.rel();
+                    out.extend(o.drain_deltas().into_iter().map(|(t, add)| (rel, t, add)));
+                }
+            }
+        }
+        out
     }
 
     /// Sum of operator state bytes on this peer.

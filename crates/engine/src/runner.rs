@@ -11,11 +11,12 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use netrec_serve::views::{self, ServeSpec, ViewOp, ViewReader, ViewWriter};
 use netrec_sim::{
     AsyncRuntime, ClusterSpec, CostModel, NetMetrics, Partitioner, PeerId, RunBudget, RunOutcome,
     Runtime, RuntimeKind, ShardedRuntime, Simulator, ThreadedRuntime,
 };
-use netrec_types::{Duration, SimTime, Tuple, UpdateKind};
+use netrec_types::{Duration, RelId, SimTime, Tuple, UpdateKind};
 
 use crate::ops::OpState;
 use crate::peer::EnginePeer;
@@ -208,6 +209,12 @@ impl Runtime<Msg, EnginePeer> for EngineRuntime {
     fn for_each_peer(&self, f: impl FnMut(PeerId, &EnginePeer)) {
         dispatch!(self, rt => Runtime::for_each_peer(rt, f))
     }
+    fn with_peer_mut<T>(&mut self, p: PeerId, f: impl FnOnce(&mut EnginePeer) -> T) -> T {
+        dispatch!(self, rt => Runtime::with_peer_mut(rt, p, f))
+    }
+    fn for_each_peer_mut(&mut self, f: impl FnMut(PeerId, &mut EnginePeer)) {
+        dispatch!(self, rt => Runtime::for_each_peer_mut(rt, f))
+    }
 }
 
 /// The workload driver: owns the substrate and the plan.
@@ -222,6 +229,10 @@ pub struct Runner<R: Runtime<Msg, EnginePeer> = EngineRuntime> {
     /// would nondeterministically undercount the phase's traffic.
     phase_metrics: NetMetrics,
     phase_events: u64,
+    /// The serving-layer writer, when [`Runner::serve`] attached one:
+    /// `run_phase` drains per-peer membership deltas at every converged
+    /// boundary and publishes them as one epoch.
+    serve: Option<ViewWriter>,
 }
 
 impl Runner<EngineRuntime> {
@@ -284,6 +295,7 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
             rt,
             phase_metrics,
             phase_events,
+            serve: None,
         }
     }
 
@@ -344,6 +356,90 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         }
     }
 
+    /// Attach the serving layer: materialize the relations named by `spec`
+    /// behind a lock-free left-right pair and return a [`ViewReader`] whose
+    /// clones serve point lookups from any number of threads with zero
+    /// coordination.
+    ///
+    /// Call at a quiescent boundary (typically right after building the
+    /// runner, or after a load phase). The current view contents become the
+    /// seed epoch; from then on every converged [`Runner::run_phase`]
+    /// boundary drains the stores' membership deltas — extracted from the
+    /// DRed insert/delete outcomes, not re-cloned relations — and publishes
+    /// them as one epoch, on every substrate (the sharded runtime folds
+    /// per-shard deltas in global peer order). A budget-exceeded phase
+    /// publishes nothing: readers keep the last *converged* view.
+    ///
+    /// # Panics
+    /// If a name in `spec` is not a relation of the plan, or a serving
+    /// handle is already attached.
+    pub fn serve(&mut self, spec: &ServeSpec) -> ViewReader {
+        assert!(self.serve.is_none(), "serving handle already attached");
+        let resolve = |name: &String| -> RelId {
+            self.plan
+                .catalog
+                .id(name)
+                .unwrap_or_else(|| panic!("unknown relation `{name}`"))
+        };
+        let rels: Vec<RelId> = spec.views.iter().map(resolve).collect();
+        let connectivity = spec.connectivity.as_ref().map(resolve);
+        let region = spec.region.as_ref().map(resolve);
+        let (mut writer, reader) = views::pair(&rels, connectivity, region);
+        // One quiescent-boundary pass: flip every view store to
+        // delta-recording and seed the store from its current contents
+        // (the only whole-relation copy the serving layer ever makes).
+        self.rt.for_each_peer_mut(|_, peer| {
+            peer.enable_view_deltas();
+            for op in peer.ops() {
+                if let OpState::Store(s) = op {
+                    if s.is_view() && rels.contains(&s.rel()) {
+                        for tuple in s.contents() {
+                            writer.append(ViewOp {
+                                rel: s.rel(),
+                                tuple,
+                                add: true,
+                            });
+                        }
+                    }
+                }
+            }
+        });
+        writer.publish();
+        self.serve = Some(writer);
+        reader
+    }
+
+    /// Whether a serving handle is attached.
+    pub fn serving(&self) -> bool {
+        self.serve.is_some()
+    }
+
+    /// Version of the most recently published epoch (None when not serving).
+    pub fn served_version(&self) -> Option<u64> {
+        self.serve.as_ref().map(|w| w.version())
+    }
+
+    /// Drain every peer's recorded view-membership deltas into the writer's
+    /// log and publish one epoch. Sharded substrates iterate global peer
+    /// order, so the folded delta sequence is substrate-independent up to
+    /// per-peer interleaving — and membership deltas commute across peers
+    /// (each tuple's membership is owned by exactly one partition).
+    fn publish_boundary(&mut self) {
+        let Some(writer) = self.serve.as_mut() else {
+            return;
+        };
+        let mut ops = Vec::new();
+        self.rt.for_each_peer_mut(|_, peer| {
+            ops.extend(
+                peer.drain_view_deltas()
+                    .into_iter()
+                    .map(|(rel, tuple, add)| ViewOp { rel, tuple, add }),
+            );
+        });
+        writer.extend(ops);
+        writer.publish();
+    }
+
     /// Run to quiescence (or budget) and report the phase's metrics.
     pub fn run_phase(&mut self, label: impl Into<String>) -> RunReport {
         let start_time = self.rt.frontier();
@@ -354,6 +450,12 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         let wall0 = std::time::Instant::now();
         let outcome = self.rt.run(self.cfg.budget);
         let wall = wall0.elapsed();
+        // Converged boundary = serving epoch: publish the phase's view
+        // membership deltas in one swap. A budget-exceeded (frozen) phase
+        // publishes nothing — readers keep the last converged epoch.
+        if matches!(outcome, RunOutcome::Converged { .. }) {
+            self.publish_boundary();
+        }
         let m1 = self.rt.metrics_snapshot();
         let bytes = m1.total_bytes() - m0.total_bytes();
         let msgs = m1.total_msgs() - m0.total_msgs();
@@ -391,7 +493,30 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
     }
 
     /// Union of a view relation's partitions across all peers.
+    ///
+    /// When a serving handle is attached ([`Runner::serve`]) and `rel_name`
+    /// is served, this reads the writer's own published copy — O(view) to
+    /// clone into the sorted set, but no peer locks and no per-peer scan.
+    /// Otherwise it falls back to [`Runner::view_scan`]. Hot paths should
+    /// not call this per lookup at all: clone the [`ViewReader`] and use its
+    /// O(1) point lookups (`connected` / `region_of` / `view_contains`).
+    #[must_use = "cloning a whole view per call is the slow read path; hot \
+                  paths should hold a ViewReader and use point lookups"]
     pub fn view(&self, rel_name: &str) -> BTreeSet<Tuple> {
+        if let (Some(writer), Some(rel)) = (&self.serve, self.plan.catalog.id(rel_name)) {
+            let store = writer.read();
+            if store.serves(rel) {
+                return store.snapshot(rel);
+            }
+        }
+        self.view_scan(rel_name)
+    }
+
+    /// Union of a view relation's partitions across all peers, rebuilt by
+    /// scanning every peer's store — the pre-serving read path, kept as the
+    /// fallback (and as the independent ground truth the serving layer is
+    /// differentially tested against).
+    pub fn view_scan(&self, rel_name: &str) -> BTreeSet<Tuple> {
         let rel = self
             .plan
             .catalog

@@ -383,6 +383,16 @@ impl<M, N: PeerNode<M>> Runtime<M, N> for Simulator<M, N> {
             f(PeerId(i as u32), n);
         }
     }
+
+    fn with_peer_mut<T>(&mut self, p: PeerId, f: impl FnOnce(&mut N) -> T) -> T {
+        f(&mut self.peers[p.0 as usize])
+    }
+
+    fn for_each_peer_mut(&mut self, mut f: impl FnMut(PeerId, &mut N)) {
+        for (i, n) in self.peers.iter_mut().enumerate() {
+            f(PeerId(i as u32), n);
+        }
+    }
 }
 
 #[cfg(test)]

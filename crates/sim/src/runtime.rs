@@ -315,4 +315,18 @@ pub trait Runtime<M, N> {
 
     /// Inspect every peer in `PeerId` order.
     fn for_each_peer(&self, f: impl FnMut(PeerId, &N));
+
+    /// Mutate one peer's logic **at a quiescent boundary**. The `&mut self`
+    /// receiver guarantees no phase is running; used by drivers to flip
+    /// peer-local switches between phases (e.g. enabling view-delta
+    /// recording) and to drain per-peer side channels (e.g. the serving
+    /// layer's membership deltas) without routing them through the message
+    /// plane.
+    fn with_peer_mut<T>(&mut self, p: PeerId, f: impl FnOnce(&mut N) -> T) -> T;
+
+    /// Mutate every peer in `PeerId` order at a quiescent boundary. Sharded
+    /// substrates iterate **global** ids, so a driver folding per-peer state
+    /// (e.g. per-shard serving deltas) sees one coherent global sequence —
+    /// the peer-state analogue of `NetMetrics::merge`.
+    fn for_each_peer_mut(&mut self, f: impl FnMut(PeerId, &mut N));
 }

@@ -514,6 +514,13 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Shard<M, N> {
             Shard::Async(rt) => rt.with_peer(p, f),
         }
     }
+
+    fn with_peer_mut<T>(&mut self, p: PeerId, f: impl FnOnce(&mut ShardPeer<M, N>) -> T) -> T {
+        match self {
+            Shard::Threaded(rt) => rt.with_peer_mut(p, f),
+            Shard::Async(rt) => rt.with_peer_mut(p, f),
+        }
+    }
 }
 
 impl<M, N> Shard<M, N> {
@@ -844,6 +851,19 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Shard
     fn for_each_peer(&self, mut f: impl FnMut(PeerId, &N)) {
         for p in 0..self.peers_total {
             self.with_peer(PeerId(p), |n| f(PeerId(p), n));
+        }
+    }
+
+    fn with_peer_mut<T>(&mut self, p: PeerId, f: impl FnOnce(&mut N) -> T) -> T {
+        let (shard, local) = self.map.locate(p);
+        self.shards[shard].with_peer_mut(local, |sp| f(&mut sp.inner))
+    }
+
+    fn for_each_peer_mut(&mut self, mut f: impl FnMut(PeerId, &mut N)) {
+        // Global-id order: drivers folding per-peer serving deltas see one
+        // coherent global sequence regardless of shard layout.
+        for p in 0..self.peers_total {
+            self.with_peer_mut(PeerId(p), |n| f(PeerId(p), n));
         }
     }
 }

@@ -741,6 +741,16 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Threa
             f(PeerId(i as u32), &node.lock());
         }
     }
+
+    fn with_peer_mut<T>(&mut self, p: PeerId, f: impl FnOnce(&mut N) -> T) -> T {
+        f(&mut self.nodes[p.0 as usize].lock())
+    }
+
+    fn for_each_peer_mut(&mut self, mut f: impl FnMut(PeerId, &mut N)) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            f(PeerId(i as u32), &mut node.lock());
+        }
+    }
 }
 
 /// Result of a one-shot threaded run ([`run_threaded`]).

@@ -27,4 +27,4 @@ pub use netrec_topo as topo;
 pub use netrec_types as types;
 
 pub use netrec_core::{System, SystemConfig};
-pub use netrec_engine::Strategy;
+pub use netrec_engine::{ServeSpec, Strategy, ViewReader};
