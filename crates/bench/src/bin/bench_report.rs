@@ -21,6 +21,11 @@
 //! `netrec_sim::coalesce`). `_guardrail/...` string entries carry perf
 //! expectations reviewers should re-check when the numbers move.
 //!
+//! A `fault_injection/` section pins the transport fault seam's cost: an
+//! installed-but-inert `FaultPlan` vs no plan at all on the deletion
+//! workload (`#inert_overhead_ratio`, guarded at ~1.0 — disabled faults
+//! must stay off the hot path), with one seeded plan for context.
+//!
 //! A `read_serving/` section tracks the lock-free serving layer
 //! (`netrec-serve`): ns per point lookup through an epoch-published
 //! `ViewReader` vs the clone-a-whole-view-per-lookup baseline
@@ -42,7 +47,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use netrec_core::{RunBudget, RuntimeKind, ShardedConfig, System, SystemConfig};
+use netrec_core::{FaultPlan, RunBudget, RuntimeKind, ShardedConfig, System, SystemConfig};
 use netrec_engine::{ServeSpec, Strategy};
 use netrec_topo::{transit_stub, BaseOp, TransitStubParams, Workload};
 use netrec_types::{NetAddr, Tuple, UpdateKind, Value};
@@ -67,7 +72,7 @@ fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -108,7 +113,7 @@ fn main() {
     let mut report: BTreeMap<String, f64> = BTreeMap::new();
 
     let substrates: Vec<(String, RuntimeKind)> = vec![
-        (String::new(), RuntimeKind::Des),
+        (String::new(), RuntimeKind::des()),
         ("/threaded".to_string(), RuntimeKind::threaded()),
         ("/async".to_string(), RuntimeKind::asynchronous()),
         (
@@ -208,7 +213,7 @@ fn main() {
         scale_ops.push(link(3 * c + 1, 3 * c + 2));
     }
     for (suffix, runtime) in [
-        ("des1000", RuntimeKind::Des),
+        ("des1000", RuntimeKind::des()),
         ("async1000", RuntimeKind::asynchronous()),
     ] {
         let name = format!("scale1000/reachable_ins/absorption_lazy/{suffix}");
@@ -229,6 +234,55 @@ fn main() {
         });
         println!("{name:<45} {:>12.0} ns/op", ns);
         report.insert(name, ns);
+    }
+
+    // --- Fault-injection layer overhead --------------------------------
+    //
+    // The transport fault seam (netrec_sim::fault) sits on the hot delivery
+    // path of every substrate; the deal is that a run with no plan (or an
+    // inert one) pays only a skipped branch. Pin that: the deletion
+    // workload, relative/lazy on the DES, with no plan vs an inert plan
+    // (`#inert_overhead_ratio` must hover at 1.0), plus one seeded plan for
+    // context on what enabled chaos costs.
+    {
+        let fault_dels = |name: &str, kind: RuntimeKind| {
+            measure(samples, dels.ops.len(), || {
+                let mut sys = System::reachable(
+                    SystemConfig::new(Strategy::relative_lazy(), peers)
+                        .with_budget(budget())
+                        .with_runtime(kind.clone()),
+                );
+                sys.apply(&load);
+                assert!(sys.run("load").converged(), "{name}: load did not converge");
+                for op in &dels.ops {
+                    sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+                }
+                assert!(
+                    sys.run("delete").converged(),
+                    "{name}: delete did not converge"
+                );
+            })
+        };
+        let base_name = "fault_injection/reachable_del/relative_lazy/des_no_plan";
+        let inert_name = "fault_injection/reachable_del/relative_lazy/des_inert_plan";
+        let seeded_name = "fault_injection/reachable_del/relative_lazy/des_seed0";
+        if wanted(base_name) && wanted(inert_name) {
+            let base = fault_dels(base_name, RuntimeKind::des());
+            let inert = fault_dels(inert_name, RuntimeKind::des().with_fault(FaultPlan::none()));
+            println!("{base_name:<45} {base:>12.0} ns/op");
+            println!("{inert_name:<45} {inert:>12.0} ns/op");
+            report.insert(base_name.to_string(), base);
+            report.insert(inert_name.to_string(), inert);
+            report.insert(format!("{inert_name}#inert_overhead_ratio"), inert / base);
+        }
+        if wanted(seeded_name) {
+            let seeded = fault_dels(
+                seeded_name,
+                RuntimeKind::des().with_fault(FaultPlan::from_seed(0)),
+            );
+            println!("{seeded_name:<45} {seeded:>12.0} ns/op");
+            report.insert(seeded_name.to_string(), seeded);
+        }
     }
 
     // --- Serving-layer read path ---------------------------------------
@@ -390,6 +444,16 @@ fn main() {
          a drift back toward 50us/op means per-envelope controller wakes \
          have crept back in"
     )];
+    entries.push(format!(
+        "  \"_guardrail/fault_injection/reachable_del\": \"{}\"",
+        "fault seam acceptance: #inert_overhead_ratio must stay ~1.0 - an \
+         installed-but-inert FaultPlan takes the same early-out as no plan \
+         (FaultPlan::is_active), so drift here means per-envelope fault \
+         bookkeeping leaked onto the clean delivery path. des_seed0 shows \
+         what enabled chaos costs for context; it is expected to be \
+         several-fold slower (retransmit delays stretch simulated time, \
+         stall windows serialise receivers) and is not a guardrail"
+    ));
     entries.push(format!(
         "  \"_guardrail/read_serving/reachable/serve_point_lookup\": \"{}\"",
         "serving acceptance: epoch-published point lookups must stay >= 10x \

@@ -99,7 +99,7 @@ fn datalog_reachable_on_threaded_runtime() {
         assert!(runner.run_phase("load").converged());
         runner.view("reachable")
     };
-    let des = run(netrec_sim::RuntimeKind::Des);
+    let des = run(netrec_sim::RuntimeKind::des());
     let thr = run(netrec_sim::RuntimeKind::threaded());
     assert!(!des.is_empty());
     assert_eq!(des, thr, "datalog views must agree across runtimes");

@@ -43,6 +43,7 @@ pub mod plan;
 pub mod reference;
 pub mod runner;
 pub mod strategy;
+pub(crate) mod trace;
 pub mod update;
 
 pub use expr::{AggFn, CmpOp, Expr, Pred};

@@ -71,6 +71,9 @@ impl IngressOp {
                 let Some(var) = self.vars.insert(self.rel, tuple.clone(), alloc) else {
                     return None; // duplicate insertion: set semantics no-op
                 };
+                if crate::trace::enabled() {
+                    eprintln!("[trace] p{} BASE-INS {:?} var={}", ectx.me.0, tuple, var);
+                }
                 let prov = Prov::base(ectx.strategy.mode, var, ectx.mgr);
                 let up = Update::ins(self.rel, tuple.clone(), prov);
                 ectx.emit_local(&self.dests, vec![up]);
@@ -92,6 +95,9 @@ impl IngressOp {
         let Some(var) = self.vars.remove(self.rel, &tuple) else {
             return; // deleting an absent tuple is ignored (§6's assumption)
         };
+        if crate::trace::enabled() {
+            eprintln!("[trace] p{} BASE-DEL {:?} var={}", ectx.me.0, tuple, var);
+        }
         match ectx.strategy.mode {
             ProvMode::Set => {
                 let up = Update::del_retract(self.rel, tuple, Prov::None);

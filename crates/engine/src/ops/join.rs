@@ -171,6 +171,15 @@ impl JoinOp {
                         let other_side = if from_build { &self.probe } else { &self.build };
                         let other_prov = other_side.prov.get(t2).expect("matched tuple has prov");
                         let prov = self.out_prov(mode, &delta, other_prov, &out_tuple);
+                        // A `Changed` delta is `new ∧ ¬old`; conjoined with
+                        // the other side it can annihilate to constant
+                        // `false` — zero new derivations. Emitting that as
+                        // an insert can resurrect the tuple at a receiver
+                        // that already retracted it (DESIGN.md, churn
+                        // postmortem: the false-annotation race).
+                        if prov.is_unsatisfiable() {
+                            continue;
+                        }
                         out.push(Update::ins(self.out_rel, out_tuple, prov));
                     }
                 }

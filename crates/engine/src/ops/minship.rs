@@ -43,6 +43,18 @@ pub struct MinShipOp {
     /// than buffer — otherwise a revived tuple strands in `pins` and the
     /// receiver over-deletes.
     dirty: FxHashSet<Tuple>,
+    /// Base variables ever shipped per tuple: the un-restricted history of
+    /// everything the receiver has been told, and the only sound input for
+    /// cause routing. `sent` cannot play that role — the receiver merges
+    /// contributions from *all* senders with node interning, so its graph can
+    /// keep a tuple derivable through hybrid cross-sender paths that no
+    /// single sender's (restricted) mirror still mentions. When this peer
+    /// learns a variable is dead, every tuple whose shipped history contains
+    /// it gets the cause forwarded (via `pdel`); the receiving store's
+    /// table-wide restrict then kills the branch wherever it ended up.
+    /// Entries shed a variable once its death has been forwarded — a peer
+    /// learns each dead variable exactly once.
+    shipped: FxHashMap<Tuple, FxHashSet<Var>>,
     /// Relation tag observed on the stream (for re-emission).
     rel_seen: Option<netrec_types::RelId>,
     /// Whether a flush timer is currently armed (eager mode).
@@ -59,6 +71,7 @@ impl MinShipOp {
             pins: ProvTable::new(mode, false),
             pdel: FxHashMap::default(),
             dirty: FxHashSet::default(),
+            shipped: FxHashMap::default(),
             rel_seen: None,
             timer_armed: false,
         }
@@ -67,6 +80,100 @@ impl MinShipOp {
     /// Number of distinct tuples currently buffered.
     fn buffered(&self) -> usize {
         self.pins.len() + self.pdel.len()
+    }
+
+    /// Record an insertion ship in the ledger (every path that sends an
+    /// annotation downstream must pass through here). Only dataflow-mode
+    /// deletion needs cause routing — under broadcast every peer restricts
+    /// its own state from the tombstone — so other strategies skip the
+    /// bookkeeping entirely.
+    fn ledger_record(&mut self, t: &Tuple, pv: &Prov, ectx: &Ectx<'_>) {
+        if ectx.strategy.delete_prop != crate::strategy::DeleteProp::Dataflow {
+            return;
+        }
+        let vars = match pv {
+            Prov::Bdd(b) => b.support(),
+            Prov::Rel(r) => r.support(),
+            _ => return,
+        };
+        if vars.is_empty() {
+            return;
+        }
+        self.shipped.entry(t.clone()).or_default().extend(vars);
+    }
+
+    /// The hosting peer learned that `dead` base variables died (a
+    /// cause-delete arrived on *any* port — not necessarily this operator's
+    /// input stream; the relaying join may have nothing left to emit here).
+    /// Restrict the local mirrors, then sweep the ship ledger and forward
+    /// the cause to the owner of every tuple whose shipped history mentions
+    /// a dying variable. Returns `true` if the caller should arm a flush
+    /// timer (eager mode with newly-buffered deletions).
+    pub fn on_dead_vars(&mut self, dead: &[Var], ectx: &mut Ectx<'_>) -> bool {
+        let policy = ectx.strategy.ship;
+        if matches!(policy, ShipPolicy::Immediate) || self.shipped.is_empty() {
+            return false;
+        }
+        let _ = self.pins.restrict_cause(dead);
+        for (t, outcome) in self.sent.restrict_cause(dead) {
+            if matches!(outcome, super::DeleteOutcome::Shrunk(_)) {
+                self.dirty.insert(t);
+            }
+        }
+        let mut hit_any = false;
+        let MinShipOp {
+            shipped,
+            sent,
+            pdel,
+            ..
+        } = self;
+        let mode = sent.mode();
+        shipped.retain(|t, vars| {
+            let hit: Vec<Var> = dead.iter().copied().filter(|v| vars.remove(v)).collect();
+            if hit.is_empty() {
+                return true;
+            }
+            hit_any = true;
+            let entry = pdel.entry(t.clone()).or_insert_with(|| {
+                // The annotation on a cause-delete is informational (the
+                // receiving store restricts table-wide by the cause); when
+                // the mirror already dropped the tuple, a base annotation of
+                // one dying variable is an honest stand-in.
+                let pv = sent
+                    .get(t)
+                    .cloned()
+                    .unwrap_or_else(|| Prov::base(mode, hit[0], ectx.mgr));
+                (pv, Vec::new())
+            });
+            for v in hit {
+                if !entry.1.contains(&v) {
+                    entry.1.push(v);
+                }
+            }
+            !vars.is_empty()
+        });
+        if !hit_any {
+            return false;
+        }
+        match policy {
+            ShipPolicy::Lazy => {
+                self.flush_lazy(ectx);
+                false
+            }
+            ShipPolicy::Eager { batch, .. } => {
+                if self.buffered() >= batch {
+                    self.flush_eager(ectx);
+                    false
+                } else {
+                    let should_arm = self.buffered() > 0 && !self.timer_armed;
+                    if should_arm {
+                        self.timer_armed = true;
+                    }
+                    should_arm
+                }
+            }
+            ShipPolicy::Immediate => false,
+        }
     }
 
     /// Process a batch. Returns `true` if the caller should arm a flush
@@ -79,6 +186,18 @@ impl MinShipOp {
         }
         let mut send_now: Vec<Update> = Vec::new();
         for u in ups {
+            if crate::trace::matches(&u.tuple) {
+                eprintln!(
+                    "[trace] p{} minship IN {:?} {:?} cause={:?} {} sent={} dirty={}",
+                    ectx.me.0,
+                    u.kind,
+                    u.tuple,
+                    u.cause,
+                    crate::trace::supp(&u.prov),
+                    self.sent.contains(&u.tuple),
+                    self.dirty.contains(&u.tuple),
+                );
+            }
             self.rel_seen = Some(u.rel);
             match u.kind {
                 UpdateKind::Insert => {
@@ -88,6 +207,7 @@ impl MinShipOp {
                         // mirrors the receiver again for this tuple.
                         self.dirty.remove(&u.tuple);
                         self.sent.merge_ins(&u.tuple, &u.prov);
+                        self.ledger_record(&u.tuple, &u.prov, ectx);
                         send_now.push(u);
                     } else if self.dirty.remove(&u.tuple) {
                         // The shipped annotation was restricted since the
@@ -96,6 +216,7 @@ impl MinShipOp {
                         // derivation instead of buffering it so the receiver
                         // can revive the tuple.
                         self.sent.merge_ins(&u.tuple, &u.prov);
+                        self.ledger_record(&u.tuple, &u.prov, ectx);
                         send_now.push(u);
                     } else {
                         // Absorbed into what was already sent? (L16)
@@ -104,6 +225,14 @@ impl MinShipOp {
                             (Prov::Rel(pv), Some(Prov::Rel(sent))) => !sent.would_change(pv),
                             _ => true, // set/counting: nothing new to say
                         };
+                        if crate::trace::matches(&u.tuple) {
+                            eprintln!(
+                                "[trace] p{} minship {} {:?}",
+                                ectx.me.0,
+                                if absorbed { "ABSORB" } else { "PIN" },
+                                u.tuple
+                            );
+                        }
                         if !absorbed {
                             self.pins.merge_ins(&u.tuple, &u.prov);
                         }
@@ -201,6 +330,7 @@ impl MinShipOp {
         self.pins = ProvTable::new(self.pins.mode(), false);
         for (t, pv) in ins {
             self.sent.merge_ins(&t, &pv);
+            self.ledger_record(&t, &pv, ectx);
             let peer = ectx.peer_for(self.route_col, &t);
             sent = true;
             by_peer
@@ -221,6 +351,15 @@ impl MinShipOp {
         let mut dels: Vec<(Tuple, (Prov, Vec<Var>))> = pdel.into_iter().collect();
         dels.sort_by(|a, b| a.0.cmp(&b.0));
         for (t, (pv, cause)) in dels {
+            if crate::trace::matches(&t) {
+                eprintln!(
+                    "[trace] p{} minship FLUSH-DEL {:?} cause={:?} alt={}",
+                    ectx.me.0,
+                    t,
+                    cause,
+                    self.pins.get(&t).map_or("none".into(), crate::trace::supp)
+                );
+            }
             out.push(Update::del_cause(
                 rel,
                 t.clone(),
@@ -229,6 +368,7 @@ impl MinShipOp {
             ));
             if let Some(alt) = self.pins.get(&t).cloned() {
                 self.sent.merge_ins(&t, &alt);
+                self.ledger_record(&t, &alt, ectx);
                 out.push(Update::ins(rel, t.clone(), alt.clone()));
                 let _ = self.pins.retract(&t, &alt);
             }
@@ -263,6 +403,7 @@ impl MinShipOp {
             }
             if let Some(alt) = self.pins.get(&t).cloned() {
                 self.sent.merge_ins(&t, &alt);
+                self.ledger_record(&t, &alt, ectx);
                 out.push(Update::ins(rel, t.clone(), alt.clone()));
                 let _ = self.pins.retract(&t, &alt);
             }
@@ -270,14 +411,19 @@ impl MinShipOp {
         ectx.emit_routed(self.route_col, self.dest, out);
     }
 
-    /// Resident state bytes (`Bsent` + `Pins` + `Pdel`).
+    /// Resident state bytes (`Bsent` + `Pins` + `Pdel` + ship ledger).
     pub fn state_bytes(&self) -> usize {
         let pdel: usize = self
             .pdel
             .iter()
             .map(|(t, (p, c))| t.encoded_len() + p.encoded_len() + c.len() * 4 + 48)
             .sum();
-        self.sent.state_bytes() + self.pins.state_bytes() + pdel
+        let ledger: usize = self
+            .shipped
+            .iter()
+            .map(|(t, vs)| t.encoded_len() + vs.len() * 4 + 48)
+            .sum();
+        self.sent.state_bytes() + self.pins.state_bytes() + pdel + ledger
     }
 
     /// Buffered insertion count (tests).

@@ -293,6 +293,13 @@ impl ProvTable {
                 }
             }
             ProvMode::Absorption => match self.map.get(t) {
+                // A constant-false annotation carries no derivation. Storing
+                // it would key the tuple into the view with an annotation no
+                // cause restriction can ever reach (`false` depends on no
+                // variable) — the tuple would be permanently stale. The arm
+                // below (diff against `old`) absorbs false arrivals for
+                // present tuples already; this guards the absent case.
+                None if prov.is_unsatisfiable() => MergeOutcome::Absorbed,
                 None => {
                     self.store(t.clone(), prov.clone());
                     self.index_insert(t, prov);
@@ -566,6 +573,26 @@ mod tests {
         assert!(matches!(pt.merge_ins(&t(1), &p1), MergeOutcome::Changed(_)));
         // now p1∧p2 IS absorbed by p1.
         assert!(matches!(pt.merge_ins(&t(1), &p12), MergeOutcome::Absorbed));
+    }
+
+    #[test]
+    fn absorption_false_annotation_never_stored() {
+        // Regression for the false-annotation resurrection race: a join's
+        // `Changed` delta (`new ∧ ¬old`) conjoined with the other side can
+        // annihilate to constant `false`. If such an insert lands after the
+        // tuple died, an unguarded table would key it back into the view
+        // with an annotation `restrict_cause` can never reach (empty
+        // support) — a permanently stale tuple. The table must absorb it.
+        let mgr = BddManager::new();
+        let mut pt = ProvTable::new(ProvMode::Absorption, true);
+        let dead = Prov::Bdd(mgr.var(1).and(&mgr.var(1).not()));
+        assert!(dead.is_unsatisfiable());
+        assert!(matches!(pt.merge_ins(&t(1), &dead), MergeOutcome::Absorbed));
+        assert!(!pt.contains(&t(1)), "false annotation created a view key");
+        // Arriving while the tuple is live is likewise a no-op.
+        pt.merge_ins(&t(2), &Prov::Bdd(mgr.var(3)));
+        assert!(matches!(pt.merge_ins(&t(2), &dead), MergeOutcome::Absorbed));
+        assert_eq!(pt.get(&t(2)).unwrap().bdd(), &mgr.var(3));
     }
 
     #[test]

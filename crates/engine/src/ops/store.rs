@@ -139,6 +139,17 @@ impl StoreOp {
             } else {
                 u
             };
+            if crate::trace::matches(&u.tuple) {
+                eprintln!(
+                    "[trace] p{} store({:?}) IN {:?} {:?} cause={:?} {}",
+                    ectx.me.0,
+                    self.rel,
+                    u.kind,
+                    u.tuple,
+                    u.cause,
+                    crate::trace::supp(&u.prov)
+                );
+            }
             match u.kind {
                 UpdateKind::Insert => match self.table.merge_ins(&u.tuple, &u.prov) {
                     MergeOutcome::New(delta) => {
@@ -148,12 +159,44 @@ impl StoreOp {
                         out.push(Update::ins(self.rel, u.tuple, delta));
                     }
                     MergeOutcome::Changed(delta) => {
+                        if crate::trace::matches(&u.tuple) {
+                            eprintln!(
+                                "[trace] p{} store({:?}) MERGED {:?} now {}",
+                                ectx.me.0,
+                                self.rel,
+                                u.tuple,
+                                self.table
+                                    .get(&u.tuple)
+                                    .map_or("gone".into(), crate::trace::supp)
+                            );
+                        }
                         out.push(Update::ins(self.rel, u.tuple, delta));
                     }
-                    MergeOutcome::Absorbed => {}
+                    MergeOutcome::Absorbed => {
+                        if crate::trace::matches(&u.tuple) {
+                            eprintln!(
+                                "[trace] p{} store({:?}) ABSORBED {:?}",
+                                ectx.me.0, self.rel, u.tuple
+                            );
+                        }
+                    }
                 },
                 UpdateKind::Delete if !u.cause.is_empty() => {
                     for (t, outcome) in self.table.restrict_cause(&u.cause) {
+                        if crate::trace::matches(&t) {
+                            eprintln!(
+                                "[trace] p{} store({:?}) RESTRICT {:?} by {:?} -> {:?} (left: {})",
+                                ectx.me.0,
+                                self.rel,
+                                t,
+                                u.cause,
+                                match &outcome {
+                                    DeleteOutcome::Died(_) => "DIED",
+                                    DeleteOutcome::Shrunk(_) => "SHRUNK",
+                                },
+                                self.table.get(&t).map_or("gone".into(), crate::trace::supp)
+                            );
+                        }
                         let removed = match outcome {
                             DeleteOutcome::Died(p) => {
                                 if self.record_deltas {

@@ -202,6 +202,16 @@ impl EnginePeer {
                     u.prov = u.prov.reanchor(&self.mgr);
                 }
             }
+            if u.kind == UpdateKind::Insert && u.prov.is_unsatisfiable() {
+                // Joins no longer emit constant-false inserts (join.rs),
+                // but one crossing the peer boundary would resurrect a
+                // retracted tuple — and the dead-variable filter below
+                // never sees it (empty support, no hit). Drop it here.
+                if crate::trace::matches(&u.tuple) {
+                    eprintln!("[trace] p{} SANITIZE-DROP-FALSE {:?}", self.me.0, u.tuple);
+                }
+                continue;
+            }
             if u.kind == UpdateKind::Insert && !self.dead_vars.is_empty() {
                 match &u.prov {
                     Prov::Bdd(b) => {
@@ -220,8 +230,23 @@ impl EnginePeer {
                     }
                     Prov::Rel(r) if r.mentions_any(&self.dead_vars) => {
                         match r.kill_vars(&self.dead_vars) {
-                            None => continue,
-                            Some(alive) => u.prov = Prov::Rel(Arc::new(alive)),
+                            None => {
+                                if crate::trace::matches(&u.tuple) {
+                                    eprintln!("[trace] p{} SANITIZE-DROP {:?}", self.me.0, u.tuple);
+                                }
+                                continue;
+                            }
+                            Some(alive) => {
+                                if crate::trace::matches(&u.tuple) {
+                                    eprintln!(
+                                        "[trace] p{} SANITIZE-SHRINK {:?} -> rel{:?}",
+                                        self.me.0,
+                                        u.tuple,
+                                        alive.support()
+                                    );
+                                }
+                                u.prov = Prov::Rel(Arc::new(alive));
+                            }
                         }
                     }
                     _ => {}
@@ -282,10 +307,47 @@ impl EnginePeer {
         }
     }
 
-    fn record_causes(&mut self, ups: &[Update]) {
+    /// Absorb the causes of every incoming deletion into `dead_vars`,
+    /// returning the variables this peer had never seen die before.
+    fn record_causes(&mut self, ups: &[Update]) -> Vec<Var> {
+        let mut fresh = Vec::new();
         for u in ups {
             if u.is_delete() {
-                self.dead_vars.extend(u.cause.iter().copied());
+                for v in u.cause.iter() {
+                    if self.dead_vars.insert(*v) {
+                        fresh.push(*v);
+                    }
+                }
+            }
+        }
+        fresh
+    }
+
+    /// A cause can reach this peer on any port (store input, join probe,
+    /// ...), while the receivers of this peer's past ships only hear about
+    /// it if the relaying operators still emit something mentioning it — and
+    /// after enough churn they may not (their state already restricted, the
+    /// join's matching build entries gone). Each MinShip keeps a ledger of
+    /// everything it ever shipped precisely for this moment: sweep it for
+    /// the freshly-dead variables and forward the cause to the owners of any
+    /// affected tuple, so the store-to-store cascade cannot terminate early.
+    fn forward_dead_vars(&mut self, fresh: &[Var], net: &mut NetApi<Msg>) {
+        for i in 0..self.ops.len() {
+            let mut ectx = Ectx {
+                me: self.me,
+                peers: self.peers,
+                strategy: &self.strategy,
+                partitioner: self.partitioner,
+                mgr: &self.mgr,
+                net,
+            };
+            if let OpState::MinShip(o) = &mut self.ops[i] {
+                let arm = o.on_dead_vars(fresh, &mut ectx);
+                if arm {
+                    if let ShipPolicy::Eager { period, .. } = self.strategy.ship {
+                        net.set_timer(period, FLUSH_TIMER_BIT | i as u64);
+                    }
+                }
             }
         }
     }
@@ -303,7 +365,24 @@ impl PeerNode<Msg> for EnginePeer {
         let (op, input) = Plan::port_target(port);
         match msg {
             Msg::Updates(ups) => {
-                self.record_causes(&ups);
+                if crate::trace::enabled() {
+                    for u in ups.iter().filter(|u| crate::trace::matches(&u.tuple)) {
+                        eprintln!(
+                            "[trace] p{} op{}.{} RECV {:?} {:?} cause={:?} {}",
+                            self.me.0,
+                            op.0,
+                            input,
+                            u.kind,
+                            u.tuple,
+                            u.cause,
+                            crate::trace::supp(&u.prov)
+                        );
+                    }
+                }
+                let fresh = self.record_causes(&ups);
+                if !fresh.is_empty() {
+                    self.forward_dead_vars(&fresh, net);
+                }
                 // Last reference (single-destination emission, the common
                 // case): take the batch back without copying. Otherwise the
                 // batch is still shared with sibling destinations — clone

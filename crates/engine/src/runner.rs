@@ -60,7 +60,7 @@ impl RunnerConfig {
                 max_time: SimTime(300 * 1_000_000),
                 max_wall: std::time::Duration::from_secs(60),
             },
-            runtime: RuntimeKind::Des,
+            runtime: RuntimeKind::des(),
         }
     }
 
@@ -181,6 +181,14 @@ macro_rules! dispatch {
     };
 }
 
+impl EngineRuntime {
+    /// Injected-fault counters of the underlying substrate (all zero when
+    /// no [`netrec_sim::FaultPlan`] is installed or it never fired).
+    pub fn fault_stats(&self) -> netrec_sim::FaultStats {
+        dispatch!(self, rt => rt.fault_stats())
+    }
+}
+
 impl Runtime<Msg, EnginePeer> for EngineRuntime {
     fn name(&self) -> &'static str {
         dispatch!(self, rt => Runtime::name(rt))
@@ -241,9 +249,11 @@ impl Runner<EngineRuntime> {
         let plan = Arc::new(plan);
         let nodes = build_peers(&plan, &cfg);
         let rt = match &cfg.runtime {
-            RuntimeKind::Des => {
-                EngineRuntime::Des(Simulator::new(nodes, cfg.cluster.clone(), cfg.cost))
-            }
+            RuntimeKind::Des(dc) => EngineRuntime::Des(
+                Simulator::new(nodes, cfg.cluster.clone(), cfg.cost)
+                    .with_coalescing(dc.coalesce)
+                    .with_fault_plan(dc.fault),
+            ),
             RuntimeKind::Threaded(tc) => {
                 EngineRuntime::Threaded(ThreadedRuntime::new(nodes, tc.clone()))
             }
@@ -253,6 +263,12 @@ impl Runner<EngineRuntime> {
             }
         };
         Runner::from_parts(plan, cfg, rt)
+    }
+
+    /// Injected-fault counters of the substrate (tests assert a configured
+    /// [`netrec_sim::FaultPlan`] actually fired).
+    pub fn fault_stats(&self) -> netrec_sim::FaultStats {
+        self.rt.fault_stats()
     }
 }
 

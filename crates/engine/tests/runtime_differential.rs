@@ -78,7 +78,7 @@ fn chain_workload(strategy: Strategy) -> DiffWorkload {
 /// shards, and sharded over 2 async shards.
 fn substrates() -> Vec<RuntimeKind> {
     vec![
-        RuntimeKind::Des,
+        RuntimeKind::des(),
         RuntimeKind::threaded(),
         RuntimeKind::asynchronous(),
         RuntimeKind::sharded(2),
@@ -195,7 +195,7 @@ fn ttl_expiry_is_fenced_inside_the_phase() {
     let obs = assert_substrates_agree(
         &w,
         &[
-            RuntimeKind::Des,
+            RuntimeKind::des(),
             RuntimeKind::threaded(),
             RuntimeKind::asynchronous(),
             RuntimeKind::sharded(2),

@@ -25,17 +25,25 @@
 //! set-mode dedup timing) — that exact cross-mode gate lives in
 //! `runtime_differential.rs` on the confluent workload, where it is sound.
 //!
+//! **Fault-seed dimension**: each case additionally replays its script on a
+//! seeded fault-injecting transport (drops with retransmission, duplicate
+//! suppression, reorder/delay, shard stalls — logical delivery stays
+//! exactly-once, see `netrec_sim::fault`) on the DES, the async runtime and
+//! the sharded composite; the perturbed runs must still reach the clean DES
+//! fixpoint. Deeper fault pinning (per-schedule behaviour, wide seed
+//! sweeps) lives in `fault_injection.rs`.
+//!
 //! Case count: `NETREC_DIFF_CASES` (default 5 — the fixed-seed smoke run
 //! CI executes on every push; the release job raises it and perturbs the
 //! generator stream via `PROPTEST_SHIM_SEED` for a genuinely randomized
 //! pass).
 
-use netrec_engine::runner::RunnerConfig;
 use netrec_engine::strategy::Strategy;
-use netrec_sim::{AsyncConfig, RuntimeKind, ShardKind, ShardedConfig, ThreadedConfig};
-use netrec_testutil::fixtures::reachable_plan;
-use netrec_testutil::{assert_substrates_agree, run_workload_custom, DiffPhase, DiffWorkload};
-use netrec_topo::{random_graph, Workload};
+use netrec_sim::{
+    AsyncConfig, DesConfig, FaultPlan, RuntimeKind, ShardKind, ShardedConfig, ThreadedConfig,
+};
+use netrec_testutil::churn::ChurnCase;
+use netrec_testutil::{assert_substrates_agree, run_workload_on};
 use proptest::prelude::*;
 
 fn cases_from_env() -> u32 {
@@ -54,17 +62,25 @@ fn cases_from_env() -> u32 {
 /// `coalesce` switches transport coalescing on every concurrent substrate
 /// (the DES reference always coalesces; relaxed phases compare views, which
 /// must be mode-independent).
-fn substrates(coalesce: bool) -> Vec<RuntimeKind> {
-    let threaded = ThreadedConfig {
+fn dilated_threaded(coalesce: bool) -> ThreadedConfig {
+    ThreadedConfig {
         time_dilation: 0.02,
         coalesce,
         ..ThreadedConfig::default()
-    };
-    let async_cfg = AsyncConfig {
+    }
+}
+
+fn dilated_async(coalesce: bool) -> AsyncConfig {
+    AsyncConfig {
         time_dilation: 0.02,
         coalesce,
         ..AsyncConfig::default()
-    };
+    }
+}
+
+fn substrates(coalesce: bool) -> Vec<RuntimeKind> {
+    let threaded = dilated_threaded(coalesce);
+    let async_cfg = dilated_async(coalesce);
     let sharded = |shards: u32| {
         RuntimeKind::Sharded(ShardedConfig {
             shard: ShardKind::Threaded(threaded.clone()),
@@ -72,7 +88,7 @@ fn substrates(coalesce: bool) -> Vec<RuntimeKind> {
         })
     };
     vec![
-        RuntimeKind::Des,
+        RuntimeKind::des(),
         RuntimeKind::Threaded(threaded.clone()),
         RuntimeKind::Async(async_cfg.clone()),
         sharded(1),
@@ -82,6 +98,23 @@ fn substrates(coalesce: bool) -> Vec<RuntimeKind> {
             shard: ShardKind::Async(async_cfg),
             ..ShardedConfig::with_shards(2)
         }),
+    ]
+}
+
+/// The fault matrix: a clean DES reference first, then the same seeded
+/// [`FaultPlan`] installed on the DES (exact replay), the async runtime and
+/// the async-sharded composite — the substrates with the most delivery
+/// freedom. All must reach the clean fixpoint.
+fn faulted_substrates(fault: &FaultPlan) -> Vec<RuntimeKind> {
+    vec![
+        RuntimeKind::des(),
+        RuntimeKind::des().with_fault(*fault),
+        RuntimeKind::Async(dilated_async(true)).with_fault(*fault),
+        RuntimeKind::Sharded(ShardedConfig {
+            shard: ShardKind::Async(dilated_async(true)),
+            ..ShardedConfig::with_shards(2)
+        })
+        .with_fault(*fault),
     ]
 }
 
@@ -95,50 +128,49 @@ fn strategies() -> Vec<Strategy> {
     ]
 }
 
-/// Deterministic pin of the pre-existing **churn-cascade substrate race**.
+/// Regression gate for the (fixed) **churn-cascade deletion race**.
 ///
 /// Found by sweeping the release differential's generator stream:
-/// `NETREC_DIFF_CASES=24 PROPTEST_SHIM_SEED=2` fails on its 11th case with
-/// `[des vs sharded] view contents diverge after phase churn` — the sharded
-/// runtime retained a stale `(n4, n2)` reachability tuple after a deletion
-/// cascade that the DES (and every other substrate) correctly retracted.
-/// That case's generated inputs are hard-coded below so the race can be
-/// chased without re-sweeping seeds.
+/// `NETREC_DIFF_CASES=24 PROPTEST_SHIM_SEED=2` failed on its 11th case with
+/// `[des vs sharded] view contents diverge after phase churn` — a
+/// concurrent substrate retained a stale `(n4, n2)` reachability tuple
+/// after a deletion cascade that the DES (and every other substrate)
+/// correctly retracted. The root cause was a protocol hole in MinShip's
+/// deletion propagation (causes were not routed to receivers whose merged
+/// annotations outlived the sender's restricted mirror); the fix is the
+/// ship ledger — DESIGN.md "Churn-cascade race: postmortem" has the full
+/// account.
 ///
-/// `#[ignore]`d because the divergence is an interleaving race, not an
-/// input-deterministic failure: these inputs reproduce it frequently, not
-/// on every run. Loop it with
-///
-/// ```text
-/// while cargo test --release -p netrec-engine \
-///   --test runtime_proptest_differential -- --ignored; do :; done
-/// ```
-///
-/// DESIGN.md "Known churn-cascade race" records the current evidence.
+/// The divergence was an interleaving race (frequent on these inputs, not
+/// deterministic), so the gate loops the whole substrate matrix:
+/// `NETREC_REPRO_ITERS` iterations, default 3 (the release CI job runs 20;
+/// the fix was validated green at 100+ consecutive release iterations).
 #[test]
-#[ignore = "known churn-cascade race (ROADMAP): pinned repro, flaky by nature — not a CI gate"]
 fn churn_cascade_race_pinned_repro() {
-    // PROPTEST_SHIM_SEED=2, case 11 of 24 (captured 2026-08-08).
-    let (nodes, extra, peers) = (5u32, 2u32, 4u32);
-    let topo_seed = 3384786848501768427u64;
-    let script_seed = 4639958491858334529u64;
-    let del_ratio = 0.25; // del_pick = 0
-    let coalesce = false;
-
-    let topo = random_graph(nodes as usize, (nodes - 1 + extra) as usize, topo_seed);
-    let load = Workload::insert_links(&topo, 1.0, script_seed);
-    let dels = Workload::delete_links(&topo, del_ratio, script_seed ^ 0x5eed);
-    for strategy in strategies() {
-        // The race lives in the delete cascade; set mode is insert-only
-        // under this harness and never reproduced it.
-        if strategy.mode == netrec_prov::ProvMode::Set {
-            continue;
+    let iters: u32 = std::env::var("NETREC_REPRO_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    // Two pinned inputs: the original cascade race (ship-ledger fix) and
+    // the false-annotation resurrection race it unmasked (a constant-false
+    // join delta re-keying a retracted tuple — see DESIGN.md postmortem,
+    // hole 3). Both were interleaving races on the concurrent substrates.
+    let cases = [
+        ChurnCase::pinned_cascade_race(),
+        ChurnCase::pinned_false_annotation_race(),
+    ];
+    for _ in 0..iters {
+        for case in &cases {
+            for strategy in strategies() {
+                // The races lived in the delete cascade; set mode is
+                // insert-only under this harness and never reproduced them.
+                if strategy.mode == netrec_prov::ProvMode::Set {
+                    continue;
+                }
+                let w = case.workload(strategy);
+                assert_substrates_agree(&w, &substrates(false));
+            }
         }
-        let w = DiffWorkload::new(reachable_plan, RunnerConfig::new(strategy, peers))
-            .views(["reachable"])
-            .phase(DiffPhase::relaxed("load", load.ops.clone()))
-            .phase(DiffPhase::relaxed("churn", dels.ops.clone()));
-        assert_substrates_agree(&w, &substrates(coalesce));
     }
 }
 
@@ -154,43 +186,42 @@ proptest! {
         script_seed in any::<u64>(),
         del_pick in 0usize..3,
         coalesce in any::<bool>(),
+        fault_seed in any::<u64>(),
     ) {
         // Small connected graphs keep relative-mode annotations far below
         // RELATIVE_NODE_CAP while still exercising multi-hop recursion.
-        let topo = random_graph(nodes as usize, (nodes - 1 + extra) as usize, topo_seed);
-        let load = Workload::insert_links(&topo, 1.0, script_seed);
-        let del_ratio = [0.25, 0.5, 1.0][del_pick];
-        let dels = Workload::delete_links(&topo, del_ratio, script_seed ^ 0x5eed);
+        // Script derivation is shared with the pinned repro via ChurnCase:
+        // the generator records raw inputs only.
+        let case = ChurnCase { nodes, extra, peers, topo_seed, script_seed, del_pick };
+        // Racy divergences on the concurrent substrates reproduce from the
+        // *case inputs*, not from the proptest seed alone — print them so a
+        // failure in a randomized CI run is immediately pinnable.
+        if std::env::var("NETREC_DIFF_VERBOSE").is_ok() {
+            eprintln!("case: {case:?} coalesce={coalesce} fault_seed={fault_seed}");
+        }
         for strategy in strategies() {
-            let deletes_ok = strategy.mode != netrec_prov::ProvMode::Set;
-            let load_ops = load.ops.clone();
-            let del_ops = dels.ops.clone();
-            let mut w = DiffWorkload::new(
-                reachable_plan,
-                RunnerConfig::new(strategy, peers),
-            )
-            .views(["reachable"])
-            .phase(DiffPhase::relaxed("load", load_ops));
-            if deletes_ok {
-                w = w.phase(DiffPhase::relaxed("churn", del_ops));
-            }
+            let w = case.workload(strategy);
             let obs = assert_substrates_agree(&w, &substrates(coalesce));
             prop_assert!(
                 !obs[0].views["reachable"].is_empty(),
                 "load phase must derive something ({})",
                 strategy.label()
             );
+            // Fault-seed dimension: the same script under a seeded
+            // fault-injecting transport must still reach the clean DES
+            // fixpoint (the faulted DES replays its plan exactly; the
+            // concurrent substrates draw seeded per-worker schedules).
+            assert_substrates_agree(&w, &faulted_substrates(&FaultPlan::from_seed(fault_seed)));
             // The coalescing on/off differential on the deterministic DES:
             // same script, coalescing disabled. The fixpoint must be
             // mode-independent, and the transport invariants must hold
             // (exact logical byte-identity across modes is asserted on the
             // confluent workload in runtime_differential.rs — see the
             // module docs for why it cannot hold on random scripts).
-            let cfg = w.config_ref().clone();
-            let off = run_workload_custom(&w, |peers| {
-                netrec_sim::Simulator::new(peers, cfg.cluster.clone(), cfg.cost)
-                    .with_coalescing(false)
-            });
+            let off = run_workload_on(
+                &w,
+                &RuntimeKind::Des(DesConfig { coalesce: false, fault: None }),
+            );
             prop_assert_eq!(obs.len(), off.len());
             for (on, off) in obs.iter().zip(&off) {
                 prop_assert!(off.converged, "coalescing-off DES must converge");

@@ -44,7 +44,7 @@ fn phases() -> Vec<Phase> {
 
 fn substrates() -> Vec<RuntimeKind> {
     vec![
-        RuntimeKind::Des,
+        RuntimeKind::des(),
         RuntimeKind::threaded(),
         RuntimeKind::asynchronous(),
         RuntimeKind::sharded(2),

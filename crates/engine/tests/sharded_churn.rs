@@ -90,7 +90,7 @@ fn des_views(strategy: Strategy) -> Vec<BTreeSet<Tuple>> {
     for (label, ops) in phases() {
         w = w.phase(DiffPhase::relaxed(label, ops));
     }
-    run_workload_on(&w, &RuntimeKind::Des)
+    run_workload_on(&w, &RuntimeKind::des())
         .into_iter()
         .map(|mut obs| {
             assert!(obs.converged, "[des] {}", obs.label);

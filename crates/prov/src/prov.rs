@@ -94,6 +94,20 @@ impl Prov {
         Prov::Rel(Arc::new(RelProv::derive(rule, rel, tuple, &ants)))
     }
 
+    /// `true` iff this annotation proves nothing: an absorption BDD that
+    /// collapsed to constant `false`. The provenance algebra is positive —
+    /// AND/OR of live annotations stays live — but join *deltas* are
+    /// differences (`new ∧ ¬old`, [`Bdd::diff`]), and a delta conjoined
+    /// with the other side's annotation can annihilate. Such an annotation
+    /// describes zero derivations: it must never be stored or shipped as an
+    /// insertion, because a receiver that already retracted the tuple would
+    /// resurrect it as a view key whose annotation no cause restriction can
+    /// ever reach (constant `false` depends on no variable). Relative
+    /// annotations are negation-free and cannot go unsatisfiable.
+    pub fn is_unsatisfiable(&self) -> bool {
+        matches!(self, Prov::Bdd(b) if b.is_false())
+    }
+
     /// The BDD inside an absorption annotation; panics otherwise.
     pub fn bdd(&self) -> &Bdd {
         match self {

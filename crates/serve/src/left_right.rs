@@ -410,10 +410,12 @@ mod tests {
         // never observe a nonzero sum (a torn batch would be nonzero).
         let (mut w, r) = new::<Counter, i64>(Counter::default());
         let stop = Arc::new(AtomicUsize::new(0));
+        let began = Arc::new(AtomicUsize::new(0));
         let readers: Vec<_> = (0..4)
             .map(|_| {
                 let mut r = r.clone();
                 let stop = Arc::clone(&stop);
+                let began = Arc::clone(&began);
                 std::thread::spawn(move || {
                     let mut last = 0;
                     let mut reads = 0u64;
@@ -423,15 +425,23 @@ mod tests {
                         assert!(g.version() >= last, "version went backwards");
                         last = g.version();
                         reads += 1;
+                        if reads == 1 {
+                            began.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     reads
                 })
             })
             .collect();
-        for i in 1..500 {
+        let mut i = 1i64;
+        // Hammer through 500 publishes, then keep publishing until every
+        // reader has entered at least once — thread spawn can lose the race
+        // against a fast writer, which must not read as zero reads.
+        while i < 500 || began.load(Ordering::Relaxed) < 4 {
             w.append(i);
             w.append(-i);
             w.publish();
+            i += 1;
         }
         stop.store(1, Ordering::Relaxed);
         for h in readers {

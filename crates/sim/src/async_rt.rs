@@ -66,6 +66,7 @@ use parking_lot::Mutex;
 
 use crate::coalesce::{frames, FrameBody};
 use crate::des::{NetApi, PeerNode};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{PeerId, Port};
 use crate::runtime::{RunBudget, RunOutcome, Runtime};
@@ -86,6 +87,12 @@ pub struct AsyncConfig {
     /// Whether same-destination sends coalesce into one envelope per
     /// quantum (on by default; the differential toggle turns it off).
     pub coalesce: bool,
+    /// Seeded transport fault schedule (`None` = clean delivery). Delays
+    /// are simulated microseconds scaled by `time_dilation`; a faulted task
+    /// *yields* until its dilated deadline rather than sleeping — every
+    /// task shares the one executor thread — so other peers keep running
+    /// through the stall. See [`mod@crate::fault`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for AsyncConfig {
@@ -95,6 +102,7 @@ impl Default for AsyncConfig {
             time_dilation: 1.0,
             poll: WallDuration::from_millis(1),
             coalesce: true,
+            fault: None,
         }
     }
 }
@@ -103,6 +111,12 @@ impl AsyncConfig {
     /// Enable or disable transport coalescing (builder style).
     pub fn with_coalescing(mut self, on: bool) -> AsyncConfig {
         self.coalesce = on;
+        self
+    }
+
+    /// Install a seeded transport fault schedule (builder style).
+    pub fn with_fault(mut self, plan: FaultPlan) -> AsyncConfig {
+        self.fault = Some(plan);
         self
     }
 }
@@ -178,6 +192,12 @@ struct TaskCtx<M, N> {
     /// False for shard-hosted runtimes: their local-id metric table is
     /// never snapshotted (the `ShardPeer` adapters account in global ids).
     record_metrics: bool,
+    /// Seeded fault schedule (inert plans filtered out at build time).
+    fault: Option<FaultPlan>,
+    /// This task's receive counter — the fault hash key (`me`, index).
+    recv_seq: u64,
+    /// Fault bookkeeping shared with the runtime handle.
+    fault_stats: Arc<Mutex<FaultStats>>,
 }
 
 /// Backpressure-aware cooperative send: on a full inbox, drain our own
@@ -232,6 +252,29 @@ async fn peer_task<M: Send + 'static, N: PeerNode<M>>(mut ctx: TaskCtx<M, N>) {
             AsyncMsg::Deliver(msgs) => (Some(msgs), 0),
             AsyncMsg::Timer(id) => (None, id),
         };
+        // Fault hook: perturb envelope deliveries (never timers) by holding
+        // this envelope — and everything queued behind it, preserving
+        // per-channel FIFO — until a dilated deadline. Cooperative yields,
+        // not sleeps: the single executor thread must keep every other
+        // peer's task (and the timer heap) running through the stall.
+        if delivery.is_some() {
+            if let Some(plan) = &ctx.fault {
+                let k = ctx.recv_seq;
+                ctx.recv_seq = k + 1;
+                let d = plan.decide(ctx.me, k);
+                if d.is_fault() {
+                    ctx.fault_stats.lock().record(&d);
+                    let deadline = Instant::now()
+                        + dilate(
+                            netrec_types::Duration::from_micros(d.extra_us),
+                            ctx.time_dilation,
+                        );
+                    while Instant::now() < deadline {
+                        yield_now().await;
+                    }
+                }
+            }
+        }
         // Logical event count: an envelope of N messages counts N.
         let logical = delivery.as_ref().map_or(1, FrameBody::len) as u64;
         let outputs = catch_unwind(AssertUnwindSafe(|| {
@@ -377,6 +420,7 @@ struct ExecutorArgs<M, N> {
     epoch: Instant,
     cfg: AsyncConfig,
     record_metrics: bool,
+    fault_stats: Arc<Mutex<FaultStats>>,
 }
 
 /// The executor thread: spawn one task per peer, then alternate bounded
@@ -399,7 +443,9 @@ fn executor_loop<M: Send + 'static, N: PeerNode<M> + Send + 'static>(args: Execu
         epoch,
         cfg,
         record_metrics,
+        fault_stats,
     } = args;
+    let fault = cfg.fault.filter(FaultPlan::is_active);
     let inboxes = Rc::new(inboxes);
     let mut pool = LocalPool::new();
     pool.set_notify(move || {
@@ -426,6 +472,9 @@ fn executor_loop<M: Send + 'static, N: PeerNode<M> + Send + 'static>(args: Execu
             time_dilation: cfg.time_dilation,
             coalesce: cfg.coalesce,
             record_metrics,
+            fault,
+            recv_seq: 0,
+            fault_stats: Arc::clone(&fault_stats),
         }));
     }
     loop {
@@ -513,6 +562,8 @@ pub struct AsyncRuntime<M, N> {
     /// Wall-clock time spent inside `run` — the session's `max_time` clock,
     /// mirroring the threaded runtime.
     active: WallDuration,
+    /// Fault bookkeeping folded across peer tasks (shared with them).
+    fault_stats: Arc<Mutex<FaultStats>>,
     cfg: AsyncConfig,
 }
 
@@ -578,6 +629,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
         let nodes: Vec<Arc<Mutex<N>>> =
             peers.into_iter().map(|p| Arc::new(Mutex::new(p))).collect();
         let metrics = Arc::new(Mutex::new(NetMetrics::new(n as u32)));
+        let fault_stats = Arc::new(Mutex::new(FaultStats::default()));
         let args = ExecutorArgs {
             peers: nodes.iter().map(Arc::clone).zip(receivers).collect(),
             inboxes: inboxes.clone(),
@@ -589,6 +641,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
             epoch,
             cfg: cfg.clone(),
             record_metrics,
+            fault_stats: Arc::clone(&fault_stats),
         };
         let backstop_shared = Arc::clone(&shared);
         let backstop_ctl = ctl_tx.clone();
@@ -622,6 +675,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
             executor: Some(executor),
             epoch,
             active: WallDuration::ZERO,
+            fault_stats,
             cfg,
         }
     }
@@ -682,6 +736,11 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
 }
 
 impl<M, N> AsyncRuntime<M, N> {
+    /// Faults applied so far across every peer task of this session.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.fault_stats.lock()
+    }
+
     /// Produced-but-unretired events (messages, backlogs, armed timers).
     /// Zero means quiescent (fence assertions in tests).
     #[cfg(test)]

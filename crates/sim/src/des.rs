@@ -19,6 +19,7 @@ use std::collections::BinaryHeap;
 use netrec_types::{Duration, FxHashMap, SimTime};
 
 use crate::coalesce::{frames, Frame, FrameBody};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{ClusterSpec, CostModel, PeerId, Port};
 use crate::runtime::Runtime;
@@ -144,6 +145,15 @@ pub struct Simulator<M, N> {
     /// Whether same-destination sends coalesce into one envelope per
     /// quantum (on by default; the differential toggle turns it off).
     coalesce: bool,
+    /// Seeded transport fault schedule (`None` = clean delivery). Because
+    /// the DES is deterministic, a plan here is **exactly replayable**: the
+    /// same seed perturbs the same envelopes every run.
+    fault: Option<FaultPlan>,
+    /// Per-peer count of routed remote envelopes — the receive index the
+    /// fault schedule keys on. Only maintained when `fault` is set.
+    recv_seq: Vec<u64>,
+    /// Counters of faults actually injected.
+    fault_stats: FaultStats,
 }
 
 impl<M, N: PeerNode<M>> Simulator<M, N> {
@@ -168,6 +178,9 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             events_processed: 0,
             last_finish: SimTime::ZERO,
             coalesce: true,
+            fault: None,
+            recv_seq: vec![0; n],
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -182,6 +195,20 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
     pub fn with_coalescing(mut self, on: bool) -> Simulator<M, N> {
         self.coalesce = on;
         self
+    }
+
+    /// Install a seeded transport fault schedule (builder style). Inert
+    /// plans are dropped so the hot path stays fault-free. See
+    /// [`mod@crate::fault`] for the exact-replay determinism contract.
+    pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Simulator<M, N> {
+        self.fault = plan.filter(FaultPlan::is_active);
+        self
+    }
+
+    /// Counters of transport faults injected so far (all zero without an
+    /// active [`FaultPlan`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Inject an external input (EDB stream element) at time `at`. Not
@@ -291,8 +318,29 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             // previous envelope finished arriving, and an envelope's
             // transfer time is its physical (framed) size.
             let ready = (*self.chan_clock.entry((from, to)).or_insert(SimTime::ZERO)).max(now);
-            let arrive = ready + self.spec.delay(from, to, env.bytes);
-            self.chan_clock.insert((from, to), arrive);
+            let span = self.spec.delay(from, to, env.bytes);
+            let mut arrive = ready + span;
+            let mut occupied = arrive;
+            if let Some(plan) = &self.fault {
+                let k = self.recv_seq[to.0 as usize];
+                self.recv_seq[to.0 as usize] = k + 1;
+                let d = plan.decide(to, k);
+                if d.is_fault() {
+                    self.fault_stats.record(&d);
+                    // Late delivery (retransmit / jitter / stall) keeps the
+                    // channel serialised behind it — a TCP-like
+                    // head-of-line stall — so per-channel FIFO holds by
+                    // construction even under faults.
+                    arrive += Duration::from_micros(d.extra_us);
+                    occupied = arrive;
+                    if d.duplicated {
+                        // The discarded wire copy still occupies the
+                        // channel for one more transfer span.
+                        occupied += span;
+                    }
+                }
+            }
+            self.chan_clock.insert((from, to), occupied);
             arrive
         };
         let seq = self.next_seq();

@@ -1,0 +1,333 @@
+//! Seeded fault injection at the transport seam.
+//!
+//! A [`FaultPlan`] perturbs envelope delivery on every substrate from one
+//! seed: wire drops recovered by retransmission, wire duplicates discarded
+//! by the seam's dedup, per-envelope delivery jitter, and periodic stall
+//! windows (a peer that crashes and restarts *with* its state). The engine
+//! protocol assumes reliable, exactly-once, per-channel-FIFO delivery — the
+//! paper's §3.1 channel model — so every fault here is expressed as a
+//! **timing perturbation** that preserves those guarantees while changing
+//! the interleaving of the distributed computation:
+//!
+//! * **drop + retransmit** — the envelope is lost on the wire and recovered
+//!   by a retransmission one [`FaultPlan::rto_us`] later. Logically it is
+//!   delivered exactly once, just late (and, on the DES, it keeps the
+//!   channel serialised behind it, like a TCP head-of-line stall).
+//! * **duplicate** — a wire-level copy arrives and the seam discards it
+//!   (sequence-number dedup). Costs occupancy/statistics only; the callback
+//!   still runs once per logical envelope.
+//! * **delay** — bounded per-envelope jitter, up to
+//!   [`FaultPlan::max_delay_us`].
+//! * **stall window** — every [`FaultPlan::stall_period`]-th envelope a
+//!   peer receives opens a window of [`FaultPlan::stall_span_us`] during
+//!   which the peer makes no progress: a crash-restart that recovers its
+//!   state from local storage, or a long GC/scheduling pause. (Crash with
+//!   *state loss* needs checkpointing to recover from and is future work —
+//!   see DESIGN.md "Fault injection".)
+//!
+//! Decisions are a pure hash of `(seed, receiving peer, per-receiver
+//! envelope index)` — no RNG state, no locks. On the DES the receive index
+//! sequence is itself deterministic, so a faulted DES run is **exactly
+//! replayable**: the same seed explores the same alternative interleaving
+//! every time, which is what turns a rare cross-substrate race into a
+//! deterministic single-substrate repro. On the concurrent substrates the
+//! receive order (and hence which envelope a decision lands on) depends on
+//! real scheduling, so a seed there denotes a reproducible *distribution*
+//! of faults, not an exact schedule. Either way the fixpoint must not move:
+//! the differential harness pins every faulted run to the unfaulted DES
+//! reference views.
+
+use crate::net::PeerId;
+
+/// `splitmix64` finalizer: the one-instruction-class mixer used for all
+/// fault decisions (and by `rand`'s seeding shim).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Roll an independent per-mille die from a decision hash. `salt` makes the
+/// drop/dup/delay dice independent of one another.
+#[inline]
+fn roll(h: u64, salt: u64, per_mille: u16) -> bool {
+    per_mille > 0 && mix(h ^ salt) % 1000 < u64::from(per_mille)
+}
+
+/// A deterministic, seeded schedule of transport faults. All probabilities
+/// are per-mille of *received envelopes*; all delays are **simulated**
+/// microseconds (the concurrent substrates scale them by their
+/// `time_dilation`, exactly like timer delays, so one plan means the same
+/// thing on every substrate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed from which every decision is derived.
+    pub seed: u64,
+    /// Per-mille of envelopes dropped on the wire and recovered by
+    /// retransmission: delivered exactly once, [`FaultPlan::rto_us`] late.
+    pub drop_per_mille: u16,
+    /// Retransmit timeout: the delivery delay a dropped envelope pays.
+    pub rto_us: u64,
+    /// Per-mille of envelopes duplicated on the wire; the seam discards the
+    /// copy, so this costs channel occupancy and statistics only.
+    pub dup_per_mille: u16,
+    /// Per-mille of envelopes jittered by up to [`FaultPlan::max_delay_us`].
+    pub delay_per_mille: u16,
+    /// Upper bound on jitter; the actual delay is hash-derived in
+    /// `1..=max_delay_us`.
+    pub max_delay_us: u64,
+    /// Every `stall_period`-th envelope a peer receives opens a stall
+    /// window (0 disables stalls).
+    pub stall_period: u64,
+    /// Length of a stall window in simulated microseconds.
+    pub stall_span_us: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as an explicit baseline).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_per_mille: 0,
+            rto_us: 0,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_us: 0,
+            stall_period: 0,
+            stall_span_us: 0,
+        }
+    }
+
+    /// A moderate-chaos plan derived entirely from one sweep seed: the
+    /// fault *mix* (rates, delays, whether stalls happen at all) varies
+    /// with the seed, so sweeping seeds explores different fault regimes,
+    /// not just different placements of one regime.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let h = mix(seed);
+        FaultPlan {
+            seed,
+            drop_per_mille: 20 + (mix(h ^ 1) % 60) as u16, // 2–8 %
+            rto_us: 2_000 + mix(h ^ 2) % 8_000,            // 2–10 ms
+            dup_per_mille: 10 + (mix(h ^ 3) % 40) as u16,  // 1–5 %
+            delay_per_mille: 100 + (mix(h ^ 4) % 200) as u16, // 10–30 %
+            max_delay_us: 500 + mix(h ^ 5) % 4_500,        // ≤ 0.5–5 ms
+            // Stalls in 3 of 4 regimes, every ~25–120 envelopes.
+            stall_period: if mix(h ^ 6).is_multiple_of(4) {
+                0
+            } else {
+                25 + mix(h ^ 7) % 96
+            },
+            stall_span_us: 20_000 + mix(h ^ 8) % 80_000, // 20–100 ms
+        }
+    }
+
+    /// Delay-only jitter plan (no drops, dups, or stalls): the gentlest
+    /// interleaving multiplier.
+    pub fn jitter(seed: u64, per_mille: u16, max_delay_us: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay_per_mille: per_mille,
+            max_delay_us,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether this plan can ever inject a fault. The substrates skip all
+    /// fault bookkeeping when the plan is `None` or inert, keeping the
+    /// disabled path zero-cost.
+    pub fn is_active(&self) -> bool {
+        (self.drop_per_mille > 0 && self.rto_us > 0)
+            || self.dup_per_mille > 0
+            || (self.delay_per_mille > 0 && self.max_delay_us > 0)
+            || (self.stall_period > 0 && self.stall_span_us > 0)
+    }
+
+    /// Decide the fate of the `recv_index`-th envelope peer `to` receives.
+    /// Pure: same `(plan, to, recv_index)` ⇒ same decision, on every
+    /// substrate, forever.
+    pub fn decide(&self, to: PeerId, recv_index: u64) -> FaultDecision {
+        let h = mix(self.seed ^ mix(u64::from(to.0) << 32 | recv_index));
+        let mut d = FaultDecision::default();
+        if roll(h, 0x0d0d, self.drop_per_mille) && self.rto_us > 0 {
+            d.dropped = true;
+            d.extra_us += self.rto_us;
+        }
+        if roll(h, 0xd0b1, self.dup_per_mille) {
+            d.duplicated = true;
+        }
+        if roll(h, 0xde1a, self.delay_per_mille) && self.max_delay_us > 0 {
+            d.extra_us += 1 + mix(h ^ 0x1a9) % self.max_delay_us;
+        }
+        if self.stall_period > 0
+            && self.stall_span_us > 0
+            && recv_index % self.stall_period == self.stall_period - 1
+        {
+            d.stalled = true;
+            d.extra_us += self.stall_span_us;
+        }
+        d
+    }
+}
+
+/// The fate of one received envelope under a [`FaultPlan`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Total extra delivery delay in simulated microseconds (sum of the
+    /// retransmit timeout, jitter, and stall window that apply).
+    pub extra_us: u64,
+    /// The envelope was dropped on the wire and retransmitted.
+    pub dropped: bool,
+    /// A wire duplicate arrived and was discarded by the seam.
+    pub duplicated: bool,
+    /// The envelope landed in a stall window of its receiver.
+    pub stalled: bool,
+}
+
+impl FaultDecision {
+    /// Whether anything at all happened to this envelope.
+    pub fn is_fault(&self) -> bool {
+        self.extra_us > 0 || self.duplicated
+    }
+}
+
+/// Counters of injected faults, exposed by every substrate so tests can
+/// assert a plan actually fired. Kept out of [`NetMetrics`](crate::metrics::NetMetrics)
+/// on purpose: faults perturb timing, never logical traffic, so the metric
+/// matrices the differential harness pins must not see them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Envelopes dropped on the wire and recovered by retransmission.
+    pub drops_retransmitted: u64,
+    /// Wire duplicates discarded by the seam.
+    pub duplicates_discarded: u64,
+    /// Envelopes delivered late (jitter, retransmit, or stall).
+    pub delayed: u64,
+    /// Envelopes that landed in a receiver stall window.
+    pub stall_hits: u64,
+    /// Total injected delay in simulated microseconds.
+    pub extra_delay_us: u64,
+}
+
+impl FaultStats {
+    /// Fold one decision into the counters.
+    pub fn record(&mut self, d: &FaultDecision) {
+        if d.dropped {
+            self.drops_retransmitted += 1;
+        }
+        if d.duplicated {
+            self.duplicates_discarded += 1;
+        }
+        if d.stalled {
+            self.stall_hits += 1;
+        }
+        if d.extra_us > 0 {
+            self.delayed += 1;
+            self.extra_delay_us += d.extra_us;
+        }
+    }
+
+    /// Total faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.drops_retransmitted + self.duplicates_discarded + self.delayed
+    }
+
+    /// Merge another stats block (sharded composites fold their shards).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.drops_retransmitted += other.drops_retransmitted;
+        self.duplicates_discarded += other.duplicates_discarded;
+        self.delayed += other.delayed;
+        self.stall_hits += other.stall_hits;
+        self.extra_delay_us += other.extra_delay_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let plan = FaultPlan::from_seed(42);
+        for k in 0..1000u64 {
+            assert_eq!(
+                plan.decide(PeerId(3), k),
+                plan.decide(PeerId(3), k),
+                "same inputs must give the same decision"
+            );
+        }
+        // Different seeds must give a different schedule somewhere.
+        let other = FaultPlan::from_seed(43);
+        assert!(
+            (0..1000u64).any(|k| plan.decide(PeerId(3), k) != other.decide(PeerId(3), k)),
+            "seeds 42 and 43 produced identical schedules"
+        );
+        // Different receivers see different schedules under one seed.
+        assert!(
+            (0..1000u64).any(|k| plan.decide(PeerId(0), k) != plan.decide(PeerId(1), k)),
+            "peers 0 and 1 saw identical schedules"
+        );
+    }
+
+    #[test]
+    fn rates_land_near_their_dials() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_per_mille: 100,
+            rto_us: 1_000,
+            dup_per_mille: 50,
+            delay_per_mille: 200,
+            max_delay_us: 100,
+            stall_period: 0,
+            stall_span_us: 0,
+        };
+        let mut stats = FaultStats::default();
+        const N: u64 = 20_000;
+        for k in 0..N {
+            stats.record(&plan.decide(PeerId(1), k));
+        }
+        let near = |got: u64, want: u64| {
+            assert!(
+                got * 10 >= want * 7 && got * 10 <= want * 13,
+                "rate off: got {got}, wanted ≈{want}"
+            );
+        };
+        near(stats.drops_retransmitted, N / 10);
+        near(stats.duplicates_discarded, N / 20);
+        // Delayed counts drops *and* jitters (delays overlap drops, so the
+        // union is at most the sum and at least the larger part).
+        assert!(stats.delayed >= N / 5 * 7 / 10);
+        assert!(stats.delayed <= (N / 10 + N / 5) * 13 / 10);
+        assert!(stats.extra_delay_us > 0);
+    }
+
+    #[test]
+    fn stall_windows_hit_exactly_on_period() {
+        let plan = FaultPlan {
+            stall_period: 10,
+            stall_span_us: 5_000,
+            ..FaultPlan::none()
+        };
+        assert!(plan.is_active());
+        for k in 0..100u64 {
+            let d = plan.decide(PeerId(0), k);
+            assert_eq!(d.stalled, k % 10 == 9, "index {k}");
+            assert_eq!(d.extra_us, if d.stalled { 5_000 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn inert_plans_report_inactive() {
+        assert!(!FaultPlan::none().is_active());
+        // A drop rate with no retransmit timeout can never fire.
+        let p = FaultPlan {
+            drop_per_mille: 500,
+            rto_us: 0,
+            ..FaultPlan::none()
+        };
+        assert!(!p.is_active());
+        assert!(FaultPlan::from_seed(0).is_active());
+        assert!(FaultPlan::jitter(1, 100, 1_000).is_active());
+    }
+}

@@ -42,6 +42,11 @@
 //!   physical [`Frame`] (one channel send, one in-flight count, one wake),
 //!   split back in FIFO order at the receiver; logical metrics stay
 //!   per-message while envelope counts expose the physical win.
+//! * [`fault`] — seeded fault injection at the transport seam: one
+//!   [`FaultPlan`] perturbs delivery timing (drop+retransmit, discarded
+//!   duplicates, jitter, stall windows) identically-keyed on every
+//!   substrate, exactly replayable on the DES, while preserving the
+//!   reliable/exactly-once/FIFO channel contract the engine assumes.
 //!
 //! DESIGN.md: "Runtimes" is this crate's section — the session contract,
 //! the per-substrate ledger, and the recipe for adding a substrate.
@@ -49,6 +54,7 @@
 pub mod async_rt;
 pub mod coalesce;
 pub mod des;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod runtime;
@@ -59,8 +65,9 @@ pub mod threaded;
 pub use async_rt::{AsyncConfig, AsyncRuntime};
 pub use coalesce::{coalesce, frames, Frame, FrameBody, Frames};
 pub use des::{NetApi, PeerNode, Simulator};
+pub use fault::{FaultDecision, FaultPlan, FaultStats};
 pub use metrics::{EnvelopeMeta, MsgMeta, NetMetrics, PeerMetrics};
 pub use net::{ClusterSpec, CostModel, Partitioner, PeerId, Port};
-pub use runtime::{RunBudget, RunOutcome, Runtime, RuntimeKind};
+pub use runtime::{DesConfig, RunBudget, RunOutcome, Runtime, RuntimeKind};
 pub use sharded::{ShardAssignment, ShardKind, ShardedConfig, ShardedRuntime};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedOutcome, ThreadedRuntime};

@@ -20,6 +20,7 @@
 use netrec_types::SimTime;
 
 use crate::async_rt::AsyncConfig;
+use crate::fault::FaultPlan;
 use crate::metrics::NetMetrics;
 use crate::net::{PeerId, Port};
 use crate::sharded::{ShardKind, ShardedConfig};
@@ -109,13 +110,36 @@ impl RunOutcome {
     }
 }
 
+/// Tuning knobs for the deterministic discrete-event simulator, mirroring
+/// the concurrent substrates' config structs so every [`RuntimeKind`]
+/// variant — the DES included — is fully described by its configuration
+/// (coalescing toggled off, a fault schedule installed) instead of needing
+/// a hand-built runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesConfig {
+    /// Whether same-destination sends coalesce into one envelope per
+    /// quantum (on by default; the differential toggle turns it off).
+    pub coalesce: bool,
+    /// Seeded transport fault schedule (`None` = clean delivery). On the
+    /// DES a plan is exactly replayable — see [`mod@crate::fault`].
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig {
+            coalesce: true,
+            fault: None,
+        }
+    }
+}
+
 /// Which execution substrate a driver should instantiate.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RuntimeKind {
     /// The deterministic discrete-event simulator (modelled latency,
     /// bandwidth, and CPU occupancy; reproducible convergence times).
-    #[default]
-    Des,
+    Des(DesConfig),
     /// The concurrent threaded runtime (real OS threads, bounded channels,
     /// wall-clock timers) with its tuning knobs.
     Threaded(ThreadedConfig),
@@ -129,7 +153,18 @@ pub enum RuntimeKind {
     Sharded(ShardedConfig),
 }
 
+impl Default for RuntimeKind {
+    fn default() -> Self {
+        RuntimeKind::Des(DesConfig::default())
+    }
+}
+
 impl RuntimeKind {
+    /// The DES with default tuning (coalescing on, no faults).
+    pub fn des() -> RuntimeKind {
+        RuntimeKind::Des(DesConfig::default())
+    }
+
     /// Threaded runtime with default tuning.
     pub fn threaded() -> RuntimeKind {
         RuntimeKind::Threaded(ThreadedConfig::default())
@@ -155,10 +190,27 @@ impl RuntimeKind {
         )
     }
 
+    /// Install a seeded transport [`FaultPlan`] on whichever substrate this
+    /// kind denotes (builder style). For the sharded composite the plan
+    /// lands in the inner shard config, so same-shard and cross-shard
+    /// deliveries alike are perturbed by the shard workers.
+    pub fn with_fault(mut self, plan: FaultPlan) -> RuntimeKind {
+        match &mut self {
+            RuntimeKind::Des(cfg) => cfg.fault = Some(plan),
+            RuntimeKind::Threaded(cfg) => cfg.fault = Some(plan),
+            RuntimeKind::Async(cfg) => cfg.fault = Some(plan),
+            RuntimeKind::Sharded(cfg) => match &mut cfg.shard {
+                ShardKind::Threaded(inner) => inner.fault = Some(plan),
+                ShardKind::Async(inner) => inner.fault = Some(plan),
+            },
+        }
+        self
+    }
+
     /// Short label for reports and bench entries.
     pub fn label(&self) -> &'static str {
         match self {
-            RuntimeKind::Des => "des",
+            RuntimeKind::Des(_) => "des",
             RuntimeKind::Threaded(_) => "threaded",
             RuntimeKind::Async(_) => "async",
             RuntimeKind::Sharded(cfg) => match cfg.shard {

@@ -67,6 +67,7 @@ use parking_lot::Mutex;
 use crate::async_rt::{AsyncConfig, AsyncInjector, AsyncRuntime};
 use crate::coalesce::{frames, FrameBody};
 use crate::des::{NetApi, PeerNode};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{PeerId, Port};
 use crate::runtime::{RunBudget, RunOutcome, Runtime};
@@ -208,6 +209,20 @@ impl ShardedConfig {
         match &mut self.shard {
             ShardKind::Threaded(cfg) => cfg.coalesce = on,
             ShardKind::Async(cfg) => cfg.coalesce = on,
+        }
+        self
+    }
+
+    /// Install a seeded transport fault schedule (builder style): sets the
+    /// inner shard kind's plan, so every delivery — same-shard and
+    /// cross-shard alike — passes through the receiving shard's fault hook.
+    /// Decisions are keyed on shard-*local* peer ids, so the same plan
+    /// lands on different envelopes under different shard counts: sweeping
+    /// topologies multiplies interleavings, which is the point.
+    pub fn with_fault(mut self, plan: FaultPlan) -> ShardedConfig {
+        match &mut self.shard {
+            ShardKind::Threaded(cfg) => cfg.fault = Some(plan),
+            ShardKind::Async(cfg) => cfg.fault = Some(plan),
         }
         self
     }
@@ -530,6 +545,13 @@ impl<M, N> Shard<M, N> {
             Shard::Async(rt) => rt.freeze(),
         }
     }
+
+    fn fault_stats(&self) -> FaultStats {
+        match self {
+            Shard::Threaded(rt) => rt.fault_stats(),
+            Shard::Async(rt) => rt.fault_stats(),
+        }
+    }
 }
 
 /// A live sharded session over `N` peers behind one [`Runtime`]. Create
@@ -724,6 +746,15 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
 }
 
 impl<M, N> ShardedRuntime<M, N> {
+    /// Faults applied so far, folded across every shard.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for s in &self.shards {
+            total.merge(&s.fault_stats());
+        }
+        total
+    }
+
     /// Freeze every shard (teardown of workers and timer services); the
     /// session stays inspectable but can never converge again.
     fn freeze_shards(&mut self) {

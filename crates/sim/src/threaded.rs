@@ -48,6 +48,7 @@ use parking_lot::Mutex;
 
 use crate::coalesce::{frames, FrameBody};
 use crate::des::{NetApi, PeerNode};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{PeerId, Port};
 use crate::runtime::{RunBudget, RunOutcome, Runtime};
@@ -69,6 +70,11 @@ pub struct ThreadedConfig {
     /// Whether same-destination sends coalesce into one envelope per
     /// quantum (on by default; the differential toggle turns it off).
     pub coalesce: bool,
+    /// Seeded transport fault schedule (`None` = clean delivery). Fault
+    /// delays are simulated microseconds scaled by `time_dilation` like
+    /// timer delays; on this substrate a seed gives a reproducible fault
+    /// *distribution*, not an exact schedule — see [`mod@crate::fault`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ThreadedConfig {
@@ -78,6 +84,7 @@ impl Default for ThreadedConfig {
             time_dilation: 1.0,
             poll: WallDuration::from_millis(1),
             coalesce: true,
+            fault: None,
         }
     }
 }
@@ -86,6 +93,12 @@ impl ThreadedConfig {
     /// Enable or disable transport coalescing (builder style).
     pub fn with_coalescing(mut self, on: bool) -> ThreadedConfig {
         self.coalesce = on;
+        self
+    }
+
+    /// Install a seeded transport fault schedule (builder style).
+    pub fn with_fault(mut self, plan: FaultPlan) -> ThreadedConfig {
+        self.fault = Some(plan);
         self
     }
 }
@@ -125,6 +138,12 @@ struct Worker<M, N> {
     /// False for shard-hosted runtimes: their local-id metric tables are
     /// never snapshotted (the `ShardPeer` adapters account in global ids).
     record_metrics: bool,
+    /// Seeded fault schedule (inert plans filtered out at build time).
+    fault: Option<FaultPlan>,
+    /// This worker's receive counter — the fault hash key (`me`, index).
+    recv_seq: u64,
+    /// Fault bookkeeping shared with the runtime handle.
+    fault_stats: Arc<Mutex<FaultStats>>,
 }
 
 impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
@@ -155,6 +174,24 @@ impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
     /// (`Some(msgs)`), or a timer firing (`None` with `timer_id`), then the
     /// quantum-end hook. Returns `false` when the worker must stop (panic).
     fn process(&mut self, delivery: Option<FrameBody<M>>, timer_id: u64) -> bool {
+        // Fault hook: perturb envelope deliveries (never timers) by holding
+        // the receiving worker before it runs the callbacks. Deferring the
+        // *receive* rather than the send keeps per-channel FIFO intact —
+        // everything queued behind this envelope waits with it.
+        if delivery.is_some() {
+            if let Some(plan) = &self.fault {
+                let k = self.recv_seq;
+                self.recv_seq = k + 1;
+                let d = plan.decide(self.me, k);
+                if d.is_fault() {
+                    self.fault_stats.lock().record(&d);
+                    std::thread::sleep(dilate(
+                        netrec_types::Duration::from_micros(d.extra_us),
+                        self.time_dilation,
+                    ));
+                }
+            }
+        }
         // Logical event count: an envelope of N messages counts N.
         let logical = delivery.as_ref().map_or(1, FrameBody::len) as u64;
         let outputs = catch_unwind(AssertUnwindSafe(|| {
@@ -380,6 +417,8 @@ pub struct ThreadedRuntime<M, N> {
     /// Outcome of the most recent `run` phase (carried into
     /// [`ThreadedOutcome`] so one-shot drivers see budget truncation).
     last_outcome: Option<RunOutcome>,
+    /// Fault bookkeeping folded across workers (shared with them).
+    fault_stats: Arc<Mutex<FaultStats>>,
     cfg: ThreadedConfig,
 }
 
@@ -459,6 +498,9 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
             .map(|_| Arc::new(Mutex::new(NetMetrics::new(n as u32))))
             .collect();
 
+        let fault = cfg.fault.filter(FaultPlan::is_active);
+        let fault_stats = Arc::new(Mutex::new(FaultStats::default()));
+
         let mut workers = Vec::with_capacity(n);
         for (i, rx) in receivers.into_iter().enumerate() {
             let worker = Worker {
@@ -475,6 +517,9 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
                 time_dilation: cfg.time_dilation,
                 coalesce: cfg.coalesce,
                 record_metrics,
+                fault,
+                recv_seq: 0,
+                fault_stats: Arc::clone(&fault_stats),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("netrec-peer-{i}"))
@@ -505,6 +550,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
             epoch,
             active: WallDuration::ZERO,
             last_outcome: None,
+            fault_stats,
             cfg,
         }
     }
@@ -598,6 +644,11 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
 }
 
 impl<M, N> ThreadedRuntime<M, N> {
+    /// Faults applied so far across every worker of this session.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.fault_stats.lock()
+    }
+
     /// Stop the workers and timer service, freezing the session for
     /// inspection — the composite-budget analogue of the teardown `run`
     /// performs on its own budget exhaustion.

@@ -14,7 +14,7 @@
 //!     .views(["reachable"])
 //!     .phase(DiffPhase::strict("seed", links))
 //!     .phase(DiffPhase::strict("link-1-2", more_links));
-//! assert_substrates_agree(&w, &[RuntimeKind::Des, RuntimeKind::threaded(),
+//! assert_substrates_agree(&w, &[RuntimeKind::des(), RuntimeKind::threaded(),
 //!                               RuntimeKind::sharded(2)]);
 //! ```
 //!
@@ -101,6 +101,115 @@ pub mod fixtures {
         b.connect(join, ship, 0);
         b.connect(store, join, JOIN_PROBE);
         b.build().expect("reachable plan is well-formed")
+    }
+}
+
+pub mod churn {
+    //! The canonical random-churn scenario: a connected random graph, a
+    //! full shuffled insert pass ("load"), then a shuffled deletion pass
+    //! ("churn").
+    //!
+    //! Exactly one function derives the scripts from a case's raw seeds, and
+    //! both the proptest differential generator *and* pinned repro cases go
+    //! through it — a pinned case records generator inputs, never derived
+    //! values, so it cannot silently drift from what the generator would
+    //! produce (the `del_ratio = 0.25 // del_pick = 0` hand-transcription
+    //! this module replaces was exactly that drift waiting to happen).
+
+    use netrec_engine::runner::RunnerConfig;
+    use netrec_engine::strategy::Strategy;
+    use netrec_topo::{random_graph, BaseOp, Workload};
+
+    use crate::fixtures::reachable_plan;
+    use crate::{DiffPhase, DiffWorkload};
+
+    /// The deletion fractions the generator's `del_pick` indexes into.
+    pub const DEL_RATIOS: [f64; 3] = [0.25, 0.5, 1.0];
+
+    /// One generated churn case, identified by the generator's raw inputs.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct ChurnCase {
+        /// Graph nodes.
+        pub nodes: u32,
+        /// Extra links beyond the spanning tree (`nodes - 1 + extra` total).
+        pub extra: u32,
+        /// Peers the plan is partitioned over.
+        pub peers: u32,
+        /// Seed of the random connected graph.
+        pub topo_seed: u64,
+        /// Seed of the insert/delete shuffles.
+        pub script_seed: u64,
+        /// Index into [`DEL_RATIOS`].
+        pub del_pick: usize,
+    }
+
+    impl ChurnCase {
+        /// The deletion fraction `del_pick` denotes.
+        pub fn del_ratio(&self) -> f64 {
+            DEL_RATIOS[self.del_pick]
+        }
+
+        /// Derive the load and churn scripts — the one place this recipe
+        /// exists.
+        pub fn scripts(&self) -> (Vec<BaseOp>, Vec<BaseOp>) {
+            let topo = random_graph(
+                self.nodes as usize,
+                (self.nodes - 1 + self.extra) as usize,
+                self.topo_seed,
+            );
+            let load = Workload::insert_links(&topo, 1.0, self.script_seed);
+            let dels = Workload::delete_links(&topo, self.del_ratio(), self.script_seed ^ 0x5eed);
+            (load.ops, dels.ops)
+        }
+
+        /// The reachability [`DiffWorkload`] over this case for `strategy`:
+        /// a relaxed "load" phase, plus a relaxed "churn" phase unless the
+        /// strategy cannot maintain deletions (set mode without the DRed
+        /// driver is insert-only under this harness).
+        pub fn workload(&self, strategy: Strategy) -> DiffWorkload {
+            let (load, dels) = self.scripts();
+            let mut w = DiffWorkload::new(reachable_plan, RunnerConfig::new(strategy, self.peers))
+                .views(["reachable"])
+                .phase(DiffPhase::relaxed("load", load));
+            if strategy.mode != netrec_prov::ProvMode::Set {
+                w = w.phase(DiffPhase::relaxed("churn", dels));
+            }
+            w
+        }
+
+        /// The pinned churn-cascade race case: `PROPTEST_SHIM_SEED=2`, case
+        /// 11 of `NETREC_DIFF_CASES=24` (captured 2026-08-08), which made a
+        /// concurrent substrate retain a stale `(n4, n2)` tuple after the
+        /// deletion cascade (DESIGN.md "Churn-cascade race: postmortem").
+        pub fn pinned_cascade_race() -> ChurnCase {
+            ChurnCase {
+                nodes: 5,
+                extra: 2,
+                peers: 4,
+                topo_seed: 3384786848501768427,
+                script_seed: 4639958491858334529,
+                del_pick: 0,
+            }
+        }
+
+        /// The pinned **false-annotation resurrection** race case (captured
+        /// 2026-08-08 while validating the ship-ledger fix): under full link
+        /// deletion (`del_pick: 2`) a join's `Changed` delta annihilated
+        /// against the probe side to a constant-`false` annotation, shipped
+        /// as an insert, and re-keyed an already-retracted tuple into a
+        /// concurrent substrate's view (DESIGN.md churn postmortem, hole 3).
+        /// Reproduced ~1/40 runs on the threaded substrate pre-fix; never on
+        /// the DES, even across 3000 fault seeds.
+        pub fn pinned_false_annotation_race() -> ChurnCase {
+            ChurnCase {
+                nodes: 4,
+                extra: 3,
+                peers: 2,
+                topo_seed: 15863385262584211885,
+                script_seed: 9835140471105765680,
+                del_pick: 2,
+            }
+        }
     }
 }
 

@@ -39,7 +39,7 @@ fn load_view(strategy: Strategy, peers: u32, runtime: RuntimeKind) -> (BTreeSet<
 
 #[test]
 fn threaded_matches_des_lazy() {
-    let (des, des_bytes) = load_view(Strategy::absorption_lazy(), 3, RuntimeKind::Des);
+    let (des, des_bytes) = load_view(Strategy::absorption_lazy(), 3, RuntimeKind::des());
     let (thr, thr_bytes) = load_view(Strategy::absorption_lazy(), 3, RuntimeKind::threaded());
     assert_eq!(des, thr, "views must agree across runtimes");
     // Byte totals depend on which derivation arrives first (scheduling),
@@ -54,7 +54,7 @@ fn threaded_matches_des_lazy() {
 
 #[test]
 fn threaded_matches_des_set_mode() {
-    let (des, _) = load_view(Strategy::set(), 4, RuntimeKind::Des);
+    let (des, _) = load_view(Strategy::set(), 4, RuntimeKind::des());
     let (thr, _) = load_view(Strategy::set(), 4, RuntimeKind::threaded());
     assert_eq!(des, thr);
 }
@@ -63,7 +63,7 @@ fn threaded_matches_des_set_mode() {
 fn sharded_matches_des_through_the_facade() {
     // Substrate selection via `SystemConfig::with_runtime`, like any user
     // would: two shards over four peers must reach the DES fixpoint.
-    let (des, _) = load_view(Strategy::absorption_lazy(), 4, RuntimeKind::Des);
+    let (des, _) = load_view(Strategy::absorption_lazy(), 4, RuntimeKind::des());
     let (sh, sh_bytes) = load_view(Strategy::absorption_lazy(), 4, RuntimeKind::sharded(2));
     assert_eq!(des, sh, "views must agree across runtimes");
     assert!(sh_bytes > 0, "cross-peer traffic must be accounted");
