@@ -26,6 +26,16 @@
 //! workload (`#inert_overhead_ratio`, guarded at ~1.0 — disabled faults
 //! must stay off the hot path), with one seeded plan for context.
 //!
+//! A `checkpointing/` section pins the epoch-barrier checkpointing
+//! subsystem: a checkpoint-interval sweep on the chunked deletion workload
+//! (interval 1/2/4 vs disabled — `#overhead_vs_off` prices per-boundary
+//! peer encoding, `#ckpt_bytes` sizes an epoch), and a recovery scenario —
+//! wall time from a mid-session crash of the 4-shard composite through
+//! checkpoint restore, delta replay and reconvergence (`#recovery_ns`).
+//! Checkpointing is *disabled* in every other entry, so diffing the fig
+//! entries against the previous BENCH file is the pay-for-use gate: the
+//! subsystem off must cost nothing.
+//!
 //! A `read_serving/` section tracks the lock-free serving layer
 //! (`netrec-serve`): ns per point lookup through an epoch-published
 //! `ViewReader` vs the clone-a-whole-view-per-lookup baseline
@@ -72,7 +82,7 @@ fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
     let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -285,6 +295,168 @@ fn main() {
         }
     }
 
+    // --- Checkpointing & recovery --------------------------------------
+    //
+    // Epoch-barrier checkpointing (`Runner::enable_checkpointing`) encodes
+    // every peer at converged boundaries. Two dials pinned here on the
+    // deletion workload split into four churn boundaries (relative/lazy —
+    // the richest wire format), plus the recovery scenario:
+    //
+    //  * interval sweep — `des_off` runs the chunked workload with the
+    //    subsystem disabled; `des_interval{1,2,4}` checkpoint at every /
+    //    every 2nd / every 4th boundary. `interval1#overhead_vs_off` is the
+    //    full per-boundary encoding cost; `#ckpt_bytes` sizes the latest
+    //    epoch's blobs. Checkpointing *off* is the default everywhere else
+    //    in this file, so the fig07/fig08 entries diffed against the
+    //    previous BENCH file are the machinery-present-but-disabled gate.
+    //  * `recovery/relative_lazy/sharded4_crash` — wall nanoseconds from
+    //    `recover()` on a mid-session crash of the 4-shard composite
+    //    through checkpoint restore, delta replay and reconvergence to the
+    //    clean fixpoint (absolute ns, not ns/op).
+    {
+        let churn_chunks = 4usize;
+        let chunk = dels.ops.len().div_ceil(churn_chunks);
+        let ckpt_dels = |name: &str, interval: Option<u64>| {
+            let mut last_bytes = 0usize;
+            let mut epochs = 0usize;
+            let ns = measure(samples, dels.ops.len(), || {
+                let mut sys = System::reachable(
+                    SystemConfig::new(Strategy::relative_lazy(), peers)
+                        .with_budget(budget())
+                        .with_runtime(RuntimeKind::des()),
+                );
+                if let Some(k) = interval {
+                    sys.runner().enable_checkpointing(k);
+                }
+                sys.apply(&load);
+                assert!(sys.run("load").converged(), "{name}: load did not converge");
+                for (i, ops) in dels.ops.chunks(chunk).enumerate() {
+                    for op in ops {
+                        sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+                    }
+                    let label = format!("churn-{i}");
+                    assert!(
+                        sys.run(&label).converged(),
+                        "{name}: {label} did not converge"
+                    );
+                }
+                if interval.is_some() {
+                    let store = sys.runner().checkpoints().expect("checkpointing enabled");
+                    let (_, ck) = store.latest().expect("at least epoch 0");
+                    last_bytes = ck.bytes();
+                    epochs = store.len();
+                }
+            });
+            (ns, last_bytes, epochs)
+        };
+        let off_name = "checkpointing/reachable_del/relative_lazy/des_off";
+        let mut off_ns = f64::NAN;
+        if wanted(off_name) {
+            let (ns, _, _) = ckpt_dels(off_name, None);
+            println!("{off_name:<45} {ns:>12.0} ns/op");
+            report.insert(off_name.to_string(), ns);
+            off_ns = ns;
+        }
+        for interval in [1u64, 2, 4] {
+            let name = format!("checkpointing/reachable_del/relative_lazy/des_interval{interval}");
+            if !wanted(&name) {
+                continue;
+            }
+            let (ns, bytes, epochs) = ckpt_dels(&name, Some(interval));
+            println!("{name:<45} {ns:>12.0} ns/op  ({epochs} epochs, {bytes} B latest)");
+            report.insert(format!("{name}#ckpt_bytes"), bytes as f64);
+            report.insert(format!("{name}#epochs"), epochs as f64);
+            if interval == 1 && off_ns.is_finite() {
+                report.insert(format!("{name}#overhead_vs_off"), ns / off_ns);
+            }
+            report.insert(name, ns);
+        }
+
+        let name = "checkpointing/recovery/relative_lazy/sharded4_crash";
+        if wanted(name) {
+            let build = |fault: Option<FaultPlan>| {
+                let mut kind = RuntimeKind::Sharded(ShardedConfig::with_shards(4));
+                if let Some(f) = fault {
+                    kind = kind.with_fault(f);
+                }
+                let mut sys = System::reachable(
+                    SystemConfig::new(Strategy::relative_lazy(), peers)
+                        .with_budget(budget())
+                        .with_runtime(kind),
+                );
+                sys.runner().enable_checkpointing(1);
+                sys.apply(&load);
+                sys
+            };
+            // A clean run sizes the crash dial (the composite's event
+            // counter races worker progress, so the dial lands mid-session
+            // distributionally — the halving retry below guarantees the
+            // crash fires even on unlucky schedules).
+            let mut clean = build(None);
+            assert!(clean.run("load").converged(), "{name}: clean load");
+            let e_load = clean.runner().events_processed();
+            for op in &dels.ops {
+                clean.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+            }
+            assert!(clean.run("churn").converged(), "{name}: clean churn");
+            let e_total = clean.runner().events_processed();
+            let oracle = clean.view("reachable");
+
+            let mut rec_ns: Vec<f64> = Vec::new();
+            for _ in 0..samples {
+                let mut crash_at = e_load + (e_total - e_load) / 2;
+                loop {
+                    let mut sys = build(Some(FaultPlan::crash_at(crash_at)));
+                    let mut measured = f64::NAN;
+                    for (label, ops) in [("load", &load.ops), ("churn", &dels.ops)] {
+                        for op in ops {
+                            let kind = if label == "churn" {
+                                UpdateKind::Delete
+                            } else {
+                                op.kind
+                            };
+                            sys.inject(&op.rel, op.tuple.clone(), kind, op.ttl);
+                        }
+                        let rep = sys.run(label);
+                        if rep.converged() {
+                            continue;
+                        }
+                        assert!(
+                            rep.outcome.crashed(),
+                            "{name}: {label} neither converged nor crashed"
+                        );
+                        let t = Instant::now();
+                        sys.runner().recover().expect("recover from latest epoch");
+                        // `recover` strips the crash dial, so the re-run
+                        // replays the post-barrier delta to convergence.
+                        assert!(
+                            sys.run(label).converged(),
+                            "{name}: recovery did not converge"
+                        );
+                        measured = t.elapsed().as_nanos() as f64;
+                    }
+                    if measured.is_nan() {
+                        // Crash never fired (counter raced past the dial
+                        // before any check) — halve and retry; 1 always fires.
+                        crash_at = (crash_at / 2).max(1);
+                        continue;
+                    }
+                    assert_eq!(
+                        sys.view("reachable"),
+                        oracle,
+                        "{name}: recovered fixpoint diverges"
+                    );
+                    rec_ns.push(measured);
+                    break;
+                }
+            }
+            rec_ns.sort_by(|a, b| a.total_cmp(b));
+            let median = rec_ns[rec_ns.len() / 2];
+            println!("{name:<45} {median:>12.0} ns (recover + replay + reconverge)");
+            report.insert(format!("{name}#recovery_ns"), median);
+        }
+    }
+
     // --- Serving-layer read path ---------------------------------------
     //
     // Same reduced fig07 topology, absorption-lazy on the threaded runtime
@@ -453,6 +625,19 @@ fn main() {
          what enabled chaos costs for context; it is expected to be \
          several-fold slower (retransmit delays stretch simulated time, \
          stall windows serialise receivers) and is not a guardrail"
+    ));
+    entries.push(format!(
+        "  \"_guardrail/checkpointing/reachable_del\": \"{}\"",
+        "checkpointing acceptance: the subsystem is pay-for-use - every \
+         non-checkpointing entry in this file runs with it disabled, so \
+         fig07/fig08 must stay within noise of the previous BENCH file. \
+         interval1#overhead_vs_off prices a full peer encode at every \
+         converged boundary (expected small: blobs are canonical \
+         in-memory encodes, no I/O); it shrinks toward 1.0 as the \
+         interval grows. recovery#recovery_ns is restore + post-barrier \
+         delta replay + reconvergence of the 4-shard composite - watch it \
+         against des_interval1 ns/op drift: recovery cost is dominated by \
+         replayed-delta reconvergence, not blob decode"
     ));
     entries.push(format!(
         "  \"_guardrail/read_serving/reachable/serve_point_lookup\": \"{}\"",

@@ -35,6 +35,7 @@
 //! protocol; "Runtimes" covers the substrates [`runner`] drives;
 //! "Performance notes" covers the hot-path engineering.
 
+pub(crate) mod checkpoint;
 pub mod dred;
 pub mod expr;
 pub mod ops;
@@ -49,6 +50,8 @@ pub mod update;
 pub use expr::{AggFn, CmpOp, Expr, Pred};
 pub use netrec_serve::{ServeSpec, ViewReader, ViewStore};
 pub use plan::{OpId, OpSpec, Plan, PlanBuilder, PlanError};
-pub use runner::{EngineRuntime, RunReport, Runner, RunnerConfig};
+pub use runner::{
+    CheckpointStore, EngineRuntime, EpochCheckpoint, RunReport, Runner, RunnerConfig,
+};
 pub use strategy::{DeleteProp, ShipPolicy, Strategy};
 pub use update::{Msg, Update};

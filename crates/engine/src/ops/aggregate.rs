@@ -264,4 +264,55 @@ impl AggregateOp {
                 .map(|(t, p)| t.encoded_len() + p.encoded_len() + 48)
                 .sum::<usize>()
     }
+
+    /// Serialise contributors and the emitted-output map. The per-group
+    /// value multisets are a pure function of the contributor table
+    /// (group/value columns come from the plan) and rebuild on restore;
+    /// `emitted` is downstream history and must be carried so revisions
+    /// after recovery retract exactly what was previously emitted.
+    pub(crate) fn checkpoint(&self, out: &mut Vec<u8>) {
+        crate::checkpoint::put_table(out, &self.contrib);
+        let mut emitted: Vec<(&Tuple, &(Tuple, Prov))> = self.emitted.iter().collect();
+        emitted.sort_by(|a, b| a.0.cmp(b.0));
+        netrec_types::wire::put_varint(out, emitted.len() as u64);
+        for (g, (t, p)) in emitted {
+            netrec_types::wire::put_tuple(out, g);
+            netrec_types::wire::put_tuple(out, t);
+            crate::checkpoint::put_prov(out, p);
+        }
+    }
+
+    /// Install a checkpointed blob into this freshly-built operator.
+    pub(crate) fn restore(
+        &mut self,
+        buf: &mut &[u8],
+        mgr: &netrec_bdd::BddManager,
+    ) -> Result<(), netrec_types::wire::WireError> {
+        use netrec_types::wire::{self, WireError};
+        self.contrib = crate::checkpoint::get_table(buf, self.contrib.mode(), true, mgr)?;
+        let tuples: Vec<Tuple> = self.contrib.tuples().cloned().collect();
+        for t in tuples {
+            let g = self.group_of(&t);
+            let v = self.value_of(&t);
+            self.groups
+                .entry(g)
+                .or_default()
+                .entry(v)
+                .or_default()
+                .insert(t);
+        }
+        let n = wire::get_varint(buf)? as usize;
+        if n > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n {
+            let g = wire::get_tuple(buf)?;
+            let t = wire::get_tuple(buf)?;
+            let p = crate::checkpoint::get_prov(buf, mgr)?;
+            if self.emitted.insert(g, (t, p)).is_some() {
+                return Err(WireError::Corrupt("duplicate emitted group in checkpoint"));
+            }
+        }
+        Ok(())
+    }
 }

@@ -267,6 +267,49 @@ impl AggSelState {
     pub fn state_bytes(&self) -> usize {
         self.prov.state_bytes() + self.best.len() * 64 + self.forwarded.len() * 16
     }
+
+    /// Serialise the provenance table and forwarded set. Groups and bests
+    /// are pure functions of the table (group columns come from the spec;
+    /// bests recompute from members), so they rebuild on restore. The
+    /// forwarded set is *not* derivable — it is downstream history — and
+    /// must be carried.
+    pub(crate) fn checkpoint(&self, out: &mut Vec<u8>) {
+        crate::checkpoint::put_table(out, &self.prov);
+        let mut fwd: Vec<&Tuple> = self.forwarded.iter().collect();
+        fwd.sort();
+        netrec_types::wire::put_varint(out, fwd.len() as u64);
+        for t in fwd {
+            netrec_types::wire::put_tuple(out, t);
+        }
+    }
+
+    /// Install a checkpointed blob into this freshly-built state.
+    pub(crate) fn restore(
+        &mut self,
+        buf: &mut &[u8],
+        mgr: &netrec_bdd::BddManager,
+    ) -> Result<(), netrec_types::wire::WireError> {
+        use netrec_types::wire::{self, WireError};
+        self.prov = crate::checkpoint::get_table(buf, self.prov.mode(), true, mgr)?;
+        let tuples: Vec<Tuple> = self.prov.tuples().cloned().collect();
+        let mut groups: BTreeSet<Tuple> = BTreeSet::new();
+        for t in tuples {
+            let g = self.group_of(&t);
+            self.groups.entry(g.clone()).or_default().insert(t);
+            groups.insert(g);
+        }
+        for g in groups {
+            self.recompute_bests(&g);
+        }
+        let n = wire::get_varint(buf)? as usize;
+        if n > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n {
+            self.forwarded.insert(wire::get_tuple(buf)?);
+        }
+        Ok(())
+    }
 }
 
 /// Standalone aggregate-selection operator.
@@ -309,5 +352,44 @@ impl AggSelOp {
     /// Resident state bytes.
     pub fn state_bytes(&self) -> usize {
         self.state.state_bytes()
+    }
+
+    /// Serialise the pruning state plus the observed output relation.
+    pub(crate) fn checkpoint(&self, out: &mut Vec<u8>) {
+        self.state.checkpoint(out);
+        match self.out_rel_seen {
+            None => out.push(0),
+            Some(r) => {
+                out.push(1);
+                netrec_types::wire::put_varint(out, u64::from(r.0));
+            }
+        }
+    }
+
+    /// Install a checkpointed blob into this freshly-built operator.
+    pub(crate) fn restore(
+        &mut self,
+        buf: &mut &[u8],
+        mgr: &netrec_bdd::BddManager,
+    ) -> Result<(), netrec_types::wire::WireError> {
+        use netrec_types::wire::{self, WireError};
+        self.state.restore(buf, mgr)?;
+        if buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf[0];
+        *buf = &buf[1..];
+        self.out_rel_seen = match tag {
+            0 => None,
+            1 => {
+                let raw = wire::get_varint(buf)?;
+                if raw > u64::from(u16::MAX) {
+                    return Err(WireError::Corrupt("relation id out of range"));
+                }
+                Some(netrec_types::RelId(raw as u16))
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(())
     }
 }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use netrec_bdd::Var;
 use netrec_prov::{Prov, ProvMode, VarAllocator, VarTable};
+use netrec_types::wire::{self, WireError};
 use netrec_types::{Duration, FxHashMap, RelId, Tuple, UpdateKind};
 
 use crate::plan::Dest;
@@ -155,5 +156,83 @@ impl IngressOp {
             .iter()
             .map(|(_, t, _)| t.encoded_len() + 4 + 48)
             .sum()
+    }
+
+    /// Serialise the live-tuple table and TTL bookkeeping. At a converged
+    /// barrier no TTL timer is pending (quiescence drains timers), so
+    /// `pending_ttl` holds nothing a restored substrate would need to
+    /// re-arm; it is carried anyway for exactness, as is `next_ttl` so
+    /// restored runs never reuse a timer id.
+    pub(crate) fn checkpoint(&self, out: &mut Vec<u8>) {
+        let mut entries: Vec<(RelId, Tuple, Var)> = self
+            .vars
+            .iter()
+            .map(|(r, t, v)| (r, t.clone(), v))
+            .collect();
+        entries.sort();
+        wire::put_varint(out, entries.len() as u64);
+        for (r, t, v) in entries {
+            wire::put_varint(out, u64::from(r.0));
+            wire::put_tuple(out, &t);
+            wire::put_varint(out, u64::from(v));
+        }
+        let mut ttls: Vec<(u32, &(Tuple, Option<Var>))> =
+            self.pending_ttl.iter().map(|(id, e)| (*id, e)).collect();
+        ttls.sort_by_key(|(id, _)| *id);
+        wire::put_varint(out, ttls.len() as u64);
+        for (id, (t, var)) in ttls {
+            wire::put_varint(out, u64::from(id));
+            wire::put_tuple(out, t);
+            match var {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    wire::put_varint(out, u64::from(*v));
+                }
+            }
+        }
+        wire::put_varint(out, u64::from(self.next_ttl));
+    }
+
+    /// Install a checkpointed blob into this freshly-built operator.
+    pub(crate) fn restore(&mut self, buf: &mut &[u8]) -> Result<(), WireError> {
+        let n = wire::get_varint(buf)? as usize;
+        if n > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n {
+            let raw = wire::get_varint(buf)?;
+            if raw > u64::from(u16::MAX) {
+                return Err(WireError::Corrupt("relation id out of range"));
+            }
+            let rel = RelId(raw as u16);
+            let t = wire::get_tuple(buf)?;
+            let v = wire::get_varint(buf)? as Var;
+            if self.vars.get(rel, &t).is_some() {
+                return Err(WireError::Corrupt("duplicate base tuple in checkpoint"));
+            }
+            self.vars.restore(rel, t, v);
+        }
+        let n = wire::get_varint(buf)? as usize;
+        if n > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n {
+            let id = wire::get_varint(buf)? as u32;
+            let t = wire::get_tuple(buf)?;
+            if buf.is_empty() {
+                return Err(WireError::Truncated);
+            }
+            let tag = buf[0];
+            *buf = &buf[1..];
+            let var = match tag {
+                0 => None,
+                1 => Some(wire::get_varint(buf)? as Var),
+                t => return Err(WireError::BadTag(t)),
+            };
+            self.pending_ttl.insert(id, (t, var));
+        }
+        self.next_ttl = wire::get_varint(buf)? as u32;
+        Ok(())
     }
 }

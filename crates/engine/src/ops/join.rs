@@ -284,6 +284,29 @@ impl JoinOp {
         }
     }
 
+    /// Serialise both sides' provenance tables. The key indexes (`by_key`)
+    /// are pure functions of the table contents and are rebuilt on restore.
+    pub(crate) fn checkpoint(&self, out: &mut Vec<u8>) {
+        crate::checkpoint::put_table(out, &self.build.prov);
+        crate::checkpoint::put_table(out, &self.probe.prov);
+    }
+
+    /// Install a checkpointed blob into this freshly-built operator.
+    pub(crate) fn restore(
+        &mut self,
+        buf: &mut &[u8],
+        mgr: &netrec_bdd::BddManager,
+    ) -> Result<(), netrec_types::wire::WireError> {
+        for side in [&mut self.build, &mut self.probe] {
+            side.prov = crate::checkpoint::get_table(buf, side.prov.mode(), true, mgr)?;
+            let tuples: Vec<Tuple> = side.prov.tuples().cloned().collect();
+            for t in &tuples {
+                side.add(t);
+            }
+        }
+        Ok(())
+    }
+
     /// Resident state bytes across both sides.
     pub fn state_bytes(&self) -> usize {
         self.build.prov.state_bytes() + self.probe.prov.state_bytes()

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use netrec_bdd::Var;
 use netrec_prov::{Prov, ProvMode};
+use netrec_types::wire::{self, WireError};
 use netrec_types::{FxHashMap, FxHashSet, Tuple, UpdateKind};
 
 use crate::plan::Dest;
@@ -424,6 +425,134 @@ impl MinShipOp {
             .map(|(t, vs)| t.encoded_len() + vs.len() * 4 + 48)
             .sum();
         self.sent.state_bytes() + self.pins.state_bytes() + pdel + ledger
+    }
+
+    /// Serialise `Bsent`, `Pins`, `Pdel`, the staleness markers, the ship
+    /// ledger, and the stream bookkeeping. The ledger is the part recovery
+    /// cannot live without: it is the only record of everything the
+    /// receivers were ever told, so a restored peer can still route future
+    /// deaths to them.
+    pub(crate) fn checkpoint(&self, out: &mut Vec<u8>) {
+        crate::checkpoint::put_table(out, &self.sent);
+        crate::checkpoint::put_table(out, &self.pins);
+        let mut dels: Vec<(&Tuple, &(Prov, Vec<Var>))> = self.pdel.iter().collect();
+        dels.sort_by(|a, b| a.0.cmp(b.0));
+        wire::put_varint(out, dels.len() as u64);
+        for (t, (pv, cause)) in dels {
+            wire::put_tuple(out, t);
+            crate::checkpoint::put_prov(out, pv);
+            wire::put_varint(out, cause.len() as u64);
+            for v in cause {
+                wire::put_varint(out, u64::from(*v));
+            }
+        }
+        let mut dirty: Vec<&Tuple> = self.dirty.iter().collect();
+        dirty.sort();
+        wire::put_varint(out, dirty.len() as u64);
+        for t in dirty {
+            wire::put_tuple(out, t);
+        }
+        let mut ledger: Vec<(&Tuple, &FxHashSet<Var>)> = self.shipped.iter().collect();
+        ledger.sort_by(|a, b| a.0.cmp(b.0));
+        wire::put_varint(out, ledger.len() as u64);
+        for (t, vars) in ledger {
+            wire::put_tuple(out, t);
+            let mut vs: Vec<Var> = vars.iter().copied().collect();
+            vs.sort_unstable();
+            wire::put_varint(out, vs.len() as u64);
+            for v in vs {
+                wire::put_varint(out, u64::from(v));
+            }
+        }
+        match self.rel_seen {
+            None => out.push(0),
+            Some(r) => {
+                out.push(1);
+                wire::put_varint(out, u64::from(r.0));
+            }
+        }
+        out.push(u8::from(self.timer_armed));
+    }
+
+    /// Install a checkpointed blob into this freshly-built operator.
+    pub(crate) fn restore(
+        &mut self,
+        buf: &mut &[u8],
+        mgr: &netrec_bdd::BddManager,
+    ) -> Result<(), WireError> {
+        let mode = self.sent.mode();
+        self.sent = crate::checkpoint::get_table(buf, mode, false, mgr)?;
+        self.pins = crate::checkpoint::get_table(buf, mode, false, mgr)?;
+        let n = wire::get_varint(buf)? as usize;
+        if n > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n {
+            let t = wire::get_tuple(buf)?;
+            let pv = crate::checkpoint::get_prov(buf, mgr)?;
+            let nc = wire::get_varint(buf)? as usize;
+            if nc > buf.len() {
+                return Err(WireError::Truncated);
+            }
+            let mut cause = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                cause.push(wire::get_varint(buf)? as Var);
+            }
+            if self.pdel.insert(t, (pv, cause)).is_some() {
+                return Err(WireError::Corrupt("duplicate Pdel tuple in checkpoint"));
+            }
+        }
+        let n = wire::get_varint(buf)? as usize;
+        if n > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n {
+            self.dirty.insert(wire::get_tuple(buf)?);
+        }
+        let n = wire::get_varint(buf)? as usize;
+        if n > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n {
+            let t = wire::get_tuple(buf)?;
+            let nv = wire::get_varint(buf)? as usize;
+            if nv > buf.len() {
+                return Err(WireError::Truncated);
+            }
+            let mut vars = FxHashSet::default();
+            for _ in 0..nv {
+                vars.insert(wire::get_varint(buf)? as Var);
+            }
+            if self.shipped.insert(t, vars).is_some() {
+                return Err(WireError::Corrupt("duplicate ledger tuple in checkpoint"));
+            }
+        }
+        if buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf[0];
+        *buf = &buf[1..];
+        self.rel_seen = match tag {
+            0 => None,
+            1 => {
+                let raw = wire::get_varint(buf)?;
+                if raw > u64::from(u16::MAX) {
+                    return Err(WireError::Corrupt("relation id out of range"));
+                }
+                Some(netrec_types::RelId(raw as u16))
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        if buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        self.timer_armed = match buf[0] {
+            0 => false,
+            1 => true,
+            t => return Err(WireError::BadTag(t)),
+        };
+        *buf = &buf[1..];
+        Ok(())
     }
 
     /// Buffered insertion count (tests).

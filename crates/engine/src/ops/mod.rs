@@ -501,6 +501,30 @@ impl ProvTable {
         }
     }
 
+    /// Counting-mode multiplicity of `t` (0 when absent). Checkpointing
+    /// must carry the counts map alongside the annotation map — both are
+    /// keyed per tuple but the annotation only mirrors the *last* merge.
+    pub(crate) fn count_of(&self, t: &Tuple) -> i64 {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// Install one checkpointed entry, rebuilding every derived structure
+    /// (byte counter, var index, counting multiplicity) so the table is
+    /// indistinguishable from one that reached this state incrementally.
+    /// Restore-only: panics on a duplicate tuple, which would mean a
+    /// corrupt checkpoint slipped past decoding.
+    pub(crate) fn restore_entry(&mut self, t: Tuple, p: Prov, count: i64) {
+        assert!(
+            !self.map.contains_key(&t),
+            "checkpoint restored a duplicate table entry"
+        );
+        if self.mode == ProvMode::Counting && count != 0 {
+            self.counts.insert(t.clone(), count);
+        }
+        self.index_insert(&t, &p);
+        self.store(t, p);
+    }
+
     /// Approximate resident bytes: tuples + annotations + per-entry
     /// bookkeeping (hash slots, pointers). O(1): the total is maintained on
     /// every mutation instead of scanned per metrics sample.
@@ -511,6 +535,11 @@ impl ProvTable {
     /// The mode this table runs in.
     pub fn mode(&self) -> ProvMode {
         self.mode
+    }
+
+    /// Whether the var → tuples index is maintained.
+    pub(crate) fn indexed(&self) -> bool {
+        self.var_index.is_some()
     }
 }
 

@@ -245,6 +245,47 @@ impl StoreOp {
         }
     }
 
+    /// Serialise the materialised partition and any embedded aggregate
+    /// selection. The serving bookkeeping (`record_deltas`, `delta_log`) is
+    /// deliberately excluded: checkpoints are taken at a published boundary
+    /// where the log has just been drained, and the runner re-enables
+    /// recording after restore when a serving handle is attached.
+    pub(crate) fn checkpoint(&self, out: &mut Vec<u8>) {
+        crate::checkpoint::put_table(out, &self.table);
+        match &self.aggsel {
+            None => out.push(0),
+            Some(sel) => {
+                out.push(1);
+                sel.checkpoint(out);
+            }
+        }
+    }
+
+    /// Install a checkpointed blob into this freshly-built operator.
+    pub(crate) fn restore(
+        &mut self,
+        buf: &mut &[u8],
+        mgr: &netrec_bdd::BddManager,
+    ) -> Result<(), netrec_types::wire::WireError> {
+        use netrec_types::wire::WireError;
+        self.table =
+            crate::checkpoint::get_table(buf, self.table.mode(), self.table.indexed(), mgr)?;
+        if buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf[0];
+        *buf = &buf[1..];
+        match (tag, &mut self.aggsel) {
+            (0, None) => {}
+            (1, Some(sel)) => sel.restore(buf, mgr)?,
+            (0, Some(_)) | (1, None) => {
+                return Err(WireError::Corrupt("aggsel presence mismatch in checkpoint"))
+            }
+            (t, _) => return Err(WireError::BadTag(t)),
+        }
+        Ok(())
+    }
+
     /// Resident state bytes.
     pub fn state_bytes(&self) -> usize {
         self.table.state_bytes() + self.aggsel.as_ref().map_or(0, |s| s.state_bytes())

@@ -140,6 +140,99 @@ impl EnginePeer {
         &self.ops
     }
 
+    /// Serialise this peer's entire engine state into a self-contained blob:
+    /// the variable-allocator high-water mark, the dead-variable set, and one
+    /// length-prefixed section per operator in plan order. Taken at a
+    /// converged boundary the blob is a consistent snapshot — quiescence
+    /// guarantees no in-flight messages or armed timers cut across it. Uses
+    /// [`netrec_types::wire`] framing throughout, so the bytes are TCP-ready.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use netrec_types::wire;
+        let mut out = Vec::new();
+        wire::put_varint(&mut out, u64::from(self.alloc.allocated()));
+        let mut dead: Vec<Var> = self.dead_vars.iter().copied().collect();
+        dead.sort_unstable();
+        wire::put_varint(&mut out, dead.len() as u64);
+        for v in dead {
+            wire::put_varint(&mut out, u64::from(v));
+        }
+        wire::put_varint(&mut out, self.ops.len() as u64);
+        for op in &self.ops {
+            let mut blob = Vec::new();
+            match op {
+                OpState::Ingress(o) => o.checkpoint(&mut blob),
+                OpState::Join(o) => o.checkpoint(&mut blob),
+                OpState::MinShip(o) => o.checkpoint(&mut blob),
+                OpState::Store(o) => o.checkpoint(&mut blob),
+                OpState::AggSel(o) => o.checkpoint(&mut blob),
+                OpState::Aggregate(o) => o.checkpoint(&mut blob),
+                OpState::Map(_) | OpState::Exchange(_) => {} // stateless
+            }
+            wire::put_varint(&mut out, blob.len() as u64);
+            out.extend_from_slice(&blob);
+        }
+        out
+    }
+
+    /// Rebuild a peer from a checkpoint blob. Constructs a *fresh* peer from
+    /// the plan (exactly like [`EnginePeer::new`]) and installs the
+    /// checkpointed state into it; any decoding failure returns an error and
+    /// drops the partially-built peer, so a corrupted or truncated blob can
+    /// never half-apply into live state.
+    pub fn restore(
+        me: PeerId,
+        peers: u32,
+        plan: Arc<Plan>,
+        strategy: Strategy,
+        partitioner: Partitioner,
+        bytes: &[u8],
+    ) -> Result<EnginePeer, netrec_types::wire::WireError> {
+        use netrec_types::wire::{self, WireError};
+        let mut peer = EnginePeer::new(me, peers, plan, strategy, partitioner);
+        let buf = &mut &bytes[..];
+        let allocated = wire::get_varint(buf)?;
+        if allocated > u64::from(netrec_prov::VarAllocator::CAPACITY) {
+            return Err(WireError::Corrupt("allocator high-water mark out of range"));
+        }
+        peer.alloc = VarAllocator::with_allocated(me.0, allocated as u32);
+        let n = wire::get_varint(buf)? as usize;
+        if n > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n {
+            peer.dead_vars.insert(wire::get_varint(buf)? as Var);
+        }
+        let nops = wire::get_varint(buf)? as usize;
+        if nops != peer.ops.len() {
+            return Err(WireError::Corrupt("operator count does not match plan"));
+        }
+        let EnginePeer { ops, mgr, .. } = &mut peer;
+        for op in ops.iter_mut() {
+            let len = wire::get_varint(buf)? as usize;
+            if len > buf.len() {
+                return Err(WireError::Truncated);
+            }
+            let mut blob = &buf[..len];
+            match op {
+                OpState::Ingress(o) => o.restore(&mut blob)?,
+                OpState::Join(o) => o.restore(&mut blob, mgr)?,
+                OpState::MinShip(o) => o.restore(&mut blob, mgr)?,
+                OpState::Store(o) => o.restore(&mut blob, mgr)?,
+                OpState::AggSel(o) => o.restore(&mut blob, mgr)?,
+                OpState::Aggregate(o) => o.restore(&mut blob, mgr)?,
+                OpState::Map(_) | OpState::Exchange(_) => {}
+            }
+            if !blob.is_empty() {
+                return Err(WireError::Corrupt("trailing bytes in operator section"));
+            }
+            *buf = &buf[len..];
+        }
+        if !buf.is_empty() {
+            return Err(WireError::Corrupt("trailing bytes in peer checkpoint"));
+        }
+        Ok(peer)
+    }
+
     /// Turn on serving-delta recording in every **view** store on this peer.
     /// Called by the runner (at a quiescent boundary) when a serving handle
     /// is attached; un-served runs never record.

@@ -8,14 +8,15 @@
 //! choice at configuration time; code that wants a statically-known
 //! substrate can name `Runner<Simulator<Msg, EnginePeer>>` directly.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use netrec_serve::views::{self, ServeSpec, ViewOp, ViewReader, ViewWriter};
 use netrec_sim::{
-    AsyncRuntime, ClusterSpec, CostModel, NetMetrics, Partitioner, PeerId, RunBudget, RunOutcome,
-    Runtime, RuntimeKind, ShardedRuntime, Simulator, ThreadedRuntime,
+    AsyncRuntime, ClusterSpec, CostModel, NetMetrics, Partitioner, PeerId, Port, RunBudget,
+    RunOutcome, Runtime, RuntimeKind, ShardedRuntime, Simulator, ThreadedRuntime,
 };
+use netrec_types::wire::WireError;
 use netrec_types::{Duration, RelId, SimTime, Tuple, UpdateKind};
 
 use crate::ops::OpState;
@@ -127,6 +128,9 @@ impl RunReport {
             (RunOutcome::Converged { .. }, RunOutcome::Converged { at }) => {
                 RunOutcome::Converged { at }
             }
+            (RunOutcome::Crashed { at }, _) | (_, RunOutcome::Crashed { at }) => {
+                RunOutcome::Crashed { at }
+            }
             (RunOutcome::BudgetExceeded { at, pending }, _)
             | (_, RunOutcome::BudgetExceeded { at, pending }) => {
                 RunOutcome::BudgetExceeded { at, pending }
@@ -225,6 +229,87 @@ impl Runtime<Msg, EnginePeer> for EngineRuntime {
     }
 }
 
+/// One epoch's consistent global snapshot, taken at a converged boundary —
+/// the quiescent seam where no message is in flight and no timer is armed,
+/// so the union of independently-serialized per-peer blobs is a consistent
+/// cut by construction (see `crate::checkpoint`).
+#[derive(Clone)]
+pub struct EpochCheckpoint {
+    /// Per-peer state blobs ([`EnginePeer::checkpoint`]), indexed by peer id.
+    /// Wire-framed: these bytes could stream to a remote stable store as-is.
+    pub peer_blobs: Vec<Vec<u8>>,
+    /// Cumulative logical traffic metrics at the barrier. Recovery seeds its
+    /// metric baseline from this, so a recovered session's totals count the
+    /// checkpointed history plus replayed work — the crashed attempt's lost
+    /// partial work is excluded, which is what makes recovered metrics
+    /// comparable to a fault-free oracle.
+    pub metrics: NetMetrics,
+    /// Cumulative events processed at the barrier.
+    pub events: u64,
+    /// Replay-ledger length at the barrier: ledger entries past this index
+    /// are the delta a recovery re-injects.
+    pub ledger_len: usize,
+}
+
+impl EpochCheckpoint {
+    /// Total serialized bytes across all peer blobs.
+    pub fn bytes(&self) -> usize {
+        self.peer_blobs.iter().map(Vec::len).sum()
+    }
+}
+
+/// In-memory checkpoint store keyed by epoch (the count of converged
+/// boundaries since checkpointing was enabled; epoch 0 is the enable-time
+/// baseline).
+#[derive(Default)]
+pub struct CheckpointStore {
+    by_epoch: BTreeMap<u64, EpochCheckpoint>,
+}
+
+impl CheckpointStore {
+    /// The most recent completed checkpoint, with its epoch.
+    pub fn latest(&self) -> Option<(u64, &EpochCheckpoint)> {
+        self.by_epoch.iter().next_back().map(|(e, c)| (*e, c))
+    }
+
+    /// Checkpoint for a specific epoch.
+    pub fn get(&self, epoch: u64) -> Option<&EpochCheckpoint> {
+        self.by_epoch.get(&epoch)
+    }
+
+    /// Epochs with a completed checkpoint, ascending.
+    pub fn epochs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.by_epoch.keys().copied()
+    }
+
+    /// Number of completed checkpoints.
+    pub fn len(&self) -> usize {
+        self.by_epoch.len()
+    }
+
+    /// Whether no checkpoint has completed.
+    pub fn is_empty(&self) -> bool {
+        self.by_epoch.is_empty()
+    }
+}
+
+/// Checkpointing state attached by [`Runner::enable_checkpointing`].
+struct Checkpointing {
+    /// Take a checkpoint every this many converged boundaries (forced to 1
+    /// while a serving handle is attached, so the readers' published epoch
+    /// always equals the latest checkpoint barrier).
+    interval: u64,
+    /// Converged boundaries seen since enable — the epoch counter.
+    boundaries: u64,
+    /// Boundaries since the last completed checkpoint.
+    since_last: u64,
+    store: CheckpointStore,
+}
+
+/// A replayable external input: the resolved `(peer, port, message)` triple
+/// [`Runner::inject`] pushed into the substrate.
+type LedgerEntry = (PeerId, Port, Msg);
+
 /// The workload driver: owns the substrate and the plan.
 pub struct Runner<R: Runtime<Msg, EnginePeer> = EngineRuntime> {
     plan: Arc<Plan>,
@@ -241,6 +326,17 @@ pub struct Runner<R: Runtime<Msg, EnginePeer> = EngineRuntime> {
     /// `run_phase` drains per-peer membership deltas at every converged
     /// boundary and publishes them as one epoch.
     serve: Option<ViewWriter>,
+    /// Epoch-barrier checkpointing, when enabled.
+    ckpt: Option<Checkpointing>,
+    /// Replay ledger: every external input since checkpointing was enabled,
+    /// in injection order. Recovery re-injects the suffix past the restored
+    /// checkpoint's `ledger_len`. Grows for the session's lifetime — the
+    /// in-memory stand-in for a durable input log.
+    ledger: Vec<LedgerEntry>,
+    /// Metrics/events carried over from before the last recovery: a rebuilt
+    /// substrate counts from zero, so cumulative accessors fold these in.
+    base_metrics: NetMetrics,
+    base_events: u64,
 }
 
 impl Runner<EngineRuntime> {
@@ -248,20 +344,7 @@ impl Runner<EngineRuntime> {
     pub fn new(plan: Plan, cfg: RunnerConfig) -> Runner<EngineRuntime> {
         let plan = Arc::new(plan);
         let nodes = build_peers(&plan, &cfg);
-        let rt = match &cfg.runtime {
-            RuntimeKind::Des(dc) => EngineRuntime::Des(
-                Simulator::new(nodes, cfg.cluster.clone(), cfg.cost)
-                    .with_coalescing(dc.coalesce)
-                    .with_fault_plan(dc.fault),
-            ),
-            RuntimeKind::Threaded(tc) => {
-                EngineRuntime::Threaded(ThreadedRuntime::new(nodes, tc.clone()))
-            }
-            RuntimeKind::Async(ac) => EngineRuntime::Async(AsyncRuntime::new(nodes, ac.clone())),
-            RuntimeKind::Sharded(sc) => {
-                EngineRuntime::Sharded(ShardedRuntime::new(nodes, sc.clone()))
-            }
-        };
+        let rt = build_runtime(nodes, &cfg);
         Runner::from_parts(plan, cfg, rt)
     }
 
@@ -269,6 +352,96 @@ impl Runner<EngineRuntime> {
     /// [`netrec_sim::FaultPlan`] actually fired).
     pub fn fault_stats(&self) -> netrec_sim::FaultStats {
         self.rt.fault_stats()
+    }
+
+    /// Recover from the latest completed epoch checkpoint after a seeded
+    /// crash ([`RunOutcome::Crashed`]): validate and decode every peer blob
+    /// into fresh peers, tear down the dead substrate and build a new one of
+    /// the same kind with the crash dial stripped
+    /// ([`RuntimeKind::without_crash`] — transport faults stay installed),
+    /// seed the cumulative metric/event baselines from the checkpoint, and
+    /// re-inject the replay-ledger delta recorded since that barrier. The
+    /// caller then drives [`Runner::run_phase`] as usual; converging that
+    /// phase completes recovery.
+    ///
+    /// Decoding is all-or-nothing: on any [`WireError`] the crashed
+    /// substrate is left untouched (nothing is half-applied) so the caller
+    /// can fall back to an older epoch or abandon the session.
+    ///
+    /// When a serving handle is attached, readers keep serving the last
+    /// *converged* epoch throughout — the crash window and the recovery
+    /// replay are invisible to them until the next boundary publishes.
+    /// (Serving forces the checkpoint interval to 1, so the published epoch
+    /// always equals the checkpoint barrier being restored.)
+    ///
+    /// # Panics
+    /// If checkpointing was never enabled or no checkpoint has completed.
+    pub fn recover(&mut self) -> Result<(), WireError> {
+        let ck = {
+            let c = self
+                .ckpt
+                .as_ref()
+                .expect("recover() requires enable_checkpointing()");
+            let (_, ck) = c
+                .store
+                .latest()
+                .expect("no completed checkpoint to recover from");
+            ck.clone()
+        };
+        let peers = self.cfg.partitioner.peers();
+        if ck.peer_blobs.len() != peers as usize {
+            return Err(WireError::Corrupt("checkpoint peer count mismatch"));
+        }
+        let mut nodes = Vec::with_capacity(peers as usize);
+        for p in 0..peers {
+            nodes.push(EnginePeer::restore(
+                PeerId(p),
+                peers,
+                Arc::clone(&self.plan),
+                self.cfg.strategy,
+                self.cfg.partitioner,
+                &ck.peer_blobs[p as usize],
+            )?);
+        }
+        // Every blob validated — only now replace the dead substrate.
+        self.cfg.runtime = self.cfg.runtime.clone().without_crash();
+        self.rt = build_runtime(nodes, &self.cfg);
+        self.base_metrics = ck.metrics.clone();
+        self.base_events = ck.events;
+        // Phase baselines restart with the fresh substrate (its counters
+        // are zero); per-phase deltas stay within-substrate consistent.
+        self.phase_metrics = self.rt.metrics_snapshot();
+        self.phase_events = self.rt.events_processed();
+        // Restored peers are freshly built: re-arm delta recording so the
+        // serving writer keeps receiving membership deltas. The writer's
+        // published epoch already equals the restored barrier.
+        if self.serve.is_some() {
+            self.rt
+                .for_each_peer_mut(|_, peer| peer.enable_view_deltas());
+        }
+        // Re-inject the delta since the barrier, in original order.
+        for i in ck.ledger_len..self.ledger.len() {
+            let (peer, port, msg) = self.ledger[i].clone();
+            self.rt.inject(peer, port, msg);
+        }
+        Ok(())
+    }
+}
+
+/// Instantiate the substrate selected by `cfg.runtime` over `nodes` (shared
+/// by [`Runner::new`] and [`Runner::recover`]).
+fn build_runtime(nodes: Vec<EnginePeer>, cfg: &RunnerConfig) -> EngineRuntime {
+    match &cfg.runtime {
+        RuntimeKind::Des(dc) => EngineRuntime::Des(
+            Simulator::new(nodes, cfg.cluster.clone(), cfg.cost)
+                .with_coalescing(dc.coalesce)
+                .with_fault_plan(dc.fault),
+        ),
+        RuntimeKind::Threaded(tc) => {
+            EngineRuntime::Threaded(ThreadedRuntime::new(nodes, tc.clone()))
+        }
+        RuntimeKind::Async(ac) => EngineRuntime::Async(AsyncRuntime::new(nodes, ac.clone())),
+        RuntimeKind::Sharded(sc) => EngineRuntime::Sharded(ShardedRuntime::new(nodes, sc.clone())),
     }
 }
 
@@ -312,7 +485,90 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
             phase_metrics,
             phase_events,
             serve: None,
+            ckpt: None,
+            ledger: Vec::new(),
+            base_metrics: NetMetrics::default(),
+            base_events: 0,
         }
+    }
+
+    /// Enable epoch-barrier checkpointing: from now on, every
+    /// `interval`-th converged [`Runner::run_phase`] boundary serializes a
+    /// consistent global checkpoint — every peer's operator state, wire
+    /// framed — into the in-memory [`CheckpointStore`], and every
+    /// [`Runner::inject`] is recorded in a replay ledger so
+    /// `Runner::recover` can re-inject the delta since the restored
+    /// barrier. An epoch-0 baseline is taken immediately, so call this at a
+    /// quiescent boundary (typically right after building the runner, like
+    /// [`Runner::serve`]).
+    ///
+    /// While a serving handle is attached the interval is forced to 1: the
+    /// readers' published epoch must always equal the latest checkpoint
+    /// barrier, or recovery would rewind state behind a newer published
+    /// view.
+    ///
+    /// # Panics
+    /// If checkpointing is already enabled or `interval` is 0.
+    pub fn enable_checkpointing(&mut self, interval: u64) {
+        assert!(self.ckpt.is_none(), "checkpointing already enabled");
+        assert!(interval > 0, "checkpoint interval must be >= 1");
+        self.ckpt = Some(Checkpointing {
+            interval,
+            boundaries: 0,
+            since_last: 0,
+            store: CheckpointStore::default(),
+        });
+        self.take_checkpoint(0);
+    }
+
+    /// Whether checkpointing is enabled.
+    pub fn checkpointing(&self) -> bool {
+        self.ckpt.is_some()
+    }
+
+    /// The checkpoint store, when checkpointing is enabled.
+    pub fn checkpoints(&self) -> Option<&CheckpointStore> {
+        self.ckpt.as_ref().map(|c| &c.store)
+    }
+
+    /// Serialize every peer at the current (quiescent) boundary into one
+    /// [`EpochCheckpoint`] keyed by `epoch`.
+    fn take_checkpoint(&mut self, epoch: u64) {
+        let peers = self.rt.peer_count();
+        let mut peer_blobs = Vec::with_capacity(peers as usize);
+        for p in 0..peers {
+            peer_blobs.push(self.rt.with_peer(PeerId(p), |peer| peer.checkpoint()));
+        }
+        let metrics = self.metrics();
+        let events = self.base_events + self.rt.events_processed();
+        let ledger_len = self.ledger.len();
+        let ck = self.ckpt.as_mut().expect("checkpointing enabled");
+        ck.store.by_epoch.insert(
+            epoch,
+            EpochCheckpoint {
+                peer_blobs,
+                metrics,
+                events,
+                ledger_len,
+            },
+        );
+    }
+
+    /// Account one converged boundary; checkpoint when the interval is due.
+    fn checkpoint_boundary(&mut self) {
+        let serving = self.serve.is_some();
+        let Some(ck) = self.ckpt.as_mut() else {
+            return;
+        };
+        ck.boundaries += 1;
+        ck.since_last += 1;
+        let interval = if serving { 1 } else { ck.interval };
+        if ck.since_last < interval {
+            return;
+        }
+        ck.since_last = 0;
+        let epoch = ck.boundaries;
+        self.take_checkpoint(epoch);
     }
 
     /// The plan under execution.
@@ -356,8 +612,12 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
             Some(addr) => self.cfg.partitioner.place(addr),
             None => PeerId(0),
         };
-        self.rt
-            .inject(peer, Plan::port(ingress, 0), Msg::Base { kind, tuple, ttl });
+        let port = Plan::port(ingress, 0);
+        let msg = Msg::Base { kind, tuple, ttl };
+        if self.ckpt.is_some() {
+            self.ledger.push((peer, port, msg.clone()));
+        }
+        self.rt.inject(peer, port, msg);
     }
 
     /// Trigger DRed phase 2: every ingress on every peer re-emits its live
@@ -366,8 +626,11 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         let ingresses: Vec<_> = self.plan.ingress_of.values().copied().collect();
         for p in 0..self.rt.peer_count() {
             for ing in &ingresses {
-                self.rt
-                    .inject(PeerId(p), Plan::port(*ing, 0), Msg::Rederive);
+                let port = Plan::port(*ing, 0);
+                if self.ckpt.is_some() {
+                    self.ledger.push((PeerId(p), port, Msg::Rederive));
+                }
+                self.rt.inject(PeerId(p), port, Msg::Rederive);
             }
         }
     }
@@ -471,6 +734,7 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         // publishes nothing — readers keep the last converged epoch.
         if matches!(outcome, RunOutcome::Converged { .. }) {
             self.publish_boundary();
+            self.checkpoint_boundary();
         }
         let m1 = self.rt.metrics_snapshot();
         let bytes = m1.total_bytes() - m0.total_bytes();
@@ -480,8 +744,9 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         let tuples = m1.total_tuples() - m0.total_tuples();
         let prov_bytes = m1.total_prov_bytes() - m0.total_prov_bytes();
         let end_time = match outcome {
-            RunOutcome::Converged { at } => at,
-            RunOutcome::BudgetExceeded { at, .. } => at,
+            RunOutcome::Converged { at }
+            | RunOutcome::BudgetExceeded { at, .. }
+            | RunOutcome::Crashed { at } => at,
         };
         let events_now = self.rt.events_processed();
         // Next phase's baseline: this quiescent boundary.
@@ -587,9 +852,22 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         total
     }
 
-    /// Traffic metrics (cumulative over all phases).
+    /// Traffic metrics, cumulative over all phases *and across recoveries*:
+    /// a rebuilt substrate counts from zero, so the checkpointed history is
+    /// folded back in. A recovered session therefore reports checkpointed
+    /// traffic plus replayed work — the crashed attempt's lost partial work
+    /// is excluded, matching what a fault-free execution of the same inputs
+    /// ships.
     pub fn metrics(&self) -> NetMetrics {
-        self.rt.metrics_snapshot()
+        let mut m = self.base_metrics.clone();
+        m.merge(&self.rt.metrics_snapshot());
+        m
+    }
+
+    /// Events processed, cumulative across recoveries (same folding as
+    /// [`Runner::metrics`]).
+    pub fn events_processed(&self) -> u64 {
+        self.base_events + self.rt.events_processed()
     }
 
     /// Inspect one peer's operator state (tests / provenance explorer).

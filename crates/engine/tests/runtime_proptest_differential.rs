@@ -43,7 +43,7 @@ use netrec_sim::{
     AsyncConfig, DesConfig, FaultPlan, RuntimeKind, ShardKind, ShardedConfig, ThreadedConfig,
 };
 use netrec_testutil::churn::ChurnCase;
-use netrec_testutil::{assert_substrates_agree, run_workload_on};
+use netrec_testutil::{assert_substrates_agree, run_workload_on, run_workload_recovering};
 use proptest::prelude::*;
 
 fn cases_from_env() -> u32 {
@@ -212,6 +212,40 @@ proptest! {
             // fixpoint (the faulted DES replays its plan exactly; the
             // concurrent substrates draw seeded per-worker schedules).
             assert_substrates_agree(&w, &faulted_substrates(&FaultPlan::from_seed(fault_seed)));
+            // Crash-recovery dimension: a seeded crash point inside the DES
+            // session, recovered from interval-1 epoch checkpoints, must
+            // replay to the exact clean observations — views AND the full
+            // per-peer traffic matrix at every phase boundary (the DES is
+            // deterministic, so recovery is byte-identical, not merely
+            // fixpoint-equal). Deeper crash sweeps live in
+            // `crash_recovery.rs`.
+            // Dials span 1..=total-1: the crash check fires on an event pop
+            // with the counter at the dial, so a dial of `total` lands after
+            // the final pop and the session converges instead of crashing.
+            let total_events = obs.last().expect("phases").events.max(2);
+            let crash_at = 1 + fault_seed % (total_events - 1);
+            let (rec, crashes) = run_workload_recovering(
+                &w,
+                &RuntimeKind::des().with_fault(FaultPlan::crash_at(crash_at)),
+                1,
+            );
+            prop_assert_eq!(
+                crashes, 1,
+                "crash at event {} of {} must fire exactly once ({})",
+                crash_at, total_events, strategy.label()
+            );
+            for (want, have) in obs.iter().zip(&rec) {
+                prop_assert_eq!(
+                    &want.views, &have.views,
+                    "recovered views diverge after {} ({})",
+                    &want.label, strategy.label()
+                );
+                prop_assert_eq!(
+                    &want.metrics, &have.metrics,
+                    "recovered metrics diverge after {} ({})",
+                    &want.label, strategy.label()
+                );
+            }
             // The coalescing on/off differential on the deterministic DES:
             // same script, coalescing disabled. The fixpoint must be
             // mode-independent, and the transport invariants must hold

@@ -23,6 +23,11 @@ pub struct VarAllocator {
 }
 
 impl VarAllocator {
+    /// Maximum variables one peer can ever allocate (the counter-field
+    /// capacity). Checkpoint restore validates against this bound before
+    /// rebuilding an allocator.
+    pub const CAPACITY: u32 = COUNTER_MASK;
+
     /// Allocator for physical peer `peer`.
     pub fn new(peer: u32) -> VarAllocator {
         assert!(peer < (1 << (32 - PEER_SHIFT)), "peer id out of range");
@@ -39,6 +44,21 @@ impl VarAllocator {
             self.peer
         );
         v
+    }
+
+    /// Rebuild an allocator from checkpointed state: the next allocation
+    /// after restore continues exactly where the crashed peer left off, so
+    /// recovered variables never collide with pre-crash ones.
+    pub fn with_allocated(peer: u32, allocated: u32) -> VarAllocator {
+        assert!(peer < (1 << (32 - PEER_SHIFT)), "peer id out of range");
+        assert!(
+            allocated <= COUNTER_MASK,
+            "checkpointed allocation count out of range for peer {peer}"
+        );
+        VarAllocator {
+            peer,
+            next: allocated,
+        }
     }
 
     /// Which peer allocated a given variable.
@@ -88,6 +108,14 @@ impl VarTable {
     /// "deletions before insertions are not allowed" assumption).
     pub fn remove(&mut self, rel: RelId, tuple: &Tuple) -> Option<Var> {
         self.live.remove(&(rel, tuple.clone()))
+    }
+
+    /// Re-install a checkpointed entry with its original variable, bypassing
+    /// the allocator. Restore-only: panics if the tuple is already live,
+    /// which would mean a checkpoint carried the same base tuple twice.
+    pub fn restore(&mut self, rel: RelId, tuple: Tuple, var: Var) {
+        let prev = self.live.insert((rel, tuple), var);
+        assert!(prev.is_none(), "checkpoint restored a duplicate base tuple");
     }
 
     /// Current variable of a live base tuple.
@@ -171,5 +199,39 @@ mod tests {
     #[should_panic(expected = "peer id out of range")]
     fn oversized_peer_rejected() {
         let _ = VarAllocator::new(1 << 10);
+    }
+
+    #[test]
+    fn restored_allocator_continues_without_collision() {
+        let mut fresh = VarAllocator::new(3);
+        let before: Vec<Var> = (0..5).map(|_| fresh.alloc()).collect();
+        let mut restored = VarAllocator::with_allocated(3, fresh.allocated());
+        let after = restored.alloc();
+        assert!(!before.contains(&after));
+        assert_eq!(VarAllocator::owner_of(after), 3);
+        assert_eq!(after, before[4] + 1);
+    }
+
+    #[test]
+    fn restored_table_matches_original() {
+        let mut alloc = VarAllocator::new(0);
+        let mut table = VarTable::new();
+        table.insert(RelId(0), t(1), &mut alloc);
+        table.insert(RelId(1), t(2), &mut alloc);
+        let mut restored = VarTable::new();
+        for (r, tuple, v) in table.iter() {
+            restored.restore(r, tuple.clone(), v);
+        }
+        assert_eq!(restored.len(), table.len());
+        assert_eq!(restored.get(RelId(0), &t(1)), table.get(RelId(0), &t(1)));
+        assert_eq!(restored.get(RelId(1), &t(2)), table.get(RelId(1), &t(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate base tuple")]
+    fn restore_rejects_duplicates() {
+        let mut table = VarTable::new();
+        table.restore(RelId(0), t(1), 5);
+        table.restore(RelId(0), t(1), 6);
     }
 }

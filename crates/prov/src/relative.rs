@@ -226,6 +226,116 @@ impl RelProv {
         n
     }
 
+    /// Serialise the graph in the exact layout [`RelProv::encoded_len`]
+    /// accounts for, plus a trailing root-index varint (the root is implied
+    /// on the wire — the receiver knows which tuple the annotation rides
+    /// with — but a checkpoint restores the graph standalone). Appends
+    /// `encoded_len() + varint_len(root)` bytes to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, self.nodes.len() as u64);
+        for node in &self.nodes {
+            match &node.key {
+                NodeKey::Base(v) => {
+                    out.push(0);
+                    wire::put_varint(out, u64::from(*v));
+                }
+                NodeKey::Derived(rel, tuple) => {
+                    out.push(1);
+                    wire::put_varint(out, u64::from(rel.0));
+                    wire::put_tuple(out, tuple);
+                }
+            }
+            wire::put_varint(out, node.derivs.len() as u64);
+            for (rule, ants) in &node.derivs {
+                wire::put_varint(out, u64::from(*rule));
+                wire::put_varint(out, ants.len() as u64);
+                for a in ants {
+                    wire::put_varint(out, u64::from(*a));
+                }
+            }
+        }
+        wire::put_varint(out, u64::from(self.root));
+    }
+
+    /// Decode a graph serialised by [`RelProv::encode`], consuming exactly
+    /// its bytes from `buf`. Every structural invariant is checked *before*
+    /// the graph is returned — bad tags, out-of-range node indices, and
+    /// duplicate node keys all fail loudly — so a corrupted checkpoint can
+    /// never half-apply.
+    pub fn decode(buf: &mut &[u8]) -> Result<RelProv, wire::WireError> {
+        let count = wire::get_varint(buf)? as usize;
+        if count == 0 {
+            return Err(wire::WireError::Corrupt("relative graph with no nodes"));
+        }
+        if count > buf.len() {
+            // Each node costs ≥ 1 byte; bound before allocating.
+            return Err(wire::WireError::Truncated);
+        }
+        let mut out = RelProv {
+            nodes: Vec::with_capacity(count),
+            index: FxHashMap::default(),
+            root: 0,
+        };
+        let mut pending: Vec<(u32, u32, Vec<u32>)> = Vec::new();
+        for i in 0..count {
+            if buf.is_empty() {
+                return Err(wire::WireError::Truncated);
+            }
+            let tag = buf[0];
+            *buf = &buf[1..];
+            let key = match tag {
+                0 => NodeKey::Base(wire::get_varint(buf)? as Var),
+                1 => {
+                    let raw = wire::get_varint(buf)?;
+                    if raw > u64::from(u16::MAX) {
+                        return Err(wire::WireError::Corrupt("relation id out of range"));
+                    }
+                    let rel = RelId(raw as u16);
+                    NodeKey::Derived(rel, wire::get_tuple(buf)?)
+                }
+                t => return Err(wire::WireError::BadTag(t)),
+            };
+            let ni = out.intern(key);
+            if ni as usize != i {
+                return Err(wire::WireError::Corrupt("duplicate relative graph node"));
+            }
+            let nderivs = wire::get_varint(buf)? as usize;
+            if nderivs > buf.len() {
+                return Err(wire::WireError::Truncated);
+            }
+            for _ in 0..nderivs {
+                let rule = wire::get_varint(buf)? as u32;
+                let nants = wire::get_varint(buf)? as usize;
+                if nants > buf.len() {
+                    return Err(wire::WireError::Truncated);
+                }
+                let mut ants = Vec::with_capacity(nants);
+                for _ in 0..nants {
+                    let a = wire::get_varint(buf)?;
+                    // Cycles make forward references legal, so validation
+                    // is against the *declared* count, deferred until every
+                    // node is interned.
+                    if a >= count as u64 {
+                        return Err(wire::WireError::Corrupt(
+                            "relative graph antecedent out of range",
+                        ));
+                    }
+                    ants.push(a as u32);
+                }
+                pending.push((i as u32, rule, ants));
+            }
+        }
+        for (node, rule, ants) in pending {
+            out.add_deriv(node, rule, ants);
+        }
+        let root = wire::get_varint(buf)?;
+        if root >= count as u64 {
+            return Err(wire::WireError::Corrupt("relative graph root out of range"));
+        }
+        out.root = root as u32;
+        Ok(out)
+    }
+
     // ---- internals ------------------------------------------------------
 
     fn intern(&mut self, key: NodeKey) -> u32 {
@@ -402,5 +512,63 @@ mod tests {
         let a = RelProv::base(1);
         let b = RelProv::base(2);
         let _ = a.merge(&b);
+    }
+
+    fn roundtrip(p: &RelProv) -> RelProv {
+        let mut bytes = Vec::new();
+        p.encode(&mut bytes);
+        assert!(
+            bytes.len() > p.encoded_len(),
+            "encode must cover encoded_len() plus the root varint"
+        );
+        let mut buf = bytes.as_slice();
+        let back = RelProv::decode(&mut buf).expect("decode");
+        assert!(buf.is_empty(), "decode must consume exactly its bytes");
+        back
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_cyclic_graph() {
+        let (rx, tx) = key(1);
+        let (ry, ty) = key(2);
+        let x_base = RelProv::derive(0, rx, tx.clone(), &[&RelProv::base(1)]);
+        let y = RelProv::derive(1, ry, ty, &[&x_base]);
+        let x_cycle = RelProv::derive(2, rx, tx, &[&y]);
+        let p = x_base.merge(&x_cycle);
+        let back = roundtrip(&p);
+        assert_eq!(back.node_count(), p.node_count());
+        assert_eq!(back.support(), p.support());
+        assert_eq!(back.encoded_len(), p.encoded_len());
+        // Semantics survive too: killing the grounding base kills the tuple.
+        assert!(back.kill_vars(&dead(&[1])).is_none());
+        assert!(back.kill_vars(&dead(&[9])).is_some());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_corruption() {
+        let (r, t) = key(10);
+        let p = RelProv::derive(0, r, t, &[&RelProv::base(1), &RelProv::base(2)]);
+        let mut bytes = Vec::new();
+        p.encode(&mut bytes);
+        // Every strict prefix must fail, never yield a graph.
+        for cut in 0..bytes.len() {
+            let mut buf = &bytes[..cut];
+            assert!(RelProv::decode(&mut buf).is_err(), "prefix {cut} decoded");
+        }
+        // A bad node tag fails loudly.
+        let mut bad = bytes.clone();
+        bad[1] = 7;
+        assert!(matches!(
+            RelProv::decode(&mut bad.as_slice()),
+            Err(wire::WireError::BadTag(7))
+        ));
+        // An out-of-range root fails loudly.
+        let mut bad_root = bytes.clone();
+        let last = bad_root.len() - 1;
+        bad_root[last] = 0x7f;
+        assert!(matches!(
+            RelProv::decode(&mut bad_root.as_slice()),
+            Err(wire::WireError::Corrupt(_))
+        ));
     }
 }

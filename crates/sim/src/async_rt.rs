@@ -234,6 +234,38 @@ async fn send_coop<M: Send + 'static, N: PeerNode<M>>(
     }
 }
 
+/// Partition hook: a send crossing the seeded bidirectional cut while the
+/// window is open is held *sender-side* until the partition heals —
+/// cooperative yields, not sleeps, so every other task (and the timer heap)
+/// keeps running through the hold. Per-channel FIFO is preserved (later
+/// sends queue in program order behind the hold) and every hold's deadline
+/// is the same fixed heal instant, so cross-cut cycles cannot deadlock. The
+/// window is simulated microseconds since the session epoch, scaled by
+/// `time_dilation` like every other delay on this substrate.
+async fn partition_hold<M: Send + 'static, N: PeerNode<M>>(ctx: &TaskCtx<M, N>, to: PeerId) {
+    let Some(plan) = &ctx.fault else { return };
+    if !plan.partition_cuts(ctx.me, to) {
+        return;
+    }
+    let open = ctx.epoch
+        + dilate(
+            netrec_types::Duration::from_micros(plan.partition_at_us),
+            ctx.time_dilation,
+        );
+    let heal = ctx.epoch
+        + dilate(
+            netrec_types::Duration::from_micros(plan.partition_heal_us()),
+            ctx.time_dilation,
+        );
+    let now = Instant::now();
+    if now >= open && now < heal {
+        ctx.fault_stats.lock().partition_deferrals += 1;
+        while Instant::now() < heal {
+            yield_now().await;
+        }
+    }
+}
+
 /// One peer's cooperative task: the async analogue of the threaded
 /// runtime's worker loop — pull, run the callback under `catch_unwind`,
 /// register outputs before retiring the processed event.
@@ -323,6 +355,7 @@ async fn peer_task<M: Send + 'static, N: PeerNode<M>>(mut ctx: TaskCtx<M, N>) {
                         frame.record_into(ctx.me, &mut ctx.metrics.lock());
                     }
                     let to = frame.to;
+                    partition_hold(&ctx, to).await;
                     send_coop(
                         &mut ctx,
                         &mut backlog,
@@ -562,6 +595,10 @@ pub struct AsyncRuntime<M, N> {
     /// Wall-clock time spent inside `run` — the session's `max_time` clock,
     /// mirroring the threaded runtime.
     active: WallDuration,
+    /// Set when the plan's `crash_at_event` fired: the session is dead and
+    /// every later `run` reports [`RunOutcome::Crashed`] — a crashed session
+    /// must never claim convergence or plain budget exhaustion.
+    crashed: bool,
     /// Fault bookkeeping folded across peer tasks (shared with them).
     fault_stats: Arc<Mutex<FaultStats>>,
     cfg: AsyncConfig,
@@ -675,6 +712,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> AsyncRuntime<M, N> {
             executor: Some(executor),
             epoch,
             active: WallDuration::ZERO,
+            crashed: false,
             fault_stats,
             cfg,
         }
@@ -798,10 +836,26 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Async
             // never claims convergence: teardown retires armed timers, so a
             // zero counter can be the result of truncation.
             if self.executor.is_none() {
-                break RunOutcome::BudgetExceeded {
-                    at: self.now(),
-                    pending: pending.max(0) as usize,
+                break if self.crashed {
+                    RunOutcome::Crashed { at: self.now() }
+                } else {
+                    RunOutcome::BudgetExceeded {
+                        at: self.now(),
+                        pending: pending.max(0) as usize,
+                    }
                 };
+            }
+            // Crash fault: tear the session down once the event counter
+            // passes the dial. The counter races task progress, so a seed
+            // gives a reproducible crash *distribution*, not an exact event
+            // index — same contract as the timing faults.
+            if let Some(plan) = self.cfg.fault.as_ref().filter(|p| p.crash_at_event > 0) {
+                if self.shared.events.load(Ordering::SeqCst) >= plan.crash_at_event {
+                    let at = self.now();
+                    self.crashed = true;
+                    self.freeze();
+                    break RunOutcome::Crashed { at };
+                }
             }
             if pending <= 0 {
                 break RunOutcome::Converged { at: self.now() };

@@ -154,6 +154,10 @@ pub struct Simulator<M, N> {
     recv_seq: Vec<u64>,
     /// Counters of faults actually injected.
     fault_stats: FaultStats,
+    /// Set when the plan's `crash_at_event` fired: the session is dead and
+    /// every later `run` reports [`RunOutcome::Crashed`] — a crashed
+    /// simulator must never claim convergence, even with an empty queue.
+    crashed: bool,
 }
 
 impl<M, N: PeerNode<M>> Simulator<M, N> {
@@ -181,6 +185,7 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
             fault: None,
             recv_seq: vec![0; n],
             fault_stats: FaultStats::default(),
+            crashed: false,
         }
     }
 
@@ -235,10 +240,28 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
         self.queue.push(ev);
     }
 
-    /// Run until quiescence or budget exhaustion.
+    /// Run until quiescence, budget exhaustion, or a seeded crash.
     pub fn run(&mut self, budget: RunBudget) -> RunOutcome {
+        if self.crashed {
+            return RunOutcome::Crashed {
+                at: self.last_finish,
+            };
+        }
         let wall_start = std::time::Instant::now();
         while let Some(ev) = self.queue.pop() {
+            if let Some(plan) = &self.fault {
+                // Exact, replayable crash point: the same seed dies after
+                // the same logical-event prefix of the deterministic
+                // schedule, every run. Everything still in flight is lost —
+                // that is the point of a state-destroying fault.
+                if plan.crash_at_event > 0 && self.events_processed >= plan.crash_at_event {
+                    self.crashed = true;
+                    self.queue.clear();
+                    return RunOutcome::Crashed {
+                        at: self.last_finish,
+                    };
+                }
+            }
             let wall_blown = wall_start.elapsed() > budget.max_wall;
             if self.events_processed >= budget.max_events || ev.at > budget.max_time || wall_blown {
                 let at = self.last_finish.max(ev.at);
@@ -338,6 +361,20 @@ impl<M, N: PeerNode<M>> Simulator<M, N> {
                         // channel for one more transfer span.
                         occupied += span;
                     }
+                }
+                // Bidirectional partition: an envelope crossing the cut
+                // while the window is open is *held* until the partition
+                // heals (deferred, never lost). Deferral is monotone in the
+                // send time, so per-channel FIFO is preserved; the channel
+                // stays occupied behind the held envelope like any other
+                // head-of-line stall.
+                if plan.partition_cuts(from, to) && plan.partition_open_at(now.0) {
+                    self.fault_stats.partition_deferrals += 1;
+                    let heal = SimTime(plan.partition_heal_us());
+                    if arrive < heal {
+                        arrive = heal;
+                    }
+                    occupied = occupied.max(arrive);
                 }
             }
             self.chan_clock.insert((from, to), occupied);

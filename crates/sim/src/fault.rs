@@ -21,9 +21,24 @@
 //! * **stall window** — every [`FaultPlan::stall_period`]-th envelope a
 //!   peer receives opens a window of [`FaultPlan::stall_span_us`] during
 //!   which the peer makes no progress: a crash-restart that recovers its
-//!   state from local storage, or a long GC/scheduling pause. (Crash with
-//!   *state loss* needs checkpointing to recover from and is future work —
-//!   see DESIGN.md "Fault injection".)
+//!   state from local storage, or a long GC/scheduling pause.
+//!
+//! Two *state-destroying* fault classes sit on top of the timing faults
+//! (DESIGN.md "Checkpointing & recovery"):
+//!
+//! * **crash** — at the [`FaultPlan::crash_at_event`]-th processed event the
+//!   substrate tears itself down and reports
+//!   [`RunOutcome::Crashed`](crate::RunOutcome::Crashed). All in-flight and
+//!   un-checkpointed state is lost; the engine's recovery path restores the
+//!   last epoch checkpoint and replays the delta (`Runner::recover`). On the
+//!   DES the crash point is exact (a prefix of the deterministic schedule);
+//!   on the concurrent substrates it is a seeded point in the controller's
+//!   observation of the shared event counter.
+//! * **partition** — a seeded bidirectional cut: peers are split into two
+//!   sides by [`FaultPlan::partition_side`], and envelopes crossing the cut
+//!   during the window starting at [`FaultPlan::partition_at_us`] are held
+//!   until the partition heals (delivery deferred to the heal time, FIFO
+//!   preserved). Nothing is lost — a partition defers, a crash destroys.
 //!
 //! Decisions are a pure hash of `(seed, receiving peer, per-receiver
 //! envelope index)` — no RNG state, no locks. On the DES the receive index
@@ -83,6 +98,18 @@ pub struct FaultPlan {
     pub stall_period: u64,
     /// Length of a stall window in simulated microseconds.
     pub stall_span_us: u64,
+    /// Crash the substrate after this many processed events (0 disables).
+    /// State-destroying: the run ends with `RunOutcome::Crashed` and
+    /// everything not checkpointed is gone. Recovery strips this field
+    /// ([`FaultPlan::without_crash`]) so the restored run can finish.
+    pub crash_at_event: u64,
+    /// Simulated time at which a bidirectional partition opens (0 together
+    /// with a zero span disables partitions; the window is
+    /// `[partition_at_us, partition_at_us + partition_span_us)`).
+    pub partition_at_us: u64,
+    /// Length of the partition window in simulated microseconds. Envelopes
+    /// crossing the cut inside the window are deferred to the heal time.
+    pub partition_span_us: u64,
 }
 
 impl FaultPlan {
@@ -97,6 +124,9 @@ impl FaultPlan {
             max_delay_us: 0,
             stall_period: 0,
             stall_span_us: 0,
+            crash_at_event: 0,
+            partition_at_us: 0,
+            partition_span_us: 0,
         }
     }
 
@@ -120,7 +150,68 @@ impl FaultPlan {
                 25 + mix(h ^ 7) % 96
             },
             stall_span_us: 20_000 + mix(h ^ 8) % 80_000, // 20–100 ms
+            // Timing-only by construction: PR 7's sweeps pin faulted runs
+            // to the clean fixpoint, which crashes/partitions would break.
+            crash_at_event: 0,
+            partition_at_us: 0,
+            partition_span_us: 0,
         }
+    }
+
+    /// A crash-only plan: process `at_event` events, then die. Combine with
+    /// other fields via struct update when a crash should ride on top of
+    /// timing chaos.
+    pub fn crash_at(at_event: u64) -> FaultPlan {
+        FaultPlan {
+            crash_at_event: at_event,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A partition-only plan: a bidirectional cut (sides drawn from `seed`,
+    /// see [`FaultPlan::partition_side`]) open during
+    /// `[at_us, at_us + span_us)`.
+    pub fn partition(seed: u64, at_us: u64, span_us: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            partition_at_us: at_us,
+            partition_span_us: span_us,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// The same plan with the crash removed — what a recovered run executes.
+    /// A restarted substrate's event counter begins at 0 again, so keeping
+    /// the crash would kill the recovery immediately.
+    pub fn without_crash(&self) -> FaultPlan {
+        FaultPlan {
+            crash_at_event: 0,
+            ..*self
+        }
+    }
+
+    /// Which side of the partition cut peer `p` is on. A pure hash of
+    /// `(seed, peer)`, so both endpoints of a channel agree on every
+    /// substrate without coordination.
+    pub fn partition_side(&self, p: PeerId) -> bool {
+        mix(self.seed ^ 0x9a27_11f1 ^ u64::from(p.0)) & 1 == 1
+    }
+
+    /// Whether the partition window is open at simulated time `now_us`.
+    pub fn partition_open_at(&self, now_us: u64) -> bool {
+        self.partition_span_us > 0
+            && now_us >= self.partition_at_us
+            && now_us < self.partition_at_us + self.partition_span_us
+    }
+
+    /// The simulated time at which the partition heals.
+    pub fn partition_heal_us(&self) -> u64 {
+        self.partition_at_us + self.partition_span_us
+    }
+
+    /// Does an envelope from `from` to `to` cross the partition cut?
+    pub fn partition_cuts(&self, from: PeerId, to: PeerId) -> bool {
+        self.partition_span_us > 0 && self.partition_side(from) != self.partition_side(to)
     }
 
     /// Delay-only jitter plan (no drops, dups, or stalls): the gentlest
@@ -142,6 +233,8 @@ impl FaultPlan {
             || self.dup_per_mille > 0
             || (self.delay_per_mille > 0 && self.max_delay_us > 0)
             || (self.stall_period > 0 && self.stall_span_us > 0)
+            || self.crash_at_event > 0
+            || self.partition_span_us > 0
     }
 
     /// Decide the fate of the `recv_index`-th envelope peer `to` receives.
@@ -208,6 +301,8 @@ pub struct FaultStats {
     pub stall_hits: u64,
     /// Total injected delay in simulated microseconds.
     pub extra_delay_us: u64,
+    /// Envelopes deferred because they crossed an open partition cut.
+    pub partition_deferrals: u64,
 }
 
 impl FaultStats {
@@ -230,7 +325,10 @@ impl FaultStats {
 
     /// Total faults of any kind.
     pub fn total(&self) -> u64 {
-        self.drops_retransmitted + self.duplicates_discarded + self.delayed
+        self.drops_retransmitted
+            + self.duplicates_discarded
+            + self.delayed
+            + self.partition_deferrals
     }
 
     /// Merge another stats block (sharded composites fold their shards).
@@ -240,6 +338,7 @@ impl FaultStats {
         self.delayed += other.delayed;
         self.stall_hits += other.stall_hits;
         self.extra_delay_us += other.extra_delay_us;
+        self.partition_deferrals += other.partition_deferrals;
     }
 }
 
@@ -279,8 +378,7 @@ mod tests {
             dup_per_mille: 50,
             delay_per_mille: 200,
             max_delay_us: 100,
-            stall_period: 0,
-            stall_span_us: 0,
+            ..FaultPlan::none()
         };
         let mut stats = FaultStats::default();
         const N: u64 = 20_000;
@@ -329,5 +427,51 @@ mod tests {
         assert!(!p.is_active());
         assert!(FaultPlan::from_seed(0).is_active());
         assert!(FaultPlan::jitter(1, 100, 1_000).is_active());
+        // State-destroying plans are active even with all timing dials zero.
+        assert!(FaultPlan::crash_at(100).is_active());
+        assert!(FaultPlan::partition(1, 0, 10_000).is_active());
+        assert!(!FaultPlan::crash_at(100).without_crash().is_active());
+    }
+
+    #[test]
+    fn partition_sides_are_stable_and_split() {
+        let plan = FaultPlan::partition(11, 1_000, 5_000);
+        // Pure: same peer, same side, forever.
+        for p in 0..16u32 {
+            assert_eq!(
+                plan.partition_side(PeerId(p)),
+                plan.partition_side(PeerId(p))
+            );
+        }
+        // Some seed in a small range must split 4 peers non-trivially.
+        let splits = (0..64u64).any(|s| {
+            let pl = FaultPlan::partition(s, 0, 1);
+            let sides: Vec<bool> = (0..4).map(|p| pl.partition_side(PeerId(p))).collect();
+            sides.iter().any(|&b| b) && sides.iter().any(|&b| !b)
+        });
+        assert!(splits, "no seed in 0..64 produced a non-trivial cut");
+        // Window arithmetic.
+        assert!(!plan.partition_open_at(999));
+        assert!(plan.partition_open_at(1_000));
+        assert!(plan.partition_open_at(5_999));
+        assert!(!plan.partition_open_at(6_000));
+        assert_eq!(plan.partition_heal_us(), 6_000);
+    }
+
+    #[test]
+    fn crash_strip_preserves_other_dials() {
+        let plan = FaultPlan {
+            crash_at_event: 500,
+            ..FaultPlan::from_seed(9)
+        };
+        let stripped = plan.without_crash();
+        assert_eq!(stripped.crash_at_event, 0);
+        assert_eq!(
+            FaultPlan {
+                crash_at_event: 500,
+                ..stripped
+            },
+            plan
+        );
     }
 }

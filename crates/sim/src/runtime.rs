@@ -98,6 +98,17 @@ pub enum RunOutcome {
         /// Events still pending.
         pending: usize,
     },
+    /// The installed [`FaultPlan`]'s `crash_at_event` fired: the substrate
+    /// tore itself down mid-phase and **all state not checkpointed is
+    /// lost**. Like budget exhaustion this freezes the session (every later
+    /// [`Runtime::run`] reports `Crashed` again, never `Converged`); unlike
+    /// it, the driver is expected to *recover* — build a fresh substrate,
+    /// restore the last epoch checkpoint, and replay the delta
+    /// (`netrec-engine`'s `Runner::recover`).
+    Crashed {
+        /// Substrate clock when the crash fired.
+        at: SimTime,
+    },
 }
 
 impl RunOutcome {
@@ -105,8 +116,13 @@ impl RunOutcome {
     pub fn converged_at(self) -> Option<SimTime> {
         match self {
             RunOutcome::Converged { at } => Some(at),
-            RunOutcome::BudgetExceeded { .. } => None,
+            RunOutcome::BudgetExceeded { .. } | RunOutcome::Crashed { .. } => None,
         }
+    }
+
+    /// Whether this outcome is a seeded crash (recovery is expected).
+    pub fn crashed(self) -> bool {
+        matches!(self, RunOutcome::Crashed { .. })
     }
 }
 
@@ -202,6 +218,30 @@ impl RuntimeKind {
             RuntimeKind::Sharded(cfg) => match &mut cfg.shard {
                 ShardKind::Threaded(inner) => inner.fault = Some(plan),
                 ShardKind::Async(inner) => inner.fault = Some(plan),
+            },
+        }
+        self
+    }
+
+    /// Strip the crash dial from whichever substrate this kind denotes,
+    /// keeping every transport fault (drop/dup/delay/partition) intact. A
+    /// recovering driver rebuilds its substrate from this kind so the
+    /// restored session does not re-crash at the same event counter while
+    /// still facing the original network weather.
+    pub fn without_crash(mut self) -> RuntimeKind {
+        let strip = |f: &mut Option<FaultPlan>| {
+            *f = f
+                .take()
+                .map(|p| p.without_crash())
+                .filter(FaultPlan::is_active);
+        };
+        match &mut self {
+            RuntimeKind::Des(cfg) => strip(&mut cfg.fault),
+            RuntimeKind::Threaded(cfg) => strip(&mut cfg.fault),
+            RuntimeKind::Async(cfg) => strip(&mut cfg.fault),
+            RuntimeKind::Sharded(cfg) => match &mut cfg.shard {
+                ShardKind::Threaded(inner) => strip(&mut inner.fault),
+                ShardKind::Async(inner) => strip(&mut inner.fault),
             },
         }
         self

@@ -574,6 +574,11 @@ pub struct ShardedRuntime<M, N> {
     /// clock, mirroring the threaded runtime).
     active: WallDuration,
     frozen: bool,
+    /// Set when the inner plan's `crash_at_event` fired at the composite
+    /// level: the session is dead and every later `run` reports
+    /// [`RunOutcome::Crashed`] — never convergence or plain budget
+    /// exhaustion.
+    crashed: bool,
     cfg: ShardedConfig,
     peers_total: u32,
 }
@@ -654,6 +659,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
             epoch: Instant::now(),
             active: WallDuration::ZERO,
             frozen: false,
+            crashed: false,
             cfg,
             peers_total: n as u32,
         }
@@ -746,6 +752,14 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
 }
 
 impl<M, N> ShardedRuntime<M, N> {
+    /// The seeded fault plan installed on the inner shards, if any.
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        match &self.cfg.shard {
+            ShardKind::Threaded(c) => c.fault.as_ref(),
+            ShardKind::Async(c) => c.fault.as_ref(),
+        }
+    }
+
     /// Faults applied so far, folded across every shard.
     pub fn fault_stats(&self) -> FaultStats {
         let mut total = FaultStats::default();
@@ -824,10 +838,27 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Shard
             // never claims convergence: teardown retires dropped events, so
             // a zero sum here can be the result of truncation.
             if self.frozen {
-                break RunOutcome::BudgetExceeded {
-                    at: self.now(),
-                    pending: pending.max(0) as usize,
+                break if self.crashed {
+                    RunOutcome::Crashed { at: self.now() }
+                } else {
+                    RunOutcome::BudgetExceeded {
+                        at: self.now(),
+                        pending: pending.max(0) as usize,
+                    }
                 };
+            }
+            // Crash fault, enforced at the composite level (the inner
+            // shards' own `run` loops never execute here — the composite
+            // controller is the only driver): once the shared event counter
+            // passes the dial, every shard is torn down. The counter races
+            // worker progress, so a seed gives a reproducible crash
+            // *distribution*, not an exact event index.
+            let crash_at = self.fault_plan().map_or(0, |p| p.crash_at_event);
+            if crash_at > 0 && self.shared.events.load(Ordering::SeqCst) >= crash_at {
+                let at = self.now();
+                self.crashed = true;
+                self.freeze_shards();
+                break RunOutcome::Crashed { at };
             }
             if pending <= 0 {
                 break RunOutcome::Converged { at: self.now() };
@@ -1352,6 +1383,69 @@ mod tests {
     fn short_explicit_map_is_rejected() {
         let cfg = ShardedConfig::with_shards(2).with_assignment(ShardAssignment::Explicit(vec![0]));
         let _rt: ShardedRuntime<u64, Counter> = ShardedRuntime::new(ping_pong_pair(), cfg);
+    }
+
+    /// The restore seam: overwriting peer state through `with_peer_mut` /
+    /// `for_each_peer_mut` at a quiescent boundary — exactly what crash
+    /// recovery does when it re-installs checkpointed state — must not
+    /// disturb the composite's in-flight accounting. A double-registration
+    /// would leave a phantom pending event and wedge the next phase; a
+    /// missed one would let a live phase converge early.
+    #[test]
+    fn peer_restore_at_a_boundary_keeps_quiescence() {
+        for cfg in [split_pair(), split_pair_async()] {
+            let mut rt = ShardedRuntime::new(ping_pong_pair(), cfg);
+            rt.inject(PeerId(0), Port(0), 6u64);
+            assert!(matches!(
+                rt.run(RunBudget::default()),
+                RunOutcome::Converged { .. }
+            ));
+            rt.for_each_peer_mut(|_, c| c.seen = 0);
+            rt.with_peer_mut(PeerId(1), |c| c.seen = 100);
+            assert_eq!(rt.pending_events(), 0, "restore must not register events");
+            assert_eq!(rt.cross_shard_in_flight(), 0);
+            // The next phase starts from the restored state and still
+            // detects quiescence exactly.
+            assert!(matches!(
+                rt.run(RunBudget::default()),
+                RunOutcome::Converged { .. }
+            ));
+            rt.inject(PeerId(1), Port(0), 3u64);
+            assert!(matches!(
+                rt.run(RunBudget::default()),
+                RunOutcome::Converged { .. }
+            ));
+            let mut seen = 0;
+            rt.for_each_peer(|_, c| seen += c.seen);
+            assert_eq!(seen, 100 + 4);
+        }
+    }
+
+    #[test]
+    fn crash_fault_tears_down_and_later_runs_stay_crashed() {
+        struct Loop;
+        impl PeerNode<u64> for Loop {
+            fn on_message(&mut self, _p: Port, m: u64, net: &mut NetApi<u64>) {
+                let other = PeerId(1 - net.me().0);
+                net.send(other, Port(0), m, MsgMeta::default());
+            }
+        }
+        for base in [split_pair(), split_pair_async()] {
+            let cfg = base.with_fault(FaultPlan::crash_at(50));
+            let mut rt = ShardedRuntime::new(vec![Loop, Loop], cfg);
+            rt.inject(PeerId(0), Port(0), 0u64);
+            let out = rt.run(RunBudget::default());
+            assert!(out.crashed(), "got {out:?}");
+            assert_eq!(out.converged_at(), None);
+            // The session is frozen: snapshots are stable.
+            let e1 = rt.events_processed();
+            assert!(e1 >= 50);
+            std::thread::sleep(WallDuration::from_millis(20));
+            assert_eq!(rt.events_processed(), e1, "workers stopped");
+            // A crashed session keeps reporting Crashed — never budget
+            // exhaustion, never convergence.
+            assert!(rt.run(RunBudget::default()).crashed());
+        }
     }
 
     #[test]

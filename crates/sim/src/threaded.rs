@@ -243,6 +243,7 @@ impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
                         frame.record_into(self.me, &mut self.metrics.lock());
                     }
                     let to = frame.to;
+                    self.partition_hold(to);
                     self.send(to, ThreadMsg::Deliver(frame.into_body()));
                 }
                 for (delay, id) in timers {
@@ -260,6 +261,36 @@ impl<M: Send + 'static, N: PeerNode<M>> Worker<M, N> {
                 self.shared.retire_one(&self.ctl_tx);
                 true
             }
+        }
+    }
+
+    /// Partition hook: a send crossing the seeded bidirectional cut while
+    /// the window is open is held *sender-side* until the partition heals.
+    /// Nothing is lost and per-channel FIFO is preserved — later sends on
+    /// this channel queue in program order behind the hold. The window is
+    /// simulated microseconds since the session epoch, scaled by
+    /// `time_dilation` like every other delay on this substrate. Every
+    /// hold's deadline is the (fixed) heal instant, so a cycle of peers all
+    /// holding cross-cut sends cannot deadlock.
+    fn partition_hold(&mut self, to: PeerId) {
+        let Some(plan) = &self.fault else { return };
+        if !plan.partition_cuts(self.me, to) {
+            return;
+        }
+        let open = self.epoch
+            + dilate(
+                netrec_types::Duration::from_micros(plan.partition_at_us),
+                self.time_dilation,
+            );
+        let heal = self.epoch
+            + dilate(
+                netrec_types::Duration::from_micros(plan.partition_heal_us()),
+                self.time_dilation,
+            );
+        let now = Instant::now();
+        if now >= open && now < heal {
+            self.fault_stats.lock().partition_deferrals += 1;
+            std::thread::sleep(heal - now);
         }
     }
 
@@ -417,6 +448,10 @@ pub struct ThreadedRuntime<M, N> {
     /// Outcome of the most recent `run` phase (carried into
     /// [`ThreadedOutcome`] so one-shot drivers see budget truncation).
     last_outcome: Option<RunOutcome>,
+    /// Set when the plan's `crash_at_event` fired: the session is dead and
+    /// every later `run` reports [`RunOutcome::Crashed`] — a crashed session
+    /// must never claim convergence or plain budget exhaustion.
+    crashed: bool,
     /// Fault bookkeeping folded across workers (shared with them).
     fault_stats: Arc<Mutex<FaultStats>>,
     cfg: ThreadedConfig,
@@ -550,6 +585,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ThreadedRuntime<M, N> {
             epoch,
             active: WallDuration::ZERO,
             last_outcome: None,
+            crashed: false,
             fault_stats,
             cfg,
         }
@@ -732,10 +768,26 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for Threa
             // dropped events and armed timers, so a zero counter here can
             // be the *result* of truncation, not of reaching a fixpoint.
             if self.workers.is_empty() && self.timer_thread.is_none() {
-                break RunOutcome::BudgetExceeded {
-                    at: self.now(),
-                    pending: pending.max(0) as usize,
+                break if self.crashed {
+                    RunOutcome::Crashed { at: self.now() }
+                } else {
+                    RunOutcome::BudgetExceeded {
+                        at: self.now(),
+                        pending: pending.max(0) as usize,
+                    }
                 };
+            }
+            // Crash fault: tear the session down once the event counter
+            // passes the dial. On this substrate the counter races worker
+            // progress, so a seed gives a reproducible crash *distribution*,
+            // not an exact event index — same contract as the timing faults.
+            if let Some(plan) = self.cfg.fault.as_ref().filter(|p| p.crash_at_event > 0) {
+                if self.shared.events.load(Ordering::SeqCst) >= plan.crash_at_event {
+                    let at = self.now();
+                    self.crashed = true;
+                    self.shutdown_threads();
+                    break RunOutcome::Crashed { at };
+                }
             }
             if pending <= 0 {
                 break RunOutcome::Converged { at: self.now() };

@@ -307,6 +307,9 @@ pub struct PhaseObs {
     pub views: BTreeMap<String, BTreeSet<Tuple>>,
     /// Cumulative traffic metrics at the boundary.
     pub metrics: NetMetrics,
+    /// Cumulative events processed at the boundary (folded across
+    /// recoveries, like the metrics).
+    pub events: u64,
     /// This phase's message delta as reported by `run_phase`.
     pub phase_msgs: u64,
     /// This phase's byte delta as reported by `run_phase`.
@@ -354,11 +357,75 @@ fn drive_phases<R: Runtime<Msg, EnginePeer>>(
                     .map(|v| (v.clone(), runner.view(v)))
                     .collect(),
                 metrics: runner.metrics(),
+                events: runner.events_processed(),
                 phase_msgs: rep.msgs,
                 phase_bytes: rep.bytes,
             }
         })
         .collect()
+}
+
+/// Run the workload on one substrate with epoch-barrier checkpointing
+/// enabled (one checkpoint every `interval` converged boundaries) and
+/// crash-recovery: whenever a phase ends in `RunOutcome::Crashed`, the
+/// runner restores the latest epoch checkpoint, re-injects the replay-ledger
+/// delta, and re-runs the phase. Returns the per-phase observations (all
+/// converged — a budget-exceeded phase panics) and the number of crashes
+/// recovered from.
+///
+/// Observations fold metrics/events across recoveries, so they are directly
+/// comparable to a fault-free [`run_workload_on`] of the same workload.
+pub fn run_workload_recovering(
+    w: &DiffWorkload,
+    kind: &RuntimeKind,
+    interval: u64,
+) -> (Vec<PhaseObs>, u32) {
+    let cfg = RunnerConfig {
+        runtime: kind.clone(),
+        ..w.config.clone()
+    };
+    let mut runner = Runner::new((w.plan)(), cfg);
+    runner.enable_checkpointing(interval);
+    let mut crashes = 0u32;
+    let obs = w
+        .phases
+        .iter()
+        .map(|phase| {
+            for op in &phase.ops {
+                runner.inject(&op.rel, op.tuple.clone(), op.kind, op.ttl);
+            }
+            let rep = loop {
+                let rep = runner.run_phase(phase.label.clone());
+                if rep.converged() {
+                    break rep;
+                }
+                assert!(
+                    rep.outcome.crashed(),
+                    "phase {} neither converged nor crashed: {:?}",
+                    phase.label,
+                    rep.outcome
+                );
+                crashes += 1;
+                runner
+                    .recover()
+                    .unwrap_or_else(|e| panic!("recovery after phase {}: {e}", phase.label));
+            };
+            PhaseObs {
+                label: phase.label.clone(),
+                converged: true,
+                views: w
+                    .views
+                    .iter()
+                    .map(|v| (v.clone(), runner.view(v)))
+                    .collect(),
+                metrics: runner.metrics(),
+                events: runner.events_processed(),
+                phase_msgs: rep.msgs,
+                phase_bytes: rep.bytes,
+            }
+        })
+        .collect();
+    (obs, crashes)
 }
 
 /// Assert that every substrate in `kinds` agrees with the first one

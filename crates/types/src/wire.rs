@@ -34,6 +34,10 @@ pub enum WireError {
     BadUtf8,
     /// A varint exceeded 64 bits.
     VarintOverflow,
+    /// Structurally invalid data: the bytes parse but violate an invariant
+    /// of the encoded structure (bad index, duplicate key, trailing bytes).
+    /// Checkpoint restore uses this to fail loudly instead of half-applying.
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for WireError {
@@ -43,6 +47,7 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown value tag {t}"),
             WireError::BadUtf8 => write!(f, "invalid utf-8 in string value"),
             WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::Corrupt(what) => write!(f, "corrupt wire data: {what}"),
         }
     }
 }
