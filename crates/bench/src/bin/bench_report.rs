@@ -82,7 +82,7 @@ fn measure(samples: usize, ops: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
     let samples: usize = std::env::var("BENCH_REPORT_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -457,6 +457,111 @@ fn main() {
         }
     }
 
+    // --- Loopback-TCP shard transport ----------------------------------
+    //
+    // The supervised TCP transport (crates/sim/src/tcp.rs) replaces the
+    // in-process cross-shard channel with real length-framed sockets under
+    // a connection supervisor. Two dials pinned on the 2-shard composite:
+    //
+    //  * channel vs TCP ns/op on the fig07/fig08 workloads —
+    //    `#tcp_overhead_ratio` prices the socket hop (envelope encode,
+    //    kernel round-trip, decode, ack) per cross-shard envelope. It is
+    //    expected to be well above 1 (the channel transport moves an Arc
+    //    pointer); the guardrail is that the *channel* entries stay within
+    //    noise of the previous BENCH file — TCP must be pay-for-use.
+    //  * `reconnect/...#reconnect_ns` — per-reconnect recovery cost under
+    //    seeded mid-run connection kills: the faulted run's extra wall
+    //    time over the clean TCP run, divided by the supervision
+    //    counter's reconnect count.
+    {
+        let chan2 = RuntimeKind::Sharded(ShardedConfig::with_shards(2));
+        let tcp2 = RuntimeKind::Sharded(ShardedConfig::with_shards(2).with_tcp());
+        let tcp_ins = |name: &str, strategy: Strategy, kind: &RuntimeKind| {
+            measure(samples, load.ops.len(), || {
+                let mut sys = System::reachable(
+                    SystemConfig::new(strategy, peers)
+                        .with_budget(budget())
+                        .with_runtime(kind.clone()),
+                );
+                sys.apply(&load);
+                assert!(sys.run("load").converged(), "{name}: load did not converge");
+            })
+        };
+        let tcp_del = |name: &str, strategy: Strategy, kind: &RuntimeKind| {
+            let mut reconnects = 0u64;
+            let ns = measure(samples, dels.ops.len(), || {
+                let mut sys = System::reachable(
+                    SystemConfig::new(strategy, peers)
+                        .with_budget(budget())
+                        .with_runtime(kind.clone()),
+                );
+                sys.apply(&load);
+                assert!(sys.run("load").converged(), "{name}: load did not converge");
+                for op in &dels.ops {
+                    sys.inject(&op.rel, op.tuple.clone(), UpdateKind::Delete, None);
+                }
+                assert!(
+                    sys.run("delete").converged(),
+                    "{name}: delete did not converge"
+                );
+                reconnects = sys.runner().fault_stats().reconnects;
+            });
+            (ns, reconnects)
+        };
+
+        for (fig, label, strategy) in [
+            ("fig07/reachable_ins", "set", Strategy::set()),
+            (
+                "fig08/reachable_del",
+                "relative_lazy",
+                Strategy::relative_lazy(),
+            ),
+        ] {
+            let base = format!("transport_tcp/{fig}/{label}");
+            let chan_name = format!("{base}/sharded2_channel");
+            let tcp_name = format!("{base}/sharded2_tcp");
+            if !wanted(&chan_name) && !wanted(&tcp_name) {
+                continue;
+            }
+            let (chan_ns, tcp_ns) = if fig.starts_with("fig07") {
+                (
+                    tcp_ins(&chan_name, strategy, &chan2),
+                    tcp_ins(&tcp_name, strategy, &tcp2),
+                )
+            } else {
+                (
+                    tcp_del(&chan_name, strategy, &chan2).0,
+                    tcp_del(&tcp_name, strategy, &tcp2).0,
+                )
+            };
+            println!("{chan_name:<45} {chan_ns:>12.0} ns/op");
+            println!("{tcp_name:<45} {tcp_ns:>12.0} ns/op");
+            report.insert(format!("{tcp_name}#tcp_overhead_ratio"), tcp_ns / chan_ns);
+            report.insert(chan_name, chan_ns);
+            report.insert(tcp_name, tcp_ns);
+        }
+
+        let name = "transport_tcp/reconnect/relative_lazy/sharded2_kill";
+        if wanted(name) {
+            let (clean_ns, _) = tcp_del(
+                "transport_tcp/reconnect baseline",
+                Strategy::relative_lazy(),
+                &tcp2,
+            );
+            let kill = tcp2.clone().with_fault(FaultPlan {
+                conn_kill_per_mille: 150,
+                ..FaultPlan::none()
+            });
+            let (kill_ns, reconnects) = tcp_del(name, Strategy::relative_lazy(), &kill);
+            let total_extra = (kill_ns - clean_ns).max(0.0) * dels.ops.len() as f64;
+            let per_reconnect = total_extra / reconnects.max(1) as f64;
+            println!("{name:<45} {per_reconnect:>12.0} ns/reconnect  ({reconnects} reconnects)");
+            report.insert(format!("{name}#reconnect_ns"), per_reconnect);
+            report.insert(format!("{name}#reconnects"), reconnects as f64);
+            report.insert(name.to_string(), kill_ns);
+        }
+    }
+
     // --- Serving-layer read path ---------------------------------------
     //
     // Same reduced fig07 topology, absorption-lazy on the threaded runtime
@@ -638,6 +743,19 @@ fn main() {
          delta replay + reconvergence of the 4-shard composite - watch it \
          against des_interval1 ns/op drift: recovery cost is dominated by \
          replayed-delta reconvergence, not blob decode"
+    ));
+    entries.push(format!(
+        "  \"_guardrail/transport_tcp/sharded2\": \"{}\"",
+        "TCP transport acceptance: the socket path is pay-for-use - the \
+         sharded2_channel entries here and the fig07/fig08 sharded entries \
+         above must stay within noise of the previous BENCH file (the \
+         channel fast path gained only a None check on tcp_links). \
+         #tcp_overhead_ratio prices the loopback hop and is expected to be \
+         several-fold (envelope encode + kernel round-trip + ack per \
+         cross-shard envelope; correctness, not speed, is what the TCP \
+         mode buys). #reconnect_ns is the per-reconnect recovery cost \
+         under mid-run connection kills - backoff dominates, so watch it \
+         against TcpConfig::backoff_base drift"
     ));
     entries.push(format!(
         "  \"_guardrail/read_serving/reachable/serve_point_lookup\": \"{}\"",

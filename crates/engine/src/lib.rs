@@ -36,6 +36,7 @@
 //! "Performance notes" covers the hot-path engineering.
 
 pub(crate) mod checkpoint;
+pub mod ckptstore;
 pub mod dred;
 pub mod expr;
 pub mod ops;
@@ -46,7 +47,11 @@ pub mod runner;
 pub mod strategy;
 pub(crate) mod trace;
 pub mod update;
+pub mod wiremsg;
 
+pub use ckptstore::{
+    CheckpointBackend, CheckpointServer, FileBackend, MemoryBackend, RemoteBackend,
+};
 pub use expr::{AggFn, CmpOp, Expr, Pred};
 pub use netrec_serve::{ServeSpec, ViewReader, ViewStore};
 pub use plan::{OpId, OpSpec, Plan, PlanBuilder, PlanError};

@@ -19,6 +19,7 @@ use netrec_sim::{
 use netrec_types::wire::WireError;
 use netrec_types::{Duration, RelId, SimTime, Tuple, UpdateKind};
 
+use crate::ckptstore::{self, CheckpointBackend};
 use crate::ops::OpState;
 use crate::peer::EnginePeer;
 use crate::plan::Plan;
@@ -233,7 +234,7 @@ impl Runtime<Msg, EnginePeer> for EngineRuntime {
 /// the quiescent seam where no message is in flight and no timer is armed,
 /// so the union of independently-serialized per-peer blobs is a consistent
 /// cut by construction (see `crate::checkpoint`).
-#[derive(Clone)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpochCheckpoint {
     /// Per-peer state blobs ([`EnginePeer::checkpoint`]), indexed by peer id.
     /// Wire-framed: these bytes could stream to a remote stable store as-is.
@@ -258,15 +259,68 @@ impl EpochCheckpoint {
     }
 }
 
-/// In-memory checkpoint store keyed by epoch (the count of converged
-/// boundaries since checkpointing was enabled; epoch 0 is the enable-time
-/// baseline).
+/// Checkpoint store keyed by epoch (the count of converged boundaries
+/// since checkpointing was enabled; epoch 0 is the enable-time baseline).
+/// Always holds the decoded checkpoints in memory; when a
+/// [`CheckpointBackend`] is attached every insert is also mirrored —
+/// encoded, CRC-framed — into durable storage, synchronously, so the
+/// backend never trails the in-memory view at a converged boundary.
 #[derive(Default)]
 pub struct CheckpointStore {
     by_epoch: BTreeMap<u64, EpochCheckpoint>,
+    durable: Option<Box<dyn CheckpointBackend>>,
 }
 
 impl CheckpointStore {
+    /// Rebuild a store from a durable backend: decode (and CRC-verify)
+    /// every stored epoch, keeping the backend attached for future
+    /// mirroring. Any corrupt or truncated epoch fails the whole load —
+    /// a recovery should never silently proceed from partial history.
+    pub fn load(backend: Box<dyn CheckpointBackend>) -> Result<CheckpointStore, WireError> {
+        let mut by_epoch = BTreeMap::new();
+        for epoch in backend.epochs()? {
+            let bytes = backend
+                .get(epoch)?
+                .ok_or(WireError::Corrupt("checkpoint epoch vanished during load"))?;
+            by_epoch.insert(epoch, ckptstore::decode_checkpoint(epoch, &bytes)?);
+        }
+        Ok(CheckpointStore {
+            by_epoch,
+            durable: Some(backend),
+        })
+    }
+
+    /// Mirror this store into a durable backend: flush every epoch already
+    /// held in memory, then mirror each future insert. Replaces any
+    /// previously attached backend.
+    pub fn attach_backend(
+        &mut self,
+        mut backend: Box<dyn CheckpointBackend>,
+    ) -> Result<(), WireError> {
+        for (&epoch, ck) in &self.by_epoch {
+            backend.put(epoch, &ckptstore::encode_checkpoint(epoch, ck))?;
+        }
+        self.durable = Some(backend);
+        Ok(())
+    }
+
+    /// Whether a durable backend is attached.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Insert one checkpoint, mirroring to the durable backend when one is
+    /// attached. A durable write failure is a loud panic: continuing past
+    /// it would let the session believe history is safe when it is not.
+    fn insert(&mut self, epoch: u64, ck: EpochCheckpoint) {
+        if let Some(backend) = self.durable.as_mut() {
+            backend
+                .put(epoch, &ckptstore::encode_checkpoint(epoch, &ck))
+                .expect("durable checkpoint write failed");
+        }
+        self.by_epoch.insert(epoch, ck);
+    }
+
     /// The most recent completed checkpoint, with its epoch.
     pub fn latest(&self) -> Option<(u64, &EpochCheckpoint)> {
         self.by_epoch.iter().next_back().map(|(e, c)| (*e, c))
@@ -426,6 +480,43 @@ impl Runner<EngineRuntime> {
         }
         Ok(())
     }
+
+    /// Cold-start recovery: rebuild this session from a durable
+    /// [`CheckpointBackend`] alone — the disaster path where the original
+    /// process (and its in-memory [`CheckpointStore`]) is gone and only the
+    /// shipped bytes survive. Loads and CRC-verifies every stored epoch,
+    /// installs the store (with the backend still attached, so future
+    /// checkpoints keep mirroring at `interval`), and restores the latest
+    /// epoch via [`Runner::recover`]. Epoch numbering continues from the
+    /// restored barrier.
+    ///
+    /// Call on a freshly built runner; this runner's replay ledger is
+    /// empty, so recovery restores exactly the barrier state — inputs the
+    /// original session injected after its last checkpoint are lost, which
+    /// is the honest durability contract of interval checkpointing.
+    ///
+    /// # Panics
+    /// If checkpointing is already enabled, `interval` is 0, or the
+    /// backend holds no completed checkpoint.
+    pub fn recover_from_backend(
+        &mut self,
+        interval: u64,
+        backend: Box<dyn CheckpointBackend>,
+    ) -> Result<(), WireError> {
+        assert!(self.ckpt.is_none(), "checkpointing already enabled");
+        assert!(interval > 0, "checkpoint interval must be >= 1");
+        let store = CheckpointStore::load(backend)?;
+        let (epoch, _) = store
+            .latest()
+            .expect("no completed checkpoint in the durable backend");
+        self.ckpt = Some(Checkpointing {
+            interval,
+            boundaries: epoch,
+            since_last: 0,
+            store,
+        });
+        self.recover()
+    }
 }
 
 /// Instantiate the substrate selected by `cfg.runtime` over `nodes` (shared
@@ -521,6 +612,27 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         self.take_checkpoint(0);
     }
 
+    /// [`Runner::enable_checkpointing`] with a durable [`CheckpointBackend`]
+    /// attached: the epoch-0 baseline and every subsequent checkpoint are
+    /// mirrored — encoded and CRC-framed — into the backend at the barrier,
+    /// so a separate process can rebuild the session from storage alone
+    /// ([`Runner::recover_from_backend`]).
+    ///
+    /// # Panics
+    /// If checkpointing is already enabled or `interval` is 0.
+    pub fn enable_durable_checkpointing(
+        &mut self,
+        interval: u64,
+        backend: Box<dyn CheckpointBackend>,
+    ) -> Result<(), WireError> {
+        self.enable_checkpointing(interval);
+        self.ckpt
+            .as_mut()
+            .expect("just enabled")
+            .store
+            .attach_backend(backend)
+    }
+
     /// Whether checkpointing is enabled.
     pub fn checkpointing(&self) -> bool {
         self.ckpt.is_some()
@@ -543,7 +655,7 @@ impl<R: Runtime<Msg, EnginePeer>> Runner<R> {
         let events = self.base_events + self.rt.events_processed();
         let ledger_len = self.ledger.len();
         let ck = self.ckpt.as_mut().expect("checkpointing enabled");
-        ck.store.by_epoch.insert(
+        ck.store.insert(
             epoch,
             EpochCheckpoint {
                 peer_blobs,

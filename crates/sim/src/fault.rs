@@ -110,6 +110,34 @@ pub struct FaultPlan {
     /// Length of the partition window in simulated microseconds. Envelopes
     /// crossing the cut inside the window are deferred to the heal time.
     pub partition_span_us: u64,
+    /// Per-mille of TCP data frames after which the sender kills the
+    /// connection (socket-level fault; only the [`crate::tcp`] transport
+    /// consults it). The supervisor reconnects and retransmits from the
+    /// send ledger, so the fault is timing-only end to end.
+    pub conn_kill_per_mille: u16,
+    /// Per-mille of TCP data frames *torn*: the sender writes only a
+    /// hash-derived proper prefix of the frame before killing the
+    /// connection. The receiver's CRC check rejects the fragment loudly;
+    /// recovery is the same reconnect + retransmit path as a clean kill.
+    pub torn_frame_per_mille: u16,
+    /// Per-mille of TCP connection attempts whose *accept side* stalls
+    /// before completing the handshake (the listener sits on the HELLO).
+    pub accept_stall_per_mille: u16,
+    /// Length of an accept stall in wall microseconds. A stall longer than
+    /// the transport's heartbeat timeout deterministically fires a
+    /// heartbeat failure and another reconnect round.
+    pub accept_stall_us: u64,
+}
+
+/// The fate of one TCP data frame under the socket fault classes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SocketFault {
+    /// Kill the connection around this frame. With `torn` unset the frame
+    /// is written whole first (the *ack* may be lost, never the data).
+    pub kill: bool,
+    /// Write only a proper prefix of the frame before killing — the
+    /// receiver must detect the tear via CRC/length framing.
+    pub torn: bool,
 }
 
 impl FaultPlan {
@@ -127,6 +155,10 @@ impl FaultPlan {
             crash_at_event: 0,
             partition_at_us: 0,
             partition_span_us: 0,
+            conn_kill_per_mille: 0,
+            torn_frame_per_mille: 0,
+            accept_stall_per_mille: 0,
+            accept_stall_us: 0,
         }
     }
 
@@ -155,6 +187,27 @@ impl FaultPlan {
             crash_at_event: 0,
             partition_at_us: 0,
             partition_span_us: 0,
+            conn_kill_per_mille: 0,
+            torn_frame_per_mille: 0,
+            accept_stall_per_mille: 0,
+            accept_stall_us: 0,
+        }
+    }
+
+    /// A socket-chaos plan derived from one sweep seed: connection kills
+    /// on 5–20 % of data frames, a third of them torn mid-frame, and an
+    /// occasional accept stall long enough to trip the heartbeat detector.
+    /// Timing dials stay zero — socket faults exercise the supervisor, not
+    /// the in-process seam.
+    pub fn socket_faults(seed: u64) -> FaultPlan {
+        let h = mix(seed ^ 0x50c7);
+        FaultPlan {
+            seed,
+            conn_kill_per_mille: 50 + (mix(h ^ 1) % 150) as u16, // 5–20 %
+            torn_frame_per_mille: 20 + (mix(h ^ 2) % 60) as u16, // 2–8 %
+            accept_stall_per_mille: 100,
+            accept_stall_us: 30_000 + mix(h ^ 3) % 50_000, // 30–80 ms
+            ..FaultPlan::none()
         }
     }
 
@@ -235,6 +288,45 @@ impl FaultPlan {
             || (self.stall_period > 0 && self.stall_span_us > 0)
             || self.crash_at_event > 0
             || self.partition_span_us > 0
+            || self.socket_active()
+    }
+
+    /// Whether any socket-level fault class (connection kill, torn frame,
+    /// accept stall) can fire. The TCP transport skips its fault hooks
+    /// entirely when this is false.
+    pub fn socket_active(&self) -> bool {
+        self.conn_kill_per_mille > 0
+            || self.torn_frame_per_mille > 0
+            || (self.accept_stall_per_mille > 0 && self.accept_stall_us > 0)
+    }
+
+    /// Decide the fate of the data frame with transport sequence `seq` on
+    /// directed link `link`. Pure: same `(plan, link, seq)` ⇒ same
+    /// decision. A torn frame implies a kill — the tear *is* how the
+    /// connection dies.
+    pub fn socket_decide(&self, link: u64, seq: u64) -> SocketFault {
+        if self.conn_kill_per_mille == 0 && self.torn_frame_per_mille == 0 {
+            return SocketFault::default();
+        }
+        let h = mix(self.seed ^ 0x7c9_11ad ^ mix(link.rotate_left(17) ^ seq));
+        let torn = roll(h, 0x70a8, self.torn_frame_per_mille);
+        SocketFault {
+            kill: torn || roll(h, 0x6111, self.conn_kill_per_mille),
+            torn,
+        }
+    }
+
+    /// Accept-side stall for connection attempt number `attempt` on
+    /// directed link `link`: `Some(stall_us)` when the listener should sit
+    /// on the handshake, `None` to accept promptly. Attempt 0 (the initial
+    /// session bring-up) never stalls — only reconnects do, so a stall
+    /// always lands where the heartbeat detector can see it.
+    pub fn accept_stall(&self, link: u64, attempt: u64) -> Option<u64> {
+        if attempt == 0 || self.accept_stall_us == 0 {
+            return None;
+        }
+        let h = mix(self.seed ^ 0xacce57 ^ mix(link ^ attempt.rotate_left(32)));
+        roll(h, 0x57a1, self.accept_stall_per_mille).then_some(self.accept_stall_us)
     }
 
     /// Decide the fate of the `recv_index`-th envelope peer `to` receives.
@@ -303,6 +395,15 @@ pub struct FaultStats {
     pub extra_delay_us: u64,
     /// Envelopes deferred because they crossed an open partition cut.
     pub partition_deferrals: u64,
+    /// TCP link supervisor reconnect rounds completed (a connection died —
+    /// injected kill, torn frame, or heartbeat verdict — and was
+    /// re-established).
+    pub reconnects: u64,
+    /// Data frames retransmitted from the send ledger after a reconnect.
+    pub retransmits: u64,
+    /// Heartbeat failure detections: no ack progress within the seeded
+    /// timeout, so the supervisor declared the link dead.
+    pub heartbeat_timeouts: u64,
 }
 
 impl FaultStats {
@@ -329,6 +430,8 @@ impl FaultStats {
             + self.duplicates_discarded
             + self.delayed
             + self.partition_deferrals
+            + self.reconnects
+            + self.heartbeat_timeouts
     }
 
     /// Merge another stats block (sharded composites fold their shards).
@@ -339,6 +442,9 @@ impl FaultStats {
         self.stall_hits += other.stall_hits;
         self.extra_delay_us += other.extra_delay_us;
         self.partition_deferrals += other.partition_deferrals;
+        self.reconnects += other.reconnects;
+        self.retransmits += other.retransmits;
+        self.heartbeat_timeouts += other.heartbeat_timeouts;
     }
 }
 
@@ -456,6 +562,94 @@ mod tests {
         assert!(plan.partition_open_at(5_999));
         assert!(!plan.partition_open_at(6_000));
         assert_eq!(plan.partition_heal_us(), 6_000);
+    }
+
+    #[test]
+    fn socket_decisions_are_pure_and_rates_land() {
+        let plan = FaultPlan {
+            conn_kill_per_mille: 100,
+            torn_frame_per_mille: 50,
+            ..FaultPlan::none()
+        };
+        assert!(plan.socket_active());
+        assert!(plan.is_active());
+        let mut kills = 0u64;
+        let mut tears = 0u64;
+        const N: u64 = 20_000;
+        for seq in 0..N {
+            let d = plan.socket_decide(3, seq);
+            assert_eq!(d, plan.socket_decide(3, seq), "socket decision pure");
+            if d.torn {
+                assert!(d.kill, "a tear always kills the connection");
+                tears += 1;
+            }
+            if d.kill {
+                kills += 1;
+            }
+        }
+        let near = |got: u64, want: u64| {
+            assert!(
+                got * 10 >= want * 7 && got * 10 <= want * 13,
+                "rate off: got {got}, wanted ≈{want}"
+            );
+        };
+        near(tears, N / 20);
+        // Kills = kill roll ∪ tears; the union is between the larger part
+        // and the sum.
+        assert!((N / 10 * 7 / 10..=(N / 10 + N / 20) * 13 / 10).contains(&kills));
+        // Distinct links see distinct schedules.
+        assert!((0..N).any(|s| plan.socket_decide(0, s) != plan.socket_decide(1, s)));
+    }
+
+    #[test]
+    fn accept_stalls_skip_the_initial_attempt() {
+        let plan = FaultPlan {
+            accept_stall_per_mille: 1000,
+            accept_stall_us: 40_000,
+            ..FaultPlan::none()
+        };
+        assert!(plan.socket_active());
+        assert_eq!(plan.accept_stall(5, 0), None, "bring-up never stalls");
+        assert_eq!(plan.accept_stall(5, 1), Some(40_000));
+        assert_eq!(FaultPlan::none().accept_stall(5, 3), None);
+    }
+
+    #[test]
+    fn socket_fault_sweep_plans_vary_and_stay_socket_only() {
+        let a = FaultPlan::socket_faults(1);
+        let b = FaultPlan::socket_faults(2);
+        assert!(a.socket_active() && b.socket_active());
+        assert_ne!(
+            (a.conn_kill_per_mille, a.accept_stall_us),
+            (b.conn_kill_per_mille, b.accept_stall_us)
+        );
+        // Timing dials stay zero: socket sweeps exercise the supervisor
+        // alone, so the in-process seam path is untouched.
+        assert_eq!(a.drop_per_mille, 0);
+        assert_eq!(a.stall_period, 0);
+        assert_eq!(a.crash_at_event, 0);
+    }
+
+    #[test]
+    fn supervision_counters_fold_into_total_and_merge() {
+        let mut a = FaultStats {
+            reconnects: 2,
+            retransmits: 5,
+            heartbeat_timeouts: 1,
+            ..FaultStats::default()
+        };
+        assert_eq!(a.total(), 3); // reconnects + heartbeat_timeouts
+        let b = FaultStats {
+            reconnects: 1,
+            retransmits: 3,
+            heartbeat_timeouts: 2,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            (a.reconnects, a.retransmits, a.heartbeat_timeouts),
+            (3, 8, 3)
+        );
     }
 
     #[test]

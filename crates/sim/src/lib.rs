@@ -32,7 +32,13 @@
 //!   several inner shards (threaded or async, pluggable [`ShardAssignment`]
 //!   and [`ShardKind`]), with a bounded cross-shard transport whose
 //!   in-flight accounting extends the quiescence/timer-fence contract
-//!   globally. The stepping stone to a real-network (TCP) substrate.
+//!   globally. With [`TransportKind::Tcp`] the cross-shard seam becomes a
+//!   real socket (see [`tcp`]).
+//! * [`tcp`] — the supervised TCP shard transport: length-framed,
+//!   CRC-checked loopback sockets between shards under per-link connection
+//!   supervision (reconnect with backoff + jitter, heartbeat failure
+//!   detection, ack-ledger retransmit, sequence dedup) — exactly-once
+//!   per-channel FIFO preserved across connection death.
 //! * [`async_rt`] — the task-per-peer cooperative runtime: every peer is an
 //!   async task on a single executor thread (the offline `futures` shim —
 //!   no tokio), so one core hosts thousands of peers under the same
@@ -60,6 +66,7 @@ pub mod net;
 pub mod runtime;
 pub mod sharded;
 mod substrate_common;
+pub mod tcp;
 pub mod threaded;
 
 pub use async_rt::{AsyncConfig, AsyncRuntime};
@@ -69,5 +76,6 @@ pub use fault::{FaultDecision, FaultPlan, FaultStats};
 pub use metrics::{EnvelopeMeta, MsgMeta, NetMetrics, PeerMetrics};
 pub use net::{ClusterSpec, CostModel, Partitioner, PeerId, Port};
 pub use runtime::{DesConfig, RunBudget, RunOutcome, Runtime, RuntimeKind};
-pub use sharded::{ShardAssignment, ShardKind, ShardedConfig, ShardedRuntime};
+pub use sharded::{ShardAssignment, ShardKind, ShardedConfig, ShardedRuntime, TransportKind};
+pub use tcp::{LinkState, TcpConfig, WireMsg};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedOutcome, ThreadedRuntime};

@@ -23,7 +23,7 @@ use crate::async_rt::AsyncConfig;
 use crate::fault::FaultPlan;
 use crate::metrics::NetMetrics;
 use crate::net::{PeerId, Port};
-use crate::sharded::{ShardKind, ShardedConfig};
+use crate::sharded::{ShardKind, ShardedConfig, TransportKind};
 use crate::threaded::ThreadedConfig;
 
 /// Bounds on a run, so that configurations the paper reports as "did not
@@ -206,6 +206,22 @@ impl RuntimeKind {
         )
     }
 
+    /// Sharded runtime with `shards` threaded shards whose cross-shard
+    /// envelopes travel over supervised loopback TCP.
+    pub fn sharded_tcp(shards: u32) -> RuntimeKind {
+        RuntimeKind::Sharded(ShardedConfig::with_shards(shards).with_tcp())
+    }
+
+    /// Sharded runtime with `shards` **async** shards over supervised
+    /// loopback TCP.
+    pub fn sharded_async_tcp(shards: u32) -> RuntimeKind {
+        RuntimeKind::Sharded(
+            ShardedConfig::with_shards(shards)
+                .with_shard_kind(ShardKind::Async(AsyncConfig::default()))
+                .with_tcp(),
+        )
+    }
+
     /// Install a seeded transport [`FaultPlan`] on whichever substrate this
     /// kind denotes (builder style). For the sharded composite the plan
     /// lands in the inner shard config, so same-shard and cross-shard
@@ -253,9 +269,11 @@ impl RuntimeKind {
             RuntimeKind::Des(_) => "des",
             RuntimeKind::Threaded(_) => "threaded",
             RuntimeKind::Async(_) => "async",
-            RuntimeKind::Sharded(cfg) => match cfg.shard {
-                ShardKind::Threaded(_) => "sharded",
-                ShardKind::Async(_) => "sharded-async",
+            RuntimeKind::Sharded(cfg) => match (&cfg.shard, &cfg.transport) {
+                (ShardKind::Threaded(_), TransportKind::Channel) => "sharded",
+                (ShardKind::Async(_), TransportKind::Channel) => "sharded-async",
+                (ShardKind::Threaded(_), TransportKind::Tcp(_)) => "sharded-tcp",
+                (ShardKind::Async(_), TransportKind::Tcp(_)) => "sharded-async-tcp",
             },
         }
     }

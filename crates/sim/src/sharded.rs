@@ -72,6 +72,7 @@ use crate::metrics::{MsgMeta, NetMetrics};
 use crate::net::{PeerId, Port};
 use crate::runtime::{RunBudget, RunOutcome, Runtime};
 use crate::substrate_common::Shared;
+use crate::tcp::{LinkSenders, TcpConfig, TcpTransport, WireMsg};
 use crate::threaded::{ThreadedConfig, ThreadedInjector, ThreadedRuntime};
 
 /// Strategy for placing global peers onto shards.
@@ -151,6 +152,23 @@ impl ShardKind {
     }
 }
 
+/// How cross-shard envelopes physically travel between shards. Same-shard
+/// traffic always uses the hosting shard's in-process inboxes; only the
+/// cross-shard seam is pluggable — it is exactly where one-shard-per-box
+/// puts the network.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum TransportKind {
+    /// In-process: direct worker-to-shard injection with the bounded
+    /// controller-relay fallback (the default, and the reference the TCP
+    /// transport is pinned against).
+    #[default]
+    Channel,
+    /// Loopback TCP: length-framed, CRC-checked sockets between shards,
+    /// under per-link connection supervision (reconnect/backoff, heartbeat
+    /// failure detection, ack-ledger retransmit) — see [`mod@crate::tcp`].
+    Tcp(TcpConfig),
+}
+
 /// Tuning knobs for the sharded runtime.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardedConfig {
@@ -167,6 +185,9 @@ pub struct ShardedConfig {
     /// Controller poll tick while waiting for global quiescence (a safety
     /// net — a cross-shard message wakes the controller immediately).
     pub poll: WallDuration,
+    /// Physical cross-shard transport: in-process channels (default) or
+    /// supervised loopback TCP.
+    pub transport: TransportKind,
 }
 
 impl Default for ShardedConfig {
@@ -177,6 +198,7 @@ impl Default for ShardedConfig {
             shard: ShardKind::default(),
             transport_capacity: 1024,
             poll: WallDuration::from_millis(1),
+            transport: TransportKind::Channel,
         }
     }
 }
@@ -226,25 +248,37 @@ impl ShardedConfig {
         }
         self
     }
+
+    /// Select the cross-shard transport (builder style).
+    pub fn with_transport(mut self, transport: TransportKind) -> ShardedConfig {
+        self.transport = transport;
+        self
+    }
+
+    /// Route cross-shard envelopes over supervised loopback TCP with
+    /// default tuning (builder style).
+    pub fn with_tcp(self) -> ShardedConfig {
+        self.with_transport(TransportKind::Tcp(TcpConfig::default()))
+    }
 }
 
 /// A cross-shard envelope in transit: global destination plus the coalesced
 /// messages of one producing quantum bound for it (FIFO order preserved).
 /// One envelope = one transport slot, one in-flight count, one controller
 /// hand-off, however many logical messages it carries.
-struct Envelope<M> {
-    to: PeerId,
-    msgs: FrameBody<M>,
+pub(crate) struct Envelope<M> {
+    pub(crate) to: PeerId,
+    pub(crate) msgs: FrameBody<M>,
 }
 
 /// Global peer → (shard, local index) placement, shared with the adapters.
-struct ShardMap {
+pub(crate) struct ShardMap {
     shard_of: Vec<u32>,
     local_of: Vec<u32>,
 }
 
 impl ShardMap {
-    fn locate(&self, p: PeerId) -> (usize, PeerId) {
+    pub(crate) fn locate(&self, p: PeerId) -> (usize, PeerId) {
         (
             self.shard_of[p.0 as usize] as usize,
             PeerId(self.local_of[p.0 as usize]),
@@ -256,7 +290,7 @@ impl ShardMap {
 /// Quiescence itself is certified by the composite-wide [`Shared`]
 /// in-flight counter (one atomic across every shard); this state carries
 /// the *diagnostic* cross-shard counter and the direct-path plumbing.
-struct TransportState<M> {
+pub(crate) struct TransportState<M> {
     /// Cross-shard envelopes routed via the controller that it has not yet
     /// accepted into their destination shard (in the channel, or parked).
     /// Zero ⇒ the controller relay is drained — the fence assertion
@@ -266,8 +300,10 @@ struct TransportState<M> {
     relay_in_flight: AtomicI64,
     /// Per-shard direct-delivery handles, filled once the shards exist
     /// (adapters are constructed first). Before initialisation every
-    /// cross-shard envelope takes the controller path.
-    injectors: OnceLock<Vec<ShardInjector<M>>>,
+    /// cross-shard envelope takes the controller path (and the TCP receive
+    /// side refuses delivery, killing the connection so the sender's
+    /// ledger retries).
+    pub(crate) injectors: OnceLock<Vec<ShardInjector<M>>>,
 }
 
 /// Shard-local wrapper keeping a peer's global identity: runs the inner
@@ -307,6 +343,11 @@ pub struct ShardPeer<M, N> {
     /// composite never snapshots — so the adapter mirrors the grouping in
     /// global ids here.
     same_shard_meta: Vec<(PeerId, Port, (), MsgMeta)>,
+    /// TCP mode: this shard's per-destination-shard envelope queues into
+    /// the supervised transport (`None` on the diagonal). `None` in
+    /// channel mode — cross-shard envelopes then take the direct/relay
+    /// paths.
+    tcp_links: Option<LinkSenders<M>>,
 }
 
 impl<M: Send, N: PeerNode<M>> ShardPeer<M, N> {
@@ -357,6 +398,19 @@ impl<M: Send, N: PeerNode<M>> ShardPeer<M, N> {
     /// longer overtake one).
     fn route_cross(&mut self, to: PeerId, body: FrameBody<M>) {
         let (shard, local) = self.map.locate(to);
+        // TCP mode: hand the envelope (count already registered) to the
+        // destination link's supervisor — its ledger owns delivery from
+        // here, across however many connection deaths it takes. The queue
+        // is unbounded, so workers never block on the socket. A closed
+        // queue means teardown: drop and retire, like the channel paths.
+        if let Some(links) = &self.tcp_links {
+            if let Some(tx) = &links[shard] {
+                if tx.send(Envelope { to, msgs: body }).is_err() {
+                    self.global.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                return;
+            }
+        }
         if !self.transport_dests.is_empty()
             && self.state.relay_in_flight.load(Ordering::SeqCst) == 0
         {
@@ -483,13 +537,13 @@ enum Shard<M, N> {
 
 /// A shard's direct-delivery handle, held (behind the `OnceLock`) by every
 /// adapter for the controller-free cross-shard path.
-enum ShardInjector<M> {
+pub(crate) enum ShardInjector<M> {
     Threaded(ThreadedInjector<M>),
     Async(AsyncInjector<M>),
 }
 
 impl<M: Send> ShardInjector<M> {
-    fn try_inject(&self, to: PeerId, msgs: FrameBody<M>) -> Result<(), FrameBody<M>> {
+    pub(crate) fn try_inject(&self, to: PeerId, msgs: FrameBody<M>) -> Result<(), FrameBody<M>> {
         match self {
             ShardInjector::Threaded(i) => i.try_inject(to, msgs),
             ShardInjector::Async(i) => i.try_inject(to, msgs),
@@ -581,11 +635,16 @@ pub struct ShardedRuntime<M, N> {
     crashed: bool,
     cfg: ShardedConfig,
     peers_total: u32,
+    /// The supervised TCP transport in [`TransportKind::Tcp`] mode
+    /// (`None` in channel mode); joined at teardown.
+    tcp: Option<TcpTransport<M>>,
 }
 
-impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
+impl<M: WireMsg + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
     /// Partition `peers` (index = global `PeerId`) across
-    /// `cfg.shards` threaded shards and spawn them all.
+    /// `cfg.shards` threaded shards and spawn them all. In
+    /// [`TransportKind::Tcp`] mode this also binds one loopback listener
+    /// per shard and spawns the per-link connection supervisors.
     pub fn new(peers: Vec<N>, cfg: ShardedConfig) -> ShardedRuntime<M, N> {
         let n = peers.len();
         let shards_n = cfg.shards.max(1);
@@ -613,6 +672,29 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
         let shard_metrics: Vec<Arc<Mutex<NetMetrics>>> = (0..shards_n)
             .map(|_| Arc::new(Mutex::new(NetMetrics::new(n as u32))))
             .collect();
+        // TCP mode: bind listeners and spawn the supervised links now, so
+        // the adapters below can hold their shard's sender row. The
+        // supervisors read `state.injectors` only when delivering data,
+        // and it is installed before `new` returns (nothing can send
+        // earlier — no peer has been injected into yet).
+        let fault = match &cfg.shard {
+            ShardKind::Threaded(c) => c.fault,
+            ShardKind::Async(c) => c.fault,
+        };
+        let tcp = match &cfg.transport {
+            TransportKind::Channel => None,
+            TransportKind::Tcp(tcp_cfg) => Some(
+                TcpTransport::new(
+                    shards_n,
+                    tcp_cfg,
+                    fault,
+                    Arc::clone(&map),
+                    Arc::clone(&state),
+                    Arc::clone(&shared),
+                )
+                .expect("bind loopback TCP shard transport"),
+            ),
+        };
 
         let mut buckets: Vec<Vec<ShardPeer<M, N>>> = (0..shards_n)
             .map(|s| Vec::with_capacity(sizes[s as usize] as usize))
@@ -633,6 +715,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
                 coalesce,
                 cross_buf: Vec::new(),
                 same_shard_meta: Vec::new(),
+                tcp_links: tcp.as_ref().map(|t| Arc::clone(&t.senders[s])),
             });
         }
         let shards: Vec<Shard<M, N>> = buckets
@@ -662,6 +745,7 @@ impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> ShardedRuntime<M, N> {
             crashed: false,
             cfg,
             peers_total: n as u32,
+            tcp,
         }
     }
 
@@ -760,13 +844,24 @@ impl<M, N> ShardedRuntime<M, N> {
         }
     }
 
-    /// Faults applied so far, folded across every shard.
+    /// Faults applied so far, folded across every shard — plus, in TCP
+    /// mode, the transport's supervision counters (reconnects,
+    /// retransmits, heartbeat timeouts).
     pub fn fault_stats(&self) -> FaultStats {
         let mut total = FaultStats::default();
         for s in &self.shards {
             total.merge(&s.fault_stats());
         }
+        if let Some(tcp) = &self.tcp {
+            total.merge(&tcp.stats());
+        }
         total
+    }
+
+    /// TCP mode: every directed link's supervisor state, row-major by
+    /// sending shard (`None` in channel mode).
+    pub fn tcp_link_states(&self) -> Option<Vec<crate::tcp::LinkState>> {
+        self.tcp.as_ref().map(|t| t.link_states())
     }
 
     /// Freeze every shard (teardown of workers and timer services); the
@@ -777,6 +872,13 @@ impl<M, N> ShardedRuntime<M, N> {
         // transport *before* shard teardown tries to hand them `Shutdown`
         // through possibly-full inboxes.
         self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Join the TCP transport first: its threads all observe the
+        // teardown flag within one read-timeout tick, and a handler
+        // spinning on a full inbox retires its envelope's count on the
+        // way out — nothing below depends on the sockets.
+        if let Some(tcp) = &mut self.tcp {
+            tcp.shutdown();
+        }
         for s in &mut self.shards {
             s.freeze();
         }
@@ -789,11 +891,13 @@ impl<M, N> Drop for ShardedRuntime<M, N> {
     }
 }
 
-impl<M: Send + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for ShardedRuntime<M, N> {
+impl<M: WireMsg + 'static, N: PeerNode<M> + Send + 'static> Runtime<M, N> for ShardedRuntime<M, N> {
     fn name(&self) -> &'static str {
-        match self.cfg.shard {
-            ShardKind::Threaded(_) => "sharded",
-            ShardKind::Async(_) => "sharded-async",
+        match (&self.cfg.shard, &self.cfg.transport) {
+            (ShardKind::Threaded(_), TransportKind::Channel) => "sharded",
+            (ShardKind::Async(_), TransportKind::Channel) => "sharded-async",
+            (ShardKind::Threaded(_), TransportKind::Tcp(_)) => "sharded-tcp",
+            (ShardKind::Async(_), TransportKind::Tcp(_)) => "sharded-async-tcp",
         }
     }
 
@@ -981,6 +1085,10 @@ mod tests {
 
     fn split_pair_async() -> ShardedConfig {
         split_pair().with_shard_kind(ShardKind::Async(AsyncConfig::default()))
+    }
+
+    fn split_pair_tcp() -> ShardedConfig {
+        split_pair().with_tcp()
     }
 
     #[test]
@@ -1343,6 +1451,97 @@ mod tests {
         assert_eq!(off.logical(), on.logical());
         assert_eq!(off.total_envelopes(), 200);
         assert_eq!(got_off, got);
+    }
+
+    /// The TCP transport is byte-identical to the in-process channel at
+    /// the metrics level: logical sends are recorded sender-side and
+    /// envelope records at quantum-end flush, both *before* the physical
+    /// transport, so swapping the socket in changes no number.
+    #[test]
+    fn tcp_transport_matches_channel_metrics_exactly() {
+        let run = |cfg: ShardedConfig| {
+            let mut rt = ShardedRuntime::new(ping_pong_pair(), cfg);
+            rt.inject(PeerId(0), Port(0), 10u64);
+            assert!(matches!(
+                rt.run(RunBudget::default()),
+                RunOutcome::Converged { .. }
+            ));
+            assert_eq!(rt.pending_events(), 0);
+            assert_eq!(rt.cross_shard_in_flight(), 0);
+            let mut seen = 0;
+            rt.for_each_peer(|_, c| seen += c.seen);
+            assert_eq!(seen, 11);
+            rt.metrics_snapshot()
+        };
+        let want = run(split_pair());
+        assert_eq!(run(split_pair_tcp()), want);
+        assert_eq!(run(split_pair_async().with_tcp()), want);
+    }
+
+    #[test]
+    fn tcp_runtime_reports_names_and_link_states() {
+        let mut rt = ShardedRuntime::new(ping_pong_pair(), split_pair_tcp());
+        assert_eq!(Runtime::<u64, Counter>::name(&rt), "sharded-tcp");
+        rt.inject(PeerId(0), Port(0), 4u64);
+        assert!(matches!(
+            rt.run(RunBudget::default()),
+            RunOutcome::Converged { .. }
+        ));
+        let states = rt.tcp_link_states().expect("tcp mode");
+        assert_eq!(states.len(), 4, "2x2 directed link matrix");
+        // Both off-diagonal links carried traffic and are established.
+        use crate::tcp::LinkState;
+        assert_eq!(states[1], LinkState::Established);
+        assert_eq!(states[2], LinkState::Established);
+        let chan = ShardedRuntime::<u64, Counter>::new(ping_pong_pair(), split_pair());
+        assert!(chan.tcp_link_states().is_none());
+        let async_tcp =
+            ShardedRuntime::<u64, Counter>::new(ping_pong_pair(), split_pair_async().with_tcp());
+        assert_eq!(
+            Runtime::<u64, Counter>::name(&async_tcp),
+            "sharded-async-tcp"
+        );
+    }
+
+    /// Seeded socket faults (connection kills, torn frames, accept
+    /// stalls) perturb only timing: the fixpoint and every metric matrix
+    /// match the clean run, and the supervision counters prove the faults
+    /// actually fired.
+    #[test]
+    fn tcp_connection_kill_sweep_converges_identically() {
+        let clean = {
+            let mut rt = ShardedRuntime::new(ping_pong_pair(), split_pair_tcp());
+            rt.inject(PeerId(0), Port(0), 60u64);
+            assert!(matches!(
+                rt.run(RunBudget::default()),
+                RunOutcome::Converged { .. }
+            ));
+            rt.metrics_snapshot()
+        };
+        let mut supervision = FaultStats::default();
+        for seed in 0..4u64 {
+            let cfg = split_pair_tcp().with_fault(FaultPlan::socket_faults(seed));
+            let mut rt = ShardedRuntime::new(ping_pong_pair(), cfg);
+            rt.inject(PeerId(0), Port(0), 60u64);
+            assert!(
+                matches!(rt.run(RunBudget::default()), RunOutcome::Converged { .. }),
+                "seed {seed} did not converge"
+            );
+            assert_eq!(rt.pending_events(), 0, "seed {seed}");
+            assert_eq!(rt.metrics_snapshot(), clean, "seed {seed} diverged");
+            let mut seen = 0;
+            rt.for_each_peer(|_, c| seen += c.seen);
+            assert_eq!(seen, 61, "seed {seed}: exactly-once delivery broken");
+            supervision.merge(&rt.fault_stats());
+        }
+        assert!(
+            supervision.reconnects > 0,
+            "sweep never reconnected: {supervision:?}"
+        );
+        assert!(
+            supervision.retransmits > 0,
+            "sweep never retransmitted: {supervision:?}"
+        );
     }
 
     #[test]

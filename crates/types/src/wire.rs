@@ -312,6 +312,154 @@ pub fn get_frame(frame: &[u8]) -> Result<Vec<Vec<u8>>, WireError> {
     Ok(payloads)
 }
 
+// --- CRC-checked stream frames --------------------------------------------
+//
+// The frames above assume a length-delimited transport: the decoder is
+// handed one complete, intact frame. A raw TCP stream gives neither
+// delimiting nor integrity — a connection can die mid-write and leave a
+// *torn* frame (a prefix of the intended bytes, possibly followed by a
+// fresh frame after reconnect). The stream layer therefore wraps every
+// transport message in a checked envelope:
+//
+// ```text
+// stream  := MAGIC0 MAGIC1 kind:u8 varint(seq) varint(len)
+//            len × payload byte
+//            crc32:u32le                     (over kind..payload, not magic)
+// ```
+//
+// The CRC turns a torn or bit-flipped frame into a loud
+// [`WireError::Corrupt`] instead of garbage handed to the payload decoder;
+// the magic turns a mid-frame resync into a loud error instead of a
+// silently misparsed header. `kind` and `seq` are opaque to this layer —
+// the transport assigns meanings (data/ack/heartbeat) and sequence
+// semantics; this layer only guarantees that what comes out is exactly
+// what went in, or an error.
+
+/// Stream-frame magic: two bytes no payload grammar emits adjacently,
+/// making accidental resync onto payload bytes fail loudly.
+pub const STREAM_MAGIC: [u8; 2] = [0x4E, 0x52];
+
+/// Upper bound on a stream-frame payload. A torn header whose length
+/// varint decodes to nonsense must not stall the reader forever waiting
+/// for terabytes that will never arrive; anything larger than this is
+/// reported as corruption.
+pub const MAX_STREAM_PAYLOAD: usize = 1 << 26;
+
+/// One decoded stream frame: an opaque `kind` discriminant, a transport
+/// sequence number, and the verbatim payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamFrame {
+    /// Transport-assigned frame class (data / ack / heartbeat / …).
+    pub kind: u8,
+    /// Transport-assigned sequence number.
+    pub seq: u64,
+    /// Verbatim payload bytes (CRC-verified on decode).
+    pub payload: Vec<u8>,
+}
+
+const fn crc32_table() -> [u32; 256] {
+    // IEEE 802.3 polynomial, reflected form.
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (the zlib/ethernet polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Append one CRC-checked stream frame.
+pub fn put_stream_frame(buf: &mut Vec<u8>, kind: u8, seq: u64, payload: &[u8]) {
+    buf.extend_from_slice(&STREAM_MAGIC);
+    let body_start = buf.len();
+    buf.push(kind);
+    put_varint(buf, seq);
+    put_varint(buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf[body_start..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Total bytes [`put_stream_frame`] writes for a payload of `len` bytes
+/// at sequence `seq`: magic + kind + varints + payload + CRC.
+pub fn stream_frame_len(seq: u64, len: usize) -> usize {
+    2 + 1 + varint_len(seq) + varint_len(len as u64) + len + 4
+}
+
+/// Try to decode one stream frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a proper prefix of a frame
+/// (read more bytes and retry), `Ok(Some((frame, consumed)))` when a full
+/// frame was verified, and `Err` when the bytes can never become a valid
+/// frame: bad magic, an oversized or overflowing length, or a CRC
+/// mismatch (the torn-frame case). Never panics on arbitrary input.
+pub fn get_stream_frame(buf: &[u8]) -> Result<Option<(StreamFrame, usize)>, WireError> {
+    if buf.len() < 2 {
+        return Ok(None);
+    }
+    if buf[0] != STREAM_MAGIC[0] || buf[1] != STREAM_MAGIC[1] {
+        return Err(WireError::Corrupt("bad stream-frame magic"));
+    }
+    let body = &buf[2..];
+    if body.is_empty() {
+        return Ok(None);
+    }
+    let kind = body[0];
+    let mut rest = &body[1..];
+    let seq = match get_varint(&mut rest) {
+        Ok(v) => v,
+        Err(WireError::Truncated) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let len = match get_varint(&mut rest) {
+        Ok(v) => v,
+        Err(WireError::Truncated) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if len > MAX_STREAM_PAYLOAD as u64 {
+        return Err(WireError::Corrupt("oversized stream frame"));
+    }
+    let len = len as usize;
+    if rest.len() < len + 4 {
+        return Ok(None);
+    }
+    let payload = &rest[..len];
+    let crc_bytes: [u8; 4] = rest[len..len + 4].try_into().expect("4 bytes sliced");
+    let body_len = body.len() - rest.len() + len;
+    if crc32(&body[..body_len]) != u32::from_le_bytes(crc_bytes) {
+        return Err(WireError::Corrupt("stream-frame CRC mismatch"));
+    }
+    Ok(Some((
+        StreamFrame {
+            kind,
+            seq,
+            payload: payload.to_vec(),
+        },
+        2 + body_len + 4,
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +653,92 @@ mod tests {
         assert_eq!(
             get_frame(&[FRAME_TAG, 2, 1, 7, 1, 8, 99]),
             Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn stream_frame_round_trips() {
+        for (kind, seq, payload) in [
+            (0u8, 0u64, &b""[..]),
+            (1, 1, b"x"),
+            (2, 300, b"hello stream"),
+            (3, u64::MAX, &[0xFFu8; 130][..]),
+        ] {
+            let mut buf = Vec::new();
+            put_stream_frame(&mut buf, kind, seq, payload);
+            assert_eq!(buf.len(), stream_frame_len(seq, payload.len()));
+            let (frame, used) = get_stream_frame(&buf).unwrap().expect("complete frame");
+            assert_eq!(used, buf.len());
+            assert_eq!(frame.kind, kind);
+            assert_eq!(frame.seq, seq);
+            assert_eq!(frame.payload, payload);
+        }
+    }
+
+    #[test]
+    fn stream_frames_concatenate() {
+        let mut buf = Vec::new();
+        put_stream_frame(&mut buf, 1, 7, b"first");
+        put_stream_frame(&mut buf, 1, 8, b"second");
+        let (a, used) = get_stream_frame(&buf).unwrap().unwrap();
+        let (b, used2) = get_stream_frame(&buf[used..]).unwrap().unwrap();
+        assert_eq!((a.seq, a.payload.as_slice()), (7, &b"first"[..]));
+        assert_eq!((b.seq, b.payload.as_slice()), (8, &b"second"[..]));
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn stream_frame_prefixes_ask_for_more() {
+        // Every proper prefix of a valid frame is "incomplete", never an
+        // error and never a misparse — this is the property that lets the
+        // socket reader accumulate bytes without guessing boundaries.
+        let mut buf = Vec::new();
+        put_stream_frame(&mut buf, 1, 4242, b"torn-frame payload");
+        for cut in 0..buf.len() {
+            assert_eq!(
+                get_stream_frame(&buf[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_frame_corruption_fails_loudly() {
+        let mut buf = Vec::new();
+        put_stream_frame(&mut buf, 1, 9, b"payload bytes");
+        // Flip each body byte in turn: magic errors or CRC mismatch, never
+        // a successful decode of different content.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            match get_stream_frame(&bad) {
+                Err(WireError::Corrupt(_)) | Err(WireError::VarintOverflow) | Ok(None) => {}
+                Ok(Some((frame, _))) => {
+                    panic!("bit flip at {i} decoded silently: {frame:?}")
+                }
+                Err(e) => panic!("unexpected error class at {i}: {e:?}"),
+            }
+        }
+        // A torn frame followed by a fresh one: the CRC of the spliced
+        // bytes cannot match.
+        let mut torn = buf[..buf.len() - 6].to_vec();
+        put_stream_frame(&mut torn, 1, 10, b"next");
+        assert!(matches!(
+            get_stream_frame(&torn),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn stream_frame_oversized_length_is_corrupt() {
+        let mut buf = STREAM_MAGIC.to_vec();
+        buf.push(1); // kind
+        buf.push(0); // seq
+        put_varint(&mut buf, MAX_STREAM_PAYLOAD as u64 + 1);
+        assert_eq!(
+            get_stream_frame(&buf),
+            Err(WireError::Corrupt("oversized stream frame"))
         );
     }
 

@@ -1,0 +1,91 @@
+//! Property tests for the wire decoders: the transport feeds them bytes
+//! straight off a socket, so `get_frame` and the CRC stream-frame decoder
+//! must never panic on arbitrary input — every malformed buffer is an
+//! `Err` (or an incomplete-prefix `None`), never an abort or a silently
+//! wrong decode.
+
+use netrec_types::wire::{
+    self, get_frame, get_stream_frame, put_frame, put_stream_frame, StreamFrame,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes: both decoders return, they never panic. Also runs
+    /// the same junk with each magic/tag prefix forced, so the deeper
+    /// parse paths (length varints, CRC trailer) see fuzz too.
+    #[test]
+    fn frame_decoders_never_panic_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = get_frame(&bytes);
+        let _ = get_stream_frame(&bytes);
+
+        let mut framed = vec![wire::FRAME_TAG];
+        framed.extend_from_slice(&bytes);
+        let _ = get_frame(&framed);
+
+        let mut stream = wire::STREAM_MAGIC.to_vec();
+        stream.extend_from_slice(&bytes);
+        let _ = get_stream_frame(&stream);
+    }
+
+    /// A well-formed stream frame round-trips exactly; every truncation is
+    /// incomplete or corrupt (never a full decode), and every single-byte
+    /// corruption fails to reproduce the original frame.
+    #[test]
+    fn stream_frame_corruption_is_always_detected(
+        kind in any::<u8>(),
+        seq in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut buf = Vec::new();
+        put_stream_frame(&mut buf, kind, seq, &payload);
+        prop_assert_eq!(buf.len(), wire::stream_frame_len(seq, payload.len()));
+
+        let (frame, used) = get_stream_frame(&buf)
+            .expect("well-formed frame")
+            .expect("complete frame");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.seq, seq);
+        prop_assert_eq!(&frame.payload, &payload);
+
+        for cut in 0..buf.len() {
+            if let Ok(Some(_)) = get_stream_frame(&buf[..cut]) {
+                prop_assert!(false, "prefix {} decoded a frame", cut);
+            }
+        }
+
+        let original = StreamFrame { kind, seq, payload: payload.clone() };
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 1 << (i % 8);
+            if let Ok(Some((decoded, _))) = get_stream_frame(&bad) {
+                prop_assert!(
+                    decoded != original,
+                    "flip at byte {} reproduced the original frame", i
+                );
+            }
+        }
+    }
+
+    /// `put_frame`/`get_frame` round-trip arbitrary payload batches, and the
+    /// decoder never panics on truncations of real frames.
+    #[test]
+    fn frame_batches_round_trip(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..32), 1..5),
+    ) {
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let mut buf = Vec::new();
+        put_frame(&mut buf, &refs);
+        let back = get_frame(&buf).expect("well-formed frame batch");
+        // Single unframed payloads pass through verbatim; batches (and
+        // payloads that collide with the frame tag) come back exactly.
+        prop_assert_eq!(back, payloads);
+
+        for cut in 0..buf.len() {
+            let _ = get_frame(&buf[..cut]);
+        }
+    }
+}

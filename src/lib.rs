@@ -26,5 +26,5 @@ pub use netrec_sim as sim;
 pub use netrec_topo as topo;
 pub use netrec_types as types;
 
-pub use netrec_core::{System, SystemConfig};
+pub use netrec_core::{RuntimeKind, System, SystemConfig};
 pub use netrec_engine::{ServeSpec, Strategy, ViewReader};
